@@ -1,0 +1,317 @@
+// Package avgpipe is a Go reproduction of "Elastic Averaging for
+// Efficient Pipelined DNN Training" (PPoPP 2023): the AvgPipe system.
+//
+// AvgPipe accelerates pipeline-parallel DNN training by running N
+// parallel pipelines coupled through an elastic-averaging reference model
+// (so the batch size per pipeline — and with it statistical efficiency —
+// is preserved while arithmetic intensity rises), scheduling micro-batches
+// with 1F1B plus advance forward propagation (recovering AFAB's
+// communication overlap at a fraction of its activation memory), and
+// tuning the parallelism degrees (M micro-batches, N pipelines) with a
+// profiling-based predictor instead of exhaustive search.
+//
+// The package exposes three layers of functionality:
+//
+//   - Training: real CPU execution of elastic-averaging pipelines over
+//     the bundled neural-network library (Trainer, Task, and the model
+//     building blocks).
+//   - Simulation: a discrete-event model of pipeline schedules over a
+//     GPU-cluster cost model, used to study schedules and reproduce the
+//     paper's performance results (Simulate, Workloads, Clusters).
+//   - Tuning: the profiling-based parallelism-degree tuner and its
+//     baselines (Tune, Profile, Predict).
+//
+// See the examples directory for runnable end-to-end programs and
+// EXPERIMENTS.md for the paper-versus-measured record.
+package avgpipe
+
+import (
+	"avgpipe/internal/cluster"
+	"avgpipe/internal/comm"
+	"avgpipe/internal/core"
+	"avgpipe/internal/data"
+	"avgpipe/internal/device"
+	"avgpipe/internal/nn"
+	"avgpipe/internal/optim"
+	"avgpipe/internal/pipesim"
+	"avgpipe/internal/sched"
+	"avgpipe/internal/tensor"
+	"avgpipe/internal/workload"
+)
+
+// --- tensors and models -------------------------------------------------
+
+// Tensor is a dense float32 tensor (see internal/tensor for the full op
+// set).
+type Tensor = tensor.Tensor
+
+// RNG is a deterministic random source for initialization and data.
+type RNG = tensor.RNG
+
+// NewRNG returns a seeded generator.
+func NewRNG(seed int64) *RNG { return tensor.NewRNG(seed) }
+
+// Module is a neural-network layer with explicit per-micro-batch forward
+// and backward passes; Sequential chains modules and can be sliced into
+// pipeline stages.
+type (
+	Module     = nn.Module
+	Sequential = nn.Sequential
+	Param      = nn.Param
+	Context    = nn.Context
+)
+
+// Layer constructors.
+var (
+	NewSequential              = nn.NewSequential
+	NewLinear                  = nn.NewLinear
+	NewEmbedding               = nn.NewEmbedding
+	NewLSTM                    = nn.NewLSTM
+	NewLayerNorm               = nn.NewLayerNorm
+	NewDropout                 = nn.NewDropout
+	NewMultiHeadSelfAttention  = nn.NewMultiHeadSelfAttention
+	NewTransformerEncoderLayer = nn.NewTransformerEncoderLayer
+	NewBiLSTM                  = nn.NewBiLSTM
+	NewContext                 = nn.NewContext
+)
+
+// Reverse flips a time-major sequence tensor along time (its own adjoint).
+func Reverse(seqLen int) Module { return &nn.Reverse{SeqLen: seqLen} }
+
+// Activation and utility layers.
+func ReLU() Module    { return &nn.ReLU{} }
+func Tanh() Module    { return &nn.Tanh{} }
+func Sigmoid() Module { return &nn.Sigmoid{} }
+func GELU() Module    { return &nn.GELU{} }
+
+// MeanPoolTime averages a time-major sequence tensor over time.
+func MeanPoolTime(seqLen int) Module { return &nn.MeanPoolTime{SeqLen: seqLen} }
+
+// FromSlice wraps data in a tensor of the given shape.
+func FromSlice(data []float32, shape ...int) *Tensor { return tensor.FromSlice(data, shape...) }
+
+// NewTensor returns a zero tensor of the given shape.
+func NewTensor(shape ...int) *Tensor { return tensor.New(shape...) }
+
+// CrossEntropy computes mean softmax cross-entropy and its gradient.
+func CrossEntropy(logits *Tensor, targets []int) (float64, *Tensor) {
+	return nn.CrossEntropy(logits, targets)
+}
+
+// Accuracy returns the argmax accuracy of logits against targets.
+func Accuracy(logits *Tensor, targets []int) float64 { return nn.Accuracy(logits, targets) }
+
+// SaveParams and LoadParams checkpoint model weights to a stable binary
+// format.
+var (
+	SaveParams = nn.SaveParams
+	LoadParams = nn.LoadParams
+)
+
+// --- optimizers ----------------------------------------------------------
+
+// Optimizer applies local updates; AvgPipe composes with any of them
+// (the framework's optimizer-decoupling claim, §3.1).
+type Optimizer = optim.Optimizer
+
+// Optimizer constructors.
+var (
+	NewSGD     = optim.NewSGD
+	NewAdam    = optim.NewAdam
+	NewAdaGrad = optim.NewAdaGrad
+	NewASGD    = optim.NewASGD
+	NewEASGD   = optim.NewEASGD
+)
+
+// LRScheduler maps optimizer steps to learning rates; ApplyLR wires one
+// to an optimizer each step.
+type (
+	LRScheduler = optim.LRScheduler
+	ConstantLR  = optim.ConstantLR
+	Warmup      = optim.Warmup
+	CosineDecay = optim.CosineDecay
+	StepDecay   = optim.StepDecay
+)
+
+// ApplyLR sets the optimizer's learning rate from the scheduler.
+func ApplyLR(opt Optimizer, sched LRScheduler, step int) { optim.Apply(opt, sched, step) }
+
+// --- data and tasks -------------------------------------------------------
+
+// Batch is one training batch; Generator produces an endless batch stream
+// plus a fixed eval batch.
+type (
+	Batch     = data.Batch
+	Generator = data.Generator
+)
+
+// Corpus is a tokenized text stream for language modeling on user data;
+// CorpusLM turns one into a Generator.
+type (
+	Corpus   = data.Corpus
+	CorpusLM = data.CorpusLM
+)
+
+// ReadCorpus tokenizes user text with a frequency-capped vocabulary.
+var ReadCorpus = data.ReadCorpus
+
+// NewCorpusLM builds a next-token-prediction generator over a corpus.
+var NewCorpusLM = data.NewCorpusLM
+
+// Task bundles a model builder, data stream, and convergence target.
+type Task = workload.Task
+
+// Built-in scaled-down tasks mirroring the paper's workloads.
+var (
+	TranslationTask    = workload.TranslationTask
+	ClassificationTask = workload.ClassificationTask
+	LangModelTask      = workload.LangModelTask
+)
+
+// Evaluate runs the model on a batch in eval mode, returning loss and
+// accuracy.
+func Evaluate(m *Sequential, b *Batch, perPosition bool) (loss, acc float64) {
+	return workload.Evaluate(m, b, perPosition)
+}
+
+// --- training (the elastic-averaging runtime) ----------------------------
+
+// TrainerConfig configures an elastic-averaging training run.
+type TrainerConfig = core.TrainerConfig
+
+// Trainer runs N parallel pipelines coupled through the reference model.
+type Trainer = core.Trainer
+
+// NewTrainer builds the replicas, pipelines, optimizers, and reference
+// model for a task.
+func NewTrainer(cfg TrainerConfig) *Trainer { return core.NewTrainer(cfg) }
+
+// Averager is the elastic-averaging coordinator (reference model plus
+// asynchronous update queues), usable directly with custom training loops.
+type Averager = core.Averager
+
+// NewAverager builds the framework around an initial parameter set.
+func NewAverager(n int, init []*Param) *Averager { return core.NewAverager(n, init) }
+
+// Pipeline executes one partitioned model with goroutine stage workers.
+type Pipeline = core.Pipeline
+
+// NewPipeline partitions a model into k pipeline stages.
+func NewPipeline(model *Sequential, k int, advance []int) *Pipeline {
+	return core.NewPipeline(model, k, advance)
+}
+
+// --- simulation (cost models, clusters, schedules) ------------------------
+
+// Workload is an analytic per-layer cost model; Stage is a contiguous
+// layer range assigned to one GPU.
+type (
+	Workload = workload.Workload
+	Stage    = workload.Stage
+)
+
+// The paper's three evaluation workloads.
+var (
+	GNMT = workload.GNMT
+	BERT = workload.BERT
+	AWD  = workload.AWD
+)
+
+// Cluster describes a multi-node GPU topology; GPU and Link are its
+// elements.
+type (
+	Cluster = cluster.Cluster
+	GPU     = device.GPU
+	Link    = comm.Link
+)
+
+// Topology constructors.
+var (
+	NewCluster     = cluster.New
+	PaperTestbed   = cluster.PaperTestbed
+	TwoNodeTestbed = cluster.TwoNodeTestbed
+	V100           = device.V100
+	PCIe3          = comm.PCIe3
+	Ethernet1G     = comm.Ethernet1G
+	Ethernet10G    = comm.Ethernet10G
+)
+
+// Schedule is a per-GPU pipeline execution plan.
+type Schedule = sched.Schedule
+
+// Schedule generators (§4): AFAB/GPipe, 1F1B/Dapple, advance forward
+// propagation, and the PipeDream variants.
+var (
+	AFAB         = sched.AFAB
+	OneFOneB     = sched.OneFOneB
+	AFP          = sched.AFP
+	GPipe        = sched.GPipe
+	Dapple       = sched.Dapple
+	PipeDream    = sched.PipeDream
+	PipeDream2BW = sched.PipeDream2BW
+	LegalAdvance = sched.LegalAdvance
+)
+
+// SimConfig configures one pipeline simulation; SimResult carries per-GPU
+// timing, utilization, and memory.
+type (
+	SimConfig = pipesim.Config
+	SimResult = pipesim.Result
+)
+
+// Simulate runs the discrete-event pipeline simulation.
+func Simulate(cfg SimConfig) (*SimResult, error) { return pipesim.Run(cfg) }
+
+// ChimeraConfig configures a bidirectional-pipeline simulation (the
+// Chimera design from related work); SimulateChimera runs it.
+type ChimeraConfig = pipesim.ChimeraConfig
+
+// SimulateChimera simulates Chimera's bidirectional pipelines.
+func SimulateChimera(cfg ChimeraConfig) (*SimResult, error) { return pipesim.RunChimera(cfg) }
+
+// SimulateDataParallel models the PyTorch data-parallel baseline.
+func SimulateDataParallel(w *Workload, c *Cluster) *SimResult {
+	return pipesim.DataParallel(w, c)
+}
+
+// Partition splits a workload into k balanced stages (PipeDream-style
+// dynamic programming).
+func Partition(w *Workload, k int, commWeight float64) []Stage {
+	return core.Partition(w, k, commWeight)
+}
+
+// --- tuning ----------------------------------------------------------------
+
+// Profile is the measurement of one parallelism setting; Prediction is
+// the extrapolation to another (Eqs. 2–8).
+type (
+	Profile    = core.Profile
+	Prediction = core.Prediction
+	TuneResult = core.TuneResult
+)
+
+// ProfileSetting measures one (M, N) setting over twenty batches.
+func ProfileSetting(w *Workload, c *Cluster, stages []Stage, m, n int) (*Profile, error) {
+	return core.ProfileSetting(w, c, stages, m, n)
+}
+
+// Predict extrapolates a profile to new parallelism degrees.
+func Predict(p *Profile, m, n int) (*Prediction, error) { return core.Predict(p, m, n) }
+
+// Tune runs the profiling-based tuning method (§5.2) under a per-GPU
+// memory limit in bytes (0 = device capacity).
+func Tune(w *Workload, c *Cluster, stages []Stage, memLimit int64) (*TuneResult, *Profile, error) {
+	return core.ProfilingTune(w, c, stages, memLimit)
+}
+
+// TraversalTune measures every setting (the expensive baseline of §7.3).
+func TraversalTune(w *Workload, c *Cluster, stages []Stage, memLimit int64, trialBatches int) (*TuneResult, error) {
+	return core.TraversalTune(w, c, stages, memLimit, trialBatches)
+}
+
+// AFPConfig configures Algorithm 1; DecideAdvance picks the advance
+// forward propagation amounts for a pipeline configuration.
+type AFPConfig = core.AFPConfig
+
+// DecideAdvance implements Algorithm 1.
+func DecideAdvance(cfg AFPConfig) ([]int, *SimResult, error) { return core.DecideAdvance(cfg) }

@@ -1,0 +1,203 @@
+package avgpipe
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestPublicAPITrainQuickstart exercises the training path end to end
+// through the public facade: model building blocks, Task, Trainer.
+func TestPublicAPITrainQuickstart(t *testing.T) {
+	task := TranslationTask()
+	tr := NewTrainer(TrainerConfig{
+		Task: task, Pipelines: 2, Micro: 2, StageCount: 2, Seed: 1, ClipNorm: 5,
+	})
+	defer tr.Close()
+	loss0, _ := tr.Eval()
+	for i := 0; i < 40; i++ {
+		tr.Step()
+	}
+	loss1, _ := tr.Eval()
+	if loss1 >= loss0 {
+		t.Fatalf("public API trainer not learning: %v -> %v", loss0, loss1)
+	}
+}
+
+// TestPublicAPICustomModel builds a custom model from exported layers and
+// runs a manual forward/backward/step cycle.
+func TestPublicAPICustomModel(t *testing.T) {
+	g := NewRNG(1)
+	m := NewSequential(
+		NewEmbedding(g, 8, 16),
+		NewLSTM(g, 16, 16, 4),
+		ReLU(),
+		NewLinear(g, 16, 8),
+	)
+	x := NewTensor(8, 1) // T=4, B=2 tokens (all zero => token 0)
+	ctx := NewContext()
+	logits := m.Forward(ctx, x, true)
+	loss, dlogits := CrossEntropy(logits, []int{1, 2, 3, 4, 5, 6, 7, 0})
+	if loss <= 0 {
+		t.Fatal("expected positive loss")
+	}
+	m.Backward(ctx, dlogits)
+	opt := NewAdam(1e-3)
+	opt.Step(m.Params())
+	if Accuracy(logits, []int{1, 2, 3, 4, 5, 6, 7, 0}) < 0 {
+		t.Fatal("accuracy broken")
+	}
+}
+
+// TestPublicAPISimulation exercises simulation, partitioning, schedules,
+// and the OOM path through the facade.
+func TestPublicAPISimulation(t *testing.T) {
+	w := BERT()
+	c := w.Cluster().SetSatSamples(w.SatSamples)
+	stages := Partition(w, c.Size(), 0)
+	r, err := Simulate(SimConfig{
+		Workload: w, Cluster: c, Stages: stages,
+		Micro: 8, Pipelines: 1, Schedule: OneFOneB(c.Size(), 8, 2), Batches: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.BatchTime <= 0 || r.PeakMemory() <= 0 {
+		t.Fatal("degenerate simulation result")
+	}
+	// PipeDream with full-batch units must OOM on BERT (§7.1.1).
+	pd, err := Simulate(SimConfig{
+		Workload: w, Cluster: c, Stages: stages,
+		Micro: 1, Pipelines: 1, Schedule: PipeDream(c.Size(), 1, 4), Batches: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pd.OOM == nil || !strings.Contains(pd.OOM.Error(), "out of memory") {
+		t.Fatalf("expected PipeDream OOM on BERT, got %v", pd.OOM)
+	}
+	dp := SimulateDataParallel(w, c)
+	if dp.BatchTime <= r.BatchTime {
+		t.Fatal("data parallelism should lose to pipelining on 1 Gbps Ethernet")
+	}
+}
+
+// TestPublicAPITuning exercises the tuning path through the facade.
+func TestPublicAPITuning(t *testing.T) {
+	w := AWD()
+	c := w.Cluster().SetSatSamples(w.SatSamples)
+	stages := Partition(w, c.Size(), 0)
+	tuned, prof, err := Tune(w, c, stages, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tuned.M <= 0 || tuned.N <= 0 || prof == nil {
+		t.Fatal("degenerate tuning result")
+	}
+	pred, err := Predict(prof, tuned.M, tuned.N)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pred.BatchTime <= 0 {
+		t.Fatal("degenerate prediction")
+	}
+	adv, res, err := DecideAdvance(AFPConfig{
+		Workload: w, Cluster: c, Stages: stages,
+		Micro: tuned.M, Pipes: tuned.N, Batches: 2, RefModel: tuned.N > 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(adv) != c.Size() || res == nil {
+		t.Fatal("degenerate advance decision")
+	}
+	if !LegalAdvance(c.Size(), tuned.M, adv) {
+		t.Fatal("decided advance must be legal")
+	}
+}
+
+// TestPublicAPISchedulersAndCheckpoint exercises the LR schedulers and
+// the checkpoint roundtrip through the facade.
+func TestPublicAPISchedulersAndCheckpoint(t *testing.T) {
+	sched := Warmup{Base: 1, Steps: 4, After: CosineDecay{Base: 1, Min: 0.1, Steps: 10}}
+	opt := NewAdam(999)
+	ApplyLR(opt, sched, 0)
+	if opt.LR != 0.25 {
+		t.Fatalf("warmup step 0 LR = %v", opt.LR)
+	}
+	g := NewRNG(1)
+	m := NewSequential(NewLinear(g, 3, 3))
+	var buf strings.Builder
+	if err := SaveParams(&buf, m.Params()); err != nil {
+		t.Fatal(err)
+	}
+	m2 := NewSequential(NewLinear(NewRNG(2), 3, 3))
+	if err := LoadParams(strings.NewReader(buf.String()), m2.Params()); err != nil {
+		t.Fatal(err)
+	}
+	if m.Params()[0].W.At(0, 0) != m2.Params()[0].W.At(0, 0) {
+		t.Fatal("checkpoint roundtrip failed")
+	}
+}
+
+// TestPublicAPIChimera exercises the bidirectional simulator through the
+// facade.
+func TestPublicAPIChimera(t *testing.T) {
+	w := AWD()
+	c := w.Cluster().SetSatSamples(w.SatSamples)
+	stages := Partition(w, c.Size(), 0)
+	r, err := SimulateChimera(ChimeraConfig{Base: SimConfig{
+		Workload: w, Cluster: c, Stages: stages, Micro: 10, Pipelines: 1, Batches: 2,
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.BatchTime <= 0 {
+		t.Fatal("degenerate chimera result")
+	}
+}
+
+// TestPublicAPIBiLSTM exercises the bidirectional encoder layer.
+func TestPublicAPIBiLSTM(t *testing.T) {
+	g := NewRNG(1)
+	m := NewSequential(
+		NewEmbedding(g, 6, 8),
+		NewBiLSTM(g, 8, 4, 3),
+		Reverse(3),
+		NewLinear(g, 8, 6),
+	)
+	ctx := NewContext()
+	y := m.Forward(ctx, NewTensor(6, 1), true)
+	if y.Dim(1) != 6 {
+		t.Fatalf("output shape %v", y.Shape())
+	}
+	_, dy := CrossEntropy(y, []int{0, 1, 2, 3, 4, 5})
+	m.Backward(ctx, dy)
+}
+
+// TestPublicAPIElasticAverager drives the Averager directly with a custom
+// loop, as a downstream user with their own training code would.
+func TestPublicAPIElasticAverager(t *testing.T) {
+	g := NewRNG(3)
+	model := NewSequential(NewLinear(g, 4, 2))
+	avg := NewAverager(2, model.Params())
+	defer avg.Close()
+	replicas := []*Sequential{
+		NewSequential(NewLinear(g, 4, 2)),
+		NewSequential(NewLinear(g, 4, 2)),
+	}
+	for round := 0; round < 3; round++ {
+		for p, r := range replicas {
+			// Fake a local update.
+			r.Params()[0].W.Data()[0] += float32(p + 1)
+			avg.Submit(p, round, r.Params())
+		}
+		avg.Drain()
+		for p, r := range replicas {
+			avg.Dilute(p, r.Params())
+		}
+	}
+	ref := avg.Reference()
+	if len(ref) != 2 {
+		t.Fatal("reference parameter count")
+	}
+}

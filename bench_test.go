@@ -1,0 +1,266 @@
+package avgpipe
+
+// One benchmark per table/figure of the paper's evaluation. Each bench
+// regenerates its figure's data through internal/exp and reports the
+// figure's headline quantity as a custom metric, so `go test -bench=.`
+// doubles as the experiment harness (cmd/avgpipe-bench prints the full
+// tables). Timing of the benches themselves measures the *harness* cost
+// (simulation + real scaled-down training), not the paper's cluster.
+
+import (
+	"testing"
+
+	"avgpipe/internal/exp"
+	"avgpipe/internal/workload"
+)
+
+// BenchmarkFig02Motivation regenerates Figure 2: BERT GPU-1 utilization
+// timelines under vanilla pipeline parallelism and PipeDream-2BW.
+func BenchmarkFig02Motivation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if exp.Fig02() == nil {
+			b.Fatal("no table")
+		}
+	}
+}
+
+// BenchmarkFig07Schedules regenerates Figure 7: the K=2, M=4 schedule
+// anatomy (AFAB vs 1F1B vs AFP).
+func BenchmarkFig07Schedules(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if exp.Fig07() == nil {
+			b.Fatal("no table")
+		}
+	}
+}
+
+func workloadEvals(b *testing.B, name string) *exp.WorkloadEvals {
+	b.Helper()
+	var w *workload.Workload
+	switch name {
+	case "GNMT":
+		w = workload.GNMT()
+	case "BERT":
+		w = workload.BERT()
+	default:
+		w = workload.AWD()
+	}
+	return exp.EvalWorkload(exp.NewSetup(w))
+}
+
+// BenchmarkFig11TrainingTime regenerates Figure 11 for all workloads and
+// reports the mean AvgPipe speedup over the memory-matched pipeline
+// baselines as a custom metric.
+func BenchmarkFig11TrainingTime(b *testing.B) {
+	var speedups []float64
+	for i := 0; i < b.N; i++ {
+		speedups = speedups[:0]
+		for _, name := range []string{"GNMT", "BERT", "AWD"} {
+			we := workloadEvals(b, name)
+			if exp.Fig11(we) == nil {
+				b.Fatal("no table")
+			}
+			for _, se := range we.Systems {
+				if se.Baseline.System == exp.SysPyTorch || se.Baseline.OOM || se.AvgPipe == nil {
+					continue
+				}
+				base := exp.TrainTime(name, se.Baseline)
+				ap := exp.TrainTime(name, se.AvgPipe)
+				speedups = append(speedups, base/ap)
+			}
+		}
+	}
+	var sum float64
+	for _, s := range speedups {
+		sum += s
+	}
+	b.ReportMetric(sum/float64(len(speedups)), "x-speedup-over-PP")
+}
+
+// BenchmarkFig12Memory regenerates Figure 12 (memory footprints).
+func BenchmarkFig12Memory(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, name := range []string{"GNMT", "BERT", "AWD"} {
+			if exp.Fig12(workloadEvals(b, name)) == nil {
+				b.Fatal("no table")
+			}
+		}
+	}
+}
+
+// BenchmarkFig13Utilization regenerates Figure 13 (average utilization).
+func BenchmarkFig13Utilization(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, name := range []string{"GNMT", "BERT", "AWD"} {
+			if exp.Fig13(workloadEvals(b, name)) == nil {
+				b.Fatal("no table")
+			}
+		}
+	}
+}
+
+// BenchmarkFig14StatEff regenerates Figure 14: real training of the three
+// scaled-down tasks under synchronous, stale-multi-version, and
+// elastic-averaging semantics. This is the slowest bench (minutes): it
+// trains twelve models to their convergence targets.
+func BenchmarkFig14StatEff(b *testing.B) {
+	if testing.Short() {
+		b.Skip("real training; skipped in -short mode")
+	}
+	for i := 0; i < b.N; i++ {
+		for task := 0; task < 3; task++ {
+			if exp.Fig14(task) == nil {
+				b.Fatal("no table")
+			}
+		}
+	}
+}
+
+// BenchmarkFig15BatchSize regenerates Figure 15 (GNMT batch-size sweep).
+func BenchmarkFig15BatchSize(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if exp.Fig15() == nil {
+			b.Fatal("no table")
+		}
+	}
+}
+
+// BenchmarkFig16UtilTimeline regenerates Figure 16 (GNMT utilization over
+// time).
+func BenchmarkFig16UtilTimeline(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if exp.Fig16() == nil {
+			b.Fatal("no table")
+		}
+	}
+}
+
+// BenchmarkFig17aSchedTime regenerates Figure 17(a) (schedule training
+// time + last-GPU idle) for all workloads.
+func BenchmarkFig17aSchedTime(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, w := range workload.All() {
+			if exp.Fig17a(w) == nil {
+				b.Fatal("no table")
+			}
+		}
+	}
+}
+
+// BenchmarkFig17bSchedMem regenerates Figure 17(b) (schedule memory).
+func BenchmarkFig17bSchedMem(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, w := range workload.All() {
+			if exp.Fig17b(w) == nil {
+				b.Fatal("no table")
+			}
+		}
+	}
+}
+
+// BenchmarkFig17cPerGPUMem regenerates Figure 17(c) (per-GPU memory,
+// BERT).
+func BenchmarkFig17cPerGPUMem(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if exp.Fig17c() == nil {
+			b.Fatal("no table")
+		}
+	}
+}
+
+// BenchmarkFig18TuningCost regenerates Figure 18 (tuning cost) and
+// reports traversal cost over profiling cost.
+func BenchmarkFig18TuningCost(b *testing.B) {
+	var ratio float64
+	for i := 0; i < b.N; i++ {
+		for _, w := range workload.All() {
+			tc := exp.RunTuning(w)
+			var trav, prof float64
+			for _, r := range tc.Results {
+				switch r.Method {
+				case "traversal":
+					trav = r.TuningCost
+				case "profiling":
+					prof = r.TuningCost
+				}
+			}
+			ratio = trav / prof
+		}
+	}
+	b.ReportMetric(ratio, "x-traversal-vs-profiling")
+}
+
+// BenchmarkFig19TuningResult regenerates Figure 19 (tuning result) for
+// all workloads.
+func BenchmarkFig19TuningResult(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, w := range workload.All() {
+			if exp.Fig19(w) == nil {
+				b.Fatal("no table")
+			}
+		}
+	}
+}
+
+// --- ablations beyond the paper's figures (DESIGN.md §4) ---
+
+// BenchmarkAblationAdvance compares fixed advance levels with Algorithm 1.
+func BenchmarkAblationAdvance(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if exp.AblationAdvance() == nil {
+			b.Fatal("no table")
+		}
+	}
+}
+
+// BenchmarkAblationRecompute measures GPipe-style recomputation.
+func BenchmarkAblationRecompute(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if exp.AblationRecompute() == nil {
+			b.Fatal("no table")
+		}
+	}
+}
+
+// BenchmarkAblationChimera compares the bidirectional alternative.
+func BenchmarkAblationChimera(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if exp.AblationChimera(workload.GNMT()) == nil {
+			b.Fatal("no table")
+		}
+	}
+}
+
+// BenchmarkAblationSaturation sweeps device calibration sensitivity.
+func BenchmarkAblationSaturation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if exp.AblationSaturation() == nil {
+			b.Fatal("no table")
+		}
+	}
+}
+
+// BenchmarkAblationAlpha trains the translation task at several elastic
+// coefficients (real training; seconds per iteration).
+func BenchmarkAblationAlpha(b *testing.B) {
+	if testing.Short() {
+		b.Skip("real training; skipped in -short mode")
+	}
+	for i := 0; i < b.N; i++ {
+		if exp.AblationAlpha() == nil {
+			b.Fatal("no table")
+		}
+	}
+}
+
+// BenchmarkAblationSyncAsync compares dilution modes (real training).
+func BenchmarkAblationSyncAsync(b *testing.B) {
+	if testing.Short() {
+		b.Skip("real training; skipped in -short mode")
+	}
+	for i := 0; i < b.N; i++ {
+		if exp.AblationSyncAsync() == nil {
+			b.Fatal("no table")
+		}
+	}
+}

@@ -1,0 +1,127 @@
+// Command avgpipe-sim runs one pipeline-schedule simulation over a paper
+// workload and prints the per-GPU timing, utilization, and memory
+// breakdown.
+//
+// Usage:
+//
+//	avgpipe-sim -workload GNMT -schedule afp -micro 64 -pipelines 2 -batches 4
+//
+// Schedules: afab (GPipe), 1f1b (Dapple), afp (1F1B + advance forward
+// propagation, decided by Algorithm 1), pipedream, 2bw, dp (data
+// parallel).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"avgpipe"
+)
+
+func main() {
+	var (
+		workloadName = flag.String("workload", "GNMT", "GNMT, BERT, or AWD")
+		scheduleName = flag.String("schedule", "afp", "afab, 1f1b, afp, pipedream, 2bw, or dp")
+		micro        = flag.Int("micro", 0, "micro-batches per batch (0 = batch size / 8)")
+		pipelines    = flag.Int("pipelines", 1, "parallel pipelines (N)")
+		batches      = flag.Int("batches", 4, "batches to simulate")
+		tracePath    = flag.String("trace", "", "write a Chrome trace (chrome://tracing) to this file")
+	)
+	flag.Parse()
+
+	var w *avgpipe.Workload
+	switch strings.ToUpper(*workloadName) {
+	case "GNMT":
+		w = avgpipe.GNMT()
+	case "BERT":
+		w = avgpipe.BERT()
+	case "AWD":
+		w = avgpipe.AWD()
+	default:
+		log.Fatalf("unknown workload %q", *workloadName)
+	}
+	c := w.Cluster().SetSatSamples(w.SatSamples)
+	stages := avgpipe.Partition(w, c.Size(), 0)
+	k := c.Size()
+	m := *micro
+	if m == 0 {
+		m = w.BatchSize / 8
+		if m < 1 {
+			m = 1
+		}
+	}
+
+	if strings.ToLower(*scheduleName) == "dp" {
+		r := avgpipe.SimulateDataParallel(w, c)
+		fmt.Printf("data parallel %s: %.3f s/batch, %.1f GB peak per GPU\n",
+			w.Name, r.BatchTime, float64(r.PeakMemory())/float64(1<<30))
+		return
+	}
+
+	var (
+		schedule *avgpipe.Schedule
+		advance  []int
+		result   *avgpipe.SimResult
+		err      error
+	)
+	switch strings.ToLower(*scheduleName) {
+	case "afab":
+		schedule = avgpipe.AFAB(k, m, *batches)
+	case "1f1b":
+		schedule = avgpipe.OneFOneB(k, m, *batches)
+	case "pipedream":
+		schedule = avgpipe.PipeDream(k, m, *batches)
+	case "2bw":
+		schedule = avgpipe.PipeDream2BW(k, m, *batches)
+	case "afp":
+		advance, result, err = avgpipe.DecideAdvance(avgpipe.AFPConfig{
+			Workload: w, Cluster: c, Stages: stages,
+			Micro: m, Pipes: *pipelines, Batches: *batches, RefModel: *pipelines > 1,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+	default:
+		log.Fatalf("unknown schedule %q", *scheduleName)
+	}
+	if result == nil {
+		result, err = avgpipe.Simulate(avgpipe.SimConfig{
+			Workload: w, Cluster: c, Stages: stages,
+			Micro: m, Pipelines: *pipelines, Schedule: schedule,
+			Batches: *batches, RefModel: *pipelines > 1,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	fmt.Printf("%s  schedule=%s  M=%d  N=%d  batches=%d\n", w.Name, *scheduleName, m, *pipelines, *batches)
+	if advance != nil {
+		fmt.Printf("advance forward propagation: %v\n", advance)
+	}
+	fmt.Printf("batch time: %.4f s   cluster utilization: %.1f%%\n", result.BatchTime, 100*result.AvgUtilization())
+	if result.OOM != nil {
+		fmt.Printf("OUT OF MEMORY: %v\n", result.OOM)
+	}
+	fmt.Println("\nGPU   busy(s)  comm-blocked  bubble   util  peak   memory")
+	for i, g := range result.PerGPU {
+		fmt.Printf("%3d  %8.3f  %11.3f  %7.3f  %4.0f%%  %4.0f%%  %5.1f GB\n",
+			i+1, g.Busy, g.CommBlocked, g.Bubble,
+			100*g.AvgUtil(result.Makespan), 100*g.PeakUtil,
+			float64(g.Memory.Total())/float64(1<<30))
+	}
+	if *tracePath != "" {
+		f, err := os.Create(*tracePath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		if err := result.WriteTrace(f); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\nwrote Chrome trace to %s\n", *tracePath)
+	}
+}

@@ -1,0 +1,75 @@
+// Command avgpipe-tune tunes AvgPipe's parallelism degrees (micro-batch
+// count M, parallel-pipeline count N) for a paper workload, comparing the
+// profiling-based method against the traversal and guideline baselines
+// when asked.
+//
+// Usage:
+//
+//	avgpipe-tune -workload BERT
+//	avgpipe-tune -workload AWD -all -mem 16
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strings"
+
+	"avgpipe"
+	"avgpipe/internal/core"
+)
+
+func main() {
+	var (
+		workloadName = flag.String("workload", "GNMT", "GNMT, BERT, or AWD")
+		all          = flag.Bool("all", false, "also run traversal and guideline tuners")
+		memGB        = flag.Float64("mem", 0, "per-GPU memory limit in GB (0 = device capacity)")
+	)
+	flag.Parse()
+
+	var w *avgpipe.Workload
+	switch strings.ToUpper(*workloadName) {
+	case "GNMT":
+		w = avgpipe.GNMT()
+	case "BERT":
+		w = avgpipe.BERT()
+	case "AWD":
+		w = avgpipe.AWD()
+	default:
+		log.Fatalf("unknown workload %q", *workloadName)
+	}
+	c := w.Cluster().SetSatSamples(w.SatSamples)
+	stages := avgpipe.Partition(w, c.Size(), 0)
+	limit := int64(*memGB * float64(1<<30))
+
+	show := func(r *avgpipe.TuneResult) {
+		note := ""
+		if r.Relaxed {
+			note = "  (memory limit below the minimum footprint; relaxed)"
+		}
+		fmt.Printf("%-10s  M=%-4d N=%-2d  %.4f s/data-batch  tuning cost %.1f s%s\n",
+			r.Method, r.M, r.N, r.TimePerDataBatch, r.TuningCost, note)
+	}
+
+	tuned, prof, err := avgpipe.Tune(w, c, stages, limit)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s: profiled (M=%d, N=%d) in %.1f s of cluster time\n\n", w.Name, prof.M, prof.N, prof.Cost)
+	show(tuned)
+	if !*all {
+		return
+	}
+	for _, maxSize := range []bool{false, true} {
+		g, err := core.GuidelineTune(w, c, stages, limit, maxSize)
+		if err != nil {
+			log.Fatal(err)
+		}
+		show(g)
+	}
+	trav, err := avgpipe.TraversalTune(w, c, stages, limit, 10)
+	if err != nil {
+		log.Fatal(err)
+	}
+	show(trav)
+}

@@ -1,0 +1,67 @@
+// Tuning: walk through AvgPipe's profiling-based tuning of parallelism
+// degrees (§5) on the GNMT cost model. It profiles one setting, shows the
+// predictor extrapolating training time and memory across (M, N)
+// settings, runs the tuner, and decides the advance-forward-propagation
+// amounts with Algorithm 1.
+//
+// Run with: go run ./examples/tuning
+package main
+
+import (
+	"fmt"
+
+	"avgpipe"
+)
+
+func main() {
+	w := avgpipe.GNMT()
+	c := w.Cluster().SetSatSamples(w.SatSamples)
+	stages := avgpipe.Partition(w, c.Size(), 0)
+	fmt.Printf("workload %s: batch %d over %d GPUs (%d layers)\n",
+		w.Name, w.BatchSize, c.Size(), len(w.Layers))
+	for i, s := range stages {
+		fmt.Printf("  stage %d: layers [%d..%d], %.1f GFLOPs/sample, %.0f MB params\n",
+			i, s.First, s.Last, (s.FwdFLOPs+s.BwdFLOPs)/1e9, float64(s.ParamBytes)/1e6)
+	}
+
+	// Phase 1: profile a single unsaturated setting for twenty batches.
+	prof, err := avgpipe.ProfileSetting(w, c, stages, 8, 1)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("\nprofile at (M=%d, N=%d): %.3f s/batch, cost %.1f s of cluster time\n",
+		prof.M, prof.N, prof.BatchTime, prof.Cost)
+
+	// Phase 2: predict other settings from the one profile (Eqs. 2–8).
+	fmt.Println("\npredictions:")
+	fmt.Println("   M    N   s/data-batch   peak mem")
+	for _, m := range []int{4, 16, 64, 128} {
+		for _, n := range []int{1, 2, 4} {
+			p, err := avgpipe.Predict(prof, m, n)
+			if err != nil {
+				panic(err)
+			}
+			fmt.Printf("  %3d  %2d   %9.3f      %5.1f GB\n",
+				m, n, p.TimePerDataBatch(), float64(p.PeakMem())/float64(1<<30))
+		}
+	}
+
+	// Phase 3: the tuner picks the best feasible setting.
+	tune, _, err := avgpipe.Tune(w, c, stages, 0)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("\nprofiling-based tuner chose M=%d, N=%d (%.3f s per data batch; tuning cost %.1f s)\n",
+		tune.M, tune.N, tune.TimePerDataBatch, tune.TuningCost)
+
+	// Phase 4: Algorithm 1 decides advance forward propagation.
+	adv, res, err := avgpipe.DecideAdvance(avgpipe.AFPConfig{
+		Workload: w, Cluster: c, Stages: stages,
+		Micro: tune.M, Pipes: tune.N, Batches: 4, RefModel: tune.N > 1,
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("advance forward propagation: %v → %.3f s/batch, peak memory %.1f GB\n",
+		adv, res.BatchTime, float64(res.PeakMemory())/float64(1<<30))
+}

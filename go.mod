@@ -1,0 +1,3 @@
+module avgpipe
+
+go 1.22

@@ -1,0 +1,351 @@
+// Package autograd implements a tape-based reverse-mode automatic
+// differentiation engine over the tensor package.
+//
+// It serves two roles in the AvgPipe reproduction: a general-purpose
+// differentiation library for users of the public API, and the oracle
+// against which every manually written layer backward in internal/nn is
+// verified (gradient checks in tests).
+//
+// Usage:
+//
+//	tp := autograd.NewTape()
+//	x := tp.Var(someTensor)
+//	w := tp.Var(weights)
+//	y := tp.MatMul(x, w)
+//	loss := tp.Mean(y)
+//	tp.Backward(loss)
+//	grad := w.Grad
+package autograd
+
+import (
+	"fmt"
+	"math"
+
+	"avgpipe/internal/tensor"
+)
+
+// Value is a node in the computation graph: a tensor plus its accumulated
+// gradient. Values are created through Tape methods; the zero value is not
+// usable.
+type Value struct {
+	// T is the forward-pass tensor.
+	T *tensor.Tensor
+	// Grad accumulates dLoss/dT during Backward; nil until then (or for
+	// constants).
+	Grad *tensor.Tensor
+
+	requiresGrad bool
+	id           int
+}
+
+// node records how a value was produced, for the backward sweep.
+type node struct {
+	out      *Value
+	inputs   []*Value
+	backward func(grad *tensor.Tensor)
+}
+
+// Tape records operations in execution order so Backward can replay them
+// in reverse. A Tape is not safe for concurrent use; pipelines give each
+// worker its own tape.
+type Tape struct {
+	nodes  []node
+	nextID int
+}
+
+// NewTape returns an empty tape.
+func NewTape() *Tape { return &Tape{} }
+
+// Reset discards all recorded operations so the tape can be reused.
+func (tp *Tape) Reset() {
+	tp.nodes = tp.nodes[:0]
+	tp.nextID = 0
+}
+
+// Var introduces a differentiable leaf holding t.
+func (tp *Tape) Var(t *tensor.Tensor) *Value {
+	tp.nextID++
+	return &Value{T: t, requiresGrad: true, id: tp.nextID}
+}
+
+// Const introduces a non-differentiable leaf holding t.
+func (tp *Tape) Const(t *tensor.Tensor) *Value {
+	tp.nextID++
+	return &Value{T: t, requiresGrad: false, id: tp.nextID}
+}
+
+func (tp *Tape) record(out *Value, inputs []*Value, backward func(grad *tensor.Tensor)) *Value {
+	for _, in := range inputs {
+		if in.requiresGrad {
+			out.requiresGrad = true
+		}
+	}
+	if out.requiresGrad {
+		tp.nodes = append(tp.nodes, node{out: out, inputs: inputs, backward: backward})
+	}
+	return out
+}
+
+func (tp *Tape) newValue(t *tensor.Tensor) *Value {
+	tp.nextID++
+	return &Value{T: t, id: tp.nextID}
+}
+
+func accumulate(v *Value, g *tensor.Tensor) {
+	if !v.requiresGrad {
+		return
+	}
+	if v.Grad == nil {
+		v.Grad = g.Clone()
+		return
+	}
+	v.Grad.AddInPlace(g)
+}
+
+// Backward seeds the given scalar output with gradient 1 and propagates
+// gradients to every differentiable leaf reachable from it.
+func (tp *Tape) Backward(out *Value) {
+	if out.T.Size() != 1 {
+		panic(fmt.Sprintf("autograd: Backward requires a scalar output, got shape %v", out.T.Shape()))
+	}
+	tp.BackwardWithGrad(out, tensor.Ones(out.T.Shape()...))
+}
+
+// BackwardWithGrad propagates a caller-supplied output gradient.
+func (tp *Tape) BackwardWithGrad(out *Value, grad *tensor.Tensor) {
+	accumulate(out, grad)
+	for i := len(tp.nodes) - 1; i >= 0; i-- {
+		n := tp.nodes[i]
+		if n.out.Grad == nil {
+			continue
+		}
+		n.backward(n.out.Grad)
+	}
+}
+
+// ZeroGrads clears gradients on the given values.
+func ZeroGrads(vals ...*Value) {
+	for _, v := range vals {
+		v.Grad = nil
+	}
+}
+
+// --- arithmetic ops ---
+
+// Add returns a + b.
+func (tp *Tape) Add(a, b *Value) *Value {
+	out := tp.newValue(tensor.Add(a.T, b.T))
+	return tp.record(out, []*Value{a, b}, func(g *tensor.Tensor) {
+		accumulate(a, g)
+		accumulate(b, g)
+	})
+}
+
+// Sub returns a - b.
+func (tp *Tape) Sub(a, b *Value) *Value {
+	out := tp.newValue(tensor.Sub(a.T, b.T))
+	return tp.record(out, []*Value{a, b}, func(g *tensor.Tensor) {
+		accumulate(a, g)
+		accumulate(b, tensor.Neg(g))
+	})
+}
+
+// Mul returns the elementwise product a*b.
+func (tp *Tape) Mul(a, b *Value) *Value {
+	out := tp.newValue(tensor.Mul(a.T, b.T))
+	return tp.record(out, []*Value{a, b}, func(g *tensor.Tensor) {
+		accumulate(a, tensor.Mul(g, b.T))
+		accumulate(b, tensor.Mul(g, a.T))
+	})
+}
+
+// Scale returns alpha * a.
+func (tp *Tape) Scale(alpha float32, a *Value) *Value {
+	out := tp.newValue(tensor.Scale(alpha, a.T))
+	return tp.record(out, []*Value{a}, func(g *tensor.Tensor) {
+		accumulate(a, tensor.Scale(alpha, g))
+	})
+}
+
+// MatMul returns a @ b for 2-D values.
+func (tp *Tape) MatMul(a, b *Value) *Value {
+	out := tp.newValue(tensor.MatMul(a.T, b.T))
+	return tp.record(out, []*Value{a, b}, func(g *tensor.Tensor) {
+		accumulate(a, tensor.MatMulTransB(g, b.T))
+		accumulate(b, tensor.MatMulTransA(a.T, g))
+	})
+}
+
+// AddRowVector broadcasts bias vector b across the rows of matrix a.
+func (tp *Tape) AddRowVector(a, b *Value) *Value {
+	out := tp.newValue(tensor.AddRowVector(a.T, b.T))
+	return tp.record(out, []*Value{a, b}, func(g *tensor.Tensor) {
+		accumulate(a, g)
+		accumulate(b, tensor.SumRows(g))
+	})
+}
+
+// --- activations ---
+
+// Tanh applies tanh elementwise.
+func (tp *Tape) Tanh(a *Value) *Value {
+	y := tensor.Tanh(a.T)
+	out := tp.newValue(y)
+	return tp.record(out, []*Value{a}, func(g *tensor.Tensor) {
+		// d tanh = 1 - tanh².
+		d := tensor.Apply(y, func(t float32) float32 { return 1 - t*t })
+		accumulate(a, tensor.Mul(g, d))
+	})
+}
+
+// Sigmoid applies the logistic function elementwise.
+func (tp *Tape) Sigmoid(a *Value) *Value {
+	y := tensor.Sigmoid(a.T)
+	out := tp.newValue(y)
+	return tp.record(out, []*Value{a}, func(g *tensor.Tensor) {
+		d := tensor.Apply(y, func(s float32) float32 { return s * (1 - s) })
+		accumulate(a, tensor.Mul(g, d))
+	})
+}
+
+// ReLU applies max(x,0) elementwise.
+func (tp *Tape) ReLU(a *Value) *Value {
+	out := tp.newValue(tensor.ReLU(a.T))
+	return tp.record(out, []*Value{a}, func(g *tensor.Tensor) {
+		d := tensor.New(a.T.Shape()...)
+		ad, gd, dd := a.T.Data(), g.Data(), d.Data()
+		for i := range ad {
+			if ad[i] > 0 {
+				dd[i] = gd[i]
+			}
+		}
+		accumulate(a, d)
+	})
+}
+
+// Exp applies e^x elementwise.
+func (tp *Tape) Exp(a *Value) *Value {
+	y := tensor.Exp(a.T)
+	out := tp.newValue(y)
+	return tp.record(out, []*Value{a}, func(g *tensor.Tensor) {
+		accumulate(a, tensor.Mul(g, y))
+	})
+}
+
+// Log applies ln(x) elementwise.
+func (tp *Tape) Log(a *Value) *Value {
+	out := tp.newValue(tensor.Log(a.T))
+	return tp.record(out, []*Value{a}, func(g *tensor.Tensor) {
+		inv := tensor.Apply(a.T, func(x float32) float32 { return 1 / x })
+		accumulate(a, tensor.Mul(g, inv))
+	})
+}
+
+// --- reductions and losses ---
+
+// Sum reduces to a scalar.
+func (tp *Tape) Sum(a *Value) *Value {
+	out := tp.newValue(tensor.Scalar(float32(a.T.Sum())))
+	return tp.record(out, []*Value{a}, func(g *tensor.Tensor) {
+		accumulate(a, tensor.Full(g.Data()[0], a.T.Shape()...))
+	})
+}
+
+// Mean reduces to a scalar average.
+func (tp *Tape) Mean(a *Value) *Value {
+	n := float32(a.T.Size())
+	out := tp.newValue(tensor.Scalar(float32(a.T.Mean())))
+	return tp.record(out, []*Value{a}, func(g *tensor.Tensor) {
+		accumulate(a, tensor.Full(g.Data()[0]/n, a.T.Shape()...))
+	})
+}
+
+// Gather looks up rows of the (vocab, dim) table a by idx.
+func (tp *Tape) Gather(a *Value, idx []int) *Value {
+	out := tp.newValue(tensor.Gather(a.T, idx))
+	return tp.record(out, []*Value{a}, func(g *tensor.Tensor) {
+		if !a.requiresGrad {
+			return
+		}
+		grad := tensor.New(a.T.Shape()...)
+		tensor.ScatterAddRows(grad, idx, g)
+		accumulate(a, grad)
+	})
+}
+
+// SoftmaxCrossEntropy computes mean cross-entropy between row logits and
+// integer targets, fused with softmax for stability.
+func (tp *Tape) SoftmaxCrossEntropy(logits *Value, targets []int) *Value {
+	ls := tensor.LogSoftmaxRows(logits.T)
+	rows := logits.T.Dim(0)
+	if len(targets) != rows {
+		panic("autograd: SoftmaxCrossEntropy target length mismatch")
+	}
+	var loss float64
+	for i, t := range targets {
+		loss -= float64(ls.At(i, t))
+	}
+	loss /= float64(rows)
+	out := tp.newValue(tensor.Scalar(float32(loss)))
+	return tp.record(out, []*Value{logits}, func(g *tensor.Tensor) {
+		// d/dlogits = (softmax - onehot)/rows, scaled by upstream grad.
+		scale := g.Data()[0] / float32(rows)
+		sm := tensor.SoftmaxRows(logits.T)
+		grad := sm.Clone()
+		cols := logits.T.Dim(1)
+		for i, t := range targets {
+			grad.Data()[i*cols+t] -= 1
+		}
+		grad.ScaleInPlace(scale)
+		accumulate(logits, grad)
+	})
+}
+
+// MSE computes the mean squared error between a and target (a constant).
+func (tp *Tape) MSE(a *Value, target *tensor.Tensor) *Value {
+	diff := tensor.Sub(a.T, target)
+	var loss float64
+	for _, v := range diff.Data() {
+		loss += float64(v) * float64(v)
+	}
+	loss /= float64(diff.Size())
+	out := tp.newValue(tensor.Scalar(float32(loss)))
+	return tp.record(out, []*Value{a}, func(g *tensor.Tensor) {
+		scale := 2 * g.Data()[0] / float32(diff.Size())
+		accumulate(a, tensor.Scale(scale, diff))
+	})
+}
+
+// --- numerical gradient checking ---
+
+// NumericGrad estimates dF/dx by central differences, where f rebuilds the
+// computation from scratch (so the tape sees fresh values each evaluation).
+// eps around 1e-2 is appropriate for float32 forward math.
+func NumericGrad(x *tensor.Tensor, eps float32, f func() float64) *tensor.Tensor {
+	g := tensor.New(x.Shape()...)
+	data := x.Data()
+	for i := range data {
+		orig := data[i]
+		data[i] = orig + eps
+		fp := f()
+		data[i] = orig - eps
+		fm := f()
+		data[i] = orig
+		g.Data()[i] = float32((fp - fm) / (2 * float64(eps)))
+	}
+	return g
+}
+
+// MaxRelError returns the maximum elementwise relative error between got
+// and want, with an absolute floor to avoid division blow-ups near zero.
+func MaxRelError(got, want *tensor.Tensor) float64 {
+	var worst float64
+	for i := range got.Data() {
+		g, w := float64(got.Data()[i]), float64(want.Data()[i])
+		denom := math.Max(math.Max(math.Abs(g), math.Abs(w)), 1e-2)
+		if e := math.Abs(g-w) / denom; e > worst {
+			worst = e
+		}
+	}
+	return worst
+}

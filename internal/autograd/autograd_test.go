@@ -1,0 +1,274 @@
+package autograd
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"avgpipe/internal/tensor"
+)
+
+const gradTol = 2e-2 // float32 forward + central differences
+
+func TestAddBackward(t *testing.T) {
+	tp := NewTape()
+	a := tp.Var(tensor.FromSlice([]float32{1, 2}, 2))
+	b := tp.Var(tensor.FromSlice([]float32{3, 4}, 2))
+	tp.Backward(tp.Sum(tp.Add(a, b)))
+	for _, v := range append(a.Grad.Data(), b.Grad.Data()...) {
+		if v != 1 {
+			t.Fatalf("Add grad = %v, want all ones", v)
+		}
+	}
+}
+
+func TestMulBackward(t *testing.T) {
+	tp := NewTape()
+	a := tp.Var(tensor.FromSlice([]float32{2, 3}, 2))
+	b := tp.Var(tensor.FromSlice([]float32{5, 7}, 2))
+	tp.Backward(tp.Sum(tp.Mul(a, b)))
+	if a.Grad.At(0) != 5 || a.Grad.At(1) != 7 {
+		t.Fatalf("dA = %v", a.Grad)
+	}
+	if b.Grad.At(0) != 2 || b.Grad.At(1) != 3 {
+		t.Fatalf("dB = %v", b.Grad)
+	}
+}
+
+func TestSubAndScaleBackward(t *testing.T) {
+	tp := NewTape()
+	a := tp.Var(tensor.FromSlice([]float32{1, 1}, 2))
+	b := tp.Var(tensor.FromSlice([]float32{2, 2}, 2))
+	tp.Backward(tp.Sum(tp.Scale(3, tp.Sub(a, b))))
+	if a.Grad.At(0) != 3 || b.Grad.At(0) != -3 {
+		t.Fatalf("dA=%v dB=%v", a.Grad, b.Grad)
+	}
+}
+
+func TestMatMulGradCheck(t *testing.T) {
+	g := tensor.NewRNG(3)
+	aT := g.Normal(0, 1, 3, 4)
+	bT := g.Normal(0, 1, 4, 2)
+	run := func() (*Value, *Value, *Value) {
+		tp := NewTape()
+		a, b := tp.Var(aT), tp.Var(bT)
+		out := tp.Mean(tp.MatMul(a, b))
+		tp.Backward(out)
+		return a, b, out
+	}
+	a, b, _ := run()
+	f := func() float64 {
+		tp := NewTape()
+		return float64(tp.Mean(tp.MatMul(tp.Var(aT), tp.Var(bT))).T.At())
+	}
+	na := NumericGrad(aT, 1e-2, f)
+	nb := NumericGrad(bT, 1e-2, f)
+	if e := MaxRelError(a.Grad, na); e > gradTol {
+		t.Fatalf("dA rel error %v", e)
+	}
+	if e := MaxRelError(b.Grad, nb); e > gradTol {
+		t.Fatalf("dB rel error %v", e)
+	}
+}
+
+func TestActivationGradChecks(t *testing.T) {
+	g := tensor.NewRNG(5)
+	xT := g.Normal(0, 1, 4, 3)
+	cases := []struct {
+		name string
+		op   func(tp *Tape, v *Value) *Value
+	}{
+		{"tanh", func(tp *Tape, v *Value) *Value { return tp.Tanh(v) }},
+		{"sigmoid", func(tp *Tape, v *Value) *Value { return tp.Sigmoid(v) }},
+		{"relu", func(tp *Tape, v *Value) *Value { return tp.ReLU(v) }},
+		{"exp", func(tp *Tape, v *Value) *Value { return tp.Exp(v) }},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			xT := xT
+			if c.name == "relu" {
+				// Central differences are invalid at the ReLU kink; keep
+				// every input at least 3·eps away from zero.
+				xT = tensor.Apply(xT, func(v float32) float32 {
+					if v >= 0 && v < 0.1 {
+						return v + 0.1
+					}
+					if v < 0 && v > -0.1 {
+						return v - 0.1
+					}
+					return v
+				})
+			}
+			tp := NewTape()
+			x := tp.Var(xT)
+			tp.Backward(tp.Mean(c.op(tp, x)))
+			num := NumericGrad(xT, 1e-2, func() float64 {
+				tp := NewTape()
+				return float64(tp.Mean(c.op(tp, tp.Var(xT))).T.At())
+			})
+			if e := MaxRelError(x.Grad, num); e > gradTol {
+				t.Fatalf("%s grad rel error %v", c.name, e)
+			}
+		})
+	}
+}
+
+func TestLogGradCheck(t *testing.T) {
+	g := tensor.NewRNG(6)
+	xT := g.Uniform(0.5, 2, 3, 3)
+	tp := NewTape()
+	x := tp.Var(xT)
+	tp.Backward(tp.Mean(tp.Log(x)))
+	num := NumericGrad(xT, 1e-3, func() float64 {
+		tp := NewTape()
+		return float64(tp.Mean(tp.Log(tp.Var(xT))).T.At())
+	})
+	if e := MaxRelError(x.Grad, num); e > gradTol {
+		t.Fatalf("log grad rel error %v", e)
+	}
+}
+
+func TestAddRowVectorGradCheck(t *testing.T) {
+	g := tensor.NewRNG(7)
+	mT := g.Normal(0, 1, 5, 3)
+	bT := g.Normal(0, 1, 3)
+	tp := NewTape()
+	m, b := tp.Var(mT), tp.Var(bT)
+	tp.Backward(tp.Mean(tp.AddRowVector(m, b)))
+	numB := NumericGrad(bT, 1e-2, func() float64 {
+		tp := NewTape()
+		return float64(tp.Mean(tp.AddRowVector(tp.Var(mT), tp.Var(bT))).T.At())
+	})
+	if e := MaxRelError(b.Grad, numB); e > gradTol {
+		t.Fatalf("bias grad rel error %v", e)
+	}
+}
+
+func TestSoftmaxCrossEntropyGradCheck(t *testing.T) {
+	g := tensor.NewRNG(8)
+	lT := g.Normal(0, 1, 4, 5)
+	targets := []int{1, 0, 4, 2}
+	tp := NewTape()
+	l := tp.Var(lT)
+	loss := tp.SoftmaxCrossEntropy(l, targets)
+	tp.Backward(loss)
+	num := NumericGrad(lT, 1e-2, func() float64 {
+		tp := NewTape()
+		return float64(tp.SoftmaxCrossEntropy(tp.Var(lT), targets).T.At())
+	})
+	if e := MaxRelError(l.Grad, num); e > gradTol {
+		t.Fatalf("xent grad rel error %v", e)
+	}
+}
+
+func TestMSEGradCheck(t *testing.T) {
+	g := tensor.NewRNG(9)
+	xT := g.Normal(0, 1, 3, 3)
+	target := g.Normal(0, 1, 3, 3)
+	tp := NewTape()
+	x := tp.Var(xT)
+	tp.Backward(tp.MSE(x, target))
+	num := NumericGrad(xT, 1e-2, func() float64 {
+		tp := NewTape()
+		return float64(tp.MSE(tp.Var(xT), target).T.At())
+	})
+	if e := MaxRelError(x.Grad, num); e > gradTol {
+		t.Fatalf("mse grad rel error %v", e)
+	}
+}
+
+func TestGatherGradCheck(t *testing.T) {
+	g := tensor.NewRNG(10)
+	table := g.Normal(0, 1, 6, 3)
+	idx := []int{2, 2, 0, 5}
+	tp := NewTape()
+	tb := tp.Var(table)
+	tp.Backward(tp.Mean(tp.Gather(tb, idx)))
+	num := NumericGrad(table, 1e-2, func() float64 {
+		tp := NewTape()
+		return float64(tp.Mean(tp.Gather(tp.Var(table), idx)).T.At())
+	})
+	if e := MaxRelError(tb.Grad, num); e > gradTol {
+		t.Fatalf("gather grad rel error %v", e)
+	}
+}
+
+func TestConstReceivesNoGrad(t *testing.T) {
+	tp := NewTape()
+	a := tp.Var(tensor.Ones(2))
+	c := tp.Const(tensor.Ones(2))
+	tp.Backward(tp.Sum(tp.Mul(a, c)))
+	if c.Grad != nil {
+		t.Fatal("constants must not accumulate gradient")
+	}
+	if a.Grad == nil {
+		t.Fatal("variable must accumulate gradient")
+	}
+}
+
+func TestGradAccumulationAcrossReuse(t *testing.T) {
+	// y = a + a should give dy/da = 2.
+	tp := NewTape()
+	a := tp.Var(tensor.Ones(3))
+	tp.Backward(tp.Sum(tp.Add(a, a)))
+	for _, v := range a.Grad.Data() {
+		if v != 2 {
+			t.Fatalf("reused input grad = %v, want 2", v)
+		}
+	}
+}
+
+func TestBackwardRequiresScalar(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for non-scalar Backward")
+		}
+	}()
+	tp := NewTape()
+	tp.Backward(tp.Var(tensor.Ones(2)))
+}
+
+func TestTapeResetAndZeroGrads(t *testing.T) {
+	tp := NewTape()
+	a := tp.Var(tensor.Ones(2))
+	tp.Backward(tp.Sum(a))
+	if a.Grad == nil {
+		t.Fatal("no grad after backward")
+	}
+	ZeroGrads(a)
+	if a.Grad != nil {
+		t.Fatal("ZeroGrads must clear")
+	}
+	tp.Reset()
+	if len(tp.nodes) != 0 {
+		t.Fatal("Reset must clear tape")
+	}
+}
+
+// Property: the chain rule through composition matches finite differences
+// for a random two-layer tanh network.
+func TestPropTwoLayerNetGradCheck(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		in, hid, out := 1+r.Intn(4), 1+r.Intn(4), 1+r.Intn(3)
+		g := tensor.NewRNG(seed)
+		xT := g.Normal(0, 1, 2, in)
+		w1T := g.Normal(0, 0.5, in, hid)
+		w2T := g.Normal(0, 0.5, hid, out)
+		forward := func() (*Tape, *Value, *Value, *Value) {
+			tp := NewTape()
+			x, w1, w2 := tp.Const(xT), tp.Var(w1T), tp.Var(w2T)
+			h := tp.Tanh(tp.MatMul(x, w1))
+			return tp, w1, w2, tp.Mean(tp.MatMul(h, w2))
+		}
+		tp, w1, w2, loss := forward()
+		tp.Backward(loss)
+		eval := func() float64 { _, _, _, l := forward(); return float64(l.T.At()) }
+		n1 := NumericGrad(w1T, 1e-2, eval)
+		n2 := NumericGrad(w2T, 1e-2, eval)
+		return MaxRelError(w1.Grad, n1) < 5e-2 && MaxRelError(w2.Grad, n2) < 5e-2
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,107 @@
+// Package cluster describes multi-node GPU topologies: which GPUs exist,
+// how they are grouped into nodes, and which link connects each adjacent
+// pair in a pipeline. The default profile reproduces the paper's testbed:
+// three nodes, two V100s each, 1 Gbps Ethernet between nodes.
+package cluster
+
+import (
+	"fmt"
+
+	"avgpipe/internal/comm"
+	"avgpipe/internal/device"
+)
+
+// Cluster is an ordered set of GPUs with the links between pipeline
+// neighbours. GPU i and GPU i+1 are connected by Links[i].
+type Cluster struct {
+	GPUs  []device.GPU
+	Links []comm.Link
+	// GPUsPerNode records the grouping used to build Links; retained for
+	// reporting.
+	GPUsPerNode int
+	// AllReduceLink is the bottleneck link for data-parallel gradient
+	// synchronization (the slowest link in the ring).
+	AllReduceLink comm.Link
+}
+
+// New builds a homogeneous cluster of nodes*gpusPerNode GPUs. Adjacent
+// GPUs within a node are joined by intra; pairs that straddle a node
+// boundary are joined by inter.
+func New(nodes, gpusPerNode int, gpu device.GPU, intra, inter comm.Link) *Cluster {
+	if nodes <= 0 || gpusPerNode <= 0 {
+		panic(fmt.Sprintf("cluster: invalid topology %dx%d", nodes, gpusPerNode))
+	}
+	n := nodes * gpusPerNode
+	c := &Cluster{
+		GPUs:          make([]device.GPU, n),
+		Links:         make([]comm.Link, n-1),
+		GPUsPerNode:   gpusPerNode,
+		AllReduceLink: inter,
+	}
+	for i := range c.GPUs {
+		g := gpu
+		g.Name = fmt.Sprintf("%s#%d", gpu.Name, i)
+		c.GPUs[i] = g
+	}
+	for i := range c.Links {
+		if (i+1)%gpusPerNode == 0 {
+			c.Links[i] = inter
+		} else {
+			c.Links[i] = intra
+		}
+	}
+	if nodes == 1 {
+		c.AllReduceLink = intra
+	}
+	return c
+}
+
+// PaperTestbed returns the paper's 3-node × 2-V100 cluster with 1 Gbps
+// Ethernet between nodes and PCIe within them.
+func PaperTestbed() *Cluster {
+	return New(3, 2, device.V100(), comm.PCIe3(), comm.Ethernet1G())
+}
+
+// TwoNodeTestbed returns the 2-node × 2-GPU subset used for the AWD
+// workload ("Since AWD is rather small, we use four GPUs of two node").
+func TwoNodeTestbed() *Cluster {
+	return New(2, 2, device.V100(), comm.PCIe3(), comm.Ethernet1G())
+}
+
+// Size returns the number of GPUs.
+func (c *Cluster) Size() int { return len(c.GPUs) }
+
+// Link returns the link between GPU i and GPU i+1.
+func (c *Cluster) Link(i int) comm.Link {
+	return c.Links[i]
+}
+
+// SetSatSamples overrides the kernel-efficiency half-saturation point on
+// every GPU; each workload calibrates this to its own per-sample cost.
+func (c *Cluster) SetSatSamples(s float64) *Cluster {
+	for i := range c.GPUs {
+		c.GPUs[i].SatSamples = s
+	}
+	return c
+}
+
+// SetMemBytes overrides the per-GPU memory capacity (used by memory-
+// constraint experiments).
+func (c *Cluster) SetMemBytes(b int64) *Cluster {
+	for i := range c.GPUs {
+		c.GPUs[i].MemBytes = b
+	}
+	return c
+}
+
+// AllReduceTime returns the time for a ring all-reduce of `bytes` of
+// gradients across all K GPUs: 2(K-1)/K · bytes over the bottleneck link,
+// the cost data parallelism pays every batch.
+func (c *Cluster) AllReduceTime(bytes int64) float64 {
+	k := float64(c.Size())
+	if k <= 1 {
+		return 0
+	}
+	vol := 2 * (k - 1) / k * float64(bytes)
+	return c.AllReduceLink.TransferTime(int64(vol)).Seconds()
+}

@@ -1,0 +1,71 @@
+package cluster
+
+import (
+	"testing"
+
+	"avgpipe/internal/comm"
+	"avgpipe/internal/device"
+)
+
+func TestTopologyLinks(t *testing.T) {
+	c := New(3, 2, device.V100(), comm.PCIe3(), comm.Ethernet1G())
+	if c.Size() != 6 || len(c.Links) != 5 {
+		t.Fatalf("size %d links %d", c.Size(), len(c.Links))
+	}
+	// GPUs 0-1 share a node (PCIe); 1-2 straddle nodes (Ethernet).
+	wantInter := map[int]bool{1: true, 3: true}
+	for i, l := range c.Links {
+		if wantInter[i] && l.Name != "ethernet-1gbps" {
+			t.Fatalf("link %d should be inter-node, got %s", i, l.Name)
+		}
+		if !wantInter[i] && l.Name != "pcie3" {
+			t.Fatalf("link %d should be intra-node, got %s", i, l.Name)
+		}
+	}
+}
+
+func TestPaperTestbeds(t *testing.T) {
+	if PaperTestbed().Size() != 6 {
+		t.Fatal("paper testbed is 3x2")
+	}
+	if TwoNodeTestbed().Size() != 4 {
+		t.Fatal("AWD testbed is 2x2")
+	}
+}
+
+func TestSetters(t *testing.T) {
+	c := PaperTestbed().SetSatSamples(42).SetMemBytes(1 << 30)
+	for _, g := range c.GPUs {
+		if g.SatSamples != 42 || g.MemBytes != 1<<30 {
+			t.Fatal("setters must apply to every GPU")
+		}
+	}
+}
+
+func TestAllReduceTime(t *testing.T) {
+	c := PaperTestbed()
+	// 2(K-1)/K × bytes over the 1 Gbps bottleneck.
+	bytes := int64(600e6)
+	want := comm.Ethernet1G().TransferTime(int64(2.0 * 5.0 / 6.0 * 600e6)).Seconds()
+	if got := c.AllReduceTime(bytes); got != want {
+		t.Fatalf("allreduce %v, want %v", got, want)
+	}
+	single := New(1, 1, device.V100(), comm.PCIe3(), comm.Ethernet1G())
+	if single.AllReduceTime(bytes) != 0 {
+		t.Fatal("single GPU needs no all-reduce")
+	}
+	// Single-node clusters all-reduce over the intra-node link.
+	oneNode := New(1, 4, device.V100(), comm.PCIe3(), comm.Ethernet1G())
+	if oneNode.AllReduceTime(bytes) >= c.AllReduceTime(bytes) {
+		t.Fatal("intra-node all-reduce must be faster")
+	}
+}
+
+func TestNewValidates(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(0, 2, device.V100(), comm.PCIe3(), comm.Ethernet1G())
+}

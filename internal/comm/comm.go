@@ -1,0 +1,121 @@
+// Package comm models interconnect links for the pipeline simulator and
+// provides the asynchronous message queues the elastic-averaging runtime
+// uses to ship local updates to the reference model without blocking the
+// training pipelines (§3.2 step ❸).
+package comm
+
+import (
+	"sync"
+	"time"
+)
+
+// Link is a point-to-point interconnect with latency and bandwidth.
+type Link struct {
+	// Name labels the link in reports, e.g. "pcie" or "ethernet-1gbps".
+	Name string
+	// Latency is the per-message fixed cost.
+	Latency time.Duration
+	// BytesPerSec is the sustained bandwidth.
+	BytesPerSec float64
+}
+
+// TransferTime returns how long `bytes` take to move across the link.
+func (l Link) TransferTime(bytes int64) time.Duration {
+	if bytes <= 0 {
+		return 0
+	}
+	return l.Latency + time.Duration(float64(bytes)/l.BytesPerSec*float64(time.Second))
+}
+
+// PCIe3 returns an intra-node GPU-to-GPU link (PCIe 3.0 x16-class).
+func PCIe3() Link {
+	return Link{Name: "pcie3", Latency: 5 * time.Microsecond, BytesPerSec: 10e9}
+}
+
+// Ethernet1G returns the paper testbed's 1 Gbps inter-node Ethernet. Its
+// low bandwidth is what exposes 1F1B's inability to overlap communication
+// with computation.
+func Ethernet1G() Link {
+	return Link{Name: "ethernet-1gbps", Latency: 50 * time.Microsecond, BytesPerSec: 125e6}
+}
+
+// Ethernet10G returns a faster inter-node profile for sensitivity studies.
+func Ethernet10G() Link {
+	return Link{Name: "ethernet-10gbps", Latency: 20 * time.Microsecond, BytesPerSec: 1.25e9}
+}
+
+// Queue is an unbounded, non-blocking FIFO used by the runtime to send
+// local updates from parallel pipelines to the reference-model process.
+// Senders never block (preventing inter-process communication from
+// stalling a pipeline); the receiver drains with Recv or TryRecv.
+type Queue[T any] struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	items  []T
+	closed bool
+}
+
+// NewQueue returns an open queue.
+func NewQueue[T any]() *Queue[T] {
+	q := &Queue[T]{}
+	q.cond = sync.NewCond(&q.mu)
+	return q
+}
+
+// Send enqueues without blocking. Sending on a closed queue panics, as on
+// a closed channel.
+func (q *Queue[T]) Send(v T) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		panic("comm: send on closed queue")
+	}
+	q.items = append(q.items, v)
+	q.cond.Signal()
+}
+
+// Recv blocks until an item is available or the queue is closed. The
+// second result is false once the queue is closed and drained.
+func (q *Queue[T]) Recv() (T, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for len(q.items) == 0 && !q.closed {
+		q.cond.Wait()
+	}
+	var zero T
+	if len(q.items) == 0 {
+		return zero, false
+	}
+	v := q.items[0]
+	q.items = q.items[1:]
+	return v, true
+}
+
+// TryRecv dequeues without blocking; ok is false if nothing was pending.
+func (q *Queue[T]) TryRecv() (T, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	var zero T
+	if len(q.items) == 0 {
+		return zero, false
+	}
+	v := q.items[0]
+	q.items = q.items[1:]
+	return v, true
+}
+
+// Len returns the number of pending items.
+func (q *Queue[T]) Len() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.items)
+}
+
+// Close marks the queue closed, waking blocked receivers. Pending items
+// remain receivable.
+func (q *Queue[T]) Close() {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.closed = true
+	q.cond.Broadcast()
+}

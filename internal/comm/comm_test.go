@@ -1,0 +1,117 @@
+package comm
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestTransferTime(t *testing.T) {
+	l := Link{Latency: time.Millisecond, BytesPerSec: 1e6}
+	if got := l.TransferTime(0); got != 0 {
+		t.Fatal("zero bytes must be free")
+	}
+	if got := l.TransferTime(1e6); got != time.Millisecond+time.Second {
+		t.Fatalf("1 MB at 1 MB/s + 1ms = %v", got)
+	}
+}
+
+func TestLinkProfilesOrdering(t *testing.T) {
+	small := int64(1 << 20)
+	if PCIe3().TransferTime(small) >= Ethernet1G().TransferTime(small) {
+		t.Fatal("PCIe must beat 1G Ethernet")
+	}
+	if Ethernet10G().TransferTime(small) >= Ethernet1G().TransferTime(small) {
+		t.Fatal("10G must beat 1G")
+	}
+}
+
+func TestQueueFIFO(t *testing.T) {
+	q := NewQueue[int]()
+	for i := 0; i < 5; i++ {
+		q.Send(i)
+	}
+	if q.Len() != 5 {
+		t.Fatalf("Len %d", q.Len())
+	}
+	for i := 0; i < 5; i++ {
+		v, ok := q.Recv()
+		if !ok || v != i {
+			t.Fatalf("Recv %v %v, want %d", v, ok, i)
+		}
+	}
+	if _, ok := q.TryRecv(); ok {
+		t.Fatal("TryRecv on empty must fail")
+	}
+}
+
+func TestQueueBlockingRecvAndClose(t *testing.T) {
+	q := NewQueue[string]()
+	got := make(chan string, 1)
+	go func() {
+		v, _ := q.Recv()
+		got <- v
+	}()
+	time.Sleep(5 * time.Millisecond)
+	q.Send("hello")
+	select {
+	case v := <-got:
+		if v != "hello" {
+			t.Fatalf("got %q", v)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("Recv never woke")
+	}
+	q.Close()
+	if _, ok := q.Recv(); ok {
+		t.Fatal("Recv after close+drain must report closed")
+	}
+}
+
+func TestQueueCloseDrainsPending(t *testing.T) {
+	q := NewQueue[int]()
+	q.Send(1)
+	q.Close()
+	if v, ok := q.Recv(); !ok || v != 1 {
+		t.Fatal("pending items must remain receivable after Close")
+	}
+	if _, ok := q.Recv(); ok {
+		t.Fatal("queue must then be exhausted")
+	}
+}
+
+func TestQueueSendOnClosedPanics(t *testing.T) {
+	q := NewQueue[int]()
+	q.Close()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	q.Send(1)
+}
+
+func TestQueueConcurrentSenders(t *testing.T) {
+	q := NewQueue[int]()
+	const n = 100
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			q.Send(i)
+		}(i)
+	}
+	wg.Wait()
+	seen := map[int]bool{}
+	for i := 0; i < n; i++ {
+		v, ok := q.TryRecv()
+		if !ok {
+			t.Fatal("missing item")
+		}
+		if seen[v] {
+			t.Fatal("duplicate item")
+		}
+		seen[v] = true
+	}
+}

@@ -1,0 +1,149 @@
+package core
+
+import (
+	"errors"
+
+	"avgpipe/internal/cluster"
+	"avgpipe/internal/pipesim"
+	"avgpipe/internal/sched"
+	"avgpipe/internal/workload"
+)
+
+// AFPConfig describes one pipeline-execution configuration whose advance
+// forward propagation is to be decided.
+type AFPConfig struct {
+	Workload *workload.Workload
+	Cluster  *cluster.Cluster
+	Stages   []workload.Stage
+	Micro    int
+	Pipes    int
+	// MemLimit caps every GPU's footprint in bytes; 0 means the GPU's
+	// own capacity ("the user-defined limit", §4.2).
+	MemLimit int64
+	// Batches to simulate per trial (more batches smooth ramp effects).
+	Batches int
+	// RefModel includes the elastic-averaging reference model in memory.
+	RefModel bool
+}
+
+func (c *AFPConfig) batches() int {
+	if c.Batches > 0 {
+		return c.Batches
+	}
+	return 2
+}
+
+func (c *AFPConfig) fits(r *pipesim.Result) bool {
+	if c.MemLimit <= 0 {
+		return r.OOM == nil
+	}
+	for _, g := range r.PerGPU {
+		if g.Memory.Total() > c.MemLimit {
+			return false
+		}
+	}
+	return true
+}
+
+func (c *AFPConfig) simulate(advance []int) (*pipesim.Result, error) {
+	k := len(c.Stages)
+	return pipesim.Run(pipesim.Config{
+		Workload: c.Workload, Cluster: c.Cluster, Stages: c.Stages,
+		Micro: c.Micro, Pipelines: c.Pipes,
+		Schedule: sched.AFP(k, c.Micro, c.batches(), advance),
+		Batches:  c.batches(), RefModel: c.RefModel,
+	})
+}
+
+// DecideAdvance implements Algorithm 1 ("Decisions on Advance Forward
+// Propagation"): start from the 1F1B schedule (advance = 0) and increase
+// advance counts while training keeps getting faster and the memory
+// footprint stays under the limit. Because a single stage running ahead
+// cannot outpace an unchanged upstream, the search first sweeps uniform
+// advances across all stages (the coordinated move a per-GPU increment
+// loop converges to on real hardware), then refines per stage in both
+// directions. It returns the chosen advance vector and the simulation at
+// that choice.
+func DecideAdvance(cfg AFPConfig) ([]int, *pipesim.Result, error) {
+	k := len(cfg.Stages)
+	const improvement = 1e-9
+	advance := make([]int, k)
+	best, err := cfg.simulate(advance)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	trial := func(v []int) (*pipesim.Result, bool, error) {
+		if !sched.LegalAdvance(k, cfg.Micro, v) {
+			return nil, false, nil
+		}
+		r, err := cfg.simulate(v)
+		if err != nil {
+			if errors.Is(err, pipesim.ErrDeadlock) {
+				return nil, false, nil
+			}
+			return nil, false, err
+		}
+		return r, r.Makespan < best.Makespan-improvement && cfg.fits(r), nil
+	}
+
+	// Phase 1: coordinated wavefronts. A stage's recurring stall is the
+	// cumulative deficit of everything downstream, so the natural shape
+	// is a *taper* — upstream stages run further ahead than downstream
+	// ones. Sweep linear tapers advance[s] = t·(K−1−s) and uniform levels
+	// at geometric step sizes, keeping the best feasible one.
+	tryVec := func(v []int) error {
+		r, ok, err := trial(v)
+		if err != nil {
+			return err
+		}
+		if ok {
+			best = r
+			copy(advance, v)
+		}
+		return nil
+	}
+	for t := 1; t*(k-1) <= cfg.Micro*2; t *= 2 {
+		taper := make([]int, k)
+		uniform := make([]int, k)
+		for s := 0; s < k; s++ {
+			taper[s] = t * (k - 1 - s)
+			uniform[s] = t
+		}
+		if err := tryVec(taper); err != nil {
+			return nil, nil, err
+		}
+		if err := tryVec(uniform); err != nil {
+			return nil, nil, err
+		}
+	}
+
+	// Phase 2: per-stage refinement in both directions (upstream stages
+	// often warrant more run-ahead than downstream ones, and shrinking a
+	// stage's advance can reclaim memory at no cost).
+	for {
+		improved := false
+		for s := 0; s < k; s++ {
+			for _, delta := range []int{1, -1} {
+				next := advance[s] + delta
+				if next < 0 || k-s+next > cfg.Micro+1 {
+					continue
+				}
+				advance[s] = next
+				r, ok, err := trial(advance)
+				if err != nil {
+					return nil, nil, err
+				}
+				if ok {
+					best = r
+					improved = true
+					break
+				}
+				advance[s] -= delta
+			}
+		}
+		if !improved {
+			return advance, best, nil
+		}
+	}
+}

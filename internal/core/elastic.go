@@ -1,0 +1,252 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"avgpipe/internal/comm"
+	"avgpipe/internal/nn"
+	"avgpipe/internal/tensor"
+)
+
+// Update is one pipeline's local update for one training round: the
+// per-parameter weight deltas produced by its optimizer step (§3.2
+// step ❸). Updates travel to the reference model through asynchronous
+// message queues so they never block the pipeline.
+type Update struct {
+	Pipeline int
+	Round    int
+	Deltas   []*tensor.Tensor
+}
+
+// Averager implements the elastic-averaging-based framework of §3.2. It
+// maintains the reference model (the centre of the parallel models) and
+// coordinates N parallel pipelines:
+//
+//	step ❶  each pipeline trains locally with any Optimizer,
+//	step ❷  the pipeline's weights are diluted with the reference weights
+//	        in ratio (1−α):α,
+//	step ❸  the local update is sent to the reference model via an async
+//	        queue,
+//	step ❹  the reference process accumulates one update per pipeline,
+//	step ❺  once all N arrive it normalizes and applies them.
+//
+// Because the elastic pull lives here — outside any optimizer — AvgPipe
+// composes with Adam, AdaGrad, ASGD, or plain SGD unchanged (§3.1).
+type Averager struct {
+	// Alpha is the dilution coefficient; 1/N empirically (§3.2).
+	Alpha float64
+	// N is the number of parallel pipelines.
+	N int
+
+	mu    sync.RWMutex
+	ref   []*tensor.Tensor
+	queue *comm.Queue[Update]
+
+	// pending[round] accumulates deltas until all N pipelines report.
+	pending map[int]*roundAcc
+	// snapshots[p] is pipeline p's weights after its previous round,
+	// used to derive local update deltas.
+	snapshots [][]*tensor.Tensor
+
+	sent    atomic.Int64
+	applied atomic.Int64
+
+	done   chan struct{}
+	closed sync.Once
+}
+
+type roundAcc struct {
+	sum   []*tensor.Tensor
+	count int
+}
+
+// NewAverager builds the framework around an initial model: the reference
+// model starts as a copy of init, and all N pipelines are assumed to start
+// from weights equal to init (use SeedReplica otherwise).
+func NewAverager(n int, init []*nn.Param) *Averager {
+	if n <= 0 {
+		panic("core: need at least one pipeline")
+	}
+	a := &Averager{
+		Alpha:     1 / float64(n),
+		N:         n,
+		queue:     comm.NewQueue[Update](),
+		pending:   make(map[int]*roundAcc),
+		snapshots: make([][]*tensor.Tensor, n),
+		done:      make(chan struct{}),
+	}
+	a.ref = make([]*tensor.Tensor, len(init))
+	for i, p := range init {
+		a.ref[i] = p.W.Clone()
+	}
+	for p := 0; p < n; p++ {
+		a.snapshots[p] = cloneTensors(a.ref)
+	}
+	go a.referenceLoop()
+	return a
+}
+
+func cloneTensors(ts []*tensor.Tensor) []*tensor.Tensor {
+	out := make([]*tensor.Tensor, len(ts))
+	for i, t := range ts {
+		out[i] = t.Clone()
+	}
+	return out
+}
+
+// SeedReplica records pipeline p's actual starting weights so its first
+// local update is measured from the right point.
+func (a *Averager) SeedReplica(p int, params []*nn.Param) {
+	for i, pr := range params {
+		a.snapshots[p][i].CopyFrom(pr.W)
+	}
+}
+
+// referenceLoop is the separate reference-model process of §3.2: it
+// drains the update queue, accumulates per round, and applies the
+// normalized update when a round completes (steps ❹ and ❺).
+func (a *Averager) referenceLoop() {
+	defer close(a.done)
+	for {
+		u, ok := a.queue.Recv()
+		if !ok {
+			return
+		}
+		a.mu.Lock()
+		acc := a.pending[u.Round]
+		if acc == nil {
+			acc = &roundAcc{sum: make([]*tensor.Tensor, len(a.ref))}
+			for i, r := range a.ref {
+				acc.sum[i] = tensor.New(r.Shape()...)
+			}
+			a.pending[u.Round] = acc
+		}
+		for i, d := range u.Deltas {
+			acc.sum[i].AddInPlace(d)
+		}
+		acc.count++
+		if acc.count == a.N {
+			inv := float32(1 / float64(a.N))
+			for i := range a.ref {
+				a.ref[i].AxpyInPlace(inv, acc.sum[i])
+			}
+			delete(a.pending, u.Round)
+		}
+		a.mu.Unlock()
+		a.applied.Add(1)
+	}
+}
+
+// Submit performs step ❸ for pipeline p after its optimizer has applied a
+// local update for the given round: it derives the local update delta
+// from the previous snapshot and sends it to the reference model without
+// blocking.
+func (a *Averager) Submit(p, round int, params []*nn.Param) {
+	if p < 0 || p >= a.N {
+		panic(fmt.Sprintf("core: pipeline %d out of range", p))
+	}
+	deltas := make([]*tensor.Tensor, len(params))
+	for i, pr := range params {
+		deltas[i] = tensor.Sub(pr.W, a.snapshots[p][i])
+	}
+	a.sent.Add(1)
+	a.queue.Send(Update{Pipeline: p, Round: round, Deltas: deltas})
+}
+
+// Dilute performs step ❷ for pipeline p: its weights are mixed with the
+// current reference model in ratio (1−α):α, and the post-dilution weights
+// become the baseline for the next round's delta. Callers that want exact
+// synchronous elastic-averaging semantics Drain() between Submit and
+// Dilute so the reference already includes the round's updates; callers
+// that must never block may Dilute immediately against a slightly stale
+// reference.
+func (a *Averager) Dilute(p int, params []*nn.Param) {
+	alpha := float32(a.Alpha)
+	a.mu.RLock()
+	for i, pr := range params {
+		pr.W.ScaleInPlace(1 - alpha)
+		pr.W.AxpyInPlace(alpha, a.ref[i])
+	}
+	a.mu.RUnlock()
+	for i, pr := range params {
+		a.snapshots[p][i].CopyFrom(pr.W)
+	}
+}
+
+// AfterStep performs steps ❷ and ❸ together in the fully asynchronous
+// mode: submit the local update, then dilute against whatever reference
+// is current (never blocking the pipeline).
+func (a *Averager) AfterStep(p, round int, params []*nn.Param) {
+	a.Submit(p, round, params)
+	a.Dilute(p, params)
+}
+
+// Reference returns a snapshot (deep copy) of the current reference
+// model weights.
+func (a *Averager) Reference() []*tensor.Tensor {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	return cloneTensors(a.ref)
+}
+
+// SetReference overwrites the reference model with src's weights (e.g.
+// when resuming from a checkpoint) and re-seeds every pipeline's delta
+// baseline to match, so the next local updates are measured from the
+// restored point. Call before training resumes, not mid-round.
+func (a *Averager) SetReference(src []*nn.Param) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if len(src) != len(a.ref) {
+		panic("core: SetReference length mismatch")
+	}
+	for i, p := range src {
+		a.ref[i].CopyFrom(p.W)
+	}
+	for p := range a.snapshots {
+		for i := range a.snapshots[p] {
+			a.snapshots[p][i].CopyFrom(a.ref[i])
+		}
+	}
+}
+
+// WriteReference copies the current reference weights into dst (e.g. a
+// model used for evaluation).
+func (a *Averager) WriteReference(dst []*nn.Param) {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	if len(dst) != len(a.ref) {
+		panic("core: WriteReference length mismatch")
+	}
+	for i, p := range dst {
+		p.W.CopyFrom(a.ref[i])
+	}
+}
+
+// Drain blocks until every update sent so far has been applied, so tests
+// and evaluation points observe a consistent reference model.
+func (a *Averager) Drain() {
+	target := a.sent.Load()
+	for a.applied.Load() < target {
+		runtime.Gosched()
+	}
+}
+
+// Close shuts the reference process down after draining pending updates.
+func (a *Averager) Close() {
+	a.closed.Do(func() {
+		a.Drain()
+		a.queue.Close()
+		<-a.done
+	})
+}
+
+// PendingRounds reports how many rounds are awaiting stragglers, for
+// observability and tests.
+func (a *Averager) PendingRounds() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return len(a.pending)
+}

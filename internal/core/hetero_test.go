@@ -1,0 +1,95 @@
+package core
+
+import (
+	"testing"
+
+	"avgpipe/internal/cluster"
+	"avgpipe/internal/comm"
+	"avgpipe/internal/device"
+	"avgpipe/internal/pipesim"
+	"avgpipe/internal/sched"
+	"avgpipe/internal/workload"
+)
+
+// heteroFixture builds a uniform 8-layer workload and a 4-GPU cluster
+// whose first GPU is half as fast as the rest.
+func heteroFixture() (*workload.Workload, *cluster.Cluster) {
+	ls := make([]workload.LayerCost, 8)
+	for i := range ls {
+		ls[i] = workload.LayerCost{Name: "l", FwdFLOPs: 1e9, BwdFLOPs: 2e9,
+			ParamBytes: 4 << 20, OutActBytes: 64 << 10, StashBytes: 128 << 10}
+	}
+	w := &workload.Workload{Name: "het", Layers: ls, BatchSize: 8,
+		SatSamples: 0, OptimStateFactor: 1, MaxPipelines: 2}
+	gpu := device.GPU{Name: "g", PeakFLOPs: 1e12, MemBytes: 32 << 30}
+	link := comm.Link{Name: "fast", BytesPerSec: 1e15}
+	c := cluster.New(1, 4, gpu, link, link)
+	c.GPUs[0].PeakFLOPs = 0.5e12 // the straggler
+	return w, c
+}
+
+func TestPartitionHeteroGivesStragglerLessWork(t *testing.T) {
+	w, c := heteroFixture()
+	stages := PartitionHetero(w, c, 0)
+	if len(stages) != 4 {
+		t.Fatalf("stages %d", len(stages))
+	}
+	// The half-speed GPU 0 must get strictly fewer FLOPs than the fastest
+	// stage.
+	var maxOther float64
+	for s := 1; s < 4; s++ {
+		if f := stages[s].FwdFLOPs; f > maxOther {
+			maxOther = f
+		}
+	}
+	if stages[0].FwdFLOPs >= maxOther {
+		t.Fatalf("straggler got %v FLOPs, others up to %v", stages[0].FwdFLOPs, maxOther)
+	}
+	// Per-time balance: no stage's time should exceed 2x the ideal.
+	total := 0.0
+	worst := 0.0
+	for s, st := range stages {
+		tm := (st.FwdFLOPs + st.BwdFLOPs) / c.GPUs[s].PeakFLOPs
+		total += tm
+		if tm > worst {
+			worst = tm
+		}
+	}
+	if worst > 2*total/4 {
+		t.Fatalf("hetero partition unbalanced: worst %v vs ideal %v", worst, total/4)
+	}
+}
+
+func TestPartitionHeteroMatchesHomogeneous(t *testing.T) {
+	w, c := heteroFixture()
+	for i := range c.GPUs {
+		c.GPUs[i].PeakFLOPs = 1e12 // make it homogeneous again
+	}
+	het := PartitionHetero(w, c, 0)
+	hom := Partition(w, 4, 0)
+	for s := range het {
+		if het[s].First != hom[s].First || het[s].Last != hom[s].Last {
+			t.Fatalf("stage %d: hetero %v-%v vs homogeneous %v-%v",
+				s, het[s].First, het[s].Last, hom[s].First, hom[s].Last)
+		}
+	}
+}
+
+func TestHeteroPartitionImprovesSimulatedTime(t *testing.T) {
+	w, c := heteroFixture()
+	run := func(stages []workload.Stage) float64 {
+		r, err := pipesim.Run(pipesim.Config{
+			Workload: w, Cluster: c, Stages: stages,
+			Micro: 8, Pipelines: 1, Schedule: sched.AFAB(4, 8, 2), Batches: 2,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r.BatchTime
+	}
+	naive := run(Partition(w, 4, 0))
+	aware := run(PartitionHetero(w, c, 0))
+	if aware >= naive {
+		t.Fatalf("speed-aware partition should beat FLOP-balanced on a heterogeneous cluster: %v vs %v", aware, naive)
+	}
+}

@@ -1,0 +1,165 @@
+// Package core implements AvgPipe: the elastic-averaging-based framework
+// for pipeline-parallel DNN training (§3), advance forward propagation
+// (§4.2, Algorithm 1), and the profiling-based tuning of parallelism
+// degrees (§5). It composes the substrate packages — nn/optim for real
+// training, sched/pipesim for performance simulation — into the system
+// the paper describes (Fig. 10: partitioner, profiler, predictor,
+// scheduler, runtime).
+package core
+
+import (
+	"fmt"
+
+	"avgpipe/internal/cluster"
+	"avgpipe/internal/workload"
+)
+
+// Partition splits the workload's layers into k contiguous stages,
+// minimizing the maximum per-stage cost — the PipeDream-style dynamic
+// program the paper reuses for its partitioner component ("we employ the
+// existing method used in PipeDream", §6). The per-layer cost is forward
+// plus backward FLOPs; a stage boundary additionally pays the boundary
+// activation transfer, weighted by commWeight seconds-per-byte-FLOPs
+// equivalence (pass 0 to balance compute only).
+func Partition(w *workload.Workload, k int, commWeight float64) []workload.Stage {
+	n := len(w.Layers)
+	if k <= 0 || k > n {
+		panic(fmt.Sprintf("core: cannot partition %d layers into %d stages", n, k))
+	}
+	// prefix[i] = total compute cost of layers [0, i).
+	prefix := make([]float64, n+1)
+	for i, l := range w.Layers {
+		prefix[i+1] = prefix[i] + l.FwdFLOPs + l.BwdFLOPs
+	}
+	cost := func(i, j int) float64 { // layers [i, j)
+		c := prefix[j] - prefix[i]
+		if j < n && commWeight > 0 {
+			c += commWeight * float64(w.Layers[j-1].OutActBytes)
+		}
+		return c
+	}
+	const inf = 1e300
+	// dp[s][i]: minimal max-stage cost splitting layers [0, i) into s+1
+	// stages; cut[s][i]: position of the last cut achieving it.
+	dp := make([][]float64, k)
+	cut := make([][]int, k)
+	for s := range dp {
+		dp[s] = make([]float64, n+1)
+		cut[s] = make([]int, n+1)
+		for i := range dp[s] {
+			dp[s][i] = inf
+		}
+	}
+	for i := 1; i <= n; i++ {
+		dp[0][i] = cost(0, i)
+	}
+	for s := 1; s < k; s++ {
+		for i := s + 1; i <= n; i++ {
+			for j := s; j < i; j++ {
+				c := dp[s-1][j]
+				if lc := cost(j, i); lc > c {
+					c = lc
+				}
+				if c < dp[s][i] {
+					dp[s][i] = c
+					cut[s][i] = j
+				}
+			}
+		}
+	}
+	if dp[k-1][n] >= inf {
+		panic("core: partition DP failed")
+	}
+	bounds := make([]int, k+1)
+	bounds[k] = n
+	for s := k - 1; s > 0; s-- {
+		bounds[s] = cut[s][bounds[s+1]]
+	}
+	stages := make([]workload.Stage, k)
+	for s := 0; s < k; s++ {
+		stages[s] = w.MakeStage(bounds[s], bounds[s+1]-1)
+	}
+	return stages
+}
+
+// PartitionHetero splits the workload's layers across a heterogeneous
+// cluster: stage s always runs on GPU s, so the dynamic program minimizes
+// the maximum *time* per stage — compute cost divided by that GPU's
+// throughput — rather than raw FLOPs. On a homogeneous cluster it reduces
+// to Partition. This extends the paper toward HetPipe-style deployments.
+func PartitionHetero(w *workload.Workload, c *cluster.Cluster, commWeight float64) []workload.Stage {
+	n := len(w.Layers)
+	k := c.Size()
+	if k <= 0 || k > n {
+		panic(fmt.Sprintf("core: cannot partition %d layers into %d stages", n, k))
+	}
+	prefix := make([]float64, n+1)
+	for i, l := range w.Layers {
+		prefix[i+1] = prefix[i] + l.FwdFLOPs + l.BwdFLOPs
+	}
+	cost := func(i, j, s int) float64 { // layers [i, j) on GPU s
+		t := (prefix[j] - prefix[i]) / c.GPUs[s].PeakFLOPs
+		if j < n && commWeight > 0 {
+			t += commWeight * float64(w.Layers[j-1].OutActBytes)
+		}
+		return t
+	}
+	const inf = 1e300
+	dp := make([][]float64, k)
+	cut := make([][]int, k)
+	for s := range dp {
+		dp[s] = make([]float64, n+1)
+		cut[s] = make([]int, n+1)
+		for i := range dp[s] {
+			dp[s][i] = inf
+		}
+	}
+	for i := 1; i <= n; i++ {
+		dp[0][i] = cost(0, i, 0)
+	}
+	for s := 1; s < k; s++ {
+		for i := s + 1; i <= n; i++ {
+			for j := s; j < i; j++ {
+				v := dp[s-1][j]
+				if lc := cost(j, i, s); lc > v {
+					v = lc
+				}
+				if v < dp[s][i] {
+					dp[s][i] = v
+					cut[s][i] = j
+				}
+			}
+		}
+	}
+	if dp[k-1][n] >= inf {
+		panic("core: heterogeneous partition DP failed")
+	}
+	bounds := make([]int, k+1)
+	bounds[k] = n
+	for s := k - 1; s > 0; s-- {
+		bounds[s] = cut[s][bounds[s+1]]
+	}
+	stages := make([]workload.Stage, k)
+	for s := 0; s < k; s++ {
+		stages[s] = w.MakeStage(bounds[s], bounds[s+1]-1)
+	}
+	return stages
+}
+
+// PartitionModelLayers splits `layers` layer indices [0,n) into k
+// contiguous ranges with near-equal counts, used to partition the small
+// real models whose per-layer costs are unknown. Returns the k boundary
+// pairs [lo, hi).
+func PartitionModelLayers(n, k int) [][2]int {
+	if k <= 0 || k > n {
+		panic(fmt.Sprintf("core: cannot partition %d layers into %d stages", n, k))
+	}
+	out := make([][2]int, k)
+	lo := 0
+	for s := 0; s < k; s++ {
+		cnt := (n - lo) / (k - s)
+		out[s] = [2]int{lo, lo + cnt}
+		lo += cnt
+	}
+	return out
+}

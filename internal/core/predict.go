@@ -1,0 +1,94 @@
+package core
+
+import (
+	"fmt"
+	"math"
+)
+
+// GPUPrediction is the predicted per-GPU decomposition at a new setting.
+type GPUPrediction struct {
+	// TGpu, TCom, and TBub are the computation, GPU-blocking
+	// communication, and bubble times of Eq. 1.
+	TGpu, TCom, TBub float64
+	// Comm is the predicted total communication time (𝕋^k)*.
+	Comm float64
+	// Mem is the predicted memory footprint F^k (Eq. 8).
+	Mem int64
+}
+
+// Total returns T^k = T_gpu + T_com + T_bub (Eq. 1).
+func (g GPUPrediction) Total() float64 { return g.TGpu + g.TCom + g.TBub }
+
+// Prediction is the predicted performance and memory at parallelism
+// degrees (M, N) = (mStar, nStar).
+type Prediction struct {
+	M, N int
+	// BatchTime is the predicted per-batch training time,
+	// max over GPUs of T^k.
+	BatchTime float64
+	PerGPU    []GPUPrediction
+}
+
+// PeakMem returns the largest predicted per-GPU footprint.
+func (p *Prediction) PeakMem() int64 {
+	var m int64
+	for _, g := range p.PerGPU {
+		if g.Mem > m {
+			m = g.Mem
+		}
+	}
+	return m
+}
+
+// TimePerDataBatch returns BatchTime divided by the pipeline count: with
+// N parallel pipelines AvgPipe consumes N batches per iteration, so this
+// is the throughput-relevant quantity compared across settings.
+func (p *Prediction) TimePerDataBatch() float64 { return p.BatchTime / float64(p.N) }
+
+// Predict extrapolates the profile to parallelism degrees (mStar, nStar),
+// implementing §5.2.2 (Eqs. 2–7) and §5.2.3 (Eq. 8).
+func Predict(p *Profile, mStar, nStar int) (*Prediction, error) {
+	if mStar <= 0 || nStar <= 0 {
+		return nil, fmt.Errorf("core: invalid degrees M=%d N=%d", mStar, nStar)
+	}
+	k := len(p.PerGPU)
+	m, n := float64(p.M), float64(p.N)
+	ms, ns := float64(mStar), float64(nStar)
+	// r is the utilization scaling factor (m·n*)/(m*·n): micro-batches
+	// get bigger by m/m*, and n* pipelines share the device.
+	r := (m * ns) / (ms * n)
+
+	out := &Prediction{M: mStar, N: nStar, PerGPU: make([]GPUPrediction, k)}
+	tgpu := make([]float64, k)
+	comm := make([]float64, k)
+	for s, g := range p.PerGPU {
+		// Eq. 2 with a piecewise-constant profile φ ≡ Util over TGpu:
+		// ∫ max(r·φ − 1, 0) = TGpu · max(r·Util − 1, 0).
+		excess := g.TGpu * math.Max(r*g.Util-1, 0)
+		tgpu[s] = (1 / r) * (g.TGpu + excess)
+		// (𝕋^k)* = (n*/n)·𝕋^k.
+		comm[s] = ns / n * g.Comm
+		// Eq. 4: the first micro-batch's transfer is exposed; each of the
+		// remaining m*−1 overlaps with compute.
+		tcom := comm[s]/ms + (ms-1)/ms*math.Max(comm[s]-tgpu[s], 0)
+		// Eq. 8.
+		mem := int64(ns/n*float64(g.FMod) + (m*ns)/(ms*n)*float64(g.FDat))
+		out.PerGPU[s] = GPUPrediction{TGpu: tgpu[s], TCom: tcom, Comm: comm[s], Mem: mem}
+	}
+	// Eqs. 5–7: bubbles from waiting on upstream and downstream GPUs.
+	up := make([]float64, k)
+	for s := 1; s < k; s++ {
+		up[s] = up[s-1] + (comm[s-1]+tgpu[s-1])/ms
+	}
+	down := make([]float64, k)
+	for s := k - 2; s >= 0; s-- {
+		down[s] = down[s+1] + (comm[s+1]+tgpu[s+1])/ms
+	}
+	for s := 0; s < k; s++ {
+		out.PerGPU[s].TBub = up[s] + down[s]
+		if t := out.PerGPU[s].Total(); t > out.BatchTime {
+			out.BatchTime = t
+		}
+	}
+	return out, nil
+}

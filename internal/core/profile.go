@@ -1,0 +1,108 @@
+package core
+
+import (
+	"avgpipe/internal/cluster"
+	"avgpipe/internal/pipesim"
+	"avgpipe/internal/sched"
+	"avgpipe/internal/workload"
+)
+
+// ProfileBatches is the number of batches the profiling phase runs
+// ("we let AvgPipe train the model with twenty batches", §5.2.1).
+const ProfileBatches = 20
+
+// GPUProfile is the per-GPU measurement collected during profiling.
+type GPUProfile struct {
+	// TGpu is the compute time per batch (the T_gpu^k of Eq. 1).
+	TGpu float64
+	// Comm is the total transfer time arriving at this GPU per batch
+	// (the 𝕋^k the predictor scales).
+	Comm float64
+	// Util is the GPU utilization while computing — the height of the
+	// piecewise-constant φ^k(t) curve.
+	Util float64
+	// FMod and FDat split the memory footprint into model-proportional
+	// and data-proportional bytes (§5.2.3).
+	FMod, FDat int64
+}
+
+// Profile is the output of the profiling phase: measurements at one
+// setting of parallelism degrees (M, N), from which the predictor
+// extrapolates every other setting.
+type Profile struct {
+	M, N      int
+	PerGPU    []GPUProfile
+	BatchTime float64
+	// Cost is the simulated wall-clock time the profiling run consumed
+	// (ProfileBatches × BatchTime); the paper's Fig. 18 compares this
+	// against traversal tuning.
+	Cost float64
+}
+
+// ProfileSetting runs the profiling phase at parallelism degrees (m, n).
+// Per §5.2.2 the profile (and all predictions) use the AFAB schedule,
+// since advance forward propagation brings 1F1B's performance close to
+// AFAB's. Per §5.2.1 callers should pick a large m and small n so that
+// φ stays below 100%.
+func ProfileSetting(w *workload.Workload, c *cluster.Cluster, stages []workload.Stage, m, n int) (*Profile, error) {
+	k := len(stages)
+	res, err := pipesim.Run(pipesim.Config{
+		Workload: w, Cluster: c, Stages: stages,
+		Micro: m, Pipelines: n,
+		Schedule: sched.AFAB(k, m, ProfileBatches),
+		Batches:  ProfileBatches,
+		RefModel: true,
+	})
+	if err != nil {
+		return nil, err
+	}
+	// Memory is measured under the runtime's actual schedule (1F1B with
+	// advance forward propagation keeps the 1F1B stash bound), so the
+	// F_dat ∝ micro-batch-size scaling of Eq. 8 holds. A single batch
+	// suffices: footprints are schedule properties, not steady-state ones.
+	memRes, err := pipesim.Run(pipesim.Config{
+		Workload: w, Cluster: c, Stages: stages,
+		Micro: m, Pipelines: n,
+		Schedule: sched.OneFOneB(k, m, 1),
+		Batches:  1,
+		RefModel: true,
+	})
+	if err != nil {
+		return nil, err
+	}
+	p := &Profile{M: m, N: n, BatchTime: res.BatchTime, PerGPU: make([]GPUProfile, k)}
+	for s := 0; s < k; s++ {
+		g := res.PerGPU[s]
+		p.PerGPU[s] = GPUProfile{
+			TGpu: g.Busy / ProfileBatches,
+			Comm: g.CommTotal / ProfileBatches,
+			Util: g.PeakUtil,
+			FMod: memRes.PerGPU[s].Memory.ModelBytes(),
+			FDat: memRes.PerGPU[s].Memory.DataBytes(),
+		}
+	}
+	p.Cost = res.Makespan
+	return p, nil
+}
+
+// DefaultProfileSetting returns the (m, n) the profiler uses: a rather
+// large micro-batch count (micro-batch size around one eighth of the
+// batch) with a single pipeline, so GPUs stay well below saturation and
+// the utilization curve can be scaled upward safely (§5.2.1), without
+// paying the pathological kernel efficiency of single-sample micros.
+func DefaultProfileSetting(w *workload.Workload) (m, n int) {
+	best := w.BatchSize
+	for _, d := range Divisors(w.BatchSize) {
+		if abs(d-8) < abs(best-8) || (abs(d-8) == abs(best-8) && d > best) {
+			best = d
+		}
+	}
+	return best, 1
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,216 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"avgpipe/internal/data"
+	"avgpipe/internal/nn"
+	"avgpipe/internal/optim"
+	"avgpipe/internal/tensor"
+)
+
+// Pipeline executes one model partitioned into stages, with a goroutine
+// per stage connected by buffered channels — the process-per-GPU runtime
+// of §6 mapped onto goroutines. Micro-batches flow forward through the
+// stage workers; gradients flow back. Each worker applies the
+// early-backward (1F1B) discipline with a configurable advance-forward
+// allowance: stage s holds at most K−s+Advance[s] live activation
+// contexts, so the memory behaviour matches the AFP schedule.
+type Pipeline struct {
+	Stages []*nn.Sequential
+	// Advance[s] is the extra forward run-ahead beyond the 1F1B warmup on
+	// stage s (0 everywhere = 1F1B; ≥ M = AFAB).
+	Advance []int
+
+	params  []*nn.Param
+	metrics []StageMetrics
+}
+
+// StageMetrics instruments one stage worker's most recent batch: wall
+// time spent computing vs waiting on channels, and the peak number of
+// live activation contexts — the runtime counterpart of the simulator's
+// busy/idle/stash accounting.
+type StageMetrics struct {
+	// Busy is time inside Forward/Backward; Wait is time blocked on
+	// channel receives.
+	Busy, Wait time.Duration
+	// PeakInFlight is the stash high-water mark (live contexts).
+	PeakInFlight int
+	// Fwd and Bwd count micro-batch passes executed.
+	Fwd, Bwd int
+}
+
+// NewPipeline partitions model layers into k stages of near-equal layer
+// count. advance may be nil for pure 1F1B.
+func NewPipeline(model *nn.Sequential, k int, advance []int) *Pipeline {
+	if advance == nil {
+		advance = make([]int, k)
+	}
+	if len(advance) != k {
+		panic(fmt.Sprintf("core: advance length %d for %d stages", len(advance), k))
+	}
+	bounds := PartitionModelLayers(len(model.Layers), k)
+	stages := make([]*nn.Sequential, k)
+	for s, b := range bounds {
+		stages[s] = model.Slice(b[0], b[1])
+	}
+	return &Pipeline{Stages: stages, Advance: advance, params: model.Params(),
+		metrics: make([]StageMetrics, k)}
+}
+
+// Params returns all parameters across stages in layer order.
+func (p *Pipeline) Params() []*nn.Param { return p.params }
+
+// Metrics returns each stage's instrumentation from the most recent
+// RunBatch call.
+func (p *Pipeline) Metrics() []StageMetrics {
+	return append([]StageMetrics(nil), p.metrics...)
+}
+
+// microMsg carries one micro-batch's activations (forward) or gradient
+// (backward) between stage workers.
+type microMsg struct {
+	micro int
+	t     *tensor.Tensor
+}
+
+// RunBatch pipelines the batch through the stages as M micro-batches and
+// returns the mean training loss across micro-batches. Parameter
+// gradients are accumulated (summed over micro-batches) and then scaled
+// to a batch mean; the caller owns the optimizer step.
+func (p *Pipeline) RunBatch(batch *data.Batch, micro int) float64 {
+	k := len(p.Stages)
+	micros := batch.Slice(micro)
+	m := len(micros)
+
+	fwdCh := make([]chan microMsg, k)
+	bwdCh := make([]chan microMsg, k)
+	for s := 0; s < k; s++ {
+		fwdCh[s] = make(chan microMsg, m)
+		bwdCh[s] = make(chan microMsg, m)
+	}
+	losses := make([]float64, m)
+
+	var wg sync.WaitGroup
+	for s := 0; s < k; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			p.stageWorker(s, k, m, micros, fwdCh, bwdCh, losses)
+		}(s)
+	}
+	for mi := 0; mi < m; mi++ {
+		fwdCh[0] <- microMsg{micro: mi, t: micros[mi].X}
+	}
+	wg.Wait()
+
+	optim.ScaleGrads(p.params, m)
+	var total float64
+	for _, l := range losses {
+		total += l
+	}
+	return total / float64(m)
+}
+
+// stageWorker runs stage s for one batch: m forwards and m backwards,
+// preferring backwards (early-backward) while respecting the stage's
+// in-flight allowance. It records wall-clock busy/wait time and the stash
+// high-water mark into p.metrics[s].
+func (p *Pipeline) stageWorker(s, k, m int, micros []*data.Batch, fwdCh, bwdCh []chan microMsg, losses []float64) {
+	stage := p.Stages[s]
+	limit := k - s + p.Advance[s]
+	if limit > m {
+		limit = m
+	}
+	ctxs := make([]*nn.Context, m)
+	fwdDone, bwdDone, inflight := 0, 0, 0
+	met := StageMetrics{}
+	defer func() { p.metrics[s] = met }()
+
+	busy := func(f func()) {
+		start := time.Now()
+		f()
+		met.Busy += time.Since(start)
+	}
+
+	doFwd := func(msg microMsg) {
+		busy(func() {
+			ctx := nn.NewContext()
+			y := stage.Forward(ctx, msg.t, true)
+			ctxs[msg.micro] = ctx
+			fwdDone++
+			inflight++
+			met.Fwd++
+			if inflight > met.PeakInFlight {
+				met.PeakInFlight = inflight
+			}
+			if s < k-1 {
+				fwdCh[s+1] <- microMsg{micro: msg.micro, t: y}
+			} else {
+				// Last stage: compute the loss and immediately start the
+				// backward pass for this micro-batch.
+				loss, dlogits := nn.CrossEntropy(y, micros[msg.micro].Targets)
+				losses[msg.micro] = loss
+				dx := stage.Backward(ctx, dlogits)
+				bwdDone++
+				inflight--
+				met.Bwd++
+				if s > 0 {
+					bwdCh[s-1] <- microMsg{micro: msg.micro, t: dx}
+				}
+			}
+		})
+	}
+	doBwd := func(msg microMsg) {
+		busy(func() {
+			dx := stage.Backward(ctxs[msg.micro], msg.t)
+			bwdDone++
+			inflight--
+			met.Bwd++
+			if s > 0 {
+				bwdCh[s-1] <- microMsg{micro: msg.micro, t: dx}
+			}
+		})
+	}
+	recvBwd := func() microMsg {
+		start := time.Now()
+		msg := <-bwdCh[s]
+		met.Wait += time.Since(start)
+		return msg
+	}
+
+	for bwdDone < m {
+		if s == k-1 {
+			// The last stage fuses forward and backward.
+			start := time.Now()
+			msg := <-fwdCh[s]
+			met.Wait += time.Since(start)
+			doFwd(msg)
+			continue
+		}
+		// Prefer a ready backward (early-backward schedule).
+		select {
+		case msg := <-bwdCh[s]:
+			doBwd(msg)
+			continue
+		default:
+		}
+		if fwdDone < m && inflight < limit {
+			// Free to run ahead: take whichever arrives first.
+			start := time.Now()
+			select {
+			case msg := <-bwdCh[s]:
+				met.Wait += time.Since(start)
+				doBwd(msg)
+			case msg := <-fwdCh[s]:
+				met.Wait += time.Since(start)
+				doFwd(msg)
+			}
+		} else {
+			// Stash full or forwards exhausted: must wait for a backward.
+			doBwd(recvBwd())
+		}
+	}
+}

@@ -1,0 +1,146 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"avgpipe/internal/data"
+	"avgpipe/internal/nn"
+	"avgpipe/internal/optim"
+	"avgpipe/internal/workload"
+)
+
+// TrainerConfig configures an elastic-averaging training run on a real
+// (scaled-down) workload task.
+type TrainerConfig struct {
+	Task *workload.Task
+	// Pipelines is N; Micro is M; StageCount is K (the pipeline depth).
+	Pipelines  int
+	Micro      int
+	StageCount int
+	// Advance is the per-stage advance-forward allowance (nil = 1F1B).
+	Advance []int
+	// Seed derives all replica initializations and data streams.
+	Seed int64
+	// ClipNorm, when > 0, applies global gradient-norm clipping.
+	ClipNorm float64
+	// Alpha overrides the elastic coefficient (0 = the 1/N default).
+	Alpha float64
+	// AsyncDilute dilutes each replica immediately after its local step
+	// against whatever reference is current, instead of waiting for the
+	// round's updates to apply (§3.2's fully asynchronous mode; the
+	// synchronous round is the default because it removes the one-round
+	// reference lag). Exposed for the ablation study.
+	AsyncDilute bool
+}
+
+// Trainer runs N parallel pipelines, each training a replica on its own
+// batch stream, coupled through the elastic-averaging reference model.
+// It is the end-to-end AvgPipe runtime on real tensors.
+type Trainer struct {
+	cfg       TrainerConfig
+	pipelines []*Pipeline
+	gens      []data.Generator
+	opts      []optim.Optimizer
+	avg       *Averager
+	evalModel *nn.Sequential
+	evalGen   data.Generator
+	round     int
+}
+
+// NewTrainer builds the replicas, data streams, optimizers, and the
+// reference model. All replicas start from the same initialization (the
+// usual elastic-averaging warm start).
+func NewTrainer(cfg TrainerConfig) *Trainer {
+	if cfg.Pipelines <= 0 || cfg.Micro <= 0 || cfg.StageCount <= 0 {
+		panic(fmt.Sprintf("core: bad trainer config %+v", cfg))
+	}
+	t := &Trainer{cfg: cfg}
+	base := cfg.Task.NewModel(cfg.Seed)
+	for p := 0; p < cfg.Pipelines; p++ {
+		m := cfg.Task.NewModel(cfg.Seed) // same seed: identical start
+		t.pipelines = append(t.pipelines, NewPipeline(m, cfg.StageCount, cfg.Advance))
+		t.gens = append(t.gens, cfg.Task.NewGen(cfg.Seed+100+int64(p)))
+		t.opts = append(t.opts, newOptimizer(cfg.Task))
+	}
+	t.avg = NewAverager(cfg.Pipelines, base.Params())
+	if cfg.Alpha > 0 {
+		t.avg.Alpha = cfg.Alpha
+	}
+	t.evalModel = base
+	t.evalGen = cfg.Task.NewGen(cfg.Seed + 999)
+	return t
+}
+
+func newOptimizer(task *workload.Task) optim.Optimizer {
+	if task.UseSGD {
+		return optim.NewSGD(task.LR)
+	}
+	return optim.NewAdam(task.LR)
+}
+
+// Step runs one training round: every pipeline processes one batch (M
+// micro-batches through K stages), applies its local optimizer update,
+// and performs the elastic-averaging exchange. It returns the mean
+// training loss across pipelines.
+func (t *Trainer) Step() float64 {
+	n := t.cfg.Pipelines
+	losses := make([]float64, n)
+	var wg sync.WaitGroup
+	for p := 0; p < n; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			batch := t.gens[p].NextBatch(t.cfg.Task.BatchSize)
+			pl := t.pipelines[p]
+			losses[p] = pl.RunBatch(batch, t.cfg.Micro)
+			if t.cfg.ClipNorm > 0 {
+				optim.ClipGradNorm(pl.Params(), t.cfg.ClipNorm)
+			}
+			t.opts[p].Step(pl.Params())
+			nn.ZeroGrads(pl.Params())
+			if t.cfg.AsyncDilute {
+				t.avg.AfterStep(p, t.round, pl.Params())
+			} else {
+				t.avg.Submit(p, t.round, pl.Params())
+			}
+		}(p)
+	}
+	wg.Wait()
+	if !t.cfg.AsyncDilute {
+		// Synchronous elastic round: dilute against the reference that
+		// already includes this round's updates, so the pull is pure
+		// variance reduction rather than a drag on the common trajectory.
+		t.avg.Drain()
+		for p := 0; p < n; p++ {
+			t.avg.Dilute(p, t.pipelines[p].Params())
+		}
+	}
+	t.round++
+	var total float64
+	for _, l := range losses {
+		total += l
+	}
+	return total / float64(n)
+}
+
+// Round returns the number of completed rounds.
+func (t *Trainer) Round() int { return t.round }
+
+// Eval evaluates the reference model on the held-out batch and returns
+// loss and accuracy.
+func (t *Trainer) Eval() (loss, acc float64) {
+	t.avg.Drain()
+	t.avg.WriteReference(t.evalModel.Params())
+	return workload.Evaluate(t.evalModel, t.evalGen.EvalBatch(), t.cfg.Task.PerPosition)
+}
+
+// Close releases the reference-model goroutine.
+func (t *Trainer) Close() { t.avg.Close() }
+
+// Averager exposes the underlying elastic averager (for tests and
+// ablations).
+func (t *Trainer) Averager() *Averager { return t.avg }
+
+// Pipelines exposes the replica pipelines.
+func (t *Trainer) Pipelines() []*Pipeline { return t.pipelines }

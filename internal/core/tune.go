@@ -1,0 +1,198 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"avgpipe/internal/cluster"
+	"avgpipe/internal/pipesim"
+	"avgpipe/internal/workload"
+)
+
+// TuneResult is the outcome of a parallelism-degree tuning method.
+type TuneResult struct {
+	Method string
+	// M and N are the chosen micro-batch and pipeline counts.
+	M, N int
+	// TimePerDataBatch is the (measured or predicted) training time per
+	// batch of data at the chosen setting.
+	TimePerDataBatch float64
+	// TuningCost is the simulated wall-clock time the method itself
+	// consumed (Fig. 18).
+	TuningCost float64
+	// Relaxed is true when no setting satisfied the memory constraint
+	// (e.g. the reference model alone exceeds a very tight budget) and
+	// the minimum-footprint setting was chosen instead.
+	Relaxed bool
+}
+
+// Divisors returns the divisors of n in increasing order — the legal
+// micro-batch counts for a batch of n samples.
+func Divisors(n int) []int {
+	var out []int
+	for d := 1; d <= n; d++ {
+		if n%d == 0 {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// settingEval measures one (M, N) setting by running Algorithm 1 and the
+// simulator, returning per-data-batch time, whether it fits memory, and
+// the simulated cost of the measurement.
+func settingEval(w *workload.Workload, c *cluster.Cluster, stages []workload.Stage, m, n int, memLimit int64, batches int) (timePerBatch float64, fits bool, cost float64, res *pipesim.Result, err error) {
+	cfg := AFPConfig{Workload: w, Cluster: c, Stages: stages, Micro: m, Pipes: n,
+		MemLimit: memLimit, Batches: batches, RefModel: n > 1}
+	_, r, err := DecideAdvance(cfg)
+	if err != nil {
+		return 0, false, 0, nil, err
+	}
+	return r.BatchTime / float64(n), cfg.fits(r), r.Makespan, r, nil
+}
+
+// ProfilingTune implements the paper's profiling-based tuning method
+// (§5.2): profile one setting for twenty batches, predict every other
+// setting with Eqs. 2–8, and pick the fastest prediction that satisfies
+// the memory constraint. memLimit = 0 uses the GPUs' capacity.
+func ProfilingTune(w *workload.Workload, c *cluster.Cluster, stages []workload.Stage, memLimit int64) (*TuneResult, *Profile, error) {
+	if memLimit <= 0 {
+		memLimit = c.GPUs[0].MemBytes
+	}
+	m0, n0 := DefaultProfileSetting(w)
+	prof, err := ProfileSetting(w, c, stages, m0, n0)
+	if err != nil {
+		return nil, nil, err
+	}
+	best := &TuneResult{Method: "profiling", TuningCost: prof.Cost}
+	type cand struct {
+		m, n int
+		t    float64
+	}
+	var feasible []cand
+	var minMem int64 = -1
+	var minMemM, minMemN int
+	for _, m := range Divisors(w.BatchSize) {
+		for n := 1; n <= w.MaxPipelines; n++ {
+			pred, err := Predict(prof, m, n)
+			if err != nil {
+				return nil, nil, err
+			}
+			pm := pred.PeakMem()
+			if minMem < 0 || pm < minMem {
+				minMem, minMemM, minMemN = pm, m, n
+			}
+			if pm > memLimit {
+				continue
+			}
+			feasible = append(feasible, cand{m, n, pred.TimePerDataBatch()})
+		}
+	}
+	if len(feasible) == 0 {
+		// The budget is below even the leanest configuration (typically
+		// the reference model's irreducible floor); fall back to the
+		// minimum-footprint setting and say so.
+		best.Relaxed = true
+		memLimit = 0 // do not constrain the measurement run
+		feasible = append(feasible, cand{minMemM, minMemN, 0})
+	}
+	// The prediction ranks settings; a short measured validation of the
+	// top few candidates absorbs the model's error at extreme settings.
+	// Cost stays a handful of short runs versus traversal's full sweep.
+	sort.Slice(feasible, func(i, j int) bool { return feasible[i].t < feasible[j].t })
+	const shortlist = 5
+	chosen := false
+	for i, cd := range feasible {
+		if i >= shortlist {
+			break
+		}
+		t, fits, cost, _, err := settingEval(w, c, stages, cd.m, cd.n, memLimit, 2)
+		if err != nil {
+			return nil, prof, err
+		}
+		best.TuningCost += cost
+		if !fits {
+			continue
+		}
+		if !chosen || t < best.TimePerDataBatch {
+			chosen = true
+			best.M, best.N = cd.m, cd.n
+			best.TimePerDataBatch = t
+		}
+	}
+	if !chosen {
+		return nil, prof, fmt.Errorf("core: no shortlisted setting was feasible")
+	}
+	return best, prof, nil
+}
+
+// TraversalTune tries every setting of the parallelism degrees with a
+// short measured run each — the exhaustive baseline of §7.3 whose cost
+// the profiling method avoids. trialBatches batches are simulated per
+// setting (the paper uses "a small number of batches (e.g., ten)").
+func TraversalTune(w *workload.Workload, c *cluster.Cluster, stages []workload.Stage, memLimit int64, trialBatches int) (*TuneResult, error) {
+	if memLimit <= 0 {
+		memLimit = c.GPUs[0].MemBytes
+	}
+	if trialBatches <= 0 {
+		trialBatches = 10
+	}
+	best := &TuneResult{Method: "traversal"}
+	found := false
+	for _, m := range Divisors(w.BatchSize) {
+		for n := 1; n <= w.MaxPipelines; n++ {
+			t, fits, cost, _, err := settingEval(w, c, stages, m, n, memLimit, trialBatches)
+			if err != nil {
+				return nil, err
+			}
+			best.TuningCost += cost
+			if !fits {
+				continue
+			}
+			if !found || t < best.TimePerDataBatch {
+				found = true
+				best.M, best.N = m, n
+				best.TimePerDataBatch = t
+			}
+		}
+	}
+	if !found {
+		return nil, fmt.Errorf("core: traversal found no feasible setting")
+	}
+	return best, nil
+}
+
+// GuidelineTune implements the two naive guidelines of §7.3:
+// "max-num" maximizes the micro-batch count (micro-batch size 1) and then
+// the pipeline count under memory; "max-size" maximizes the micro-batch
+// size (M = 1) and then the pipeline count.
+func GuidelineTune(w *workload.Workload, c *cluster.Cluster, stages []workload.Stage, memLimit int64, maxSize bool) (*TuneResult, error) {
+	if memLimit <= 0 {
+		memLimit = c.GPUs[0].MemBytes
+	}
+	m := w.BatchSize
+	name := "max-num"
+	if maxSize {
+		m = 1
+		name = "max-size"
+	}
+	best := &TuneResult{Method: name, M: m, N: 1}
+	found := false
+	for n := w.MaxPipelines; n >= 1; n-- {
+		t, fits, cost, _, err := settingEval(w, c, stages, m, n, memLimit, 2)
+		if err != nil {
+			return nil, err
+		}
+		best.TuningCost += cost
+		if fits {
+			best.N = n
+			best.TimePerDataBatch = t
+			found = true
+			break
+		}
+	}
+	if !found {
+		return nil, fmt.Errorf("core: guideline %s found no feasible pipeline count", name)
+	}
+	return best, nil
+}

@@ -1,0 +1,199 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"avgpipe/internal/workload"
+)
+
+func gnmtFixture() (*workload.Workload, []workload.Stage) {
+	w := workload.GNMT()
+	c := w.Cluster()
+	stages := Partition(w, c.Size(), 0)
+	return w, stages
+}
+
+func TestProfileSettingShape(t *testing.T) {
+	w, stages := gnmtFixture()
+	c := w.Cluster()
+	m, n := DefaultProfileSetting(w)
+	if w.BatchSize%m != 0 || n != 1 {
+		t.Fatalf("default profile setting (%d,%d) not a divisor of %d", m, n, w.BatchSize)
+	}
+	if b := w.BatchSize / m; b < 2 || b > 64 {
+		t.Fatalf("profile micro-batch size %d should be moderate (unsaturated but not degenerate)", b)
+	}
+	p, err := ProfileSetting(w, c, stages, m, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.PerGPU) != c.Size() || p.BatchTime <= 0 || p.Cost <= 0 {
+		t.Fatalf("malformed profile %+v", p)
+	}
+	for s, g := range p.PerGPU {
+		if g.TGpu <= 0 || g.Util <= 0 || g.Util >= 1 {
+			t.Fatalf("stage %d: profile must be unsaturated, util=%v", s, g.Util)
+		}
+		if g.FMod <= 0 || g.FDat <= 0 {
+			t.Fatalf("stage %d: memory split missing", s)
+		}
+	}
+	// Interior stages must see communication on both sides.
+	if p.PerGPU[2].Comm <= 0 {
+		t.Fatal("interior stage must record communication")
+	}
+}
+
+func TestPredictIdentityAtProfilePoint(t *testing.T) {
+	w, stages := gnmtFixture()
+	c := w.Cluster()
+	p, err := ProfileSetting(w, c, stages, w.BatchSize, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pred, err := Predict(p, p.M, p.N)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s, g := range pred.PerGPU {
+		// At the profiled point, Eq. 2 must return the measured T_gpu
+		// and Eq. 8 the measured memory, exactly.
+		if math.Abs(g.TGpu-p.PerGPU[s].TGpu) > 1e-12 {
+			t.Fatalf("stage %d: TGpu %v != profiled %v", s, g.TGpu, p.PerGPU[s].TGpu)
+		}
+		if g.Mem != p.PerGPU[s].FMod+p.PerGPU[s].FDat {
+			t.Fatalf("stage %d: memory identity broken", s)
+		}
+	}
+	// The prediction includes bubbles, so it can exceed the busy time
+	// but must stay the same order as the measured batch time.
+	if pred.BatchTime < p.BatchTime/3 || pred.BatchTime > p.BatchTime*3 {
+		t.Fatalf("prediction %v far from measurement %v", pred.BatchTime, p.BatchTime)
+	}
+}
+
+func TestPredictScalingDirections(t *testing.T) {
+	w, stages := gnmtFixture()
+	c := w.Cluster()
+	p, err := ProfileSetting(w, c, stages, w.BatchSize, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, _ := Predict(p, 64, 1)
+	// More pipelines: memory grows, per-data-batch time shrinks (GPUs
+	// were unsaturated).
+	multi, _ := Predict(p, 64, 2)
+	if multi.PeakMem() <= base.PeakMem() {
+		t.Fatal("more pipelines must predict more memory")
+	}
+	if multi.TimePerDataBatch() >= base.TimePerDataBatch() {
+		t.Fatalf("unsaturated GPUs: 2 pipelines should amortize better (%v vs %v)",
+			multi.TimePerDataBatch(), base.TimePerDataBatch())
+	}
+	// Fewer micro-batches: bubbles grow (Eq. 6–7 terms scale as 1/m*).
+	few, _ := Predict(p, 2, 1)
+	many, _ := Predict(p, 64, 1)
+	if few.PerGPU[0].TBub <= many.PerGPU[0].TBub {
+		t.Fatal("fewer micro-batches must predict larger bubbles")
+	}
+	// Fewer micro-batches also means larger data memory per micro.
+	if few.PeakMem() <= many.PeakMem() {
+		t.Fatal("bigger micro-batches must predict more activation memory")
+	}
+}
+
+func TestPredictRejectsBadInput(t *testing.T) {
+	w, stages := gnmtFixture()
+	p, err := ProfileSetting(w, w.Cluster(), stages, w.BatchSize, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Predict(p, 0, 1); err == nil {
+		t.Fatal("expected error for M=0")
+	}
+	if _, err := Predict(p, 4, -1); err == nil {
+		t.Fatal("expected error for N<0")
+	}
+}
+
+func TestDivisors(t *testing.T) {
+	got := Divisors(12)
+	want := []int{1, 2, 3, 4, 6, 12}
+	if len(got) != len(want) {
+		t.Fatalf("divisors %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("divisors %v", got)
+		}
+	}
+}
+
+func TestProfilingTuneFindsNearOptimal(t *testing.T) {
+	if testing.Short() {
+		t.Skip("traversal is slow")
+	}
+	w := workload.AWD()
+	c := w.Cluster()
+	stages := Partition(w, c.Size(), 0)
+	prof, _, err := ProfilingTune(w, c, stages, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trav, err := TraversalTune(w, c, stages, 0, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// §7.3: the profiling method achieves "the nearly shortest training
+	// time" — allow 1.5x of the traversal optimum.
+	if prof.TimePerDataBatch > 1.5*trav.TimePerDataBatch {
+		t.Fatalf("profiling pick (M=%d,N=%d) %.4fs vs traversal (M=%d,N=%d) %.4fs",
+			prof.M, prof.N, prof.TimePerDataBatch, trav.M, trav.N, trav.TimePerDataBatch)
+	}
+	// And its tuning cost must be far below traversal's.
+	if prof.TuningCost > trav.TuningCost/5 {
+		t.Fatalf("profiling cost %v not ≪ traversal cost %v", prof.TuningCost, trav.TuningCost)
+	}
+}
+
+func TestGuidelineTuners(t *testing.T) {
+	w := workload.AWD()
+	c := w.Cluster()
+	stages := Partition(w, c.Size(), 0)
+	maxNum, err := GuidelineTune(w, c, stages, 0, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if maxNum.M != w.BatchSize {
+		t.Fatalf("max-num must set micro-batch size 1 (M=%d)", maxNum.M)
+	}
+	maxSize, err := GuidelineTune(w, c, stages, 0, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if maxSize.M != 1 {
+		t.Fatalf("max-size must set M=1, got %d", maxSize.M)
+	}
+	if maxNum.N < 1 || maxSize.N < 1 {
+		t.Fatal("guidelines must pick a feasible pipeline count")
+	}
+}
+
+func TestProfilingTuneRespectsMemoryLimit(t *testing.T) {
+	w := workload.BERT()
+	c := w.Cluster()
+	stages := Partition(w, c.Size(), 0)
+	// A tight limit must still produce a feasible (smaller) setting.
+	tight, _, err := ProfilingTune(w, c, stages, 6<<30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loose, _, err := ProfilingTune(w, c, stages, 30<<30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tight.N > loose.N {
+		t.Fatalf("tight memory picked more pipelines (%d) than loose (%d)", tight.N, loose.N)
+	}
+}

@@ -1,0 +1,151 @@
+package data
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"avgpipe/internal/tensor"
+)
+
+// Corpus is a tokenized text stream with a fixed vocabulary, for
+// language-model training on user-provided data (the bring-your-own-PTB
+// path). Tokens are whitespace-separated words; words beyond VocabLimit
+// by frequency map to the <unk> token.
+type Corpus struct {
+	// Vocab maps word → id; id 0 is <unk>.
+	Vocab map[string]int
+	// Words lists id → word.
+	Words []string
+	// IDs is the tokenized corpus.
+	IDs []int
+}
+
+// UnkToken is the id of the out-of-vocabulary token.
+const UnkToken = 0
+
+// ReadCorpus tokenizes r, keeping the vocabLimit−1 most frequent words
+// (plus <unk>). Ties break lexicographically so the vocabulary is
+// deterministic.
+func ReadCorpus(r io.Reader, vocabLimit int) (*Corpus, error) {
+	if vocabLimit < 2 {
+		return nil, fmt.Errorf("data: vocab limit %d too small", vocabLimit)
+	}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	sc.Split(bufio.ScanWords)
+	var words []string
+	freq := map[string]int{}
+	for sc.Scan() {
+		w := strings.ToLower(sc.Text())
+		words = append(words, w)
+		freq[w]++
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("data: reading corpus: %w", err)
+	}
+	if len(words) == 0 {
+		return nil, fmt.Errorf("data: empty corpus")
+	}
+	type wf struct {
+		w string
+		f int
+	}
+	ranked := make([]wf, 0, len(freq))
+	for w, f := range freq {
+		ranked = append(ranked, wf{w, f})
+	}
+	sort.Slice(ranked, func(i, j int) bool {
+		if ranked[i].f != ranked[j].f {
+			return ranked[i].f > ranked[j].f
+		}
+		return ranked[i].w < ranked[j].w
+	})
+	c := &Corpus{Vocab: map[string]int{"<unk>": UnkToken}, Words: []string{"<unk>"}}
+	for _, e := range ranked {
+		if len(c.Words) >= vocabLimit {
+			break
+		}
+		c.Vocab[e.w] = len(c.Words)
+		c.Words = append(c.Words, e.w)
+	}
+	c.IDs = make([]int, len(words))
+	for i, w := range words {
+		if id, ok := c.Vocab[w]; ok {
+			c.IDs[i] = id
+		} else {
+			c.IDs[i] = UnkToken
+		}
+	}
+	return c, nil
+}
+
+// VocabSize returns the vocabulary size including <unk>.
+func (c *Corpus) VocabSize() int { return len(c.Words) }
+
+// CorpusLM is a Generator producing next-token-prediction batches from a
+// Corpus, with a held-out suffix as the evaluation batch.
+type CorpusLM struct {
+	corpus *Corpus
+	SeqLen int
+	rng    *tensor.RNG
+	// trainEnd bounds the sampling region; [trainEnd, len) is held out.
+	trainEnd int
+	eval     *Batch
+}
+
+// NewCorpusLM builds the generator, holding out the final `evalSize`
+// sequences for evaluation. The corpus must be long enough for at least
+// one training and one evaluation window.
+func NewCorpusLM(c *Corpus, seqLen int, seed int64, evalSize int) (*CorpusLM, error) {
+	need := (evalSize + 1) * (seqLen + 1)
+	if len(c.IDs) < need {
+		return nil, fmt.Errorf("data: corpus has %d tokens, need at least %d", len(c.IDs), need)
+	}
+	g := &CorpusLM{
+		corpus: c, SeqLen: seqLen,
+		rng:      tensor.NewRNG(seed),
+		trainEnd: len(c.IDs) - evalSize*(seqLen+1),
+	}
+	g.eval = g.window(g.trainEnd, evalSize)
+	return g, nil
+}
+
+// window cuts `count` consecutive (seqLen+1)-token windows starting at
+// `start` into a time-major batch.
+func (g *CorpusLM) window(start, count int) *Batch {
+	x := tensor.New(g.SeqLen*count, 1)
+	targets := make([]int, g.SeqLen*count)
+	for b := 0; b < count; b++ {
+		off := start + b*(g.SeqLen+1)
+		for t := 0; t < g.SeqLen; t++ {
+			x.Set(float32(g.corpus.IDs[off+t]), t*count+b, 0)
+			targets[t*count+b] = g.corpus.IDs[off+t+1]
+		}
+	}
+	return &Batch{X: x, Targets: targets, Size: count}
+}
+
+// Name implements Generator.
+func (g *CorpusLM) Name() string { return "corpus-lm" }
+
+// NextBatch implements Generator: batchSize random windows from the
+// training region.
+func (g *CorpusLM) NextBatch(batchSize int) *Batch {
+	x := tensor.New(g.SeqLen*batchSize, 1)
+	targets := make([]int, g.SeqLen*batchSize)
+	span := g.trainEnd - g.SeqLen - 1
+	for b := 0; b < batchSize; b++ {
+		off := g.rng.Intn(span)
+		for t := 0; t < g.SeqLen; t++ {
+			x.Set(float32(g.corpus.IDs[off+t]), t*batchSize+b, 0)
+			targets[t*batchSize+b] = g.corpus.IDs[off+t+1]
+		}
+	}
+	return &Batch{X: x, Targets: targets, Size: batchSize}
+}
+
+// EvalBatch implements Generator.
+func (g *CorpusLM) EvalBatch() *Batch { return g.eval }

@@ -1,0 +1,287 @@
+// Package data provides deterministic synthetic dataset generators that
+// stand in for the paper's proprietary-scale corpora (WMT16 for GNMT, QQP
+// for BERT, Penn Treebank for AWD). Each task exposes the same learning
+// signal the statistical-efficiency experiments need — a nontrivial target
+// metric a model reaches after a measurable number of epochs — at a size
+// that trains on a CPU in seconds.
+package data
+
+import (
+	"fmt"
+
+	"avgpipe/internal/tensor"
+)
+
+// Batch is one training batch. X is the model input: token IDs encoded as
+// float32 in time-major layout (seqLen*batch, 1) for sequence tasks, or
+// dense features (batch, dim) for vector tasks. Targets are class indices;
+// their length is seqLen*batch for per-position tasks and batch for
+// per-sequence tasks.
+type Batch struct {
+	X       *tensor.Tensor
+	Targets []int
+	Size    int // number of examples (sequences or vectors)
+}
+
+// Slice cuts the batch into micro-batches of equal example count. For
+// time-major sequence input this slices along the batch axis of every
+// timestep block, preserving the layout invariant within each micro-batch.
+func (b *Batch) Slice(micro int) []*Batch {
+	if micro <= 0 || b.Size%micro != 0 {
+		panic(fmt.Sprintf("data: cannot slice batch of %d examples into %d micro-batches", b.Size, micro))
+	}
+	per := b.Size / micro
+	rows := b.X.Dim(0)
+	if rows%b.Size != 0 {
+		panic("data: batch rows not divisible by example count")
+	}
+	seqLen := rows / b.Size
+	cols := b.X.Dim(1)
+	perTarget := len(b.Targets) / micro
+	out := make([]*Batch, micro)
+	for m := 0; m < micro; m++ {
+		x := tensor.New(seqLen*per, cols)
+		for t := 0; t < seqLen; t++ {
+			srcLo := (t*b.Size + m*per) * cols
+			dstLo := t * per * cols
+			copy(x.Data()[dstLo:dstLo+per*cols], b.X.Data()[srcLo:srcLo+per*cols])
+		}
+		var targets []int
+		if len(b.Targets) == b.Size { // per-sequence targets
+			targets = append([]int(nil), b.Targets[m*per:(m+1)*per]...)
+		} else { // per-position targets, same time-major layout
+			targets = make([]int, seqLen*per)
+			for t := 0; t < seqLen; t++ {
+				copy(targets[t*per:(t+1)*per], b.Targets[t*b.Size+m*per:t*b.Size+(m+1)*per])
+			}
+		}
+		out[m] = &Batch{X: x, Targets: targets, Size: per}
+		_ = perTarget
+	}
+	return out
+}
+
+// Generator produces an endless stream of training batches and a fixed
+// held-out evaluation batch.
+type Generator interface {
+	// NextBatch draws a fresh training batch of the given example count.
+	NextBatch(batchSize int) *Batch
+	// EvalBatch returns the fixed validation batch.
+	EvalBatch() *Batch
+	// Name identifies the task.
+	Name() string
+}
+
+// TranslationTask is the GNMT stand-in: sequence transduction where the
+// model must emit the input sequence reversed. Like translation it demands
+// position-dependent long-range reordering, and a per-position token
+// accuracy plays the role of the BLEU target.
+type TranslationTask struct {
+	Vocab, SeqLen int
+	rng           *tensor.RNG
+	eval          *Batch
+}
+
+// NewTranslationTask builds a reversal task with its own RNG stream.
+func NewTranslationTask(seed int64, vocab, seqLen, evalSize int) *TranslationTask {
+	t := &TranslationTask{Vocab: vocab, SeqLen: seqLen, rng: tensor.NewRNG(seed)}
+	t.eval = t.NextBatch(evalSize)
+	return t
+}
+
+// Name implements Generator.
+func (t *TranslationTask) Name() string { return "translation" }
+
+// NextBatch implements Generator.
+func (t *TranslationTask) NextBatch(batchSize int) *Batch {
+	x := tensor.New(t.SeqLen*batchSize, 1)
+	targets := make([]int, t.SeqLen*batchSize)
+	toks := make([]int, t.SeqLen)
+	for b := 0; b < batchSize; b++ {
+		for i := range toks {
+			toks[i] = t.rng.Intn(t.Vocab)
+		}
+		for pos := 0; pos < t.SeqLen; pos++ {
+			x.Set(float32(toks[pos]), pos*batchSize+b, 0)
+			targets[pos*batchSize+b] = toks[t.SeqLen-1-pos]
+		}
+	}
+	return &Batch{X: x, Targets: targets, Size: batchSize}
+}
+
+// EvalBatch implements Generator.
+func (t *TranslationTask) EvalBatch() *Batch { return t.eval }
+
+// PairClassificationTask is the BERT/QQP stand-in: given two concatenated
+// token sequences, classify whether the second is a (noisy) paraphrase of
+// the first. Binary accuracy plays the role of QQP top-1 accuracy.
+type PairClassificationTask struct {
+	Vocab   int
+	HalfLen int // tokens per sentence; total sequence is 2*HalfLen
+	NoiseP  float64
+	rng     *tensor.RNG
+	eval    *Batch
+}
+
+// NewPairClassificationTask builds the paraphrase task.
+func NewPairClassificationTask(seed int64, vocab, halfLen int, evalSize int) *PairClassificationTask {
+	t := &PairClassificationTask{Vocab: vocab, HalfLen: halfLen, NoiseP: 0.1, rng: tensor.NewRNG(seed)}
+	t.eval = t.NextBatch(evalSize)
+	return t
+}
+
+// Name implements Generator.
+func (t *PairClassificationTask) Name() string { return "pairclassify" }
+
+// SeqLen returns the total concatenated sequence length.
+func (t *PairClassificationTask) SeqLen() int { return 2 * t.HalfLen }
+
+// NextBatch implements Generator.
+func (t *PairClassificationTask) NextBatch(batchSize int) *Batch {
+	seqLen := t.SeqLen()
+	x := tensor.New(seqLen*batchSize, 1)
+	targets := make([]int, batchSize)
+	a := make([]int, t.HalfLen)
+	bb := make([]int, t.HalfLen)
+	for b := 0; b < batchSize; b++ {
+		for i := range a {
+			a[i] = t.rng.Intn(t.Vocab)
+		}
+		label := t.rng.Intn(2)
+		if label == 1 {
+			copy(bb, a)
+			for i := range bb {
+				if t.rng.Float64() < t.NoiseP {
+					bb[i] = t.rng.Intn(t.Vocab)
+				}
+			}
+		} else {
+			for i := range bb {
+				bb[i] = t.rng.Intn(t.Vocab)
+			}
+		}
+		for pos := 0; pos < t.HalfLen; pos++ {
+			x.Set(float32(a[pos]), pos*batchSize+b, 0)
+			x.Set(float32(bb[pos]), (t.HalfLen+pos)*batchSize+b, 0)
+		}
+		targets[b] = label
+	}
+	return &Batch{X: x, Targets: targets, Size: batchSize}
+}
+
+// EvalBatch implements Generator.
+func (t *PairClassificationTask) EvalBatch() *Batch { return t.eval }
+
+// LanguageModelTask is the AWD/PTB stand-in: next-token prediction over
+// text drawn from a fixed random first-order Markov chain. The chain's
+// transition entropy lower-bounds the reachable loss, so "validation loss
+// below target" is a meaningful convergence criterion.
+type LanguageModelTask struct {
+	Vocab, SeqLen int
+	trans         [][]float64 // cumulative transition rows
+	rng           *tensor.RNG
+	eval          *Batch
+}
+
+// NewLanguageModelTask builds the Markov LM task. Each state prefers a
+// small set of successors, giving the chain learnable structure.
+func NewLanguageModelTask(seed int64, vocab, seqLen, evalSize int) *LanguageModelTask {
+	t := &LanguageModelTask{Vocab: vocab, SeqLen: seqLen, rng: tensor.NewRNG(seed)}
+	t.trans = make([][]float64, vocab)
+	for s := 0; s < vocab; s++ {
+		row := make([]float64, vocab)
+		var sum float64
+		for j := 0; j < vocab; j++ {
+			w := 0.05
+			// Three preferred successors per state.
+			if j == (s+1)%vocab || j == (s*3+1)%vocab || j == (s*7+2)%vocab {
+				w = 1
+			}
+			row[j] = w
+			sum += w
+		}
+		cum := 0.0
+		for j := 0; j < vocab; j++ {
+			cum += row[j] / sum
+			row[j] = cum
+		}
+		t.trans[s] = row
+	}
+	t.eval = t.NextBatch(evalSize)
+	return t
+}
+
+// Name implements Generator.
+func (t *LanguageModelTask) Name() string { return "langmodel" }
+
+func (t *LanguageModelTask) step(s int) int {
+	u := t.rng.Float64()
+	row := t.trans[s]
+	for j, c := range row {
+		if u <= c {
+			return j
+		}
+	}
+	return len(row) - 1
+}
+
+// NextBatch implements Generator: inputs are tokens 0..T-1 of each chain
+// sample, targets are tokens 1..T.
+func (t *LanguageModelTask) NextBatch(batchSize int) *Batch {
+	x := tensor.New(t.SeqLen*batchSize, 1)
+	targets := make([]int, t.SeqLen*batchSize)
+	for b := 0; b < batchSize; b++ {
+		s := t.rng.Intn(t.Vocab)
+		for pos := 0; pos < t.SeqLen; pos++ {
+			x.Set(float32(s), pos*batchSize+b, 0)
+			s = t.step(s)
+			targets[pos*batchSize+b] = s
+		}
+	}
+	return &Batch{X: x, Targets: targets, Size: batchSize}
+}
+
+// EvalBatch implements Generator.
+func (t *LanguageModelTask) EvalBatch() *Batch { return t.eval }
+
+// ClusterTask is a dense-feature classification task (Gaussian clusters),
+// used by the quickstart example and MLP integration tests.
+type ClusterTask struct {
+	Dim, Classes int
+	centers      *tensor.Tensor
+	rng          *tensor.RNG
+	eval         *Batch
+}
+
+// NewClusterTask builds a well-separated Gaussian mixture. The cluster
+// centers are intrinsic to the task (fixed regardless of seed) so that
+// generators with different stream seeds — training streams of parallel
+// pipelines, held-out evaluation streams — all describe the same
+// classification problem; seed only drives the sampling.
+func NewClusterTask(seed int64, dim, classes, evalSize int) *ClusterTask {
+	centerRNG := tensor.NewRNG(int64(dim)*1_000_003 + int64(classes))
+	t := &ClusterTask{Dim: dim, Classes: classes, rng: tensor.NewRNG(seed),
+		centers: centerRNG.Normal(0, 3, classes, dim)}
+	t.eval = t.NextBatch(evalSize)
+	return t
+}
+
+// Name implements Generator.
+func (t *ClusterTask) Name() string { return "clusters" }
+
+// NextBatch implements Generator.
+func (t *ClusterTask) NextBatch(batchSize int) *Batch {
+	x := tensor.New(batchSize, t.Dim)
+	targets := make([]int, batchSize)
+	for b := 0; b < batchSize; b++ {
+		c := t.rng.Intn(t.Classes)
+		targets[b] = c
+		for j := 0; j < t.Dim; j++ {
+			x.Set(t.centers.At(c, j)+float32(0.5*t.rng.Float64()*2-0.5), b, j)
+		}
+	}
+	return &Batch{X: x, Targets: targets, Size: batchSize}
+}
+
+// EvalBatch implements Generator.
+func (t *ClusterTask) EvalBatch() *Batch { return t.eval }

@@ -1,0 +1,191 @@
+package data
+
+import (
+	"testing"
+)
+
+func TestTranslationTaskShapes(t *testing.T) {
+	task := NewTranslationTask(1, 10, 5, 8)
+	b := task.NextBatch(4)
+	if b.X.Dim(0) != 20 || b.X.Dim(1) != 1 {
+		t.Fatalf("X shape %v", b.X.Shape())
+	}
+	if len(b.Targets) != 20 || b.Size != 4 {
+		t.Fatalf("targets %d size %d", len(b.Targets), b.Size)
+	}
+	// Target must be the reversed input per batch element.
+	for bi := 0; bi < 4; bi++ {
+		for pos := 0; pos < 5; pos++ {
+			in := int(b.X.At(pos*4+bi, 0))
+			out := b.Targets[(5-1-pos)*4+bi]
+			if in != out {
+				t.Fatalf("batch %d pos %d: target not reversed input", bi, pos)
+			}
+		}
+	}
+	if e := task.EvalBatch(); e.Size != 8 {
+		t.Fatal("eval batch size")
+	}
+}
+
+func TestTranslationTokensInVocab(t *testing.T) {
+	task := NewTranslationTask(2, 7, 6, 4)
+	b := task.NextBatch(16)
+	for _, v := range b.X.Data() {
+		if v < 0 || int(v) >= 7 {
+			t.Fatalf("token %v out of vocab", v)
+		}
+	}
+	for _, tg := range b.Targets {
+		if tg < 0 || tg >= 7 {
+			t.Fatalf("target %d out of vocab", tg)
+		}
+	}
+}
+
+func TestPairClassificationTask(t *testing.T) {
+	task := NewPairClassificationTask(3, 12, 4, 8)
+	b := task.NextBatch(64)
+	if b.X.Dim(0) != 8*64 {
+		t.Fatalf("X rows %d, want %d", b.X.Dim(0), 8*64)
+	}
+	if len(b.Targets) != 64 {
+		t.Fatalf("per-sequence targets, got %d", len(b.Targets))
+	}
+	// Label balance should be roughly even.
+	ones := 0
+	for _, l := range b.Targets {
+		if l != 0 && l != 1 {
+			t.Fatalf("label %d not binary", l)
+		}
+		ones += l
+	}
+	if ones < 16 || ones > 48 {
+		t.Fatalf("label balance off: %d/64 positives", ones)
+	}
+	// Positive pairs must be near-copies: count matching positions.
+	for bi := 0; bi < 64; bi++ {
+		if b.Targets[bi] != 1 {
+			continue
+		}
+		match := 0
+		for pos := 0; pos < 4; pos++ {
+			a := b.X.At(pos*64+bi, 0)
+			bb := b.X.At((4+pos)*64+bi, 0)
+			if a == bb {
+				match++
+			}
+		}
+		if match < 2 {
+			t.Fatalf("positive pair %d shares only %d/4 tokens", bi, match)
+		}
+	}
+}
+
+func TestLanguageModelTaskStructure(t *testing.T) {
+	task := NewLanguageModelTask(4, 16, 10, 8)
+	b := task.NextBatch(8)
+	if b.X.Dim(0) != 80 || len(b.Targets) != 80 {
+		t.Fatal("shapes")
+	}
+	// Targets at pos p must equal inputs at pos p+1 (same chain sample).
+	for bi := 0; bi < 8; bi++ {
+		for pos := 0; pos < 9; pos++ {
+			if b.Targets[pos*8+bi] != int(b.X.At((pos+1)*8+bi, 0)) {
+				t.Fatalf("LM target misaligned at b=%d pos=%d", bi, pos)
+			}
+		}
+	}
+	// The chain is biased: preferred successors should dominate.
+	preferred, total := 0, 0
+	big := task.NextBatch(64)
+	for bi := 0; bi < 64; bi++ {
+		for pos := 0; pos < 10; pos++ {
+			s := int(big.X.At(pos*64+bi, 0))
+			nxt := big.Targets[pos*64+bi]
+			total++
+			if nxt == (s+1)%16 || nxt == (s*3+1)%16 || nxt == (s*7+2)%16 {
+				preferred++
+			}
+		}
+	}
+	if frac := float64(preferred) / float64(total); frac < 0.5 {
+		t.Fatalf("chain structure too weak to learn: preferred frac %v", frac)
+	}
+}
+
+func TestClusterTask(t *testing.T) {
+	task := NewClusterTask(5, 4, 3, 16)
+	b := task.NextBatch(32)
+	if b.X.Dim(0) != 32 || b.X.Dim(1) != 4 || len(b.Targets) != 32 {
+		t.Fatal("shapes")
+	}
+	for _, l := range b.Targets {
+		if l < 0 || l >= 3 {
+			t.Fatalf("label %d", l)
+		}
+	}
+}
+
+func TestBatchSlicePerPosition(t *testing.T) {
+	task := NewTranslationTask(6, 10, 3, 4)
+	b := task.NextBatch(8)
+	micros := b.Slice(4)
+	if len(micros) != 4 {
+		t.Fatal("micro count")
+	}
+	for m, mb := range micros {
+		if mb.Size != 2 || mb.X.Dim(0) != 6 || len(mb.Targets) != 6 {
+			t.Fatalf("micro %d shapes: size=%d rows=%d targets=%d", m, mb.Size, mb.X.Dim(0), len(mb.Targets))
+		}
+		// Each row of the micro-batch must match the original batch at the
+		// corresponding (t, b) coordinate.
+		for pos := 0; pos < 3; pos++ {
+			for bi := 0; bi < 2; bi++ {
+				orig := b.X.At(pos*8+m*2+bi, 0)
+				got := mb.X.At(pos*2+bi, 0)
+				if orig != got {
+					t.Fatalf("micro %d pos %d b %d: %v != %v", m, pos, bi, got, orig)
+				}
+				if b.Targets[pos*8+m*2+bi] != mb.Targets[pos*2+bi] {
+					t.Fatalf("micro %d target misaligned", m)
+				}
+			}
+		}
+	}
+}
+
+func TestBatchSlicePerSequence(t *testing.T) {
+	task := NewPairClassificationTask(7, 10, 3, 4)
+	b := task.NextBatch(6)
+	micros := b.Slice(3)
+	for m, mb := range micros {
+		if len(mb.Targets) != 2 {
+			t.Fatalf("micro %d targets %d", m, len(mb.Targets))
+		}
+		for bi := 0; bi < 2; bi++ {
+			if mb.Targets[bi] != b.Targets[m*2+bi] {
+				t.Fatal("per-sequence targets misaligned")
+			}
+		}
+	}
+}
+
+func TestBatchSliceRejectsUneven(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewClusterTask(8, 2, 2, 4).NextBatch(5).Slice(2)
+}
+
+func TestGeneratorsDeterministic(t *testing.T) {
+	a := NewLanguageModelTask(42, 8, 5, 4).NextBatch(4)
+	b := NewLanguageModelTask(42, 8, 5, 4).NextBatch(4)
+	for i := range a.X.Data() {
+		if a.X.Data()[i] != b.X.Data()[i] {
+			t.Fatal("same seed must reproduce the stream")
+		}
+	}
+}

@@ -1,0 +1,130 @@
+// Package device models a GPU for the discrete-event pipeline simulator.
+//
+// The paper's performance results rest on three device-level mechanisms:
+// (1) kernel efficiency rises with arithmetic intensity, so small
+// micro-batches under-utilize the GPU (§2 "Low Peak Utilization");
+// (2) GPU memory is a hard capacity that weights, optimizer state,
+// weight versions, and stashed activations compete for; and
+// (3) compute throughput is otherwise flat. The GPU type captures exactly
+// those three properties.
+package device
+
+import (
+	"fmt"
+	"time"
+)
+
+// GPU describes one accelerator.
+type GPU struct {
+	// Name labels the device in reports.
+	Name string
+	// PeakFLOPs is the sustained peak throughput in FLOP/s at full
+	// efficiency.
+	PeakFLOPs float64
+	// SatSamples is the half-saturation point of the kernel-efficiency
+	// curve, in concurrent samples: running s samples at once achieves
+	// Efficiency(s) = s/(s+SatSamples) of peak. It is workload-relative
+	// (a "sample" of BERT is far more work than one of AWD), so each
+	// workload carries its own value.
+	SatSamples float64
+	// MemBytes is the memory capacity.
+	MemBytes int64
+}
+
+// V100 returns the paper testbed's Tesla V100-SXM2 32 GB profile.
+// PeakFLOPs is the *sustained* fp32 throughput on the paper's RNN and
+// attention kernels (far below the 15.7 TFLOP/s theoretical peak, which
+// GEMM-bound kernels only approach at large tile sizes). SatSamples is
+// calibrated per workload; the value here is a default.
+func V100() GPU {
+	return GPU{
+		Name:       "V100-SXM2-32GB",
+		PeakFLOPs:  8e12,
+		SatSamples: 8,
+		MemBytes:   32 << 30,
+	}
+}
+
+// Efficiency returns the fraction of peak achieved when s samples are
+// processed concurrently. It is strictly increasing and saturates at 1,
+// which is what makes "more parallel pipelines" and "bigger micro-batches"
+// raise peak utilization with diminishing returns (§5.1).
+func (g GPU) Efficiency(s float64) float64 {
+	if s <= 0 {
+		return 0
+	}
+	return s / (s + g.SatSamples)
+}
+
+// ComputeTime returns the wall-clock duration of a kernel doing the given
+// FLOPs for one pipeline, when `concurrent` symmetric pipelines each run
+// `samples` samples at once. The pipelines time-share the device: the
+// combined workload runs at Efficiency(concurrent*samples) of peak, and
+// each pipeline gets a 1/concurrent share.
+func (g GPU) ComputeTime(flops float64, samples int, concurrent int) time.Duration {
+	if flops <= 0 {
+		return 0
+	}
+	eff := g.Efficiency(float64(concurrent) * float64(samples))
+	sec := float64(concurrent) * flops / (g.PeakFLOPs * eff)
+	return time.Duration(sec * float64(time.Second))
+}
+
+// MemoryBreakdown itemizes one GPU's footprint during training. All
+// quantities are bytes.
+type MemoryBreakdown struct {
+	// Weights is parameter storage for all resident model replicas and
+	// weight versions.
+	Weights int64
+	// OptimizerState is per-parameter optimizer state (e.g. Adam moments).
+	OptimizerState int64
+	// Gradients is gradient accumulation buffers.
+	Gradients int64
+	// Activations is the peak stash of forward activations held for
+	// pending backward passes.
+	Activations int64
+	// Buffers is communication and workspace overhead.
+	Buffers int64
+}
+
+// Total returns the summed footprint.
+func (m MemoryBreakdown) Total() int64 {
+	return m.Weights + m.OptimizerState + m.Gradients + m.Activations + m.Buffers
+}
+
+// ModelBytes returns the model-proportional portion (the F_mod of §5.2.3):
+// weights + optimizer state + gradients.
+func (m MemoryBreakdown) ModelBytes() int64 {
+	return m.Weights + m.OptimizerState + m.Gradients
+}
+
+// DataBytes returns the data-proportional portion (the F_dat of §5.2.3):
+// activations + buffers.
+func (m MemoryBreakdown) DataBytes() int64 {
+	return m.Activations + m.Buffers
+}
+
+// Fits reports whether the breakdown fits in the GPU's memory.
+func (g GPU) Fits(m MemoryBreakdown) bool { return m.Total() <= g.MemBytes }
+
+// OOMError reports a memory-capacity violation, the failure PipeDream
+// hits on the BERT workload in the paper (§7.1.1).
+type OOMError struct {
+	Device   string
+	Need     int64
+	Capacity int64
+}
+
+// Error implements error.
+func (e *OOMError) Error() string {
+	return fmt.Sprintf("device %s: out of memory: need %.1f GB, capacity %.1f GB",
+		e.Device, float64(e.Need)/float64(1<<30), float64(e.Capacity)/float64(1<<30))
+}
+
+// CheckFit returns an OOMError if the breakdown exceeds capacity.
+func (g GPU) CheckFit(m MemoryBreakdown) error {
+	if g.Fits(m) {
+		return nil
+	}
+	return &OOMError{Device: g.Name, Need: m.Total(), Capacity: g.MemBytes}
+}

@@ -1,0 +1,87 @@
+package device
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"time"
+)
+
+func TestEfficiencyCurve(t *testing.T) {
+	g := GPU{SatSamples: 8}
+	if g.Efficiency(0) != 0 || g.Efficiency(-1) != 0 {
+		t.Fatal("non-positive samples must give zero efficiency")
+	}
+	if got := g.Efficiency(8); math.Abs(got-0.5) > 1e-12 {
+		t.Fatalf("half-saturation point: %v", got)
+	}
+	// Strictly increasing, saturating below 1.
+	prev := 0.0
+	for s := 1.0; s < 1e4; s *= 2 {
+		e := g.Efficiency(s)
+		if e <= prev || e >= 1 {
+			t.Fatalf("efficiency not increasing/saturating at %v: %v", s, e)
+		}
+		prev = e
+	}
+}
+
+func TestComputeTime(t *testing.T) {
+	g := GPU{PeakFLOPs: 1e12, SatSamples: 0} // eff ≡ 1
+	if got := g.ComputeTime(1e9, 4, 1); got != time.Millisecond {
+		t.Fatalf("1 GFLOP at 1 TFLOP/s = %v, want 1ms", got)
+	}
+	if g.ComputeTime(0, 4, 1) != 0 {
+		t.Fatal("zero FLOPs must take zero time")
+	}
+	// With saturating kernels, co-running pipelines cost less than a
+	// proportional slowdown: eff(2b) > eff(b).
+	g.SatSamples = 8
+	one := g.ComputeTime(1e9, 4, 1)
+	two := g.ComputeTime(1e9, 4, 2)
+	if two >= 2*one {
+		t.Fatalf("2 pipelines must be sublinear: %v vs 2x %v", two, one)
+	}
+	if two <= one {
+		t.Fatal("sharing is not free")
+	}
+}
+
+func TestMemoryBreakdown(t *testing.T) {
+	m := MemoryBreakdown{Weights: 10, OptimizerState: 20, Gradients: 5, Activations: 7, Buffers: 3}
+	if m.Total() != 45 {
+		t.Fatalf("Total %d", m.Total())
+	}
+	if m.ModelBytes() != 35 || m.DataBytes() != 10 {
+		t.Fatal("model/data split")
+	}
+}
+
+func TestFitsAndOOM(t *testing.T) {
+	g := GPU{Name: "x", MemBytes: 100}
+	ok := MemoryBreakdown{Weights: 100}
+	if !g.Fits(ok) || g.CheckFit(ok) != nil {
+		t.Fatal("exact fit must pass")
+	}
+	bad := MemoryBreakdown{Weights: 101}
+	err := g.CheckFit(bad)
+	if err == nil {
+		t.Fatal("expected OOM")
+	}
+	var oom *OOMError
+	if !errors.As(err, &oom) || oom.Device != "x" || oom.Need != 101 {
+		t.Fatalf("OOM error malformed: %v", err)
+	}
+}
+
+func TestV100Profile(t *testing.T) {
+	g := V100()
+	if g.MemBytes != 32<<30 {
+		t.Fatal("V100 is the 32 GB part")
+	}
+	// Sustained fp32 throughput on RNN/attention kernels, well below the
+	// 15.7 TFLOP/s GEMM peak.
+	if g.PeakFLOPs < 5e11 || g.PeakFLOPs > 1.6e13 {
+		t.Fatal("V100 sustained throughput implausible")
+	}
+}

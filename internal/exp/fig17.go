@@ -1,0 +1,146 @@
+package exp
+
+import (
+	"fmt"
+
+	"avgpipe/internal/core"
+	"avgpipe/internal/pipesim"
+	"avgpipe/internal/sched"
+	"avgpipe/internal/workload"
+)
+
+// ScheduleAblation evaluates AFAB, 1F1B, and 1F1B+advance-forward-
+// propagation at a fixed parallelism setting on one workload (§7.2).
+type ScheduleAblation struct {
+	Workload string
+	M, N     int
+	// Entries are ordered AFAB, 1F1B, AFP.
+	Entries []ScheduleEntry
+	// PerGPUMem[schedule][gpu] is the per-GPU footprint (Fig. 17c).
+	PerGPUMem map[string][]int64
+	Advance   []int
+}
+
+// ScheduleEntry is one schedule's measurements.
+type ScheduleEntry struct {
+	Schedule  string
+	BatchTime float64
+	// LastGPUIdle is the idle time (bubbles + communication stalls) of
+	// the last GPU per batch (the hatched bars of Fig. 17a).
+	LastGPUIdle float64
+	TotalMem    int64
+	PeakMem     int64
+}
+
+// RunScheduleAblation measures the three schedules at the given degrees.
+func RunScheduleAblation(s *Setup, m, n int) *ScheduleAblation {
+	k := s.C.Size()
+	ab := &ScheduleAblation{Workload: s.W.Name, M: m, N: n, PerGPUMem: map[string][]int64{}}
+	simulate := func(name string, schedule *sched.Schedule) *pipesim.Result {
+		r, err := pipesim.Run(pipesim.Config{
+			Workload: s.W, Cluster: s.C, Stages: s.Stages,
+			Micro: m, Pipelines: n, Schedule: schedule, Batches: 4, RefModel: n > 1,
+		})
+		if err != nil {
+			panic(fmt.Sprintf("exp: schedule ablation %s: %v", name, err))
+		}
+		return r
+	}
+	record := func(name string, r *pipesim.Result) {
+		last := r.PerGPU[len(r.PerGPU)-1]
+		var total int64
+		mems := make([]int64, len(r.PerGPU))
+		for i, g := range r.PerGPU {
+			total += g.Memory.Total()
+			mems[i] = g.Memory.Total()
+		}
+		ab.PerGPUMem[name] = mems
+		ab.Entries = append(ab.Entries, ScheduleEntry{
+			Schedule:    name,
+			BatchTime:   r.BatchTime,
+			LastGPUIdle: last.IdleTime() / float64(4),
+			TotalMem:    total,
+			PeakMem:     r.PeakMemory(),
+		})
+	}
+	record("AFAB", simulate("AFAB", sched.AFAB(k, m, 4)))
+	record("1F1B", simulate("1F1B", sched.OneFOneB(k, m, 4)))
+	adv, afpRes, err := core.DecideAdvance(core.AFPConfig{
+		Workload: s.W, Cluster: s.C, Stages: s.Stages,
+		Micro: m, Pipes: n, Batches: 4, RefModel: n > 1,
+	})
+	if err != nil {
+		panic(err)
+	}
+	ab.Advance = adv
+	record("1F1B+AFP", afpRes)
+	return ab
+}
+
+// ablationSetting returns the (M, N) the schedule ablation uses per
+// workload: AvgPipe's tuned micro-batch count, with a single pipeline.
+// N = 1 isolates the schedule effect: with several parallel pipelines the
+// other pipelines' compute fills a stalled pipeline's communication gaps
+// (the overlap AvgPipe exploits), which would mask exactly the AFAB/1F1B
+// difference this ablation measures.
+func ablationSetting(s *Setup) (int, int) {
+	tune, _, err := core.ProfilingTune(s.W, s.C, s.Stages, 0)
+	if err != nil {
+		panic(err)
+	}
+	return tune.M, 1
+}
+
+// Fig17a reproduces the schedule training-time comparison with last-GPU
+// idle time.
+func Fig17a(w *workload.Workload) *Table {
+	s := NewSetup(w)
+	m, n := ablationSetting(s)
+	ab := RunScheduleAblation(s, m, n)
+	t := &Table{
+		Title:  fmt.Sprintf("Figure 17(a): Schedule Training Time — %s (M=%d, N=%d)", w.Name, m, n),
+		Header: []string{"schedule", "s/batch", "last-GPU idle (s)", "vs 1F1B"},
+	}
+	base := ab.Entries[1].BatchTime
+	for _, e := range ab.Entries {
+		t.AddRow(e.Schedule, f3(e.BatchTime), f3(e.LastGPUIdle), fmt.Sprintf("%.2fx", base/e.BatchTime))
+	}
+	t.Remarks = append(t.Remarks, fmt.Sprintf("AFP advance vector: %v", ab.Advance))
+	return t
+}
+
+// Fig17b reproduces the schedule memory comparison.
+func Fig17b(w *workload.Workload) *Table {
+	s := NewSetup(w)
+	m, n := ablationSetting(s)
+	ab := RunScheduleAblation(s, m, n)
+	t := &Table{
+		Title:  fmt.Sprintf("Figure 17(b): Schedule Memory Footprints — %s (M=%d, N=%d)", w.Name, m, n),
+		Header: []string{"schedule", "total(GB)", "peak/GPU(GB)", "vs 1F1B"},
+	}
+	base := ab.Entries[1].TotalMem
+	for _, e := range ab.Entries {
+		t.AddRow(e.Schedule, f2(GB(e.TotalMem)), f2(GB(e.PeakMem)),
+			fmt.Sprintf("%+.1f%%", 100*(float64(e.TotalMem)/float64(base)-1)))
+	}
+	return t
+}
+
+// Fig17c reproduces the per-GPU memory breakdown for BERT.
+func Fig17c() *Table {
+	s := NewSetup(bert())
+	m, n := ablationSetting(s)
+	ab := RunScheduleAblation(s, m, n)
+	t := &Table{
+		Title:  fmt.Sprintf("Figure 17(c): Memory Footprint per GPU — BERT (M=%d, N=%d)", m, n),
+		Header: []string{"GPU", "AFAB(GB)", "1F1B(GB)", "AFP(GB)", "AFP vs AFAB"},
+	}
+	for g := 0; g < s.C.Size(); g++ {
+		afab := ab.PerGPUMem["AFAB"][g]
+		ofob := ab.PerGPUMem["1F1B"][g]
+		afp := ab.PerGPUMem["1F1B+AFP"][g]
+		t.AddRow(fmt.Sprint(g+1), f2(GB(afab)), f2(GB(ofob)), f2(GB(afp)),
+			fmt.Sprintf("%+.1f%%", 100*(float64(afp)/float64(afab)-1)))
+	}
+	return t
+}

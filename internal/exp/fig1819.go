@@ -1,0 +1,124 @@
+package exp
+
+import (
+	"fmt"
+
+	"avgpipe/internal/core"
+	"avgpipe/internal/workload"
+)
+
+// TuningComparison holds the four tuning methods' outcomes on one
+// workload (Figs. 18 and 19).
+type TuningComparison struct {
+	Workload string
+	Results  []*core.TuneResult
+}
+
+// RunTuning compares the traversal, max-num, max-size, and profiling
+// tuning methods on one workload.
+func RunTuning(w *workload.Workload) *TuningComparison {
+	s := NewSetup(w)
+	tc := &TuningComparison{Workload: w.Name}
+	trav, err := core.TraversalTune(s.W, s.C, s.Stages, 0, 10)
+	if err != nil {
+		panic(err)
+	}
+	tc.Results = append(tc.Results, trav)
+	maxNum, err := core.GuidelineTune(s.W, s.C, s.Stages, 0, false)
+	if err != nil {
+		panic(err)
+	}
+	tc.Results = append(tc.Results, maxNum)
+	maxSize, err := core.GuidelineTune(s.W, s.C, s.Stages, 0, true)
+	if err != nil {
+		panic(err)
+	}
+	tc.Results = append(tc.Results, maxSize)
+	prof, _, err := core.ProfilingTune(s.W, s.C, s.Stages, 0)
+	if err != nil {
+		panic(err)
+	}
+	tc.Results = append(tc.Results, prof)
+	return tc
+}
+
+// Fig18 reproduces the tuning-cost comparison: traversal tries every
+// setting (hours of cluster time); the profiling method runs twenty
+// batches once (minutes).
+func Fig18(w *workload.Workload) *Table {
+	tc := RunTuning(w)
+	t := &Table{
+		Title:  fmt.Sprintf("Figure 18: Tuning Cost — %s", tc.Workload),
+		Header: []string{"method", "tuning cost (min)", "vs profiling"},
+	}
+	var profCost float64
+	for _, r := range tc.Results {
+		if r.Method == "profiling" {
+			profCost = r.TuningCost
+		}
+	}
+	for _, r := range tc.Results {
+		ratio := "-"
+		if profCost > 0 {
+			ratio = fmt.Sprintf("%.1fx", r.TuningCost/profCost)
+		}
+		t.AddRow(r.Method, f2(r.TuningCost/60), ratio)
+	}
+	t.Remarks = append(t.Remarks, "cost is simulated cluster time spent measuring candidate settings")
+	return t
+}
+
+// Fig19 reproduces the tuning-result comparison: training time per data
+// batch at each method's chosen parallelism degrees.
+func Fig19(w *workload.Workload) *Table {
+	tc := RunTuning(w)
+	t := &Table{
+		Title:  fmt.Sprintf("Figure 19: Tuning Result — %s", tc.Workload),
+		Header: []string{"method", "M", "N", "s/batch", "vs best"},
+	}
+	best := tc.Results[0].TimePerDataBatch // traversal tries everything
+	for _, r := range tc.Results {
+		if r.TimePerDataBatch < best {
+			best = r.TimePerDataBatch
+		}
+	}
+	for _, r := range tc.Results {
+		t.AddRow(r.Method, fmt.Sprint(r.M), fmt.Sprint(r.N),
+			f3(r.TimePerDataBatch), fmt.Sprintf("%.2fx", r.TimePerDataBatch/best))
+	}
+	return t
+}
+
+// Fig07 reproduces the didactic schedule-anatomy comparison of Fig. 7:
+// one batch of M=4 micro-batches on K=2 GPUs under AFAB, 1F1B, and AFP
+// with one advance forward.
+func Fig07() *Table {
+	ls := []workload.LayerCost{
+		{Name: "a", FwdFLOPs: 1e9, BwdFLOPs: 2e9, ParamBytes: 4 << 20, OutActBytes: 128 << 10, StashBytes: 256 << 10},
+		{Name: "b", FwdFLOPs: 1e9, BwdFLOPs: 2e9, ParamBytes: 4 << 20, OutActBytes: 128 << 10, StashBytes: 256 << 10},
+	}
+	w := &workload.Workload{Name: "didactic", Layers: ls, BatchSize: 4,
+		SatSamples: 0, OptimStateFactor: 1, MaxPipelines: 1,
+		Cluster: nil,
+	}
+	_ = w
+	// Reuse the schedule-ablation machinery over a 2-GPU slow-link
+	// cluster built inline.
+	s := &Setup{W: w}
+	s.C = twoGPUSlowCluster()
+	s.Stages = []workload.Stage{w.MakeStage(0, 0), w.MakeStage(1, 1)}
+	ab := RunScheduleAblation(s, 4, 1)
+	t := &Table{
+		Title:  "Figure 7: Different Schedules on One Batch (K=2, M=4)",
+		Header: []string{"schedule", "s/batch", "peak mem (MB)", "stash vs AFAB"},
+	}
+	afabPeak := float64(ab.Entries[0].PeakMem)
+	for _, e := range ab.Entries {
+		t.AddRow(e.Schedule, f3(e.BatchTime),
+			fmt.Sprintf("%.1f", float64(e.PeakMem)/float64(1<<20)),
+			fmt.Sprintf("%.2f", float64(e.PeakMem)/afabPeak))
+	}
+	t.Remarks = append(t.Remarks,
+		"t0(AFAB) ≈ t2(AFP) < t1(1F1B); AFP stashes between 1F1B's K−s and AFAB's M")
+	return t
+}

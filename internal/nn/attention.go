@@ -1,0 +1,229 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"avgpipe/internal/tensor"
+)
+
+// MultiHeadSelfAttention computes scaled dot-product self-attention over
+// time-major input (seqLen*batch, dim) with Heads parallel heads.
+type MultiHeadSelfAttention struct {
+	Dim, Heads, SeqLen int
+
+	Wq, Wk, Wv, Wo *Param
+}
+
+// NewMultiHeadSelfAttention constructs an attention layer; dim must be
+// divisible by heads.
+func NewMultiHeadSelfAttention(rng *tensor.RNG, dim, heads, seqLen int) *MultiHeadSelfAttention {
+	if dim%heads != 0 {
+		panic(fmt.Sprintf("nn: attention dim %d not divisible by heads %d", dim, heads))
+	}
+	mk := func(name string) *Param {
+		return NewParam(fmt.Sprintf("attn.%s[%dx%d]", name, dim, dim), rng.Xavier(dim, dim))
+	}
+	return &MultiHeadSelfAttention{
+		Dim: dim, Heads: heads, SeqLen: seqLen,
+		Wq: mk("Wq"), Wk: mk("Wk"), Wv: mk("Wv"), Wo: mk("Wo"),
+	}
+}
+
+// attnPerBatch stashes one sequence's intermediate activations.
+type attnPerBatch struct {
+	x       *tensor.Tensor   // (T, D)
+	q, k, v *tensor.Tensor   // (T, D)
+	probs   []*tensor.Tensor // per head, (T, T) softmax rows
+	concat  *tensor.Tensor   // (T, D) head outputs before Wo
+}
+
+type attnSaved struct {
+	perBatch []*attnPerBatch
+	batch    int
+}
+
+// gatherSeq copies rows b, b+B, b+2B, ... of a time-major tensor into a
+// contiguous (T, D) matrix for one batch element.
+func gatherSeq(x *tensor.Tensor, b, batch, seqLen, dim int) *tensor.Tensor {
+	out := tensor.New(seqLen, dim)
+	for t := 0; t < seqLen; t++ {
+		copy(out.Data()[t*dim:(t+1)*dim], x.Data()[(t*batch+b)*dim:(t*batch+b+1)*dim])
+	}
+	return out
+}
+
+// scatterSeq writes a (T, D) matrix back into the time-major layout.
+func scatterSeq(dst, src *tensor.Tensor, b, batch, seqLen, dim int) {
+	for t := 0; t < seqLen; t++ {
+		copy(dst.Data()[(t*batch+b)*dim:(t*batch+b+1)*dim], src.Data()[t*dim:(t+1)*dim])
+	}
+}
+
+// Forward computes attention independently per batch element (sequences
+// are processed in parallel across goroutines).
+func (a *MultiHeadSelfAttention) Forward(ctx *Context, x *tensor.Tensor, train bool) *tensor.Tensor {
+	rows := x.Dim(0)
+	if rows%a.SeqLen != 0 {
+		panic(fmt.Sprintf("nn: attention rows %d not divisible by seqLen %d", rows, a.SeqLen))
+	}
+	batch := rows / a.SeqLen
+	dh := a.Dim / a.Heads
+	scale := float32(1 / math.Sqrt(float64(dh)))
+
+	saved := &attnSaved{perBatch: make([]*attnPerBatch, batch), batch: batch}
+	out := tensor.New(rows, a.Dim)
+	tensor.ParallelFor(batch, func(lo, hi int) {
+		for b := lo; b < hi; b++ {
+			xb := gatherSeq(x, b, batch, a.SeqLen, a.Dim)
+			q := tensor.MatMul(xb, a.Wq.W)
+			k := tensor.MatMul(xb, a.Wk.W)
+			v := tensor.MatMul(xb, a.Wv.W)
+			concat := tensor.New(a.SeqLen, a.Dim)
+			probs := make([]*tensor.Tensor, a.Heads)
+			for h := 0; h < a.Heads; h++ {
+				qh := splitCols(q, h*dh, (h+1)*dh)
+				kh := splitCols(k, h*dh, (h+1)*dh)
+				vh := splitCols(v, h*dh, (h+1)*dh)
+				scores := tensor.MatMulTransB(qh, kh)
+				scores.ScaleInPlace(scale)
+				p := tensor.SoftmaxRows(scores)
+				probs[h] = p
+				setCols(concat, tensor.MatMul(p, vh), h*dh)
+			}
+			yb := tensor.MatMul(concat, a.Wo.W)
+			scatterSeq(out, yb, b, batch, a.SeqLen, a.Dim)
+			saved.perBatch[b] = &attnPerBatch{x: xb, q: q, k: k, v: v, probs: probs, concat: concat}
+		}
+	})
+	ctx.Push(saved)
+	return out
+}
+
+// Backward propagates through the attention computation, accumulating the
+// four projection gradients.
+func (a *MultiHeadSelfAttention) Backward(ctx *Context, dy *tensor.Tensor) *tensor.Tensor {
+	saved := ctx.Pop().(*attnSaved)
+	batch := saved.batch
+	dh := a.Dim / a.Heads
+	scale := float32(1 / math.Sqrt(float64(dh)))
+	dx := tensor.New(dy.Dim(0), a.Dim)
+
+	// Per-batch gradient shards, reduced sequentially afterwards so the
+	// accumulation order is deterministic.
+	type shard struct{ dWq, dWk, dWv, dWo *tensor.Tensor }
+	shards := make([]shard, batch)
+	tensor.ParallelFor(batch, func(lo, hi int) {
+		for b := lo; b < hi; b++ {
+			pb := saved.perBatch[b]
+			dyb := gatherSeq(dy, b, batch, a.SeqLen, a.Dim)
+			sh := shard{}
+			sh.dWo = tensor.MatMulTransA(pb.concat, dyb)
+			dConcat := tensor.MatMulTransB(dyb, a.Wo.W)
+			dq := tensor.New(a.SeqLen, a.Dim)
+			dk := tensor.New(a.SeqLen, a.Dim)
+			dv := tensor.New(a.SeqLen, a.Dim)
+			for h := 0; h < a.Heads; h++ {
+				dOh := splitCols(dConcat, h*dh, (h+1)*dh)
+				p := pb.probs[h]
+				vh := splitCols(pb.v, h*dh, (h+1)*dh)
+				// dP = dOh @ Vhᵀ ; dVh = Pᵀ @ dOh.
+				dP := tensor.MatMulTransB(dOh, vh)
+				setCols(dv, tensor.MatMulTransA(p, dOh), h*dh)
+				// Softmax backward per row: dS = P ⊙ (dP - rowsum(dP⊙P)).
+				dS := tensor.New(a.SeqLen, a.SeqLen)
+				for r := 0; r < a.SeqLen; r++ {
+					pr := p.Data()[r*a.SeqLen : (r+1)*a.SeqLen]
+					dpr := dP.Data()[r*a.SeqLen : (r+1)*a.SeqLen]
+					dsr := dS.Data()[r*a.SeqLen : (r+1)*a.SeqLen]
+					var dot float64
+					for j := range pr {
+						dot += float64(pr[j]) * float64(dpr[j])
+					}
+					for j := range pr {
+						dsr[j] = pr[j] * (dpr[j] - float32(dot))
+					}
+				}
+				dS.ScaleInPlace(scale)
+				qh := splitCols(pb.q, h*dh, (h+1)*dh)
+				kh := splitCols(pb.k, h*dh, (h+1)*dh)
+				setCols(dq, tensor.MatMul(dS, kh), h*dh)
+				setCols(dk, tensor.MatMulTransA(dS, qh), h*dh)
+			}
+			sh.dWq = tensor.MatMulTransA(pb.x, dq)
+			sh.dWk = tensor.MatMulTransA(pb.x, dk)
+			sh.dWv = tensor.MatMulTransA(pb.x, dv)
+			dxb := tensor.MatMulTransB(dq, a.Wq.W)
+			dxb.AddInPlace(tensor.MatMulTransB(dk, a.Wk.W))
+			dxb.AddInPlace(tensor.MatMulTransB(dv, a.Wv.W))
+			scatterSeq(dx, dxb, b, batch, a.SeqLen, a.Dim)
+			shards[b] = sh
+		}
+	})
+	for _, sh := range shards {
+		a.Wq.AddGrad(sh.dWq)
+		a.Wk.AddGrad(sh.dWk)
+		a.Wv.AddGrad(sh.dWv)
+		a.Wo.AddGrad(sh.dWo)
+	}
+	return dx
+}
+
+// Params returns the four projection matrices.
+func (a *MultiHeadSelfAttention) Params() []*Param {
+	return []*Param{a.Wq, a.Wk, a.Wv, a.Wo}
+}
+
+// TransformerEncoderLayer is a post-norm transformer block:
+// x → x + Attn(x) → LN → (+ FFN) → LN, the unit layer of the BERT-analog
+// workload.
+type TransformerEncoderLayer struct {
+	Attn *MultiHeadSelfAttention
+	LN1  *LayerNorm
+	FF1  *Linear
+	Act  *GELU
+	FF2  *Linear
+	LN2  *LayerNorm
+}
+
+// NewTransformerEncoderLayer builds a block with the given model dim,
+// head count, feed-forward dim, and sequence length.
+func NewTransformerEncoderLayer(rng *tensor.RNG, dim, heads, ffDim, seqLen int) *TransformerEncoderLayer {
+	return &TransformerEncoderLayer{
+		Attn: NewMultiHeadSelfAttention(rng, dim, heads, seqLen),
+		LN1:  NewLayerNorm(dim),
+		FF1:  NewLinear(rng, dim, ffDim),
+		Act:  &GELU{},
+		FF2:  NewLinear(rng, ffDim, dim),
+		LN2:  NewLayerNorm(dim),
+	}
+}
+
+// Forward applies attention and feed-forward sublayers with residuals.
+func (t *TransformerEncoderLayer) Forward(ctx *Context, x *tensor.Tensor, train bool) *tensor.Tensor {
+	attnOut := t.Attn.Forward(ctx, x, train)
+	n1 := t.LN1.Forward(ctx, tensor.Add(x, attnOut), train)
+	ff := t.FF2.Forward(ctx, t.Act.Forward(ctx, t.FF1.Forward(ctx, n1, train), train), train)
+	return t.LN2.Forward(ctx, tensor.Add(n1, ff), train)
+}
+
+// Backward reverses the block, handling the two residual connections.
+func (t *TransformerEncoderLayer) Backward(ctx *Context, dy *tensor.Tensor) *tensor.Tensor {
+	dr2 := t.LN2.Backward(ctx, dy)
+	dff := t.FF1.Backward(ctx, t.Act.Backward(ctx, t.FF2.Backward(ctx, dr2)))
+	dn1 := tensor.Add(dr2, dff)
+	dr1 := t.LN1.Backward(ctx, dn1)
+	dattn := t.Attn.Backward(ctx, dr1)
+	return tensor.Add(dr1, dattn)
+}
+
+// Params returns all sublayer parameters.
+func (t *TransformerEncoderLayer) Params() []*Param {
+	var ps []*Param
+	ps = append(ps, t.Attn.Params()...)
+	ps = append(ps, t.LN1.Params()...)
+	ps = append(ps, t.FF1.Params()...)
+	ps = append(ps, t.FF2.Params()...)
+	ps = append(ps, t.LN2.Params()...)
+	return ps
+}

@@ -1,0 +1,95 @@
+package nn
+
+import (
+	"testing"
+
+	"avgpipe/internal/tensor"
+)
+
+func TestReverseRoundtripAndValues(t *testing.T) {
+	// T=3, B=2, D=1: rows laid out [t0b0 t0b1 t1b0 t1b1 t2b0 t2b1].
+	x := tensor.FromSlice([]float32{0, 1, 10, 11, 20, 21}, 6, 1)
+	r := &Reverse{SeqLen: 3}
+	y := r.Forward(NewContext(), x, false)
+	want := []float32{20, 21, 10, 11, 0, 1}
+	for i, w := range want {
+		if y.Data()[i] != w {
+			t.Fatalf("reverse[%d] = %v, want %v", i, y.Data()[i], w)
+		}
+	}
+	// Involution.
+	z := r.Forward(NewContext(), y, false)
+	if tensor.Sub(z, x).L2Norm() != 0 {
+		t.Fatal("reverse must be an involution")
+	}
+	// Backward is the same reversal.
+	dx := r.Backward(NewContext(), y)
+	if tensor.Sub(dx, x).L2Norm() != 0 {
+		t.Fatal("backward must reverse the gradient")
+	}
+}
+
+func TestBiLSTMShapesAndDirectionality(t *testing.T) {
+	g := tensor.NewRNG(1)
+	b := NewBiLSTM(g, 3, 4, 3)
+	x := g.Normal(0, 1, 6, 3) // T=3, B=2
+	y := b.Forward(NewContext(), x, false)
+	if y.Dim(0) != 6 || y.Dim(1) != 8 {
+		t.Fatalf("BiLSTM output shape %v", y.Shape())
+	}
+	// The backward direction must give the FIRST timestep a view of the
+	// whole sequence: perturbing the last timestep's input must change
+	// the first timestep's backward-half features.
+	x2 := x.Clone()
+	for j := 0; j < 3; j++ {
+		x2.Set(x2.At(4, j)+1, 4, j) // t=2, b=0
+	}
+	y2 := b.Forward(NewContext(), x2, false)
+	changed := false
+	for j := 4; j < 8; j++ { // backward half of t=0, b=0
+		if y.At(0, j) != y2.At(0, j) {
+			changed = true
+		}
+	}
+	if !changed {
+		t.Fatal("backward direction must carry future context to t=0")
+	}
+	// The forward half of t=0 must NOT see the future.
+	for j := 0; j < 4; j++ {
+		if y.At(0, j) != y2.At(0, j) {
+			t.Fatal("forward direction must be causal")
+		}
+	}
+}
+
+func TestBiLSTMGradCheck(t *testing.T) {
+	g := tensor.NewRNG(2)
+	b := NewBiLSTM(g, 3, 3, 2)
+	x := g.Normal(0, 1, 4, 3) // T=2, B=2
+	checkModuleGrads(t, b, x, []int{4, 6}, true)
+}
+
+func TestBiLSTMInSequential(t *testing.T) {
+	g := tensor.NewRNG(3)
+	seq := NewSequential(
+		NewEmbedding(g, 6, 4),
+		NewBiLSTM(g, 4, 5, 3),
+		NewLinear(g, 10, 6),
+	)
+	x := tensor.FromSlice([]float32{0, 1, 2, 3, 4, 5}, 6, 1)
+	ctx := NewContext()
+	y := seq.Forward(ctx, x, true)
+	loss, dy := CrossEntropy(y, []int{1, 2, 3, 4, 5, 0})
+	if loss <= 0 {
+		t.Fatal("loss")
+	}
+	seq.Backward(ctx, dy)
+	if ctx.Len() != 0 {
+		t.Fatal("stash not drained")
+	}
+	for _, p := range seq.Params() {
+		if p.G.L2Norm() == 0 {
+			t.Fatalf("param %s got no gradient", p.Name)
+		}
+	}
+}

@@ -1,0 +1,89 @@
+package nn
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"avgpipe/internal/tensor"
+)
+
+func checkpointModel(seed int64) *Sequential {
+	g := tensor.NewRNG(seed)
+	return NewSequential(
+		NewEmbedding(g, 6, 8),
+		NewLSTM(g, 8, 8, 3),
+		NewLinear(g, 8, 6),
+	)
+}
+
+func TestCheckpointRoundtrip(t *testing.T) {
+	src := checkpointModel(1)
+	var buf bytes.Buffer
+	if err := SaveParams(&buf, src.Params()); err != nil {
+		t.Fatal(err)
+	}
+	dst := checkpointModel(2) // different weights
+	if err := LoadParams(&buf, dst.Params()); err != nil {
+		t.Fatal(err)
+	}
+	sp, dp := src.Params(), dst.Params()
+	for i := range sp {
+		if tensor.Sub(sp[i].W, dp[i].W).L2Norm() != 0 {
+			t.Fatalf("param %s differs after roundtrip", sp[i].Name)
+		}
+	}
+}
+
+func TestCheckpointRejectsGarbage(t *testing.T) {
+	m := checkpointModel(1)
+	err := LoadParams(strings.NewReader("not a checkpoint at all"), m.Params())
+	if err == nil || !strings.Contains(err.Error(), "magic") {
+		t.Fatalf("expected magic error, got %v", err)
+	}
+}
+
+func TestCheckpointRejectsMismatchedModel(t *testing.T) {
+	src := checkpointModel(1)
+	var buf bytes.Buffer
+	if err := SaveParams(&buf, src.Params()); err != nil {
+		t.Fatal(err)
+	}
+	g := tensor.NewRNG(3)
+	other := NewSequential(NewLinear(g, 4, 4))
+	if err := LoadParams(bytes.NewReader(buf.Bytes()), other.Params()); err == nil {
+		t.Fatal("expected param-count error")
+	}
+	// Same layer count, different shape.
+	g2 := tensor.NewRNG(4)
+	wrongShape := NewSequential(
+		NewEmbedding(g2, 6, 8),
+		NewLSTM(g2, 8, 8, 3),
+		NewLinear(g2, 8, 7), // 7 classes instead of 6
+	)
+	if err := LoadParams(bytes.NewReader(buf.Bytes()), wrongShape.Params()); err == nil {
+		t.Fatal("expected shape error")
+	}
+}
+
+func TestCheckpointTruncationDoesNotPartiallyApply(t *testing.T) {
+	src := checkpointModel(1)
+	var buf bytes.Buffer
+	if err := SaveParams(&buf, src.Params()); err != nil {
+		t.Fatal(err)
+	}
+	dst := checkpointModel(2)
+	before := make([]*tensor.Tensor, len(dst.Params()))
+	for i, p := range dst.Params() {
+		before[i] = p.W.Clone()
+	}
+	truncated := buf.Bytes()[:buf.Len()-10]
+	if err := LoadParams(bytes.NewReader(truncated), dst.Params()); err == nil {
+		t.Fatal("expected truncation error")
+	}
+	for i, p := range dst.Params() {
+		if tensor.Sub(p.W, before[i]).L2Norm() != 0 {
+			t.Fatal("truncated load must not modify the model")
+		}
+	}
+}

@@ -1,0 +1,171 @@
+package nn
+
+import (
+	"fmt"
+
+	"avgpipe/internal/tensor"
+)
+
+// LSTM is a single-layer long short-term memory RNN processing time-major
+// input (seqLen*batch, in) into time-major output (seqLen*batch, hidden).
+// Gate columns are packed [input | forget | cell | output].
+//
+// RecurrentDropP > 0 enables DropConnect on the recurrent weights (the
+// "weight-dropped" LSTM of the AWD workload): a Bernoulli mask is sampled
+// over Wh once per forward pass and applied to both the forward matmul and
+// the weight gradient.
+type LSTM struct {
+	In, Hidden, SeqLen int
+	RecurrentDropP     float64
+
+	Wx, Wh, B *Param
+	rng       *tensor.RNG
+}
+
+// NewLSTM constructs an LSTM with Xavier-initialized projections and a
+// forget-gate bias of 1 (standard practice for trainability).
+func NewLSTM(rng *tensor.RNG, in, hidden, seqLen int) *LSTM {
+	b := tensor.New(4 * hidden)
+	for j := hidden; j < 2*hidden; j++ {
+		b.Data()[j] = 1
+	}
+	return &LSTM{
+		In: in, Hidden: hidden, SeqLen: seqLen,
+		Wx:  NewParam(fmt.Sprintf("lstm.Wx[%dx%d]", in, 4*hidden), rng.Xavier(in, 4*hidden)),
+		Wh:  NewParam(fmt.Sprintf("lstm.Wh[%dx%d]", hidden, 4*hidden), rng.Xavier(hidden, 4*hidden)),
+		B:   NewParam(fmt.Sprintf("lstm.B[%d]", 4*hidden), b),
+		rng: rng,
+	}
+}
+
+// lstmStep is the stash for one timestep's backward.
+type lstmStep struct {
+	xt, hPrev, cPrev  *tensor.Tensor
+	i, f, g, o, tanhC *tensor.Tensor
+}
+
+// lstmSaved is the stash for the whole sequence.
+type lstmSaved struct {
+	steps  []lstmStep
+	whMask *tensor.Tensor // nil unless weight-drop was active
+	batch  int
+}
+
+// splitCols copies column range [lo,hi) of a 2-D tensor.
+func splitCols(t *tensor.Tensor, lo, hi int) *tensor.Tensor {
+	rows, cols := t.Dim(0), t.Dim(1)
+	out := tensor.New(rows, hi-lo)
+	w := hi - lo
+	for r := 0; r < rows; r++ {
+		copy(out.Data()[r*w:(r+1)*w], t.Data()[r*cols+lo:r*cols+hi])
+	}
+	return out
+}
+
+// setCols writes src into columns [lo,lo+src cols) of dst.
+func setCols(dst, src *tensor.Tensor, lo int) {
+	rows, cols := dst.Dim(0), dst.Dim(1)
+	w := src.Dim(1)
+	for r := 0; r < rows; r++ {
+		copy(dst.Data()[r*cols+lo:r*cols+lo+w], src.Data()[r*w:(r+1)*w])
+	}
+}
+
+// Forward unrolls the LSTM over SeqLen steps, stashing per-step gate
+// activations for BPTT.
+func (l *LSTM) Forward(ctx *Context, x *tensor.Tensor, train bool) *tensor.Tensor {
+	rows := x.Dim(0)
+	if rows%l.SeqLen != 0 {
+		panic(fmt.Sprintf("nn: LSTM rows %d not divisible by seqLen %d", rows, l.SeqLen))
+	}
+	batch := rows / l.SeqLen
+	hDim := l.Hidden
+
+	wh := l.Wh.W
+	var mask *tensor.Tensor
+	if train && l.RecurrentDropP > 0 {
+		mask = l.rng.Bernoulli(1-l.RecurrentDropP, wh.Shape()...)
+		mask.ScaleInPlace(float32(1 / (1 - l.RecurrentDropP)))
+		wh = tensor.Mul(wh, mask)
+	}
+
+	saved := &lstmSaved{whMask: mask, batch: batch}
+	out := tensor.New(rows, hDim)
+	h := tensor.New(batch, hDim)
+	c := tensor.New(batch, hDim)
+	for t := 0; t < l.SeqLen; t++ {
+		xt := x.SliceRows(t*batch, (t+1)*batch)
+		z := tensor.AddRowVector(tensor.Add(tensor.MatMul(xt, l.Wx.W), tensor.MatMul(h, wh)), l.B.W)
+		i := tensor.Sigmoid(splitCols(z, 0, hDim))
+		f := tensor.Sigmoid(splitCols(z, hDim, 2*hDim))
+		g := tensor.Tanh(splitCols(z, 2*hDim, 3*hDim))
+		o := tensor.Sigmoid(splitCols(z, 3*hDim, 4*hDim))
+		cNew := tensor.Add(tensor.Mul(f, c), tensor.Mul(i, g))
+		tc := tensor.Tanh(cNew)
+		hNew := tensor.Mul(o, tc)
+		saved.steps = append(saved.steps, lstmStep{
+			xt: xt.Clone(), hPrev: h, cPrev: c,
+			i: i, f: f, g: g, o: o, tanhC: tc,
+		})
+		h, c = hNew, cNew
+		copy(out.Data()[t*batch*hDim:(t+1)*batch*hDim], hNew.Data())
+	}
+	ctx.Push(saved)
+	return out
+}
+
+// Backward runs backpropagation through time, accumulating gradients for
+// Wx, Wh, and B and returning the input gradient.
+func (l *LSTM) Backward(ctx *Context, dy *tensor.Tensor) *tensor.Tensor {
+	saved := ctx.Pop().(*lstmSaved)
+	batch, hDim := saved.batch, l.Hidden
+	rows := l.SeqLen * batch
+	dx := tensor.New(rows, l.In)
+
+	wh := l.Wh.W
+	if saved.whMask != nil {
+		wh = tensor.Mul(wh, saved.whMask)
+	}
+	dWh := tensor.New(l.Wh.W.Shape()...)
+
+	dhNext := tensor.New(batch, hDim)
+	dcNext := tensor.New(batch, hDim)
+	one := func(t *tensor.Tensor) *tensor.Tensor {
+		return tensor.Apply(t, func(v float32) float32 { return 1 - v*v })
+	}
+	sigD := func(t *tensor.Tensor) *tensor.Tensor {
+		return tensor.Apply(t, func(v float32) float32 { return v * (1 - v) })
+	}
+	for t := l.SeqLen - 1; t >= 0; t-- {
+		st := saved.steps[t]
+		dh := tensor.Add(dy.SliceRows(t*batch, (t+1)*batch).Clone(), dhNext)
+		do := tensor.Mul(dh, st.tanhC)
+		dc := tensor.Add(dcNext, tensor.Mul(tensor.Mul(dh, st.o), one(st.tanhC)))
+		di := tensor.Mul(dc, st.g)
+		dg := tensor.Mul(dc, st.i)
+		df := tensor.Mul(dc, st.cPrev)
+		dcNext = tensor.Mul(dc, st.f)
+
+		dz := tensor.New(batch, 4*hDim)
+		setCols(dz, tensor.Mul(di, sigD(st.i)), 0)
+		setCols(dz, tensor.Mul(df, sigD(st.f)), hDim)
+		setCols(dz, tensor.Mul(dg, one(st.g)), 2*hDim)
+		setCols(dz, tensor.Mul(do, sigD(st.o)), 3*hDim)
+
+		l.Wx.AddGrad(tensor.MatMulTransA(st.xt, dz))
+		dWh.AddInPlace(tensor.MatMulTransA(st.hPrev, dz))
+		l.B.AddGrad(tensor.SumRows(dz))
+
+		dxt := tensor.MatMulTransB(dz, l.Wx.W)
+		copy(dx.Data()[t*batch*l.In:(t+1)*batch*l.In], dxt.Data())
+		dhNext = tensor.MatMulTransB(dz, wh)
+	}
+	if saved.whMask != nil {
+		dWh.MulInPlace(saved.whMask)
+	}
+	l.Wh.AddGrad(dWh)
+	return dx
+}
+
+// Params returns the LSTM's three parameter tensors.
+func (l *LSTM) Params() []*Param { return []*Param{l.Wx, l.Wh, l.B} }

@@ -1,0 +1,117 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"avgpipe/internal/tensor"
+)
+
+// LayerNorm normalizes each row of a (rows, dim) tensor to zero mean and
+// unit variance, then applies a learned gain and bias.
+type LayerNorm struct {
+	Dim  int
+	Eps  float64
+	Gain *Param
+	Bias *Param
+}
+
+// NewLayerNorm constructs a layer norm over the trailing dimension.
+func NewLayerNorm(dim int) *LayerNorm {
+	return &LayerNorm{
+		Dim:  dim,
+		Eps:  1e-5,
+		Gain: NewParam(fmt.Sprintf("layernorm.gain[%d]", dim), tensor.Ones(dim)),
+		Bias: NewParam(fmt.Sprintf("layernorm.bias[%d]", dim), tensor.New(dim)),
+	}
+}
+
+// lnSaved is the per-micro-batch stash for LayerNorm's backward.
+type lnSaved struct {
+	xhat   *tensor.Tensor // normalized input
+	invStd []float32      // 1/sqrt(var+eps) per row
+}
+
+// Forward normalizes rows and stashes (x̂, 1/σ).
+func (l *LayerNorm) Forward(ctx *Context, x *tensor.Tensor, train bool) *tensor.Tensor {
+	if x.Dim(1) != l.Dim {
+		panic(fmt.Sprintf("nn: LayerNorm dim %d got input %v", l.Dim, x.Shape()))
+	}
+	rows, d := x.Dim(0), l.Dim
+	xhat := tensor.New(rows, d)
+	invStd := make([]float32, rows)
+	out := tensor.New(rows, d)
+	gain, bias := l.Gain.W.Data(), l.Bias.W.Data()
+	tensor.ParallelFor(rows, func(lo, hi int) {
+		for r := lo; r < hi; r++ {
+			row := x.Data()[r*d : (r+1)*d]
+			var mean float64
+			for _, v := range row {
+				mean += float64(v)
+			}
+			mean /= float64(d)
+			var varia float64
+			for _, v := range row {
+				dv := float64(v) - mean
+				varia += dv * dv
+			}
+			varia /= float64(d)
+			is := float32(1 / math.Sqrt(varia+l.Eps))
+			invStd[r] = is
+			xh := xhat.Data()[r*d : (r+1)*d]
+			o := out.Data()[r*d : (r+1)*d]
+			for j, v := range row {
+				xh[j] = (v - float32(mean)) * is
+				o[j] = xh[j]*gain[j] + bias[j]
+			}
+		}
+	})
+	ctx.Push(&lnSaved{xhat: xhat, invStd: invStd})
+	return out
+}
+
+// Backward computes the layer-norm input gradient and accumulates gain and
+// bias gradients.
+func (l *LayerNorm) Backward(ctx *Context, dy *tensor.Tensor) *tensor.Tensor {
+	sv := ctx.Pop().(*lnSaved)
+	rows, d := dy.Dim(0), l.Dim
+	dx := tensor.New(rows, d)
+	gain := l.Gain.W.Data()
+	dgain := make([]float64, d)
+	dbias := make([]float64, d)
+	for r := 0; r < rows; r++ {
+		dyr := dy.Data()[r*d : (r+1)*d]
+		xh := sv.xhat.Data()[r*d : (r+1)*d]
+		for j := 0; j < d; j++ {
+			dgain[j] += float64(dyr[j]) * float64(xh[j])
+			dbias[j] += float64(dyr[j])
+		}
+	}
+	tensor.ParallelFor(rows, func(lo, hi int) {
+		for r := lo; r < hi; r++ {
+			dyr := dy.Data()[r*d : (r+1)*d]
+			xh := sv.xhat.Data()[r*d : (r+1)*d]
+			dxr := dx.Data()[r*d : (r+1)*d]
+			// dxhat = dy * gain; dx = (dxhat - mean(dxhat) - xhat*mean(dxhat*xhat)) * invStd.
+			var sum1, sum2 float64
+			for j := 0; j < d; j++ {
+				dxh := float64(dyr[j]) * float64(gain[j])
+				sum1 += dxh
+				sum2 += dxh * float64(xh[j])
+			}
+			m1, m2 := float32(sum1/float64(d)), float32(sum2/float64(d))
+			for j := 0; j < d; j++ {
+				dxh := dyr[j] * gain[j]
+				dxr[j] = (dxh - m1 - xh[j]*m2) * sv.invStd[r]
+			}
+		}
+	})
+	for j := 0; j < d; j++ {
+		l.Gain.G.Data()[j] += float32(dgain[j])
+		l.Bias.G.Data()[j] += float32(dbias[j])
+	}
+	return dx
+}
+
+// Params returns the gain and bias.
+func (l *LayerNorm) Params() []*Param { return []*Param{l.Gain, l.Bias} }

@@ -1,0 +1,97 @@
+package optim
+
+import "math"
+
+// LRScheduler maps a 0-based optimizer step to a learning rate. Training
+// loops call Apply once per step, before Optimizer.Step.
+type LRScheduler interface {
+	LR(step int) float64
+}
+
+// LRSetter is implemented by optimizers whose learning rate can be
+// adjusted between steps.
+type LRSetter interface {
+	SetLR(lr float64)
+}
+
+// SetLR implements LRSetter.
+func (s *SGD) SetLR(lr float64) { s.LR = lr }
+
+// SetLR implements LRSetter.
+func (a *Adam) SetLR(lr float64) { a.LR = lr }
+
+// SetLR implements LRSetter.
+func (a *AdaGrad) SetLR(lr float64) { a.LR = lr }
+
+// SetLR implements LRSetter.
+func (a *ASGD) SetLR(lr float64) { a.LR = lr }
+
+// SetLR implements LRSetter.
+func (e *EASGD) SetLR(lr float64) { e.LR = lr }
+
+// Apply sets the optimizer's learning rate from the scheduler for the
+// given step. It is a no-op when either argument is nil.
+func Apply(opt Optimizer, sched LRScheduler, step int) {
+	if sched == nil {
+		return
+	}
+	if setter, ok := opt.(LRSetter); ok {
+		setter.SetLR(sched.LR(step))
+	}
+}
+
+// ConstantLR returns Base forever.
+type ConstantLR struct{ Base float64 }
+
+// LR implements LRScheduler.
+func (c ConstantLR) LR(int) float64 { return c.Base }
+
+// Warmup ramps linearly from 0 to Base over Steps steps, then delegates
+// to After (or holds Base when After is nil). Standard for transformer
+// training.
+type Warmup struct {
+	Base  float64
+	Steps int
+	After LRScheduler
+}
+
+// LR implements LRScheduler.
+func (w Warmup) LR(step int) float64 {
+	if w.Steps > 0 && step < w.Steps {
+		return w.Base * float64(step+1) / float64(w.Steps)
+	}
+	if w.After != nil {
+		return w.After.LR(step - w.Steps)
+	}
+	return w.Base
+}
+
+// CosineDecay anneals from Base to Min over Steps with a half-cosine,
+// then holds Min.
+type CosineDecay struct {
+	Base, Min float64
+	Steps     int
+}
+
+// LR implements LRScheduler.
+func (c CosineDecay) LR(step int) float64 {
+	if c.Steps <= 0 || step >= c.Steps {
+		return c.Min
+	}
+	frac := float64(step) / float64(c.Steps)
+	return c.Min + (c.Base-c.Min)*0.5*(1+math.Cos(math.Pi*frac))
+}
+
+// StepDecay multiplies Base by Factor every Every steps.
+type StepDecay struct {
+	Base, Factor float64
+	Every        int
+}
+
+// LR implements LRScheduler.
+func (s StepDecay) LR(step int) float64 {
+	if s.Every <= 0 {
+		return s.Base
+	}
+	return s.Base * math.Pow(s.Factor, float64(step/s.Every))
+}

@@ -1,0 +1,101 @@
+package optim
+
+import (
+	"math"
+	"testing"
+
+	"avgpipe/internal/nn"
+	"avgpipe/internal/tensor"
+)
+
+func TestWarmupRampsLinearly(t *testing.T) {
+	w := Warmup{Base: 1, Steps: 10}
+	if got := w.LR(0); math.Abs(got-0.1) > 1e-12 {
+		t.Fatalf("step 0: %v", got)
+	}
+	if got := w.LR(9); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("step 9: %v", got)
+	}
+	if got := w.LR(100); got != 1 {
+		t.Fatalf("after warmup: %v", got)
+	}
+}
+
+func TestWarmupDelegates(t *testing.T) {
+	w := Warmup{Base: 1, Steps: 5, After: StepDecay{Base: 1, Factor: 0.5, Every: 10}}
+	// Step 5 is After's step 0.
+	if got := w.LR(5); got != 1 {
+		t.Fatalf("delegated step 0: %v", got)
+	}
+	if got := w.LR(15); got != 0.5 {
+		t.Fatalf("delegated step 10: %v", got)
+	}
+}
+
+func TestCosineDecay(t *testing.T) {
+	c := CosineDecay{Base: 1, Min: 0.1, Steps: 100}
+	if got := c.LR(0); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("start: %v", got)
+	}
+	mid := c.LR(50)
+	if math.Abs(mid-0.55) > 1e-9 {
+		t.Fatalf("midpoint: %v, want 0.55", mid)
+	}
+	if got := c.LR(100); got != 0.1 {
+		t.Fatalf("end: %v", got)
+	}
+	if got := c.LR(1000); got != 0.1 {
+		t.Fatalf("past end: %v", got)
+	}
+	// Monotone decreasing.
+	prev := 2.0
+	for s := 0; s <= 100; s += 10 {
+		v := c.LR(s)
+		if v > prev {
+			t.Fatalf("not monotone at %d", s)
+		}
+		prev = v
+	}
+}
+
+func TestStepDecay(t *testing.T) {
+	s := StepDecay{Base: 8, Factor: 0.5, Every: 3}
+	for step, want := range map[int]float64{0: 8, 2: 8, 3: 4, 6: 2, 9: 1} {
+		if got := s.LR(step); got != want {
+			t.Fatalf("step %d: %v, want %v", step, got, want)
+		}
+	}
+	if got := (StepDecay{Base: 8}).LR(100); got != 8 {
+		t.Fatal("Every=0 must hold Base")
+	}
+}
+
+func TestConstantLR(t *testing.T) {
+	if got := (ConstantLR{Base: 3}).LR(999); got != 3 {
+		t.Fatal("constant")
+	}
+}
+
+func TestApplySetsOptimizerLR(t *testing.T) {
+	p := nn.NewParam("w", tensor.Full(1, 1))
+	p.G.Fill(1)
+	opt := NewSGD(999) // wrong LR; the scheduler must overwrite it
+	Apply(opt, ConstantLR{Base: 0.5}, 0)
+	opt.Step([]*nn.Param{p})
+	if got := p.W.At(0); math.Abs(float64(got)-0.5) > 1e-6 {
+		t.Fatalf("w = %v; scheduler LR not applied", got)
+	}
+	// nil scheduler is a no-op.
+	Apply(opt, nil, 1)
+	if opt.LR != 0.5 {
+		t.Fatal("nil scheduler must not modify LR")
+	}
+}
+
+func TestAllOptimizersAreLRSetters(t *testing.T) {
+	for _, opt := range []Optimizer{NewSGD(1), NewAdam(1), NewAdaGrad(1), NewASGD(1, 1), NewEASGD(1, 0.1)} {
+		if _, ok := opt.(LRSetter); !ok {
+			t.Fatalf("%s does not implement LRSetter", opt.Name())
+		}
+	}
+}

@@ -1,0 +1,490 @@
+// Package pipesim is a discrete-event simulator of pipeline-parallel DNN
+// training over a modeled GPU cluster. Given a workload's per-stage cost
+// model, a cluster topology, a schedule (internal/sched), and the AvgPipe
+// parallelism degrees (M micro-batches, N parallel pipelines), it computes
+// per-GPU busy/communication-blocked/bubble time, utilization timelines,
+// per-batch training time, and peak memory footprints.
+//
+// Modeling choices (documented in DESIGN.md):
+//
+//   - Transfers are asynchronous: a stage's output starts moving as soon
+//     as it is produced, serialized FIFO per link and direction. Compute
+//     only stalls when it *waits* for an in-flight arrival — this is what
+//     lets AFAB overlap communication with computation while 1F1B, whose
+//     critical path crosses the links once per micro-batch in each
+//     direction, stalls repeatedly (§4.1).
+//   - The N parallel pipelines are simulated explicitly by expanding the
+//     per-pipeline schedule: micro-batch m of pipeline p becomes global
+//     unit m·N+p, with the N pipelines' units interleaved on every GPU.
+//     Each kernel runs at efficiency eff(N·b) (co-running pipelines raise
+//     arithmetic intensity), and each pipeline's transfers are separate
+//     link messages. This captures the paper's key overlap effect: while
+//     one pipeline waits for a transfer, the other pipelines' compute
+//     fills the gap. Total per-GPU communication still scales with N
+//     (matching (𝕋^k)* = (n*/n)·𝕋^k, Eq. 4).
+package pipesim
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"avgpipe/internal/cluster"
+	"avgpipe/internal/device"
+	"avgpipe/internal/sched"
+	"avgpipe/internal/workload"
+)
+
+// ErrDeadlock reports that a schedule's per-GPU op orders form a
+// dependency cycle (e.g. an AFP advance vector where a downstream stage
+// runs further ahead than its upstream can feed).
+var ErrDeadlock = errors.New("schedule deadlock")
+
+// Config describes one simulated training configuration.
+type Config struct {
+	Workload *workload.Workload
+	Cluster  *cluster.Cluster
+	// Stages maps pipeline stage index to its aggregated layer costs; one
+	// stage per GPU.
+	Stages []workload.Stage
+	// Micro is M, the number of micro-batches each batch is sliced into.
+	Micro int
+	// Pipelines is N, the number of parallel pipelines (1 for non-AvgPipe
+	// baselines).
+	Pipelines int
+	// Schedule gives the per-GPU op order; its micro indices must cover
+	// Micro × Batches.
+	Schedule *sched.Schedule
+	// Batches is how many consecutive batches to simulate. Continuous
+	// schedules need several to expose steady state.
+	Batches int
+	// RefModel adds the co-partitioned elastic-averaging reference model
+	// to every GPU's memory footprint (AvgPipe only).
+	RefModel bool
+	// Recompute enables GPipe-style activation recomputation: only each
+	// micro-batch's stage-boundary input is stashed, and the forward is
+	// replayed before the backward (bwd cost += fwd cost). The paper's
+	// experiments disable it; it is exposed here for the ablation study.
+	Recompute bool
+}
+
+// Interval is one span of a GPU's utilization timeline.
+type Interval struct {
+	Start, End float64 // seconds
+	Util       float64 // fraction of peak (0 while idle)
+}
+
+// GPUStats aggregates one GPU's simulated behaviour over all batches.
+type GPUStats struct {
+	// Busy is the time spent computing.
+	Busy float64
+	// CommBlocked is the idle time attributable to waiting for in-flight
+	// transfers (the T_com of Eq. 1).
+	CommBlocked float64
+	// Bubble is the remaining idle time, waiting on other GPUs' compute
+	// (the T_bub of Eq. 1).
+	Bubble float64
+	// CommTotal is the total duration of transfers arriving at this GPU
+	// (the 𝕋^k used by the predictor).
+	CommTotal float64
+	// PeakUtil is the utilization while computing.
+	PeakUtil float64
+	// Memory is the peak footprint breakdown.
+	Memory device.MemoryBreakdown
+	// Timeline is the busy-interval record (idle gaps implicit).
+	Timeline []Interval
+}
+
+// AvgUtil returns the time-averaged utilization over [0, makespan].
+func (g GPUStats) AvgUtil(makespan float64) float64 {
+	if makespan <= 0 {
+		return 0
+	}
+	var area float64
+	for _, iv := range g.Timeline {
+		area += (iv.End - iv.Start) * iv.Util
+	}
+	return area / makespan
+}
+
+// IdleTime returns bubble + communication-blocked time.
+func (g GPUStats) IdleTime() float64 { return g.Bubble + g.CommBlocked }
+
+// Result is the outcome of one simulation.
+type Result struct {
+	// Makespan is the total simulated time for all batches.
+	Makespan float64
+	// BatchTime is the steady-state per-batch time (Makespan / Batches).
+	BatchTime float64
+	// PerGPU holds one entry per pipeline stage.
+	PerGPU []GPUStats
+	// OOM is non-nil when some GPU's footprint exceeds its capacity; the
+	// timing fields are still populated so callers can report both.
+	OOM error
+	// Config echoes the simulated configuration.
+	Config Config
+}
+
+// PeakMemory returns the maximum per-GPU footprint in bytes.
+func (r *Result) PeakMemory() int64 {
+	var m int64
+	for _, g := range r.PerGPU {
+		if t := g.Memory.Total(); t > m {
+			m = t
+		}
+	}
+	return m
+}
+
+// AvgUtilization returns the mean over GPUs of time-averaged utilization.
+func (r *Result) AvgUtilization() float64 {
+	if len(r.PerGPU) == 0 {
+		return 0
+	}
+	var s float64
+	for _, g := range r.PerGPU {
+		s += g.AvgUtil(r.Makespan)
+	}
+	return s / float64(len(r.PerGPU))
+}
+
+// Validate checks the configuration for internal consistency.
+func (c *Config) Validate() error {
+	k := len(c.Stages)
+	if k == 0 || k != c.Cluster.Size() {
+		return fmt.Errorf("pipesim: %d stages for %d GPUs", k, c.Cluster.Size())
+	}
+	if c.Micro <= 0 || c.Workload.BatchSize%c.Micro != 0 {
+		return fmt.Errorf("pipesim: batch %d not divisible into %d micro-batches", c.Workload.BatchSize, c.Micro)
+	}
+	if c.Pipelines <= 0 {
+		return fmt.Errorf("pipesim: need at least one pipeline")
+	}
+	if c.Batches <= 0 {
+		return fmt.Errorf("pipesim: need at least one batch")
+	}
+	if len(c.Schedule.PerGPU) != k {
+		return fmt.Errorf("pipesim: schedule covers %d GPUs, want %d", len(c.Schedule.PerGPU), k)
+	}
+	return c.Schedule.Validate()
+}
+
+// microSamples returns the per-micro-batch sample count b = B/M.
+func (c *Config) microSamples() int { return c.Workload.BatchSize / c.Micro }
+
+// expandSchedule interleaves n symmetric pipelines: every op on micro m
+// becomes n consecutive ops on global units m·n+p, preserving each GPU's
+// op order. With n = 1 the schedule is returned unchanged.
+func expandSchedule(s *sched.Schedule, n int) *sched.Schedule {
+	if n == 1 {
+		return s
+	}
+	out := &sched.Schedule{
+		Name:           s.Name,
+		Continuous:     s.Continuous,
+		WeightVersions: s.WeightVersions,
+		PerGPU:         make([][]sched.Op, len(s.PerGPU)),
+	}
+	for k, ops := range s.PerGPU {
+		exp := make([]sched.Op, 0, len(ops)*n)
+		for _, op := range ops {
+			for p := 0; p < n; p++ {
+				exp = append(exp, sched.Op{Kind: op.Kind, Micro: op.Micro*n + p})
+			}
+		}
+		out.PerGPU[k] = exp
+	}
+	return out
+}
+
+// Run simulates the configuration.
+func Run(cfg Config) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	k := len(cfg.Stages)
+	n := cfg.Pipelines
+	b := cfg.microSamples()
+	// Expand the per-pipeline schedule into the N-pipeline interleaving:
+	// unit m of pipeline p is global unit m·N+p.
+	sim := expandSchedule(cfg.Schedule, n)
+	total := cfg.Micro * cfg.Batches * n
+
+	// Per-unit durations (seconds). Co-running pipelines raise the
+	// kernel efficiency: every unit executes at eff(N·b).
+	fwdDur := make([]float64, k)
+	bwdDur := make([]float64, k)
+	util := make([]float64, k)
+	for s := 0; s < k; s++ {
+		gpu := cfg.Cluster.GPUs[s]
+		gpu.SatSamples = cfg.Workload.SatSamples
+		eff := gpu.Efficiency(float64(n * b))
+		fwdDur[s] = cfg.Stages[s].FwdFLOPs * float64(b) / (gpu.PeakFLOPs * eff)
+		bwdDur[s] = cfg.Stages[s].BwdFLOPs * float64(b) / (gpu.PeakFLOPs * eff)
+		if cfg.Recompute {
+			// The backward pass replays the forward first.
+			bwdDur[s] += fwdDur[s]
+		}
+		util[s] = eff
+	}
+	// Per-link transfer durations: stage s → s+1 carries one pipeline's
+	// micro-batch activation; the backward gradient has the same size.
+	xfer := make([]float64, k-1)
+	for s := 0; s < k-1; s++ {
+		bytes := cfg.Stages[s].OutActBytes * int64(b)
+		xfer[s] = cfg.Cluster.Link(s).TransferTime(bytes).Seconds()
+	}
+
+	const unset = -1.0
+	mk := func() []float64 {
+		v := make([]float64, total)
+		for i := range v {
+			v[i] = unset
+		}
+		return v
+	}
+	// fwdArrive[s][m]: when micro m's input is available at stage s.
+	// bwdArrive[s][m]: when micro m's output-gradient is available at s.
+	fwdArrive := make([][]float64, k)
+	bwdArrive := make([][]float64, k)
+	fwdEnd := make([][]float64, k) // compute completion times
+	bwdEnd := make([][]float64, k)
+	// depEnd tracks the *compute* completion that produced an arrival, to
+	// split waiting time into bubble (upstream still computing) and
+	// comm-blocked (transfer in flight).
+	fwdDepEnd := make([][]float64, k)
+	bwdDepEnd := make([][]float64, k)
+	for s := 0; s < k; s++ {
+		fwdArrive[s], bwdArrive[s] = mk(), mk()
+		fwdEnd[s], bwdEnd[s] = mk(), mk()
+		fwdDepEnd[s], bwdDepEnd[s] = mk(), mk()
+	}
+	for m := 0; m < total; m++ {
+		fwdArrive[0][m] = 0 // input data is always resident
+		fwdDepEnd[0][m] = 0
+	}
+	linkFwdFree := make([]float64, k-1)
+	linkBwdFree := make([]float64, k-1)
+
+	gpuFree := make([]float64, k)
+	idx := make([]int, k)
+	stats := make([]GPUStats, k)
+	for s := range stats {
+		stats[s].PeakUtil = util[s]
+	}
+
+	// ready returns when the op's dependency is satisfied (or unset) and
+	// the compute-completion time behind it.
+	ready := func(s int, op sched.Op) (at, depEnd float64, ok bool) {
+		switch op.Kind {
+		case sched.Fwd:
+			at = fwdArrive[s][op.Micro]
+			depEnd = fwdDepEnd[s][op.Micro]
+		default:
+			if s == k-1 {
+				// Loss gradient is local: ready when own forward is done.
+				at = fwdEnd[s][op.Micro]
+				depEnd = at
+			} else {
+				at = bwdArrive[s][op.Micro]
+				depEnd = bwdDepEnd[s][op.Micro]
+			}
+		}
+		return at, depEnd, at != unset
+	}
+
+	remaining := 0
+	for s := 0; s < k; s++ {
+		remaining += len(sim.PerGPU[s])
+	}
+	for remaining > 0 {
+		// Pick the eligible op with the earliest feasible start time, so
+		// link FIFO order matches simulated time order.
+		best := -1
+		bestStart, bestAt, bestDep := math.Inf(1), 0.0, 0.0
+		for s := 0; s < k; s++ {
+			if idx[s] >= len(sim.PerGPU[s]) {
+				continue
+			}
+			op := sim.PerGPU[s][idx[s]]
+			at, depEnd, ok := ready(s, op)
+			if !ok {
+				continue
+			}
+			start := math.Max(gpuFree[s], at)
+			if start < bestStart || (start == bestStart && (best == -1 || s < best)) {
+				best, bestStart, bestAt, bestDep = s, start, at, depEnd
+			}
+		}
+		if best == -1 {
+			return nil, fmt.Errorf("pipesim: schedule %s with %d ops remaining: %w", cfg.Schedule.Name, remaining, ErrDeadlock)
+		}
+		s := best
+		op := sim.PerGPU[s][idx[s]]
+		idx[s]++
+		remaining--
+
+		// Attribute the wait preceding this op.
+		if wait := bestStart - gpuFree[s]; wait > 0 {
+			commPart := math.Min(wait, math.Max(bestAt-bestDep, 0))
+			// Only the tail of the wait can overlap the transfer.
+			commPart = math.Min(commPart, math.Max(bestAt-gpuFree[s], 0))
+			stats[s].CommBlocked += commPart
+			stats[s].Bubble += wait - commPart
+		}
+
+		var dur float64
+		if op.Kind == sched.Fwd {
+			dur = fwdDur[s]
+		} else {
+			dur = bwdDur[s]
+		}
+		end := bestStart + dur
+		gpuFree[s] = end
+		stats[s].Busy += dur
+		stats[s].Timeline = append(stats[s].Timeline, Interval{Start: bestStart, End: end, Util: util[s]})
+
+		switch op.Kind {
+		case sched.Fwd:
+			fwdEnd[s][op.Micro] = end
+			if s < k-1 {
+				depart := math.Max(end, linkFwdFree[s])
+				arrive := depart + xfer[s]
+				linkFwdFree[s] = arrive
+				fwdArrive[s+1][op.Micro] = arrive
+				fwdDepEnd[s+1][op.Micro] = end
+				stats[s+1].CommTotal += xfer[s]
+			}
+		case sched.Bwd:
+			bwdEnd[s][op.Micro] = end
+			if s > 0 {
+				depart := math.Max(end, linkBwdFree[s-1])
+				arrive := depart + xfer[s-1]
+				linkBwdFree[s-1] = arrive
+				bwdArrive[s-1][op.Micro] = arrive
+				bwdDepEnd[s-1][op.Micro] = end
+				stats[s-1].CommTotal += xfer[s-1]
+			}
+		}
+	}
+
+	makespan := 0.0
+	for s := 0; s < k; s++ {
+		if gpuFree[s] > makespan {
+			makespan = gpuFree[s]
+		}
+	}
+	res := &Result{
+		Makespan:  makespan,
+		BatchTime: makespan / float64(cfg.Batches),
+		PerGPU:    stats,
+		Config:    cfg,
+	}
+	// Trailing idle up to the makespan counts as bubble (waiting for the
+	// rest of the pipeline to drain).
+	for s := 0; s < k; s++ {
+		res.PerGPU[s].Bubble += makespan - gpuFree[s]
+	}
+	res.computeMemory()
+	return res, nil
+}
+
+// computeMemory fills in per-GPU memory breakdowns and the OOM check.
+func (r *Result) computeMemory() {
+	cfg := r.Config
+	n := int64(cfg.Pipelines)
+	b := int64(cfg.microSamples())
+	inflight := cfg.Schedule.MaxInFlight()
+	// For multi-batch flushed simulations the schedule-wide in-flight
+	// bound equals the single-batch bound; continuous schedules are
+	// already steady-state bounded.
+	var oom error
+	for s := range cfg.Stages {
+		st := cfg.Stages[s]
+		versions := int64(cfg.Schedule.WeightVersions(s, len(cfg.Stages)))
+		mb := device.MemoryBreakdown{}
+		mb.Weights = st.ParamBytes * versions * n
+		if cfg.RefModel {
+			mb.Weights += st.ParamBytes
+		}
+		mb.OptimizerState = int64(float64(st.ParamBytes) * cfg.Workload.OptimStateFactor * float64(n))
+		mb.Gradients = st.ParamBytes * n
+		stashPerSample := st.StashBytes
+		if cfg.Recompute {
+			// Only the stage-boundary input survives until the backward;
+			// everything else is rebuilt by the replayed forward.
+			stashPerSample = st.OutActBytes
+		}
+		mb.Activations = stashPerSample * b * n * int64(inflight[s])
+		// Boundary send/receive buffers for activations and gradients.
+		mb.Buffers = 2 * st.OutActBytes * b * n
+		r.PerGPU[s].Memory = mb
+		if err := cfg.Cluster.GPUs[s].CheckFit(mb); err != nil && oom == nil {
+			oom = fmt.Errorf("stage %d (%s): %w", s, cfg.Schedule.Name, err)
+		}
+	}
+	r.OOM = oom
+}
+
+// MemoryOf assembles a memory breakdown from its components; shared by
+// the pipeline and Chimera simulators.
+func MemoryOf(paramBytes int64, optimFactor float64, activations, buffers int64) device.MemoryBreakdown {
+	return device.MemoryBreakdown{
+		Weights:        paramBytes,
+		OptimizerState: int64(float64(paramBytes) * optimFactor),
+		Gradients:      paramBytes,
+		Activations:    activations,
+		Buffers:        buffers,
+	}
+}
+
+// DataParallel analytically models the PyTorch data-parallel baseline:
+// every GPU holds a full model replica, computes forward+backward on
+// BatchSize/K samples, then ring-all-reduces every gradient over the
+// cluster's bottleneck link. On 1 Gbps Ethernet the all-reduce dwarfs
+// compute, which is the paper's Fig. 11 observation.
+func DataParallel(w *workload.Workload, c *cluster.Cluster) *Result {
+	k := c.Size()
+	per := w.BatchSize / k
+	if per == 0 {
+		per = 1
+	}
+	full := w.MakeStage(0, len(w.Layers)-1)
+	gpu := c.GPUs[0]
+	gpu.SatSamples = w.SatSamples
+	fwd := gpu.ComputeTime(full.FwdFLOPs*float64(per), per, 1).Seconds()
+	bwd := gpu.ComputeTime(full.BwdFLOPs*float64(per), per, 1).Seconds()
+	compute := fwd + bwd
+	allreduce := c.AllReduceTime(full.ParamBytes)
+	// DDP-style overlap: bucketed all-reduce proceeds concurrently with
+	// the backward pass that produces the gradients.
+	batch := fwd + math.Max(bwd, allreduce)
+	stats := make([]GPUStats, k)
+	for s := range stats {
+		u := gpu.Efficiency(float64(per))
+		stats[s] = GPUStats{
+			Busy:        compute,
+			CommBlocked: allreduce,
+			CommTotal:   allreduce,
+			PeakUtil:    u,
+			Timeline:    []Interval{{Start: 0, End: compute, Util: u}},
+			Memory: device.MemoryBreakdown{
+				Weights:        full.ParamBytes,
+				OptimizerState: int64(float64(full.ParamBytes) * w.OptimStateFactor),
+				Gradients:      full.ParamBytes,
+				Activations:    full.StashBytes * int64(per),
+				Buffers:        full.ParamBytes, // all-reduce staging
+			},
+		}
+	}
+	res := &Result{Makespan: batch, BatchTime: batch, PerGPU: stats,
+		Config: Config{Workload: w, Cluster: c, Pipelines: 1, Micro: 1, Batches: 1}}
+	var oom error
+	for s := range stats {
+		if err := c.GPUs[s].CheckFit(stats[s].Memory); err != nil && oom == nil {
+			oom = err
+		}
+	}
+	res.OOM = oom
+	return res
+}

@@ -1,0 +1,221 @@
+package pipesim
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"avgpipe/internal/cluster"
+	"avgpipe/internal/comm"
+	"avgpipe/internal/device"
+	"avgpipe/internal/sched"
+	"avgpipe/internal/workload"
+)
+
+// randomFixture draws a small random workload/cluster/schedule setup.
+func randomFixture(r *rand.Rand) (Config, int) {
+	k := 2 + r.Intn(4)
+	layers := k + r.Intn(4)
+	batch := []int{4, 8, 12, 16}[r.Intn(4)]
+	ls := make([]workload.LayerCost, layers)
+	for i := range ls {
+		ls[i] = workload.LayerCost{
+			Name:        "l",
+			FwdFLOPs:    1e8 + float64(r.Intn(10))*1e8,
+			BwdFLOPs:    2e8 + float64(r.Intn(20))*1e8,
+			ParamBytes:  int64(1+r.Intn(8)) << 20,
+			OutActBytes: int64(16+r.Intn(256)) << 10,
+			StashBytes:  int64(32+r.Intn(512)) << 10,
+		}
+		if ls[i].BwdFLOPs < ls[i].FwdFLOPs {
+			ls[i].BwdFLOPs = ls[i].FwdFLOPs
+		}
+		if ls[i].StashBytes < ls[i].OutActBytes {
+			ls[i].StashBytes = ls[i].OutActBytes
+		}
+	}
+	w := &workload.Workload{Name: "prop", Layers: ls, BatchSize: batch,
+		SatSamples: float64(r.Intn(8)), OptimStateFactor: float64(r.Intn(3)), MaxPipelines: 4}
+	gpu := device.GPU{Name: "p", PeakFLOPs: 1e12, MemBytes: 64 << 30}
+	link := comm.Link{Name: "p", Latency: 0, BytesPerSec: 125e6 * float64(1+r.Intn(8))}
+	c := cluster.New(1, k, gpu, link, link)
+	// Pick a micro count dividing the batch.
+	divs := []int{}
+	for d := 1; d <= batch; d++ {
+		if batch%d == 0 {
+			divs = append(divs, d)
+		}
+	}
+	m := divs[r.Intn(len(divs))]
+	stages := make([]workload.Stage, k)
+	per := layers / k
+	for s := 0; s < k; s++ {
+		last := (s+1)*per - 1
+		if s == k-1 {
+			last = layers - 1
+		}
+		stages[s] = w.MakeStage(s*per, last)
+	}
+	n := 1 + r.Intn(3)
+	batches := 1 + r.Intn(2)
+	return Config{Workload: w, Cluster: c, Stages: stages, Micro: m,
+		Pipelines: n, Batches: batches}, k
+}
+
+// Property: for every generator and random fixture, the simulation
+// conserves time (busy + idle = makespan on every GPU), produces positive
+// busy time, and keeps utilization within [0, 1].
+func TestPropSimulationInvariants(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		cfg, k := randomFixture(r)
+		gens := []func(k, m, b int) *sched.Schedule{
+			sched.AFAB, sched.OneFOneB, sched.PipeDream, sched.PipeDream2BW,
+		}
+		cfg.Schedule = gens[r.Intn(len(gens))](k, cfg.Micro, cfg.Batches)
+		res, err := Run(cfg)
+		if err != nil {
+			t.Log(err)
+			return false
+		}
+		for g, st := range res.PerGPU {
+			if st.Busy <= 0 {
+				t.Logf("gpu %d: no busy time", g)
+				return false
+			}
+			if math.Abs(st.Busy+st.Bubble+st.CommBlocked-res.Makespan) > 1e-9 {
+				t.Logf("gpu %d: time not conserved", g)
+				return false
+			}
+			if st.PeakUtil <= 0 || st.PeakUtil > 1 {
+				t.Logf("gpu %d: bad util %v", g, st.PeakUtil)
+				return false
+			}
+			if st.Memory.Total() <= 0 {
+				t.Logf("gpu %d: no memory", g)
+				return false
+			}
+		}
+		return res.BatchTime > 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: AFAB's makespan never beats the pipeline-ideal lower bound
+// (bottleneck stage work), and adding pipelines never reduces the
+// per-iteration makespan.
+func TestPropMakespanBounds(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		cfg, k := randomFixture(r)
+		cfg.Pipelines = 1
+		cfg.Batches = 1
+		cfg.Schedule = sched.AFAB(k, cfg.Micro, 1)
+		one, err := Run(cfg)
+		if err != nil {
+			return false
+		}
+		// Lower bound: the bottleneck GPU's total compute.
+		var bound float64
+		for _, st := range one.PerGPU {
+			if st.Busy > bound {
+				bound = st.Busy
+			}
+		}
+		if one.Makespan < bound-1e-9 {
+			t.Logf("makespan %v below bottleneck busy %v", one.Makespan, bound)
+			return false
+		}
+		two := cfg
+		two.Pipelines = 2
+		res2, err := Run(two)
+		if err != nil {
+			return false
+		}
+		// Doubling the work cannot make the iteration much faster. (A few
+		// percent faster is legitimate: twice as many smaller units
+		// interleave more finely, hiding ramp and transfer latency.)
+		if res2.Makespan < 0.95*one.Makespan {
+			t.Logf("2 pipelines finished an iteration much faster than 1: %v vs %v", res2.Makespan, one.Makespan)
+			return false
+		}
+		// Per data batch, 2 pipelines must not be much worse than 2x (a
+		// small overshoot is possible from interleaving friction in the
+		// merged per-GPU op order).
+		return res2.Makespan <= 2.25*one.Makespan
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: expanded schedules remain valid and scale op counts by N.
+func TestPropExpandSchedule(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		k := 1 + r.Intn(5)
+		m := 1 + r.Intn(8)
+		n := 1 + r.Intn(4)
+		s := sched.OneFOneB(k, m, 1)
+		e := expandSchedule(s, n)
+		if err := e.Validate(); err != nil {
+			t.Log(err)
+			return false
+		}
+		for g := range e.PerGPU {
+			if len(e.PerGPU[g]) != n*len(s.PerGPU[g]) {
+				return false
+			}
+		}
+		// In-flight bound scales by exactly N.
+		orig := s.MaxInFlight()
+		exp := e.MaxInFlight()
+		for g := range orig {
+			if exp[g] != n*orig[g] {
+				t.Logf("gpu %d inflight %d, want %d", g, exp[g], n*orig[g])
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: memory accounting is monotone in pipelines and versions.
+func TestPropMemoryMonotonicity(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		cfg, k := randomFixture(r)
+		cfg.Pipelines = 1
+		cfg.Schedule = sched.OneFOneB(k, cfg.Micro, cfg.Batches)
+		one, err := Run(cfg)
+		if err != nil {
+			return false
+		}
+		cfg2 := cfg
+		cfg2.Pipelines = 2
+		two, err := Run(cfg2)
+		if err != nil {
+			return false
+		}
+		if two.PeakMemory() <= one.PeakMemory() {
+			return false
+		}
+		pd := cfg
+		pd.Schedule = sched.PipeDream(k, cfg.Micro, cfg.Batches)
+		pdr, err := Run(pd)
+		if err != nil {
+			return false
+		}
+		// Multi-version weights cannot be cheaper than single-version.
+		return pdr.PerGPU[0].Memory.Weights >= one.PerGPU[0].Memory.Weights
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

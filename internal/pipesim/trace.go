@@ -1,0 +1,56 @@
+package pipesim
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// traceEvent is one Chrome-trace "complete" event (the chrome://tracing
+// and Perfetto JSON format).
+type traceEvent struct {
+	Name  string         `json:"name"`
+	Cat   string         `json:"cat"`
+	Phase string         `json:"ph"`
+	TS    float64        `json:"ts"`  // microseconds
+	Dur   float64        `json:"dur"` // microseconds
+	PID   int            `json:"pid"`
+	TID   int            `json:"tid"`
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+// WriteTrace renders the simulation's per-GPU timelines as a Chrome trace
+// (load in chrome://tracing or ui.perfetto.dev). Each GPU is a track;
+// busy intervals become spans, annotated with the utilization level, and
+// the gaps read directly as bubbles/communication stalls.
+func (r *Result) WriteTrace(w io.Writer) error {
+	var events []traceEvent
+	for g, st := range r.PerGPU {
+		events = append(events, traceEvent{
+			Name: "thread_name", Cat: "__metadata", Phase: "M",
+			PID: 1, TID: g + 1,
+			Args: map[string]any{"name": fmt.Sprintf("GPU %d", g+1)},
+		})
+		for i, iv := range st.Timeline {
+			events = append(events, traceEvent{
+				Name:  fmt.Sprintf("op %d", i),
+				Cat:   "compute",
+				Phase: "X",
+				TS:    iv.Start * 1e6,
+				Dur:   (iv.End - iv.Start) * 1e6,
+				PID:   1,
+				TID:   g + 1,
+				Args:  map[string]any{"util": iv.Util},
+			})
+		}
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(map[string]any{
+		"traceEvents":     events,
+		"displayTimeUnit": "ms",
+		"otherData": map[string]any{
+			"batchTime_s": r.BatchTime,
+			"makespan_s":  r.Makespan,
+		},
+	})
+}

@@ -1,0 +1,221 @@
+package sched
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestAFABOrder(t *testing.T) {
+	s := AFAB(2, 3, 1)
+	want := "F1 F2 F3 B1 B2 B3"
+	if got := opsString(s.PerGPU[0]); got != want {
+		t.Fatalf("AFAB GPU0: %q, want %q", got, want)
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func opsString(ops []Op) string {
+	out := ""
+	for i, o := range ops {
+		if i > 0 {
+			out += " "
+		}
+		out += o.String()
+	}
+	return out
+}
+
+func TestOneFOneBMatchesPaperFigure7b(t *testing.T) {
+	// K=2, M=4 (Fig. 7b): GPU1 warms up 2, GPU2 warms up 1.
+	s := OneFOneB(2, 4, 1)
+	if got, want := opsString(s.PerGPU[0]), "F1 F2 B1 F3 B2 F4 B3 B4"; got != want {
+		t.Fatalf("GPU1: %q, want %q", got, want)
+	}
+	if got, want := opsString(s.PerGPU[1]), "F1 B1 F2 B2 F3 B3 F4 B4"; got != want {
+		t.Fatalf("GPU2: %q, want %q", got, want)
+	}
+}
+
+func TestAFPMatchesPaperFigure7c(t *testing.T) {
+	// K=2, M=4, one advance forward on GPU1 (Fig. 7c).
+	s := AFP(2, 4, 1, []int{1, 0})
+	if got, want := opsString(s.PerGPU[0]), "F1 F2 F3 B1 F4 B2 B3 B4"; got != want {
+		t.Fatalf("GPU1: %q, want %q", got, want)
+	}
+	if got, want := opsString(s.PerGPU[1]), "F1 B1 F2 B2 F3 B3 F4 B4"; got != want {
+		t.Fatalf("GPU2: %q, want %q", got, want)
+	}
+}
+
+func TestAFPDegeneratesTo1F1BAndAFAB(t *testing.T) {
+	// §4.2: advance 0 == 1F1B; advance ≥ M-(K-s) == AFAB.
+	k, m := 4, 8
+	zero := AFP(k, m, 1, make([]int, k))
+	ofob := OneFOneB(k, m, 1)
+	for s := 0; s < k; s++ {
+		if opsString(zero.PerGPU[s]) != opsString(ofob.PerGPU[s]) {
+			t.Fatalf("AFP(0) != 1F1B on stage %d", s)
+		}
+	}
+	full := make([]int, k)
+	for s := 0; s < k; s++ {
+		full[s] = m // more than enough
+	}
+	afp := AFP(k, m, 1, full)
+	afab := AFAB(k, m, 1)
+	for s := 0; s < k; s++ {
+		if opsString(afp.PerGPU[s]) != opsString(afab.PerGPU[s]) {
+			t.Fatalf("AFP(max) != AFAB on stage %d", s)
+		}
+	}
+}
+
+func TestMaxInFlightMatchesPaperStash(t *testing.T) {
+	// 1F1B: stage s stashes K−s micro-batches (K−k+1 in the paper's
+	// 1-indexed notation).
+	k, m := 4, 8
+	s := OneFOneB(k, m, 1)
+	for st, got := range s.MaxInFlight() {
+		if want := k - st; got != want {
+			t.Fatalf("1F1B stage %d stash %d, want %d", st, got, want)
+		}
+	}
+	// AFAB stashes all M everywhere.
+	for st, got := range AFAB(k, m, 1).MaxInFlight() {
+		if got != m {
+			t.Fatalf("AFAB stage %d stash %d, want %d", st, got, m)
+		}
+	}
+	// Fig. 7c: AFP with advance 1 on GPU 1 stashes 3 of 4.
+	afp := AFP(2, 4, 1, []int{1, 0})
+	fl := afp.MaxInFlight()
+	if fl[0] != 3 || fl[1] != 1 {
+		t.Fatalf("AFP stash %v, want [3 1]", fl)
+	}
+}
+
+func TestPipeDreamContinuous(t *testing.T) {
+	s := PipeDream(3, 4, 2)
+	if !s.Continuous {
+		t.Fatal("PipeDream must be continuous")
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// 8 micros total per GPU, warmup only once.
+	if got := len(s.PerGPU[0]); got != 16 {
+		t.Fatalf("GPU0 ops %d, want 16", got)
+	}
+	// Versions: stage 0 of K=3 keeps 3; last keeps 1.
+	if s.WeightVersions(0, 3) != 3 || s.WeightVersions(2, 3) != 1 {
+		t.Fatal("PipeDream version counts")
+	}
+	// In-flight on stage 0 stays bounded at K despite 2 batches (no
+	// flush, steady state).
+	if fl := s.MaxInFlight()[0]; fl != 3 {
+		t.Fatalf("PipeDream stage 0 in-flight %d, want 3", fl)
+	}
+}
+
+func TestPipeDream2BWVersions(t *testing.T) {
+	s := PipeDream2BW(4, 4, 1)
+	for st := 0; st < 4; st++ {
+		if s.WeightVersions(st, 4) != 2 {
+			t.Fatal("2BW must keep exactly 2 versions")
+		}
+	}
+}
+
+func TestNamedVariants(t *testing.T) {
+	if GPipe(2, 2, 1).Name != "GPipe" || Dapple(2, 2, 1).Name != "Dapple" {
+		t.Fatal("names")
+	}
+	// Dapple ≡ 1F1B op-wise.
+	d, o := Dapple(3, 5, 1), OneFOneB(3, 5, 1)
+	for s := range d.PerGPU {
+		if opsString(d.PerGPU[s]) != opsString(o.PerGPU[s]) {
+			t.Fatal("Dapple must emit 1F1B ops")
+		}
+	}
+}
+
+func TestMultiBatchFlushKeepsBatchOrder(t *testing.T) {
+	s := OneFOneB(2, 3, 2)
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// All batch-0 micros (0..2) must precede batch-1 micros (3..5) on
+	// every GPU for a flushed schedule.
+	for k, ops := range s.PerGPU {
+		seenBatch1 := false
+		for _, op := range ops {
+			if op.Micro >= 3 {
+				seenBatch1 = true
+			} else if seenBatch1 {
+				t.Fatalf("GPU %d interleaves batches in a flushed schedule", k)
+			}
+		}
+	}
+}
+
+func TestValidateCatchesCorruption(t *testing.T) {
+	s := AFAB(2, 2, 1)
+	s.PerGPU[0][0], s.PerGPU[0][2] = s.PerGPU[0][2], s.PerGPU[0][0] // B1 before F1
+	if err := s.Validate(); err == nil {
+		t.Fatal("expected validation error")
+	}
+	s2 := AFAB(2, 2, 1)
+	s2.PerGPU[1] = s2.PerGPU[1][:3] // missing a backward
+	if err := s2.Validate(); err == nil {
+		t.Fatal("expected validation error for missing op")
+	}
+}
+
+// Property: every generator yields a valid schedule with the documented
+// stash bound for arbitrary small (K, M, advance).
+func TestPropSchedulesValid(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		k := 1 + r.Intn(6)
+		m := 1 + r.Intn(12)
+		batches := 1 + r.Intn(3)
+		adv := make([]int, k)
+		for i := range adv {
+			adv[i] = r.Intn(m + 2)
+		}
+		for _, s := range []*Schedule{
+			AFAB(k, m, batches), OneFOneB(k, m, batches), AFP(k, m, batches, adv),
+			PipeDream(k, m, batches), PipeDream2BW(k, m, batches),
+		} {
+			if err := s.Validate(); err != nil {
+				t.Log(err)
+				return false
+			}
+			for st, fl := range s.MaxInFlight() {
+				if fl > m*batches {
+					t.Logf("%s stage %d in-flight %d exceeds total micros", s.Name, st, fl)
+					return false
+				}
+			}
+		}
+		// AFP stash bound: min(M, K-s+advance[s]) per batch.
+		afp := AFP(k, m, batches, adv)
+		for st, fl := range afp.MaxInFlight() {
+			want := k - st + adv[st]
+			if want > m {
+				want = m
+			}
+			if fl != want {
+				t.Logf("AFP stage %d in-flight %d, want %d", st, fl, want)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

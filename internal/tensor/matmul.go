@@ -1,0 +1,148 @@
+package tensor
+
+import "fmt"
+
+// matmulBlock is the cache-blocking factor for the inner kernels. 64
+// float32s per row segment keeps three blocks comfortably inside L1.
+const matmulBlock = 64
+
+// MatMul returns a @ b for 2-D tensors: (m,k) x (k,n) -> (m,n).
+// Rows of the output are computed in parallel; the inner loops are blocked
+// over k so each B panel is reused while hot in cache.
+func MatMul(a, b *Tensor) *Tensor {
+	if len(a.shape) != 2 || len(b.shape) != 2 || a.shape[1] != b.shape[0] {
+		panic(fmt.Sprintf("tensor: MatMul shapes %v x %v", a.shape, b.shape))
+	}
+	m, k, n := a.shape[0], a.shape[1], b.shape[1]
+	out := New(m, n)
+	ParallelFor(m, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			arow := a.data[i*k : (i+1)*k]
+			orow := out.data[i*n : (i+1)*n]
+			for p0 := 0; p0 < k; p0 += matmulBlock {
+				p1 := p0 + matmulBlock
+				if p1 > k {
+					p1 = k
+				}
+				for p := p0; p < p1; p++ {
+					av := arow[p]
+					if av == 0 {
+						continue
+					}
+					brow := b.data[p*n : (p+1)*n]
+					for j := 0; j < n; j++ {
+						orow[j] += av * brow[j]
+					}
+				}
+			}
+		}
+	})
+	return out
+}
+
+// MatMulTransB returns a @ bᵀ: (m,k) x (n,k) -> (m,n). Used by backward
+// passes to avoid materializing transposes.
+func MatMulTransB(a, b *Tensor) *Tensor {
+	if len(a.shape) != 2 || len(b.shape) != 2 || a.shape[1] != b.shape[1] {
+		panic(fmt.Sprintf("tensor: MatMulTransB shapes %v x %vᵀ", a.shape, b.shape))
+	}
+	m, k, n := a.shape[0], a.shape[1], b.shape[0]
+	out := New(m, n)
+	ParallelFor(m, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			arow := a.data[i*k : (i+1)*k]
+			orow := out.data[i*n : (i+1)*n]
+			for j := 0; j < n; j++ {
+				brow := b.data[j*k : (j+1)*k]
+				var sum float32
+				for p := 0; p < k; p++ {
+					sum += arow[p] * brow[p]
+				}
+				orow[j] = sum
+			}
+		}
+	})
+	return out
+}
+
+// MatMulTransA returns aᵀ @ b: (k,m) x (k,n) -> (m,n). Used to accumulate
+// weight gradients (xᵀ @ dy) without materializing transposes.
+func MatMulTransA(a, b *Tensor) *Tensor {
+	if len(a.shape) != 2 || len(b.shape) != 2 || a.shape[0] != b.shape[0] {
+		panic(fmt.Sprintf("tensor: MatMulTransA shapes %vᵀ x %v", a.shape, b.shape))
+	}
+	k, m, n := a.shape[0], a.shape[1], b.shape[1]
+	out := New(m, n)
+	ParallelFor(m, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			orow := out.data[i*n : (i+1)*n]
+			for p := 0; p < k; p++ {
+				av := a.data[p*m+i]
+				if av == 0 {
+					continue
+				}
+				brow := b.data[p*n : (p+1)*n]
+				for j := 0; j < n; j++ {
+					orow[j] += av * brow[j]
+				}
+			}
+		}
+	})
+	return out
+}
+
+// Transpose2D returns the transpose of a 2-D tensor.
+func Transpose2D(t *Tensor) *Tensor {
+	if len(t.shape) != 2 {
+		panic("tensor: Transpose2D requires a 2-D tensor")
+	}
+	r, c := t.shape[0], t.shape[1]
+	out := New(c, r)
+	ParallelFor(r, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			for j := 0; j < c; j++ {
+				out.data[j*r+i] = t.data[i*c+j]
+			}
+		}
+	})
+	return out
+}
+
+// MatVec returns m @ v: (r,c) x (c) -> (r).
+func MatVec(m, v *Tensor) *Tensor {
+	if len(m.shape) != 2 || len(v.shape) != 1 || m.shape[1] != v.shape[0] {
+		panic(fmt.Sprintf("tensor: MatVec shapes %v x %v", m.shape, v.shape))
+	}
+	r, c := m.shape[0], m.shape[1]
+	out := New(r)
+	ParallelFor(r, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			row := m.data[i*c : (i+1)*c]
+			var sum float32
+			for j := 0; j < c; j++ {
+				sum += row[j] * v.data[j]
+			}
+			out.data[i] = sum
+		}
+	})
+	return out
+}
+
+// Outer returns the outer product of vectors a (m) and b (n) as (m,n).
+func Outer(a, b *Tensor) *Tensor {
+	if len(a.shape) != 1 || len(b.shape) != 1 {
+		panic("tensor: Outer requires 1-D tensors")
+	}
+	m, n := a.shape[0], b.shape[0]
+	out := New(m, n)
+	ParallelFor(m, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			av := a.data[i]
+			row := out.data[i*n : (i+1)*n]
+			for j := 0; j < n; j++ {
+				row[j] = av * b.data[j]
+			}
+		}
+	})
+	return out
+}

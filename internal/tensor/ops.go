@@ -1,0 +1,228 @@
+package tensor
+
+import (
+	"fmt"
+	"math"
+)
+
+// checkSameShape panics unless a and b have identical shapes.
+func checkSameShape(op string, a, b *Tensor) {
+	if !a.SameShape(b) {
+		panic(fmt.Sprintf("tensor: %s shape mismatch %v vs %v", op, a.shape, b.shape))
+	}
+}
+
+// Add returns a + b elementwise.
+func Add(a, b *Tensor) *Tensor {
+	checkSameShape("Add", a, b)
+	out := New(a.shape...)
+	ParallelFor(len(a.data), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			out.data[i] = a.data[i] + b.data[i]
+		}
+	})
+	return out
+}
+
+// Sub returns a - b elementwise.
+func Sub(a, b *Tensor) *Tensor {
+	checkSameShape("Sub", a, b)
+	out := New(a.shape...)
+	ParallelFor(len(a.data), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			out.data[i] = a.data[i] - b.data[i]
+		}
+	})
+	return out
+}
+
+// Mul returns the elementwise (Hadamard) product a * b.
+func Mul(a, b *Tensor) *Tensor {
+	checkSameShape("Mul", a, b)
+	out := New(a.shape...)
+	ParallelFor(len(a.data), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			out.data[i] = a.data[i] * b.data[i]
+		}
+	})
+	return out
+}
+
+// Div returns a / b elementwise.
+func Div(a, b *Tensor) *Tensor {
+	checkSameShape("Div", a, b)
+	out := New(a.shape...)
+	ParallelFor(len(a.data), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			out.data[i] = a.data[i] / b.data[i]
+		}
+	})
+	return out
+}
+
+// AddInPlace sets a += b elementwise and returns a.
+func (t *Tensor) AddInPlace(b *Tensor) *Tensor {
+	checkSameShape("AddInPlace", t, b)
+	ParallelFor(len(t.data), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			t.data[i] += b.data[i]
+		}
+	})
+	return t
+}
+
+// SubInPlace sets a -= b elementwise and returns a.
+func (t *Tensor) SubInPlace(b *Tensor) *Tensor {
+	checkSameShape("SubInPlace", t, b)
+	ParallelFor(len(t.data), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			t.data[i] -= b.data[i]
+		}
+	})
+	return t
+}
+
+// MulInPlace sets a *= b elementwise and returns a.
+func (t *Tensor) MulInPlace(b *Tensor) *Tensor {
+	checkSameShape("MulInPlace", t, b)
+	ParallelFor(len(t.data), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			t.data[i] *= b.data[i]
+		}
+	})
+	return t
+}
+
+// AxpyInPlace sets t += alpha * b elementwise and returns t. This is the
+// core update primitive for optimizers and elastic averaging.
+func (t *Tensor) AxpyInPlace(alpha float32, b *Tensor) *Tensor {
+	checkSameShape("AxpyInPlace", t, b)
+	ParallelFor(len(t.data), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			t.data[i] += alpha * b.data[i]
+		}
+	})
+	return t
+}
+
+// ScaleInPlace multiplies every element by alpha and returns t.
+func (t *Tensor) ScaleInPlace(alpha float32) *Tensor {
+	ParallelFor(len(t.data), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			t.data[i] *= alpha
+		}
+	})
+	return t
+}
+
+// Scale returns alpha * t as a new tensor.
+func Scale(alpha float32, t *Tensor) *Tensor {
+	out := New(t.shape...)
+	ParallelFor(len(t.data), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			out.data[i] = alpha * t.data[i]
+		}
+	})
+	return out
+}
+
+// AddScalar returns t + c elementwise.
+func AddScalar(t *Tensor, c float32) *Tensor {
+	out := New(t.shape...)
+	ParallelFor(len(t.data), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			out.data[i] = t.data[i] + c
+		}
+	})
+	return out
+}
+
+// Neg returns -t.
+func Neg(t *Tensor) *Tensor { return Scale(-1, t) }
+
+// Apply returns f mapped over every element of t.
+func Apply(t *Tensor, f func(float32) float32) *Tensor {
+	out := New(t.shape...)
+	ParallelFor(len(t.data), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			out.data[i] = f(t.data[i])
+		}
+	})
+	return out
+}
+
+// Tanh returns tanh applied elementwise.
+func Tanh(t *Tensor) *Tensor {
+	return Apply(t, func(x float32) float32 { return float32(math.Tanh(float64(x))) })
+}
+
+// Sigmoid returns the logistic function applied elementwise.
+func Sigmoid(t *Tensor) *Tensor {
+	return Apply(t, func(x float32) float32 {
+		return float32(1 / (1 + math.Exp(-float64(x))))
+	})
+}
+
+// ReLU returns max(x, 0) elementwise.
+func ReLU(t *Tensor) *Tensor {
+	return Apply(t, func(x float32) float32 {
+		if x > 0 {
+			return x
+		}
+		return 0
+	})
+}
+
+// Exp returns e^x elementwise.
+func Exp(t *Tensor) *Tensor {
+	return Apply(t, func(x float32) float32 { return float32(math.Exp(float64(x))) })
+}
+
+// Log returns ln(x) elementwise.
+func Log(t *Tensor) *Tensor {
+	return Apply(t, func(x float32) float32 { return float32(math.Log(float64(x))) })
+}
+
+// Sqrt returns the elementwise square root.
+func Sqrt(t *Tensor) *Tensor {
+	return Apply(t, func(x float32) float32 { return float32(math.Sqrt(float64(x))) })
+}
+
+// AddRowVector returns m with v added to every row. m is (rows, cols),
+// v is (cols). This is the bias-broadcast primitive.
+func AddRowVector(m, v *Tensor) *Tensor {
+	if len(m.shape) != 2 || len(v.shape) != 1 || m.shape[1] != v.shape[0] {
+		panic(fmt.Sprintf("tensor: AddRowVector shapes %v, %v", m.shape, v.shape))
+	}
+	rows, cols := m.shape[0], m.shape[1]
+	out := New(rows, cols)
+	ParallelFor(rows, func(lo, hi int) {
+		for r := lo; r < hi; r++ {
+			mr := m.data[r*cols : (r+1)*cols]
+			or := out.data[r*cols : (r+1)*cols]
+			for c := 0; c < cols; c++ {
+				or[c] = mr[c] + v.data[c]
+			}
+		}
+	})
+	return out
+}
+
+// MulRowVector returns m with each row multiplied elementwise by v.
+func MulRowVector(m, v *Tensor) *Tensor {
+	if len(m.shape) != 2 || len(v.shape) != 1 || m.shape[1] != v.shape[0] {
+		panic(fmt.Sprintf("tensor: MulRowVector shapes %v, %v", m.shape, v.shape))
+	}
+	rows, cols := m.shape[0], m.shape[1]
+	out := New(rows, cols)
+	ParallelFor(rows, func(lo, hi int) {
+		for r := lo; r < hi; r++ {
+			mr := m.data[r*cols : (r+1)*cols]
+			or := out.data[r*cols : (r+1)*cols]
+			for c := 0; c < cols; c++ {
+				or[c] = mr[c] * v.data[c]
+			}
+		}
+	})
+	return out
+}

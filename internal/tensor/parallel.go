@@ -1,0 +1,45 @@
+package tensor
+
+import (
+	"runtime"
+	"sync"
+)
+
+// parallelThreshold is the minimum element count before a kernel fans out
+// across goroutines; below it the scheduling overhead dominates.
+const parallelThreshold = 1 << 14
+
+// maxWorkers caps kernel parallelism at the machine's core count.
+var maxWorkers = runtime.GOMAXPROCS(0)
+
+// ParallelFor splits [0, n) into contiguous chunks and runs body on each
+// chunk concurrently. body receives the half-open range [lo, hi). It is the
+// single parallelism primitive for every tensor kernel, keeping work
+// distribution and thresholds in one place.
+func ParallelFor(n int, body func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	workers := maxWorkers
+	if n < parallelThreshold || workers <= 1 {
+		body(0, n)
+		return
+	}
+	if workers > n {
+		workers = n
+	}
+	chunk := (n + workers - 1) / workers
+	var wg sync.WaitGroup
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			body(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}

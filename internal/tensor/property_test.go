@@ -1,0 +1,214 @@
+package tensor
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// smallTensor draws a random tensor with bounded shape and values so that
+// float32 round-off stays well inside the comparison tolerances.
+func smallTensor(r *rand.Rand, rows, cols int) *Tensor {
+	t := New(rows, cols)
+	for i := range t.data {
+		t.data[i] = float32(r.NormFloat64())
+	}
+	return t
+}
+
+func tensorsClose(a, b *Tensor, tol float64) bool {
+	if !a.SameShape(b) {
+		return false
+	}
+	for i := range a.data {
+		if math.Abs(float64(a.data[i]-b.data[i])) > tol {
+			return false
+		}
+	}
+	return true
+}
+
+func quickCfg() *quick.Config {
+	return &quick.Config{
+		MaxCount: 50,
+		Values:   nil,
+	}
+}
+
+// Property: addition is commutative and associative (within float tolerance).
+func TestPropAddCommutativeAssociative(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		rows, cols := 1+r.Intn(8), 1+r.Intn(8)
+		a, b, c := smallTensor(r, rows, cols), smallTensor(r, rows, cols), smallTensor(r, rows, cols)
+		if !tensorsClose(Add(a, b), Add(b, a), 1e-6) {
+			return false
+		}
+		return tensorsClose(Add(Add(a, b), c), Add(a, Add(b, c)), 1e-5)
+	}
+	if err := quick.Check(f, quickCfg()); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: a - a = 0 and a + (-a) = 0.
+func TestPropAdditiveInverse(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a := smallTensor(r, 1+r.Intn(8), 1+r.Intn(8))
+		zero := New(a.shape...)
+		return tensorsClose(Sub(a, a), zero, 0) && tensorsClose(Add(a, Neg(a)), zero, 0)
+	}
+	if err := quick.Check(f, quickCfg()); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: scaling distributes over addition: s*(a+b) = s*a + s*b.
+func TestPropScaleDistributes(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		rows, cols := 1+r.Intn(8), 1+r.Intn(8)
+		a, b := smallTensor(r, rows, cols), smallTensor(r, rows, cols)
+		s := float32(r.NormFloat64())
+		return tensorsClose(Scale(s, Add(a, b)), Add(Scale(s, a), Scale(s, b)), 1e-4)
+	}
+	if err := quick.Check(f, quickCfg()); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: MatMul distributes over addition: A(B+C) = AB + AC.
+func TestPropMatMulDistributes(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		m, k, n := 1+r.Intn(6), 1+r.Intn(6), 1+r.Intn(6)
+		a := smallTensor(r, m, k)
+		b := smallTensor(r, k, n)
+		c := smallTensor(r, k, n)
+		left := MatMul(a, Add(b, c))
+		right := Add(MatMul(a, b), MatMul(a, c))
+		return tensorsClose(left, right, 1e-4)
+	}
+	if err := quick.Check(f, quickCfg()); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: (AB)ᵀ = BᵀAᵀ.
+func TestPropTransposeOfProduct(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		m, k, n := 1+r.Intn(6), 1+r.Intn(6), 1+r.Intn(6)
+		a := smallTensor(r, m, k)
+		b := smallTensor(r, k, n)
+		left := Transpose2D(MatMul(a, b))
+		right := MatMul(Transpose2D(b), Transpose2D(a))
+		return tensorsClose(left, right, 1e-4)
+	}
+	if err := quick.Check(f, quickCfg()); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: double transpose is the identity.
+func TestPropTransposeInvolution(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a := smallTensor(r, 1+r.Intn(8), 1+r.Intn(8))
+		return tensorsClose(Transpose2D(Transpose2D(a)), a, 0)
+	}
+	if err := quick.Check(f, quickCfg()); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: softmax rows are positive and sum to one, and argmax is
+// preserved from the logits.
+func TestPropSoftmaxSimplex(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		rows, cols := 1+r.Intn(6), 2+r.Intn(6)
+		x := smallTensor(r, rows, cols)
+		s := SoftmaxRows(x)
+		am, as := ArgMaxRows(x), ArgMaxRows(s)
+		for i := 0; i < rows; i++ {
+			var sum float64
+			for j := 0; j < cols; j++ {
+				v := float64(s.At(i, j))
+				if v <= 0 || v > 1 {
+					return false
+				}
+				sum += v
+			}
+			if math.Abs(sum-1) > 1e-5 {
+				return false
+			}
+			if am[i] != as[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, quickCfg()); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Gather then ScatterAdd of a one-hot-selected gradient
+// accumulates exactly the selection counts.
+func TestPropGatherScatterAdjoint(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		vocab, d, n := 2+r.Intn(8), 1+r.Intn(5), 1+r.Intn(10)
+		table := smallTensor(r, vocab, d)
+		idx := make([]int, n)
+		counts := make([]int, vocab)
+		for i := range idx {
+			idx[i] = r.Intn(vocab)
+			counts[idx[i]]++
+		}
+		// <Gather(T, idx), G> must equal <T, ScatterAdd(idx, G)> — the
+		// adjoint property that makes embedding backward correct.
+		g := smallTensor(r, n, d)
+		lhs := Dot(Gather(table, idx), g)
+		adj := New(vocab, d)
+		ScatterAddRows(adj, idx, g)
+		rhs := Dot(table, adj)
+		return math.Abs(lhs-rhs) <= 1e-3*(1+math.Abs(lhs))
+	}
+	if err := quick.Check(f, quickCfg()); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: SumRows(x) equals MatVec(xᵀ, ones).
+func TestPropSumRowsMatchesMatVec(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		rows, cols := 1+r.Intn(8), 1+r.Intn(8)
+		x := smallTensor(r, rows, cols)
+		viaMatVec := MatVec(Transpose2D(x), Ones(rows))
+		return tensorsClose(SumRows(x), viaMatVec, 1e-4)
+	}
+	if err := quick.Check(f, quickCfg()); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Axpy matches its definitional expansion.
+func TestPropAxpyDefinition(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		rows, cols := 1+r.Intn(8), 1+r.Intn(8)
+		a, b := smallTensor(r, rows, cols), smallTensor(r, rows, cols)
+		alpha := float32(r.NormFloat64())
+		want := Add(a, Scale(alpha, b))
+		got := a.Clone().AxpyInPlace(alpha, b)
+		return tensorsClose(got, want, 1e-5)
+	}
+	if err := quick.Check(f, quickCfg()); err != nil {
+		t.Error(err)
+	}
+}

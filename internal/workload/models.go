@@ -1,0 +1,164 @@
+package workload
+
+import (
+	"avgpipe/internal/data"
+	"avgpipe/internal/nn"
+	"avgpipe/internal/tensor"
+)
+
+// Task pairs a scaled-down real model with its synthetic dataset and a
+// convergence target, for the statistical-efficiency experiments
+// (Fig. 14) where actual training — not a cost model — is required.
+type Task struct {
+	Name string
+	// NewModel builds a freshly initialized model; distinct seeds give
+	// distinct replicas for parallel pipelines.
+	NewModel func(seed int64) *nn.Sequential
+	// NewGen builds the data stream.
+	NewGen func(seed int64) data.Generator
+	// PerPosition is true when targets are per sequence position
+	// (translation, language modeling) rather than per sequence.
+	PerPosition bool
+	// TargetAccuracy, if > 0, is the eval accuracy that counts as
+	// converged; otherwise TargetLoss is the eval loss to reach.
+	TargetAccuracy float64
+	TargetLoss     float64
+	// LR is the base learning rate used with Adam (translation,
+	// classification) or SGD (language modeling).
+	LR float64
+	// UseSGD selects plain SGD (the AWD workload trains with SGD/ASGD).
+	UseSGD bool
+	// BatchSize is the per-pipeline batch size.
+	BatchSize int
+}
+
+// Reached reports whether the given eval metrics meet the task target.
+func (t *Task) Reached(loss, acc float64) bool {
+	if t.TargetAccuracy > 0 {
+		return acc >= t.TargetAccuracy
+	}
+	return loss <= t.TargetLoss
+}
+
+// TranslationTask is the scaled-down GNMT analog: LSTM transduction that
+// must reverse its input sequence. Token accuracy stands in for BLEU.
+func TranslationTask() *Task {
+	const (
+		vocab  = 10
+		seqLen = 5
+		dim    = 48
+	)
+	return &Task{
+		Name: "translation",
+		NewModel: func(seed int64) *nn.Sequential {
+			g := tensor.NewRNG(seed)
+			return nn.NewSequential(
+				nn.NewEmbedding(g, vocab, dim),
+				nn.NewLSTM(g, dim, dim, seqLen),
+				nn.NewLSTM(g, dim, dim, seqLen),
+				nn.NewLinear(g, dim, vocab),
+			)
+		},
+		NewGen: func(seed int64) data.Generator {
+			return data.NewTranslationTask(seed, vocab, seqLen, 128)
+		},
+		PerPosition:    true,
+		TargetAccuracy: 0.55,
+		LR:             5e-3,
+		BatchSize:      32,
+	}
+}
+
+// ClassificationTask is the scaled-down BERT/QQP analog: a transformer
+// pair classifier targeting binary accuracy.
+func ClassificationTask() *Task {
+	const (
+		vocab   = 16
+		halfLen = 4
+		seqLen  = 2 * halfLen
+		dim     = 32
+		heads   = 4
+		ffDim   = 64
+	)
+	return &Task{
+		Name: "classification",
+		NewModel: func(seed int64) *nn.Sequential {
+			g := tensor.NewRNG(seed)
+			return nn.NewSequential(
+				nn.NewEmbedding(g, vocab, dim),
+				nn.NewTransformerEncoderLayer(g, dim, heads, ffDim, seqLen),
+				nn.NewTransformerEncoderLayer(g, dim, heads, ffDim, seqLen),
+				&nn.MeanPoolTime{SeqLen: seqLen},
+				nn.NewLinear(g, dim, 2),
+			)
+		},
+		NewGen: func(seed int64) data.Generator {
+			return data.NewPairClassificationTask(seed, vocab, halfLen, 128)
+		},
+		PerPosition:    false,
+		TargetAccuracy: 0.85,
+		LR:             1e-3,
+		BatchSize:      32,
+	}
+}
+
+// LangModelTask is the scaled-down AWD analog: a weight-dropped LSTM
+// language model over a Markov chain, targeting a validation loss.
+func LangModelTask() *Task {
+	const (
+		vocab  = 16
+		seqLen = 10
+		dim    = 32
+	)
+	return &Task{
+		Name: "langmodel",
+		NewModel: func(seed int64) *nn.Sequential {
+			g := tensor.NewRNG(seed)
+			l1 := nn.NewLSTM(g, dim, dim, seqLen)
+			l1.RecurrentDropP = 0.1
+			l2 := nn.NewLSTM(g, dim, dim, seqLen)
+			return nn.NewSequential(
+				nn.NewEmbedding(g, vocab, dim),
+				l1,
+				l2,
+				nn.NewLinear(g, dim, vocab),
+			)
+		},
+		NewGen: func(seed int64) data.Generator {
+			return data.NewLanguageModelTask(seed, vocab, seqLen, 128)
+		},
+		PerPosition: true,
+		// The synthetic Markov chain has ≈1.83 nats of transition entropy,
+		// so 2.0 is a demanding but reachable validation-loss target.
+		TargetLoss: 2.0,
+		LR:         8,
+		UseSGD:     true,
+		BatchSize:  32,
+	}
+}
+
+// Tasks returns the three statistical-efficiency tasks in paper order.
+func Tasks() []*Task {
+	return []*Task{TranslationTask(), ClassificationTask(), LangModelTask()}
+}
+
+// Evaluate runs the model on the batch in eval mode and returns mean
+// cross-entropy loss and accuracy.
+func Evaluate(m *nn.Sequential, b *data.Batch, perPosition bool) (loss, acc float64) {
+	ctx := nn.NewContext()
+	logits := m.Forward(ctx, b.X, false)
+	loss, _ = nn.CrossEntropy(logits, b.Targets)
+	acc = nn.Accuracy(logits, b.Targets)
+	return loss, acc
+}
+
+// TrainStep runs one forward/backward over the batch and returns the loss.
+// Gradients accumulate into the model's params; the caller owns the
+// optimizer step and gradient clearing.
+func TrainStep(m *nn.Sequential, b *data.Batch) float64 {
+	ctx := nn.NewContext()
+	logits := m.Forward(ctx, b.X, true)
+	loss, dlogits := nn.CrossEntropy(logits, b.Targets)
+	m.Backward(ctx, dlogits)
+	return loss
+}

@@ -1,0 +1,149 @@
+package workload
+
+import (
+	"testing"
+
+	"avgpipe/internal/nn"
+	"avgpipe/internal/optim"
+	"avgpipe/internal/tensor"
+)
+
+func TestCostModelsWellFormed(t *testing.T) {
+	for _, w := range All() {
+		if len(w.Layers) < 3 {
+			t.Fatalf("%s: too few layers", w.Name)
+		}
+		for _, l := range w.Layers {
+			if l.FwdFLOPs <= 0 || l.BwdFLOPs < l.FwdFLOPs {
+				t.Fatalf("%s/%s: bad FLOPs fwd=%v bwd=%v", w.Name, l.Name, l.FwdFLOPs, l.BwdFLOPs)
+			}
+			if l.ParamBytes <= 0 || l.OutActBytes <= 0 || l.StashBytes < l.OutActBytes {
+				t.Fatalf("%s/%s: bad bytes", w.Name, l.Name)
+			}
+		}
+		if w.BatchSize <= 0 || w.SatSamples <= 0 || w.MaxPipelines < 2 {
+			t.Fatalf("%s: bad config", w.Name)
+		}
+		if w.Cluster().Size() < 2 {
+			t.Fatalf("%s: degenerate cluster", w.Name)
+		}
+	}
+}
+
+func TestGNMTScale(t *testing.T) {
+	w := GNMT()
+	// GNMT-class models are hundreds of MB of parameters and ~10 GFLOPs
+	// of forward compute per sample.
+	pb := w.TotalParamBytes()
+	if pb < 200<<20 || pb > 2<<30 {
+		t.Fatalf("GNMT params %d bytes implausible", pb)
+	}
+	if f := w.TotalFwdFLOPs(); f < 5e9 || f > 1e11 {
+		t.Fatalf("GNMT fwd FLOPs %v implausible", f)
+	}
+}
+
+func TestBERTScale(t *testing.T) {
+	w := BERT()
+	pb := w.TotalParamBytes()
+	// BERT-large is ~330M params ≈ 1.3 GB.
+	if pb < 800<<20 || pb > 3<<30 {
+		t.Fatalf("BERT params %d bytes implausible", pb)
+	}
+}
+
+func TestAWDSmallerThanOthers(t *testing.T) {
+	awd, gnmt, bert := AWD(), GNMT(), BERT()
+	if awd.TotalParamBytes() >= gnmt.TotalParamBytes() || awd.TotalParamBytes() >= bert.TotalParamBytes() {
+		t.Fatal("AWD must be the small workload")
+	}
+	if awd.Cluster().Size() != 4 {
+		t.Fatal("AWD runs on 4 GPUs of two nodes")
+	}
+}
+
+func TestMakeStageAggregates(t *testing.T) {
+	w := GNMT()
+	full := w.MakeStage(0, len(w.Layers)-1)
+	if full.FwdFLOPs != w.TotalFwdFLOPs() {
+		t.Fatal("full stage must sum all FLOPs")
+	}
+	if full.ParamBytes != w.TotalParamBytes() {
+		t.Fatal("full stage must sum all params")
+	}
+	a := w.MakeStage(0, 3)
+	b := w.MakeStage(4, len(w.Layers)-1)
+	if a.FwdFLOPs+b.FwdFLOPs != full.FwdFLOPs {
+		t.Fatal("stage split must conserve FLOPs")
+	}
+	if a.OutActBytes != w.Layers[3].OutActBytes {
+		t.Fatal("stage boundary activation must be the last layer's output")
+	}
+}
+
+func TestMakeStageBounds(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	GNMT().MakeStage(5, 3)
+}
+
+func TestTasksTrainable(t *testing.T) {
+	// Each statistical-efficiency task must make real progress within a
+	// few batches of single-model training (the integration smoke test
+	// for model+data pairing; full convergence is exercised in the
+	// Fig. 14 experiment).
+	for _, task := range Tasks() {
+		task := task
+		t.Run(task.Name, func(t *testing.T) {
+			m := task.NewModel(1)
+			gen := task.NewGen(2)
+			var opt optim.Optimizer
+			if task.UseSGD {
+				opt = optim.NewSGD(task.LR)
+			} else {
+				opt = optim.NewAdam(task.LR)
+			}
+			eval := gen.EvalBatch()
+			loss0, _ := Evaluate(m, eval, task.PerPosition)
+			for i := 0; i < 100; i++ {
+				b := gen.NextBatch(task.BatchSize)
+				TrainStep(m, b)
+				optim.ClipGradNorm(m.Params(), 5)
+				opt.Step(m.Params())
+				nn.ZeroGrads(m.Params())
+			}
+			loss1, _ := Evaluate(m, eval, task.PerPosition)
+			if loss1 >= loss0*0.98 {
+				t.Fatalf("no learning: loss %v -> %v", loss0, loss1)
+			}
+		})
+	}
+}
+
+func TestTaskReached(t *testing.T) {
+	acc := &Task{TargetAccuracy: 0.8}
+	if acc.Reached(10, 0.79) || !acc.Reached(10, 0.81) {
+		t.Fatal("accuracy target")
+	}
+	ls := &Task{TargetLoss: 1.5}
+	if ls.Reached(1.6, 0) || !ls.Reached(1.4, 0) {
+		t.Fatal("loss target")
+	}
+}
+
+func TestModelSeedsIndependent(t *testing.T) {
+	task := TranslationTask()
+	a := task.NewModel(1)
+	b := task.NewModel(2)
+	d := tensor.Sub(a.Params()[0].W, b.Params()[0].W)
+	if d.L2Norm() == 0 {
+		t.Fatal("different seeds must give different replicas")
+	}
+	c := task.NewModel(1)
+	if tensor.Sub(a.Params()[0].W, c.Params()[0].W).L2Norm() != 0 {
+		t.Fatal("same seed must reproduce the model")
+	}
+}
