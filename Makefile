@@ -1,0 +1,25 @@
+GO ?= go
+
+.PHONY: ci fmt vet build test race
+
+# ci is the full verification tier: formatting, static checks, build,
+# tests, and the race-detector pass over the concurrent packages.
+ci: fmt vet build test race
+
+fmt:
+	@out="$$(gofmt -l .)"; \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/core/... ./internal/comm/...

@@ -193,12 +193,42 @@ type Averager = core.Averager
 // NewAverager builds the framework around an initial parameter set.
 func NewAverager(n int, init []*Param) *Averager { return core.NewAverager(n, init) }
 
-// Pipeline executes one partitioned model with goroutine stage workers.
+// Pipeline executes one partitioned model with goroutine stage workers,
+// each interpreting its per-GPU op sequence from a Schedule.
 type Pipeline = core.Pipeline
 
-// NewPipeline partitions a model into k pipeline stages.
+// PipelineConfig selects the schedule plan, partition policy, and
+// tracing for a pipeline; PartitionMode chooses between equal layer
+// counts and the cost-aware PipeDream DP.
+type (
+	PipelineConfig = core.PipelineConfig
+	PartitionMode  = core.PartitionMode
+)
+
+// Partition policy constants.
+const (
+	PartitionEqualLayers = core.PartitionEqualLayers
+	PartitionCostAware   = core.PartitionCostAware
+)
+
+// NewPipeline partitions a model into k pipeline stages running the AFP
+// schedule with the given advance (nil = 1F1B).
 func NewPipeline(model *Sequential, k int, advance []int) *Pipeline {
 	return core.NewPipeline(model, k, advance)
+}
+
+// NewPipelineWith builds a pipeline with full control over schedule
+// plan, partitioning, and tracing.
+func NewPipelineWith(model *Sequential, cfg PipelineConfig) *Pipeline {
+	return core.NewPipelineWith(model, cfg)
+}
+
+// NewPipelineFromSchedule builds a pipeline that executes one explicit
+// schedule verbatim — the same Schedule value the simulator accepts.
+// The schedule's GPU count fixes the stage count and its micro count
+// fixes the only legal RunBatch micro parameter.
+func NewPipelineFromSchedule(model *Sequential, s *Schedule) (*Pipeline, error) {
+	return core.NewPipelineFromSchedule(model, s)
 }
 
 // --- simulation (cost models, clusters, schedules) ------------------------
@@ -236,7 +266,8 @@ var (
 	Ethernet10G    = comm.Ethernet10G
 )
 
-// Schedule is a per-GPU pipeline execution plan.
+// Schedule is a per-GPU pipeline execution plan — the one plan
+// abstraction both the simulator and the real runtime execute.
 type Schedule = sched.Schedule
 
 // Schedule generators (§4): AFAB/GPipe, 1F1B/Dapple, advance forward
@@ -251,6 +282,29 @@ var (
 	PipeDream2BW = sched.PipeDream2BW
 	LegalAdvance = sched.LegalAdvance
 )
+
+// SchedulePlan generates a Schedule for any (stages, micro) geometry;
+// ScheduleAnalysis is the static legality and occupancy report both
+// execution engines trust.
+type (
+	SchedulePlan     = sched.Plan
+	ScheduleAnalysis = sched.Analysis
+)
+
+// Plan constructors and the name-based lookup used by the CLI.
+var (
+	AFABPlan     = sched.AFABPlan
+	GPipePlan    = sched.GPipePlan
+	OneFOneBPlan = sched.OneFOneBPlan
+	DapplePlan   = sched.DapplePlan
+	AFPPlan      = sched.AFPPlan
+	PlanByName   = sched.PlanByName
+)
+
+// AnalyzeSchedule statically checks a schedule (dependency deadlocks,
+// malformed op lists) and computes its per-stage occupancy: Fwd/Bwd op
+// counts, peak in-flight activations, and weight versions.
+func AnalyzeSchedule(s *Schedule) (*ScheduleAnalysis, error) { return sched.Analyze(s) }
 
 // SimConfig configures one pipeline simulation; SimResult carries per-GPU
 // timing, utilization, and memory.

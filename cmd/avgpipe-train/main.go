@@ -5,16 +5,37 @@
 // Usage:
 //
 //	avgpipe-train -task translation -pipelines 2 -micro 4 -stages 2
+//	avgpipe-train -schedule afab -partition cost
+//	avgpipe-train -schedule afp -advance 2,0
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"strconv"
+	"strings"
 	"time"
 
 	"avgpipe"
 )
+
+// parseAdvance turns "2,1,0" into the per-stage advance vector.
+func parseAdvance(s string) ([]int, error) {
+	if s == "" {
+		return nil, nil
+	}
+	parts := strings.Split(s, ",")
+	adv := make([]int, len(parts))
+	for i, p := range parts {
+		v, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil {
+			return nil, fmt.Errorf("advance element %q: %v", p, err)
+		}
+		adv[i] = v
+	}
+	return adv, nil
+}
 
 func main() {
 	var (
@@ -24,6 +45,9 @@ func main() {
 		stageN    = flag.Int("stages", 2, "pipeline stages (K)")
 		rounds    = flag.Int("rounds", 500, "maximum training rounds")
 		seed      = flag.Int64("seed", 1, "seed for models and data")
+		schedule  = flag.String("schedule", "afp", "pipeline schedule: afab, gpipe, 1f1b, dapple, or afp")
+		advance   = flag.String("advance", "", "per-stage AFP advance, comma-separated (e.g. 2,0); empty = 1F1B")
+		partition = flag.String("partition", "equal", "layer partitioning: equal or cost")
 	)
 	flag.Parse()
 
@@ -39,11 +63,34 @@ func main() {
 		log.Fatalf("unknown task %q", *taskName)
 	}
 
-	fmt.Printf("training %q with N=%d pipelines, M=%d micro-batches, K=%d stages (batch %d)\n",
-		task.Name, *pipelines, *micro, *stageN, task.BatchSize)
+	adv, err := parseAdvance(*advance)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if adv != nil && !avgpipe.LegalAdvance(*stageN, *micro, adv) {
+		log.Fatalf("advance %v is not legal for K=%d stages, M=%d micro-batches"+
+			" (need len K and clamped warmup non-increasing across stages)", adv, *stageN, *micro)
+	}
+	plan, err := avgpipe.PlanByName(*schedule, adv)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var part avgpipe.PartitionMode
+	switch *partition {
+	case "equal":
+		part = avgpipe.PartitionEqualLayers
+	case "cost":
+		part = avgpipe.PartitionCostAware
+	default:
+		log.Fatalf("unknown partition mode %q (want equal or cost)", *partition)
+	}
+
+	fmt.Printf("training %q with N=%d pipelines, M=%d micro-batches, K=%d stages, %s schedule, %s partition (batch %d)\n",
+		task.Name, *pipelines, *micro, *stageN, plan.Name, *partition, task.BatchSize)
 	trainer := avgpipe.NewTrainer(avgpipe.TrainerConfig{
 		Task: task, Pipelines: *pipelines, Micro: *micro,
 		StageCount: *stageN, Seed: *seed, ClipNorm: 5,
+		Plan: plan, Advance: adv, Partition: part,
 	})
 	defer trainer.Close()
 

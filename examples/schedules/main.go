@@ -2,7 +2,10 @@
 // the §4 story in one program. AFAB overlaps communication but stashes
 // every micro-batch; 1F1B caps the stash but exposes communication;
 // advance forward propagation recovers AFAB's speed at a fraction of its
-// memory. Data parallelism is shown for contrast.
+// memory. Data parallelism is shown for contrast. The last section then
+// feeds the same Schedule values to the real runtime: each trains an
+// actual model on real tensors, and the measured per-stage occupancy
+// matches the schedule's static analysis exactly.
 //
 // Run with: go run ./examples/schedules
 package main
@@ -53,4 +56,36 @@ func main() {
 	dp := avgpipe.SimulateDataParallel(w, c)
 	fmt.Printf("%-14s  %7.3f   %6.1f GB   (all-reduce bound)\n",
 		"data parallel", dp.BatchTime, float64(dp.PeakMemory())/float64(1<<30))
+
+	// The same Schedule values drive the real runtime: interpret each on
+	// real tensors and check the measured occupancy against the analysis.
+	const rk, rm = 2, 4
+	task := avgpipe.TranslationTask()
+	batch := task.NewGen(7).NextBatch(task.BatchSize)
+	fmt.Printf("\nreal-tensor run of %q, K=%d stages, M=%d micro-batches\n\n", task.Name, rk, rm)
+	fmt.Println("schedule        loss     per-stage F/B      peak in-flight (measured = analytic)")
+	for _, s := range []*avgpipe.Schedule{
+		avgpipe.AFAB(rk, rm, 1),
+		avgpipe.OneFOneB(rk, rm, 1),
+		avgpipe.AFP(rk, rm, 1, []int{2, 0}),
+	} {
+		an, err := avgpipe.AnalyzeSchedule(s)
+		if err != nil {
+			panic(err)
+		}
+		pl, err := avgpipe.NewPipelineFromSchedule(task.NewModel(7), s)
+		if err != nil {
+			panic(err)
+		}
+		loss := pl.RunBatch(batch, rm)
+		fmt.Printf("%-14s  %6.3f   ", s.Name, loss)
+		for st, met := range pl.Metrics() {
+			fmt.Printf("s%d:%dF/%dB ", st, met.Fwd, met.Bwd)
+		}
+		fmt.Print("   ")
+		for st, met := range pl.Metrics() {
+			fmt.Printf("s%d:%d=%d ", st, met.PeakInFlight, an.MaxInFlight[st])
+		}
+		fmt.Println()
+	}
 }

@@ -2,9 +2,7 @@ package core
 
 import (
 	"fmt"
-	"runtime"
 	"sync"
-	"sync/atomic"
 
 	"avgpipe/internal/comm"
 	"avgpipe/internal/nn"
@@ -51,8 +49,12 @@ type Averager struct {
 	// used to derive local update deltas.
 	snapshots [][]*tensor.Tensor
 
-	sent    atomic.Int64
-	applied atomic.Int64
+	// drainMu guards the sent/applied counters; drainCond wakes Drain
+	// waiters whenever the reference loop applies an update.
+	drainMu   sync.Mutex
+	drainCond *sync.Cond
+	sent      int64
+	applied   int64
 
 	done   chan struct{}
 	closed sync.Once
@@ -78,6 +80,7 @@ func NewAverager(n int, init []*nn.Param) *Averager {
 		snapshots: make([][]*tensor.Tensor, n),
 		done:      make(chan struct{}),
 	}
+	a.drainCond = sync.NewCond(&a.drainMu)
 	a.ref = make([]*tensor.Tensor, len(init))
 	for i, p := range init {
 		a.ref[i] = p.W.Clone()
@@ -136,7 +139,10 @@ func (a *Averager) referenceLoop() {
 			delete(a.pending, u.Round)
 		}
 		a.mu.Unlock()
-		a.applied.Add(1)
+		a.drainMu.Lock()
+		a.applied++
+		a.drainMu.Unlock()
+		a.drainCond.Broadcast()
 	}
 }
 
@@ -152,7 +158,9 @@ func (a *Averager) Submit(p, round int, params []*nn.Param) {
 	for i, pr := range params {
 		deltas[i] = tensor.Sub(pr.W, a.snapshots[p][i])
 	}
-	a.sent.Add(1)
+	a.drainMu.Lock()
+	a.sent++
+	a.drainMu.Unlock()
 	a.queue.Send(Update{Pipeline: p, Round: round, Deltas: deltas})
 }
 
@@ -226,11 +234,15 @@ func (a *Averager) WriteReference(dst []*nn.Param) {
 }
 
 // Drain blocks until every update sent so far has been applied, so tests
-// and evaluation points observe a consistent reference model.
+// and evaluation points observe a consistent reference model. The wait
+// parks on a condition variable signalled by the reference loop — no
+// core is burned while updates are in flight.
 func (a *Averager) Drain() {
-	target := a.sent.Load()
-	for a.applied.Load() < target {
-		runtime.Gosched()
+	a.drainMu.Lock()
+	defer a.drainMu.Unlock()
+	target := a.sent
+	for a.applied < target {
+		a.drainCond.Wait()
 	}
 }
 

@@ -11,6 +11,7 @@ import (
 	"fmt"
 
 	"avgpipe/internal/cluster"
+	"avgpipe/internal/nn"
 	"avgpipe/internal/workload"
 )
 
@@ -144,6 +145,32 @@ func PartitionHetero(w *workload.Workload, c *cluster.Cluster, commWeight float6
 		stages[s] = w.MakeStage(bounds[s], bounds[s+1]-1)
 	}
 	return stages
+}
+
+// PartitionModelCost splits a real model's layers into k contiguous
+// stages with the cost-aware PipeDream DP (Partition), returning the
+// same [lo, hi) bounds shape as PartitionModelLayers. Per-layer cost is
+// estimated from parameter counts — the dominant FLOPs proxy for the
+// dense layers the bundled tasks use (Linear/LSTM/attention run ≈
+// 2·params FLOPs per sample) — with a small floor so parameter-free
+// layers (activations, dropout, pooling) attach to the cheapest
+// neighbouring stage instead of inflating the DP.
+func PartitionModelCost(model *nn.Sequential, k int) [][2]int {
+	layers := make([]workload.LayerCost, len(model.Layers))
+	for i, l := range model.Layers {
+		c := float64(nn.NumParams(l.Params()))
+		if c < 1 {
+			c = 1
+		}
+		layers[i] = workload.LayerCost{Name: fmt.Sprintf("layer%d", i), FwdFLOPs: c, BwdFLOPs: 2 * c}
+	}
+	w := &workload.Workload{Name: "model", Layers: layers, BatchSize: 1}
+	stages := Partition(w, k, 0)
+	out := make([][2]int, k)
+	for s, st := range stages {
+		out[s] = [2]int{st.First, st.Last + 1}
+	}
+	return out
 }
 
 // PartitionModelLayers splits `layers` layer indices [0,n) into k

@@ -2,36 +2,51 @@ package core
 
 import (
 	"fmt"
+	"io"
 	"sync"
 	"time"
 
 	"avgpipe/internal/data"
 	"avgpipe/internal/nn"
 	"avgpipe/internal/optim"
+	"avgpipe/internal/pipesim"
+	"avgpipe/internal/sched"
 	"avgpipe/internal/tensor"
 )
 
 // Pipeline executes one model partitioned into stages, with a goroutine
 // per stage connected by buffered channels — the process-per-GPU runtime
-// of §6 mapped onto goroutines. Micro-batches flow forward through the
-// stage workers; gradients flow back. Each worker applies the
-// early-backward (1F1B) discipline with a configurable advance-forward
-// allowance: stage s holds at most K−s+Advance[s] live activation
-// contexts, so the memory behaviour matches the AFP schedule.
+// of §6 mapped onto goroutines. It is a schedule interpreter: each stage
+// worker walks its ordered sched.Op list, receiving, computing, and
+// sending exactly as the op sequence dictates, so a sched.Schedule is
+// the single source of truth for what every stage does. AFAB/GPipe,
+// 1F1B/Dapple, AFP, and any future schedule run on real tensors with
+// zero runtime changes, and the runtime's measured occupancy equals the
+// schedule's analytic occupancy (sched.Analyze) exactly.
 type Pipeline struct {
 	Stages []*nn.Sequential
-	// Advance[s] is the extra forward run-ahead beyond the 1F1B warmup on
-	// stage s (0 everywhere = 1F1B; ≥ M = AFAB).
+	// Advance is the AFP run-ahead vector of the NewPipeline wrapper
+	// (nil when the pipeline was built from an explicit plan/schedule).
 	Advance []int
+	// Trace records per-op timestamps into StageMetrics.Ops during
+	// RunBatch; see WriteTrace.
+	Trace bool
+
+	plan  sched.Plan
+	fixed *sched.Schedule // non-nil when built from one explicit schedule
+	cur   *sched.Schedule // schedule in effect for curM micro-batches
+	curAn *sched.Analysis
+	curM  int
 
 	params  []*nn.Param
 	metrics []StageMetrics
 }
 
 // StageMetrics instruments one stage worker's most recent batch: wall
-// time spent computing vs waiting on channels, and the peak number of
-// live activation contexts — the runtime counterpart of the simulator's
-// busy/idle/stash accounting.
+// time spent computing vs waiting on channels, the peak number of live
+// activation contexts, op counts, and (with Pipeline.Trace) the per-op
+// timeline — the runtime counterpart of the simulator's busy/idle/stash
+// accounting, cross-validated against sched.Analyze.
 type StageMetrics struct {
 	// Busy is time inside Forward/Backward; Wait is time blocked on
 	// channel receives.
@@ -40,24 +55,119 @@ type StageMetrics struct {
 	PeakInFlight int
 	// Fwd and Bwd count micro-batch passes executed.
 	Fwd, Bwd int
+	// Ops is the per-op trace (only recorded when Pipeline.Trace is
+	// set), mirroring the simulator's timeline events so real and
+	// simulated traces are diff-able.
+	Ops []OpEvent
+}
+
+// OpEvent records one executed op for tracing: its position in the
+// stage's schedule, what it was, and when its compute ran relative to
+// the start of RunBatch. WriteTrace renders these in the same
+// Chrome-trace shape as pipesim.Result.WriteTrace.
+type OpEvent struct {
+	Index int
+	Kind  sched.Kind
+	Micro int
+	Start time.Duration
+	Dur   time.Duration
+}
+
+// PartitionMode selects how model layers are assigned to stages.
+type PartitionMode int
+
+const (
+	// PartitionEqualLayers splits the model into stages of near-equal
+	// layer count (PartitionModelLayers).
+	PartitionEqualLayers PartitionMode = iota
+	// PartitionCostAware runs the PipeDream-style DP (Partition) over
+	// per-layer costs estimated from parameter counts, balancing stage
+	// compute rather than stage depth.
+	PartitionCostAware
+)
+
+// PipelineConfig configures NewPipelineWith.
+type PipelineConfig struct {
+	// Stages is the pipeline depth K.
+	Stages int
+	// Plan generates the per-stage op order; the zero value means AFP
+	// with Advance (which is pure 1F1B when Advance is nil).
+	Plan sched.Plan
+	// Advance is the per-stage run-ahead consumed by the default AFP
+	// plan; ignored when Plan is set.
+	Advance []int
+	// Partition picks the layer→stage assignment policy.
+	Partition PartitionMode
+	// Trace records per-op timestamps (StageMetrics.Ops).
+	Trace bool
 }
 
 // NewPipeline partitions model layers into k stages of near-equal layer
-// count. advance may be nil for pure 1F1B.
+// count and drives them with the AFP schedule for the given advance
+// vector (nil = pure 1F1B). It is a thin wrapper over NewPipelineWith:
+// the hand-rolled channel discipline it used to implement is now just
+// one point in the schedule family the interpreter executes.
 func NewPipeline(model *nn.Sequential, k int, advance []int) *Pipeline {
+	return NewPipelineWith(model, PipelineConfig{Stages: k, Advance: advance})
+}
+
+// NewPipelineWith builds a schedule-interpreting pipeline with explicit
+// partitioning and schedule choices.
+func NewPipelineWith(model *nn.Sequential, cfg PipelineConfig) *Pipeline {
+	k := cfg.Stages
+	if k <= 0 {
+		panic(fmt.Sprintf("core: need at least one stage, got %d", k))
+	}
+	advance := cfg.Advance
 	if advance == nil {
 		advance = make([]int, k)
 	}
 	if len(advance) != k {
 		panic(fmt.Sprintf("core: advance length %d for %d stages", len(advance), k))
 	}
+	plan := cfg.Plan
+	if plan.Make == nil {
+		plan = sched.AFPPlan(advance)
+	}
+	var bounds [][2]int
+	switch cfg.Partition {
+	case PartitionCostAware:
+		bounds = PartitionModelCost(model, k)
+	default:
+		bounds = PartitionModelLayers(len(model.Layers), k)
+	}
+	stages := make([]*nn.Sequential, k)
+	for s, b := range bounds {
+		stages[s] = model.Slice(b[0], b[1])
+	}
+	return &Pipeline{Stages: stages, Advance: advance, Trace: cfg.Trace,
+		plan: plan, params: model.Params(), metrics: make([]StageMetrics, k)}
+}
+
+// NewPipelineFromSchedule builds a schedule interpreter over an explicit
+// execution plan: stage s runs schedule.PerGPU[s] verbatim. The schedule
+// must pass sched.Analyze (per-GPU structure plus cross-stage dependency
+// legality) and cover exactly one flush: RunBatch(batch, m) requires its
+// micro set to be 0..m−1.
+func NewPipelineFromSchedule(model *nn.Sequential, schedule *sched.Schedule) (*Pipeline, error) {
+	an, err := sched.Analyze(schedule)
+	if err != nil {
+		return nil, err
+	}
+	if an.MaxMicro != an.Micros-1 {
+		return nil, fmt.Errorf("core: schedule %s micro indices not contiguous from 0 (max %d over %d micros)",
+			schedule.Name, an.MaxMicro, an.Micros)
+	}
+	k := an.Stages
 	bounds := PartitionModelLayers(len(model.Layers), k)
 	stages := make([]*nn.Sequential, k)
 	for s, b := range bounds {
 		stages[s] = model.Slice(b[0], b[1])
 	}
-	return &Pipeline{Stages: stages, Advance: advance, params: model.Params(),
-		metrics: make([]StageMetrics, k)}
+	return &Pipeline{Stages: stages,
+		plan:  sched.Plan{Name: schedule.Name},
+		fixed: schedule, cur: schedule, curAn: an, curM: an.Micros,
+		params: model.Params(), metrics: make([]StageMetrics, k)}, nil
 }
 
 // Params returns all parameters across stages in layer order.
@@ -69,6 +179,33 @@ func (p *Pipeline) Metrics() []StageMetrics {
 	return append([]StageMetrics(nil), p.metrics...)
 }
 
+// ScheduleFor returns the concrete schedule the pipeline executes for a
+// batch of m micro-batches, together with its analysis — what tests and
+// callers compare measured StageMetrics against.
+func (p *Pipeline) ScheduleFor(m int) (*sched.Schedule, *sched.Analysis) {
+	return p.scheduleFor(m)
+}
+
+func (p *Pipeline) scheduleFor(m int) (*sched.Schedule, *sched.Analysis) {
+	if p.cur != nil && p.curM == m {
+		return p.cur, p.curAn
+	}
+	if p.fixed != nil {
+		panic(fmt.Sprintf("core: pipeline built from schedule %q covering %d micro-batches, RunBatch got %d",
+			p.fixed.Name, p.curAn.Micros, m))
+	}
+	s := p.plan.Make(len(p.Stages), m)
+	an, err := sched.Analyze(s)
+	if err != nil {
+		panic(fmt.Sprintf("core: plan %s produced an illegal schedule: %v", p.plan.Name, err))
+	}
+	if an.Micros != m || an.MaxMicro != m-1 {
+		panic(fmt.Sprintf("core: plan %s covers %d micros, want %d", p.plan.Name, an.Micros, m))
+	}
+	p.cur, p.curAn, p.curM = s, an, m
+	return s, an
+}
+
 // microMsg carries one micro-batch's activations (forward) or gradient
 // (backward) between stage workers.
 type microMsg struct {
@@ -76,15 +213,21 @@ type microMsg struct {
 	t     *tensor.Tensor
 }
 
-// RunBatch pipelines the batch through the stages as M micro-batches and
-// returns the mean training loss across micro-batches. Parameter
-// gradients are accumulated (summed over micro-batches) and then scaled
-// to a batch mean; the caller owns the optimizer step.
+// RunBatch pipelines the batch through the stages as M micro-batches,
+// each stage executing its schedule's op order, and returns the mean
+// training loss across micro-batches. Parameter gradients are
+// accumulated (summed over micro-batches) and then scaled to a batch
+// mean; the caller owns the optimizer step.
 func (p *Pipeline) RunBatch(batch *data.Batch, micro int) float64 {
 	k := len(p.Stages)
 	micros := batch.Slice(micro)
 	m := len(micros)
+	schedule, _ := p.scheduleFor(m)
 
+	// fwdCh[s] feeds stage s its inputs (s ≥ 1; stage 0 reads the batch
+	// slice directly); bwdCh[s] feeds stage s its output gradients.
+	// Capacity m means senders never block — all sequencing comes from
+	// the receivers following their op order.
 	fwdCh := make([]chan microMsg, k)
 	bwdCh := make([]chan microMsg, k)
 	for s := 0; s < k; s++ {
@@ -92,17 +235,15 @@ func (p *Pipeline) RunBatch(batch *data.Batch, micro int) float64 {
 		bwdCh[s] = make(chan microMsg, m)
 	}
 	losses := make([]float64, m)
+	epoch := time.Now()
 
 	var wg sync.WaitGroup
 	for s := 0; s < k; s++ {
 		wg.Add(1)
 		go func(s int) {
 			defer wg.Done()
-			p.stageWorker(s, k, m, micros, fwdCh, bwdCh, losses)
+			p.stageWorker(s, k, schedule.PerGPU[s], micros, fwdCh, bwdCh, losses, epoch)
 		}(s)
-	}
-	for mi := 0; mi < m; mi++ {
-		fwdCh[0] <- microMsg{micro: mi, t: micros[mi].X}
 	}
 	wg.Wait()
 
@@ -114,103 +255,119 @@ func (p *Pipeline) RunBatch(batch *data.Batch, micro int) float64 {
 	return total / float64(m)
 }
 
-// stageWorker runs stage s for one batch: m forwards and m backwards,
-// preferring backwards (early-backward) while respecting the stage's
-// in-flight allowance. It records wall-clock busy/wait time and the stash
-// high-water mark into p.metrics[s].
-func (p *Pipeline) stageWorker(s, k, m int, micros []*data.Batch, fwdCh, bwdCh []chan microMsg, losses []float64) {
+// stageWorker interprets stage s's op list. A Fwd op receives the
+// micro-batch's activations from upstream, runs the stage forward, and
+// ships the output downstream; a Bwd op receives the output gradient
+// from downstream (the last stage derives it locally from the loss),
+// runs the stage backward, and ships the input gradient upstream.
+// Because the worker follows the schedule verbatim, its measured
+// PeakInFlight equals the schedule's analytic MaxInFlight exactly.
+func (p *Pipeline) stageWorker(s, k int, ops []sched.Op, micros []*data.Batch, fwdCh, bwdCh []chan microMsg, losses []float64, epoch time.Time) {
 	stage := p.Stages[s]
-	limit := k - s + p.Advance[s]
-	if limit > m {
-		limit = m
-	}
-	ctxs := make([]*nn.Context, m)
-	fwdDone, bwdDone, inflight := 0, 0, 0
+	ctxs := make(map[int]*nn.Context, len(micros))
+	outs := make(map[int]*tensor.Tensor) // last stage: fwd outputs awaiting their bwd
+	pendF := make(map[int]*tensor.Tensor)
+	pendB := make(map[int]*tensor.Tensor)
+	inflight := 0
 	met := StageMetrics{}
 	defer func() { p.metrics[s] = met }()
 
-	busy := func(f func()) {
+	// recv returns the payload for the requested micro, stashing any
+	// earlier arrivals the op order has not demanded yet (upstream may
+	// produce in a different order than this stage consumes).
+	recv := func(ch chan microMsg, pending map[int]*tensor.Tensor, micro int) *tensor.Tensor {
+		if t, ok := pending[micro]; ok {
+			delete(pending, micro)
+			return t
+		}
 		start := time.Now()
-		f()
-		met.Busy += time.Since(start)
+		for {
+			msg := <-ch
+			if msg.micro == micro {
+				met.Wait += time.Since(start)
+				return msg.t
+			}
+			pending[msg.micro] = msg.t
+		}
 	}
 
-	doFwd := func(msg microMsg) {
-		busy(func() {
+	for i, op := range ops {
+		var x *tensor.Tensor
+		switch op.Kind {
+		case sched.Fwd:
+			if s == 0 {
+				x = micros[op.Micro].X
+			} else {
+				x = recv(fwdCh[s], pendF, op.Micro)
+			}
+		case sched.Bwd:
+			if s < k-1 {
+				x = recv(bwdCh[s], pendB, op.Micro)
+			}
+		}
+		busyStart := time.Now()
+		switch op.Kind {
+		case sched.Fwd:
 			ctx := nn.NewContext()
-			y := stage.Forward(ctx, msg.t, true)
-			ctxs[msg.micro] = ctx
-			fwdDone++
+			y := stage.Forward(ctx, x, true)
+			ctxs[op.Micro] = ctx
 			inflight++
 			met.Fwd++
 			if inflight > met.PeakInFlight {
 				met.PeakInFlight = inflight
 			}
 			if s < k-1 {
-				fwdCh[s+1] <- microMsg{micro: msg.micro, t: y}
+				fwdCh[s+1] <- microMsg{micro: op.Micro, t: y}
 			} else {
-				// Last stage: compute the loss and immediately start the
-				// backward pass for this micro-batch.
-				loss, dlogits := nn.CrossEntropy(y, micros[msg.micro].Targets)
-				losses[msg.micro] = loss
-				dx := stage.Backward(ctx, dlogits)
-				bwdDone++
-				inflight--
-				met.Bwd++
-				if s > 0 {
-					bwdCh[s-1] <- microMsg{micro: msg.micro, t: dx}
-				}
+				outs[op.Micro] = y
 			}
-		})
-	}
-	doBwd := func(msg microMsg) {
-		busy(func() {
-			dx := stage.Backward(ctxs[msg.micro], msg.t)
-			bwdDone++
+		case sched.Bwd:
+			if s == k-1 {
+				// The loss gradient is local: derive it from the stashed
+				// forward output.
+				loss, dlogits := nn.CrossEntropy(outs[op.Micro], micros[op.Micro].Targets)
+				losses[op.Micro] = loss
+				delete(outs, op.Micro)
+				x = dlogits
+			}
+			dx := stage.Backward(ctxs[op.Micro], x)
+			delete(ctxs, op.Micro)
 			inflight--
 			met.Bwd++
 			if s > 0 {
-				bwdCh[s-1] <- microMsg{micro: msg.micro, t: dx}
+				bwdCh[s-1] <- microMsg{micro: op.Micro, t: dx}
 			}
-		})
+		}
+		dur := time.Since(busyStart)
+		met.Busy += dur
+		if p.Trace {
+			met.Ops = append(met.Ops, OpEvent{Index: i, Kind: op.Kind, Micro: op.Micro,
+				Start: busyStart.Sub(epoch), Dur: dur})
+		}
 	}
-	recvBwd := func() microMsg {
-		start := time.Now()
-		msg := <-bwdCh[s]
-		met.Wait += time.Since(start)
-		return msg
-	}
+}
 
-	for bwdDone < m {
-		if s == k-1 {
-			// The last stage fuses forward and backward.
-			start := time.Now()
-			msg := <-fwdCh[s]
-			met.Wait += time.Since(start)
-			doFwd(msg)
-			continue
-		}
-		// Prefer a ready backward (early-backward schedule).
-		select {
-		case msg := <-bwdCh[s]:
-			doBwd(msg)
-			continue
-		default:
-		}
-		if fwdDone < m && inflight < limit {
-			// Free to run ahead: take whichever arrives first.
-			start := time.Now()
-			select {
-			case msg := <-bwdCh[s]:
-				met.Wait += time.Since(start)
-				doBwd(msg)
-			case msg := <-fwdCh[s]:
-				met.Wait += time.Since(start)
-				doFwd(msg)
-			}
-		} else {
-			// Stash full or forwards exhausted: must wait for a backward.
-			doBwd(recvBwd())
+// WriteTrace renders the most recent traced RunBatch as a Chrome trace
+// in the same event shape as pipesim.Result.WriteTrace (one track per
+// stage, one complete event per op named like "F3"/"B3"), so a real run
+// and its simulation can be diffed directly. Requires Trace to have
+// been set before RunBatch.
+func (p *Pipeline) WriteTrace(w io.Writer) error {
+	var events []pipesim.TraceEvent
+	for s, met := range p.metrics {
+		events = append(events, pipesim.MetadataEvent(fmt.Sprintf("GPU %d", s+1), s+1))
+		for _, op := range met.Ops {
+			events = append(events, pipesim.TraceEvent{
+				Name:  sched.Op{Kind: op.Kind, Micro: op.Micro}.String(),
+				Cat:   "compute",
+				Phase: "X",
+				TS:    op.Start.Seconds() * 1e6,
+				Dur:   op.Dur.Seconds() * 1e6,
+				PID:   1,
+				TID:   s + 1,
+				Args:  map[string]any{"op": op.Index, "micro": op.Micro},
+			})
 		}
 	}
+	return pipesim.WriteTraceEvents(w, events, map[string]any{"source": "core.Pipeline"})
 }

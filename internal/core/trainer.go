@@ -7,6 +7,7 @@ import (
 	"avgpipe/internal/data"
 	"avgpipe/internal/nn"
 	"avgpipe/internal/optim"
+	"avgpipe/internal/sched"
 	"avgpipe/internal/workload"
 )
 
@@ -18,8 +19,18 @@ type TrainerConfig struct {
 	Pipelines  int
 	Micro      int
 	StageCount int
-	// Advance is the per-stage advance-forward allowance (nil = 1F1B).
+	// Advance is the per-stage advance-forward allowance (nil = 1F1B),
+	// consumed by the default AFP schedule plan.
 	Advance []int
+	// Plan selects the pipeline schedule family every replica executes
+	// (sched.AFABPlan, sched.OneFOneBPlan, sched.AFPPlan, ...). The zero
+	// value means AFP with Advance — i.e. 1F1B when Advance is nil.
+	Plan sched.Plan
+	// Partition selects the layer→stage assignment policy: equal layer
+	// counts (default) or the cost-aware PipeDream DP.
+	Partition PartitionMode
+	// Trace records per-op timestamps in every pipeline's StageMetrics.
+	Trace bool
 	// Seed derives all replica initializations and data streams.
 	Seed int64
 	// ClipNorm, when > 0, applies global gradient-norm clipping.
@@ -59,7 +70,10 @@ func NewTrainer(cfg TrainerConfig) *Trainer {
 	base := cfg.Task.NewModel(cfg.Seed)
 	for p := 0; p < cfg.Pipelines; p++ {
 		m := cfg.Task.NewModel(cfg.Seed) // same seed: identical start
-		t.pipelines = append(t.pipelines, NewPipeline(m, cfg.StageCount, cfg.Advance))
+		t.pipelines = append(t.pipelines, NewPipelineWith(m, PipelineConfig{
+			Stages: cfg.StageCount, Plan: cfg.Plan, Advance: cfg.Advance,
+			Partition: cfg.Partition, Trace: cfg.Trace,
+		}))
 		t.gens = append(t.gens, cfg.Task.NewGen(cfg.Seed+100+int64(p)))
 		t.opts = append(t.opts, newOptimizer(cfg.Task))
 	}

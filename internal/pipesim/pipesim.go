@@ -72,6 +72,9 @@ type Config struct {
 type Interval struct {
 	Start, End float64 // seconds
 	Util       float64 // fraction of peak (0 while idle)
+	// Label names the op that ran ("F3", "B3"), matching the real
+	// runtime's trace event names.
+	Label string
 }
 
 // GPUStats aggregates one GPU's simulated behaviour over all batches.
@@ -89,6 +92,13 @@ type GPUStats struct {
 	CommTotal float64
 	// PeakUtil is the utilization while computing.
 	PeakUtil float64
+	// Fwd and Bwd count the ops executed on this GPU, and PeakInFlight
+	// is the stash high-water mark actually reached — the simulator-side
+	// counterparts of the runtime's StageMetrics, asserted equal to the
+	// schedule's analytic occupancy (sched.Analyze) by the
+	// cross-validation tests.
+	Fwd, Bwd     int
+	PeakInFlight int
 	// Memory is the peak footprint breakdown.
 	Memory device.MemoryBreakdown
 	// Timeline is the busy-interval record (idle gaps implicit).
@@ -202,6 +212,14 @@ func Run(cfg Config) (*Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
+	// The shared legality/occupancy layer: schedules that fail the
+	// cross-stage dependency check are rejected up front (the event loop
+	// below keeps its own deadlock detection as a backstop), and the
+	// analysis drives the memory accounting.
+	analysis, err := sched.Analyze(cfg.Schedule)
+	if err != nil {
+		return nil, fmt.Errorf("pipesim: %v: %w", err, ErrDeadlock)
+	}
 	k := len(cfg.Stages)
 	n := cfg.Pipelines
 	b := cfg.microSamples()
@@ -268,6 +286,7 @@ func Run(cfg Config) (*Result, error) {
 
 	gpuFree := make([]float64, k)
 	idx := make([]int, k)
+	inflight := make([]int, k)
 	stats := make([]GPUStats, k)
 	for s := range stats {
 		stats[s].PeakUtil = util[s]
@@ -342,10 +361,15 @@ func Run(cfg Config) (*Result, error) {
 		end := bestStart + dur
 		gpuFree[s] = end
 		stats[s].Busy += dur
-		stats[s].Timeline = append(stats[s].Timeline, Interval{Start: bestStart, End: end, Util: util[s]})
+		stats[s].Timeline = append(stats[s].Timeline, Interval{Start: bestStart, End: end, Util: util[s], Label: op.String()})
 
 		switch op.Kind {
 		case sched.Fwd:
+			stats[s].Fwd++
+			inflight[s]++
+			if inflight[s] > stats[s].PeakInFlight {
+				stats[s].PeakInFlight = inflight[s]
+			}
 			fwdEnd[s][op.Micro] = end
 			if s < k-1 {
 				depart := math.Max(end, linkFwdFree[s])
@@ -356,6 +380,8 @@ func Run(cfg Config) (*Result, error) {
 				stats[s+1].CommTotal += xfer[s]
 			}
 		case sched.Bwd:
+			stats[s].Bwd++
+			inflight[s]--
 			bwdEnd[s][op.Micro] = end
 			if s > 0 {
 				depart := math.Max(end, linkBwdFree[s-1])
@@ -385,23 +411,24 @@ func Run(cfg Config) (*Result, error) {
 	for s := 0; s < k; s++ {
 		res.PerGPU[s].Bubble += makespan - gpuFree[s]
 	}
-	res.computeMemory()
+	res.computeMemory(analysis)
 	return res, nil
 }
 
-// computeMemory fills in per-GPU memory breakdowns and the OOM check.
-func (r *Result) computeMemory() {
+// computeMemory fills in per-GPU memory breakdowns and the OOM check,
+// from the schedule's analytic occupancy.
+func (r *Result) computeMemory(an *sched.Analysis) {
 	cfg := r.Config
 	n := int64(cfg.Pipelines)
 	b := int64(cfg.microSamples())
-	inflight := cfg.Schedule.MaxInFlight()
+	inflight := an.MaxInFlight
 	// For multi-batch flushed simulations the schedule-wide in-flight
 	// bound equals the single-batch bound; continuous schedules are
 	// already steady-state bounded.
 	var oom error
 	for s := range cfg.Stages {
 		st := cfg.Stages[s]
-		versions := int64(cfg.Schedule.WeightVersions(s, len(cfg.Stages)))
+		versions := int64(an.WeightVersions[s])
 		mb := device.MemoryBreakdown{}
 		mb.Weights = st.ParamBytes * versions * n
 		if cfg.RefModel {

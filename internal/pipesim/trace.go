@@ -6,9 +6,11 @@ import (
 	"io"
 )
 
-// traceEvent is one Chrome-trace "complete" event (the chrome://tracing
-// and Perfetto JSON format).
-type traceEvent struct {
+// TraceEvent is one Chrome-trace "complete" event (the chrome://tracing
+// and Perfetto JSON format). The shape is shared by the simulator's
+// Result.WriteTrace and the real runtime's core.Pipeline.WriteTrace so
+// simulated and measured traces are directly diff-able.
+type TraceEvent struct {
 	Name  string         `json:"name"`
 	Cat   string         `json:"cat"`
 	Phase string         `json:"ph"`
@@ -19,21 +21,42 @@ type traceEvent struct {
 	Args  map[string]any `json:"args,omitempty"`
 }
 
+// MetadataEvent names a trace track (one per GPU/stage).
+func MetadataEvent(name string, tid int) TraceEvent {
+	return TraceEvent{
+		Name: "thread_name", Cat: "__metadata", Phase: "M",
+		PID: 1, TID: tid,
+		Args: map[string]any{"name": name},
+	}
+}
+
+// WriteTraceEvents encodes events in the Chrome-trace JSON envelope,
+// with otherData carried alongside for run-level metadata.
+func WriteTraceEvents(w io.Writer, events []TraceEvent, otherData map[string]any) error {
+	enc := json.NewEncoder(w)
+	return enc.Encode(map[string]any{
+		"traceEvents":     events,
+		"displayTimeUnit": "ms",
+		"otherData":       otherData,
+	})
+}
+
 // WriteTrace renders the simulation's per-GPU timelines as a Chrome trace
 // (load in chrome://tracing or ui.perfetto.dev). Each GPU is a track;
-// busy intervals become spans, annotated with the utilization level, and
-// the gaps read directly as bubbles/communication stalls.
+// busy intervals become spans named after the op they executed,
+// annotated with the utilization level, and the gaps read directly as
+// bubbles/communication stalls.
 func (r *Result) WriteTrace(w io.Writer) error {
-	var events []traceEvent
+	var events []TraceEvent
 	for g, st := range r.PerGPU {
-		events = append(events, traceEvent{
-			Name: "thread_name", Cat: "__metadata", Phase: "M",
-			PID: 1, TID: g + 1,
-			Args: map[string]any{"name": fmt.Sprintf("GPU %d", g+1)},
-		})
+		events = append(events, MetadataEvent(fmt.Sprintf("GPU %d", g+1), g+1))
 		for i, iv := range st.Timeline {
-			events = append(events, traceEvent{
-				Name:  fmt.Sprintf("op %d", i),
+			name := iv.Label
+			if name == "" {
+				name = fmt.Sprintf("op %d", i)
+			}
+			events = append(events, TraceEvent{
+				Name:  name,
 				Cat:   "compute",
 				Phase: "X",
 				TS:    iv.Start * 1e6,
@@ -44,13 +67,8 @@ func (r *Result) WriteTrace(w io.Writer) error {
 			})
 		}
 	}
-	enc := json.NewEncoder(w)
-	return enc.Encode(map[string]any{
-		"traceEvents":     events,
-		"displayTimeUnit": "ms",
-		"otherData": map[string]any{
-			"batchTime_s": r.BatchTime,
-			"makespan_s":  r.Makespan,
-		},
+	return WriteTraceEvents(w, events, map[string]any{
+		"batchTime_s": r.BatchTime,
+		"makespan_s":  r.Makespan,
 	})
 }

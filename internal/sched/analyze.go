@@ -1,0 +1,159 @@
+package sched
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Analysis summarizes a schedule's legality and resource demands. It is
+// the single occupancy model shared by the real runtime (core.Pipeline
+// asserts its measured StageMetrics against it) and the simulator
+// (pipesim derives activation-stash memory from it), which is what makes
+// sim-vs-real cross-validation possible: both consumers answer "what
+// should stage s do, and what does that cost" from the same object.
+type Analysis struct {
+	// Stages is the pipeline depth K.
+	Stages int
+	// Micros is the number of distinct micro-batches every GPU processes.
+	Micros int
+	// MaxMicro is the largest micro index that appears (single-flush
+	// schedules over m micros have Micros == m and MaxMicro == m−1).
+	MaxMicro int
+	// Fwd[k] and Bwd[k] count the forward and backward ops of GPU k.
+	Fwd, Bwd []int
+	// MaxInFlight[k] is GPU k's activation-stash high-water mark: the
+	// peak number of micro-batches whose forward has run but whose
+	// backward has not.
+	MaxInFlight []int
+	// WeightVersions[k] is how many weight versions stage k keeps
+	// resident under this schedule.
+	WeightVersions []int
+}
+
+// Analyze checks a schedule's full legality and returns its occupancy
+// analysis. Legality has two layers:
+//
+//  1. per-GPU structure (Schedule.Validate): each micro's forward and
+//     backward appear exactly once, in that order;
+//  2. cross-stage dependencies: stage s's forward of micro m consumes
+//     stage s−1's forward output, and stage s's backward of micro m
+//     consumes stage s+1's backward output (the last stage's loss
+//     gradient is local). Analyze executes the schedule as a zero-cost
+//     event simulation over that dependency graph and reports a
+//     deadlock — e.g. an AFP advance vector where a downstream stage
+//     out-runs its upstream — as an error naming the stuck ops.
+//
+// A schedule that passes Analyze runs to completion on both the real
+// runtime and the simulator.
+func Analyze(s *Schedule) (*Analysis, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	k := len(s.PerGPU)
+	if k == 0 {
+		return nil, fmt.Errorf("sched %s: no GPUs", s.Name)
+	}
+	a := &Analysis{
+		Stages:         k,
+		MaxMicro:       -1,
+		Fwd:            make([]int, k),
+		Bwd:            make([]int, k),
+		MaxInFlight:    s.MaxInFlight(),
+		WeightVersions: make([]int, k),
+	}
+	for g, ops := range s.PerGPU {
+		if s.WeightVersions != nil {
+			a.WeightVersions[g] = s.WeightVersions(g, k)
+		} else {
+			a.WeightVersions[g] = 1
+		}
+		for _, op := range ops {
+			if op.Micro < 0 {
+				return nil, fmt.Errorf("sched %s: GPU %d has negative micro index %d", s.Name, g, op.Micro)
+			}
+			if op.Micro > a.MaxMicro {
+				a.MaxMicro = op.Micro
+			}
+			if op.Kind == Fwd {
+				a.Fwd[g]++
+			} else {
+				a.Bwd[g]++
+			}
+		}
+	}
+
+	// Every micro-batch crosses every stage, so all GPUs must process the
+	// same micro set.
+	micros := make(map[int]bool)
+	for _, op := range s.PerGPU[0] {
+		if op.Kind == Fwd {
+			micros[op.Micro] = true
+		}
+	}
+	a.Micros = len(micros)
+	for g := 1; g < k; g++ {
+		if a.Fwd[g] != a.Micros {
+			return nil, fmt.Errorf("sched %s: GPU %d covers %d micros, GPU 0 covers %d", s.Name, g, a.Fwd[g], a.Micros)
+		}
+		for _, op := range s.PerGPU[g] {
+			if op.Kind == Fwd && !micros[op.Micro] {
+				return nil, fmt.Errorf("sched %s: GPU %d runs %s unknown to GPU 0", s.Name, g, op)
+			}
+		}
+	}
+
+	// Zero-cost event execution over the cross-stage dependency graph.
+	idx := make([]int, k)
+	fwdDone := make([]map[int]bool, k)
+	bwdDone := make([]map[int]bool, k)
+	for g := range fwdDone {
+		fwdDone[g] = make(map[int]bool, a.Micros)
+		bwdDone[g] = make(map[int]bool, a.Micros)
+	}
+	remaining := 0
+	for _, ops := range s.PerGPU {
+		remaining += len(ops)
+	}
+	for remaining > 0 {
+		progressed := false
+		for g := 0; g < k; g++ {
+			for idx[g] < len(s.PerGPU[g]) {
+				op := s.PerGPU[g][idx[g]]
+				var ready bool
+				switch op.Kind {
+				case Fwd:
+					ready = g == 0 || fwdDone[g-1][op.Micro]
+				case Bwd:
+					if g == k-1 {
+						// Loss gradient is local; Validate plus program
+						// order guarantee the forward already ran.
+						ready = fwdDone[g][op.Micro]
+					} else {
+						ready = bwdDone[g+1][op.Micro]
+					}
+				}
+				if !ready {
+					break
+				}
+				if op.Kind == Fwd {
+					fwdDone[g][op.Micro] = true
+				} else {
+					bwdDone[g][op.Micro] = true
+				}
+				idx[g]++
+				remaining--
+				progressed = true
+			}
+		}
+		if !progressed {
+			var stuck []string
+			for g := 0; g < k; g++ {
+				if idx[g] < len(s.PerGPU[g]) {
+					stuck = append(stuck, fmt.Sprintf("GPU %d waits on %s", g, s.PerGPU[g][idx[g]]))
+				}
+			}
+			return nil, fmt.Errorf("sched %s: dependency deadlock: %s", s.Name, strings.Join(stuck, "; "))
+		}
+	}
+	return a, nil
+}

@@ -1,8 +1,18 @@
 // Package sched generates pipeline-parallel execution schedules as
-// explicit per-GPU operation sequences. A schedule fixes, for every GPU,
-// the total order in which it runs forward and backward passes of
+// explicit per-GPU operation sequences, and is the single source of
+// truth for what every stage does. A schedule fixes, for every GPU, the
+// total order in which it runs forward and backward passes of
 // micro-batches; the simulator (internal/pipesim) and the real runtime
-// (internal/core) both consume these sequences.
+// (core.Pipeline, a schedule interpreter) both execute these sequences
+// verbatim, so any schedule added here runs end-to-end on real tensors
+// and in simulation with zero runtime changes.
+//
+// Analyze provides the shared legality and occupancy layer: per-GPU
+// structural validation, a cross-stage dependency (deadlock) check, and
+// the analytic per-stage op counts, stash high-water marks, and weight
+// version demands that both consumers are cross-validated against.
+// Plan wraps a schedule family as a (k, m) → Schedule generator so
+// callers can pick a schedule before the pipeline geometry is fixed.
 //
 // Implemented schedules, following §4 of the paper:
 //
