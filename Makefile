@@ -1,10 +1,11 @@
 GO ?= go
 
-.PHONY: ci fmt vet build test race
+.PHONY: ci fmt vet vet-obs build test race bench-smoke
 
-# ci is the full verification tier: formatting, static checks, build,
+# ci is the full verification tier: formatting, static checks (including
+# the obs build tag, which turns on strict metric-name validation), build,
 # tests, and the race-detector pass over the concurrent packages.
-ci: fmt vet build test race
+ci: fmt vet vet-obs build test race
 
 fmt:
 	@out="$$(gofmt -l .)"; \
@@ -15,6 +16,9 @@ fmt:
 vet:
 	$(GO) vet ./...
 
+vet-obs:
+	$(GO) vet -tags obs ./...
+
 build:
 	$(GO) build ./...
 
@@ -22,4 +26,14 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/core/... ./internal/comm/...
+	$(GO) test -race ./internal/core/... ./internal/comm/... ./internal/obs/...
+
+# bench-smoke runs one cheap figure with the metrics dump enabled.
+# avgpipe-bench validates the rendered exposition text itself (it exits
+# non-zero on malformed or empty output); the grep double-checks that the
+# file on disk actually carries avgpipe_* samples.
+bench-smoke:
+	$(GO) run ./cmd/avgpipe-bench -metrics-out /tmp/avgpipe-metrics.prom fig07 >/dev/null
+	@grep -q '^avgpipe_' /tmp/avgpipe-metrics.prom || \
+		{ echo "bench-smoke: no avgpipe_ samples in /tmp/avgpipe-metrics.prom"; exit 1; }
+	@echo "bench-smoke: /metrics output OK ($$(grep -c '^avgpipe_' /tmp/avgpipe-metrics.prom) samples)"

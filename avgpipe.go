@@ -26,12 +26,15 @@
 package avgpipe
 
 import (
+	"net/http"
+
 	"avgpipe/internal/cluster"
 	"avgpipe/internal/comm"
 	"avgpipe/internal/core"
 	"avgpipe/internal/data"
 	"avgpipe/internal/device"
 	"avgpipe/internal/nn"
+	"avgpipe/internal/obs"
 	"avgpipe/internal/optim"
 	"avgpipe/internal/pipesim"
 	"avgpipe/internal/sched"
@@ -369,3 +372,43 @@ type AFPConfig = core.AFPConfig
 
 // DecideAdvance implements Algorithm 1.
 func DecideAdvance(cfg AFPConfig) ([]int, *SimResult, error) { return core.DecideAdvance(cfg) }
+
+// --- observability ---------------------------------------------------------
+
+// MetricsRegistry is a concurrent registry of counters, gauges, and
+// histograms. Every subsystem (pipelines, queues, the averager, the
+// trainer, the simulator) records into one; pass it via the Obs fields
+// of TrainerConfig, PipelineConfig, and SimConfig, or leave those nil to
+// use the process-wide default registry.
+type MetricsRegistry = obs.Registry
+
+// NewMetricsRegistry returns an empty registry.
+func NewMetricsRegistry() *MetricsRegistry { return obs.NewRegistry() }
+
+// DefaultMetrics returns the process-wide default registry (what nil Obs
+// fields resolve to).
+func DefaultMetrics() *MetricsRegistry { return obs.Default() }
+
+// DiscardMetrics returns a registry whose updates are no-ops — the
+// zero-overhead baseline for benchmarks.
+func DiscardMetrics() *MetricsRegistry { return obs.Discard() }
+
+// MetricsHandler serves a registry over HTTP: Prometheus text on
+// /metrics, expvar JSON on /debug/vars, and net/http/pprof profiles
+// under /debug/pprof.
+func MetricsHandler(reg *MetricsRegistry) http.Handler { return obs.Handler(reg) }
+
+// ServeMetrics starts MetricsHandler on addr (":0" picks a free port)
+// and returns the server plus the bound address.
+func ServeMetrics(addr string, reg *MetricsRegistry) (*http.Server, string, error) {
+	return obs.Serve(addr, reg)
+}
+
+// Tracer accumulates Chrome-trace events (spans, process/thread
+// metadata, and flow arrows) and writes the chrome://tracing JSON
+// envelope. Pipeline.Tracer and SimResult.Tracer both return one, so a
+// real run and its simulation render identically in Perfetto.
+type Tracer = obs.Tracer
+
+// TraceEvent is one Chrome-trace event.
+type TraceEvent = obs.TraceEvent

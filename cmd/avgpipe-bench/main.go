@@ -5,10 +5,17 @@
 //
 // Usage:
 //
-//	avgpipe-bench [-csv dir] [fig02 fig07 fig11 fig12 fig13 fig14 fig15 fig16 fig17 fig18 fig19 ablations]
+//	avgpipe-bench [-csv dir] [-jsonl dir] [-metrics-out file] [fig02 fig07 fig11 fig12 fig13 fig14 fig15 fig16 fig17 fig18 fig19 ablations]
+//
+// -metrics-out dumps the process-wide metrics registry (simulator run and
+// drift counters, pipeline stage timings from the real training figures)
+// as Prometheus text after all selected figures ran. The dump is parsed
+// back through the exposition-format validator before it is written, so a
+// malformed registry fails the run — `make bench-smoke` relies on this.
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
 	"log"
@@ -16,23 +23,63 @@ import (
 	"path/filepath"
 
 	"avgpipe/internal/exp"
+	"avgpipe/internal/obs"
 	"avgpipe/internal/workload"
 )
 
-var csvDir = flag.String("csv", "", "also write each table as CSV into this directory")
+var (
+	csvDir     = flag.String("csv", "", "also write each table as CSV into this directory")
+	jsonlDir   = flag.String("jsonl", "", "also write each table as JSON Lines into this directory")
+	metricsOut = flag.String("metrics-out", "", "write the metrics registry as validated Prometheus text to this file")
+)
 
 func emit(t *exp.Table) {
 	fmt.Println(t)
-	if *csvDir == "" {
-		return
+	if *csvDir != "" {
+		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+			log.Fatal(err)
+		}
+		path := filepath.Join(*csvDir, t.Slug()+".csv")
+		if err := os.WriteFile(path, []byte(t.CSV()), 0o644); err != nil {
+			log.Fatal(err)
+		}
 	}
-	if err := os.MkdirAll(*csvDir, 0o755); err != nil {
-		log.Fatal(err)
+	if *jsonlDir != "" {
+		if err := os.MkdirAll(*jsonlDir, 0o755); err != nil {
+			log.Fatal(err)
+		}
+		f, err := os.Create(filepath.Join(*jsonlDir, t.Slug()+".jsonl"))
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := t.WriteJSONL(f); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
 	}
-	path := filepath.Join(*csvDir, t.Slug()+".csv")
-	if err := os.WriteFile(path, []byte(t.CSV()), 0o644); err != nil {
-		log.Fatal(err)
+}
+
+// dumpMetrics renders the default registry, validates the text against
+// the exposition format, and writes it out. Exits non-zero on malformed
+// or empty output so CI smoke tests can trust a plain file check.
+func dumpMetrics(path string) {
+	var buf bytes.Buffer
+	if err := obs.Default().WritePrometheus(&buf); err != nil {
+		log.Fatalf("metrics-out: render: %v", err)
 	}
+	samples, err := obs.ParsePrometheus(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		log.Fatalf("metrics-out: malformed exposition text: %v", err)
+	}
+	if samples == 0 {
+		log.Fatal("metrics-out: registry rendered zero samples")
+	}
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		log.Fatalf("metrics-out: %v", err)
+	}
+	fmt.Printf("wrote %d metric samples to %s\n", samples, path)
 }
 
 func main() {
@@ -107,5 +154,8 @@ func main() {
 		}
 		emit(exp.AblationAlpha())
 		emit(exp.AblationSyncAsync())
+	}
+	if *metricsOut != "" {
+		dumpMetrics(*metricsOut)
 	}
 }

@@ -29,6 +29,7 @@ func main() {
 		pipelines    = flag.Int("pipelines", 1, "parallel pipelines (N)")
 		batches      = flag.Int("batches", 4, "batches to simulate")
 		tracePath    = flag.String("trace", "", "write a Chrome trace (chrome://tracing) to this file")
+		metricsOut   = flag.String("metrics-out", "", "write simulator metrics as Prometheus text to this file")
 	)
 	flag.Parse()
 
@@ -123,5 +124,16 @@ func main() {
 			log.Fatal(err)
 		}
 		fmt.Printf("\nwrote Chrome trace to %s\n", *tracePath)
+	}
+	if *metricsOut != "" {
+		f, err := os.Create(*metricsOut)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		if err := avgpipe.DefaultMetrics().WritePrometheus(f); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote metrics to %s\n", *metricsOut)
 	}
 }

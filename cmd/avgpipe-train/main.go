@@ -7,12 +7,18 @@
 //	avgpipe-train -task translation -pipelines 2 -micro 4 -stages 2
 //	avgpipe-train -schedule afab -partition cost
 //	avgpipe-train -schedule afp -advance 2,0
+//	avgpipe-train -metrics-addr :9090 -stats-jsonl steps.jsonl -trace-out run.trace
+//
+// With -metrics-addr the run serves live observability while training:
+// Prometheus text on /metrics, expvar JSON on /debug/vars, and profiling
+// on /debug/pprof (see the Observability section of README.md).
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"os"
 	"strconv"
 	"strings"
 	"time"
@@ -48,6 +54,10 @@ func main() {
 		schedule  = flag.String("schedule", "afp", "pipeline schedule: afab, gpipe, 1f1b, dapple, or afp")
 		advance   = flag.String("advance", "", "per-stage AFP advance, comma-separated (e.g. 2,0); empty = 1F1B")
 		partition = flag.String("partition", "equal", "layer partitioning: equal or cost")
+
+		metricsAddr = flag.String("metrics-addr", "", "serve /metrics, /debug/vars, and /debug/pprof on this address (e.g. :9090)")
+		traceOut    = flag.String("trace-out", "", "write a Chrome trace of pipeline 0's final batch to this file")
+		statsJSONL  = flag.String("stats-jsonl", "", "append one JSON line of step stats per round to this file")
 	)
 	flag.Parse()
 
@@ -85,14 +95,48 @@ func main() {
 		log.Fatalf("unknown partition mode %q (want equal or cost)", *partition)
 	}
 
+	reg := avgpipe.NewMetricsRegistry()
+	if *metricsAddr != "" {
+		srv, addr, err := avgpipe.ServeMetrics(*metricsAddr, reg)
+		if err != nil {
+			log.Fatalf("metrics server: %v", err)
+		}
+		defer srv.Close()
+		fmt.Printf("observability: http://%s/metrics (Prometheus), /debug/vars (expvar), /debug/pprof (profiles)\n", addr)
+	}
+
 	fmt.Printf("training %q with N=%d pipelines, M=%d micro-batches, K=%d stages, %s schedule, %s partition (batch %d)\n",
 		task.Name, *pipelines, *micro, *stageN, plan.Name, *partition, task.BatchSize)
 	trainer := avgpipe.NewTrainer(avgpipe.TrainerConfig{
 		Task: task, Pipelines: *pipelines, Micro: *micro,
 		StageCount: *stageN, Seed: *seed, ClipNorm: 5,
 		Plan: plan, Advance: adv, Partition: part,
+		Trace: *traceOut != "", Obs: reg,
 	})
 	defer trainer.Close()
+
+	if *statsJSONL != "" {
+		f, err := os.Create(*statsJSONL)
+		if err != nil {
+			log.Fatalf("stats jsonl: %v", err)
+		}
+		defer f.Close()
+		trainer.SetStepLog(f)
+	}
+	defer func() {
+		if *traceOut == "" {
+			return
+		}
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			log.Fatalf("trace out: %v", err)
+		}
+		defer f.Close()
+		if err := trainer.Pipelines()[0].WriteTrace(f); err != nil {
+			log.Fatalf("trace out: %v", err)
+		}
+		fmt.Printf("wrote Chrome trace of pipeline 0's last batch to %s\n", *traceOut)
+	}()
 
 	start := time.Now()
 	for round := 0; round <= *rounds; round++ {

@@ -13,6 +13,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"os"
 	"strings"
 
 	"avgpipe"
@@ -24,6 +25,7 @@ func main() {
 		workloadName = flag.String("workload", "GNMT", "GNMT, BERT, or AWD")
 		all          = flag.Bool("all", false, "also run traversal and guideline tuners")
 		memGB        = flag.Float64("mem", 0, "per-GPU memory limit in GB (0 = device capacity)")
+		metricsOut   = flag.String("metrics-out", "", "write tuner simulation metrics as Prometheus text to this file")
 	)
 	flag.Parse()
 
@@ -50,6 +52,23 @@ func main() {
 		fmt.Printf("%-10s  M=%-4d N=%-2d  %.4f s/data-batch  tuning cost %.1f s%s\n",
 			r.Method, r.M, r.N, r.TimePerDataBatch, r.TuningCost, note)
 	}
+
+	// The tuners drive many simulations through the default registry;
+	// dump it on the way out when asked, whichever path returns.
+	defer func() {
+		if *metricsOut == "" {
+			return
+		}
+		f, err := os.Create(*metricsOut)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		if err := avgpipe.DefaultMetrics().WritePrometheus(f); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote metrics to %s\n", *metricsOut)
+	}()
 
 	tuned, prof, err := avgpipe.Tune(w, c, stages, limit)
 	if err != nil {

@@ -5,8 +5,11 @@
 package comm
 
 import (
+	"errors"
 	"sync"
 	"time"
+
+	"avgpipe/internal/obs"
 )
 
 // Link is a point-to-point interconnect with latency and bandwidth.
@@ -44,15 +47,27 @@ func Ethernet10G() Link {
 	return Link{Name: "ethernet-10gbps", Latency: 20 * time.Microsecond, BytesPerSec: 1.25e9}
 }
 
+// ErrClosed is returned by Queue.Send once the queue has been closed.
+var ErrClosed = errors.New("comm: send on closed queue")
+
 // Queue is an unbounded, non-blocking FIFO used by the runtime to send
 // local updates from parallel pipelines to the reference-model process.
 // Senders never block (preventing inter-process communication from
 // stalling a pipeline); the receiver drains with Recv or TryRecv.
+// Sending after Close is safe under any interleaving: the item is
+// rejected with ErrClosed, never dropped silently and never a panic.
 type Queue[T any] struct {
 	mu     sync.Mutex
 	cond   *sync.Cond
 	items  []T
 	closed bool
+
+	// Optional instrumentation (nil-safe, see Instrument): queue depth,
+	// cumulative receiver blocked time, and op counters.
+	depth      *obs.Gauge
+	blockedSec *obs.Counter
+	sends      *obs.Counter
+	rejected   *obs.Counter
 }
 
 // NewQueue returns an open queue.
@@ -62,16 +77,44 @@ func NewQueue[T any]() *Queue[T] {
 	return q
 }
 
-// Send enqueues without blocking. Sending on a closed queue panics, as on
-// a closed channel.
-func (q *Queue[T]) Send(v T) {
+// NewInstrumentedQueue returns an open queue registered under the given
+// name in reg: avgpipe_queue_depth{queue}, blocked-receive seconds, and
+// send/rejected counters.
+func NewInstrumentedQueue[T any](reg *obs.Registry, name string) *Queue[T] {
+	q := NewQueue[T]()
+	q.Instrument(reg, name)
+	return q
+}
+
+// Instrument attaches metrics for this queue to reg. Call before the
+// queue is shared between goroutines.
+func (q *Queue[T]) Instrument(reg *obs.Registry, name string) {
+	q.depth = reg.Gauge("avgpipe_queue_depth",
+		"Items currently pending in the queue.", "queue", name)
+	q.blockedSec = reg.Counter("avgpipe_queue_recv_blocked_seconds_total",
+		"Cumulative time receivers spent blocked waiting for items.", "queue", name)
+	q.sends = reg.Counter("avgpipe_queue_sends_total",
+		"Items successfully enqueued.", "queue", name)
+	q.rejected = reg.Counter("avgpipe_queue_send_after_close_total",
+		"Sends rejected with ErrClosed because the queue was closed.", "queue", name)
+}
+
+// Send enqueues without blocking. It returns ErrClosed — rather than
+// panicking or dropping — if the queue has been closed, so racing
+// senders and closers compose safely.
+func (q *Queue[T]) Send(v T) error {
 	q.mu.Lock()
-	defer q.mu.Unlock()
 	if q.closed {
-		panic("comm: send on closed queue")
+		q.mu.Unlock()
+		q.rejected.Inc()
+		return ErrClosed
 	}
 	q.items = append(q.items, v)
+	q.depth.Set(float64(len(q.items)))
+	q.mu.Unlock()
+	q.sends.Inc()
 	q.cond.Signal()
+	return nil
 }
 
 // Recv blocks until an item is available or the queue is closed. The
@@ -79,6 +122,10 @@ func (q *Queue[T]) Send(v T) {
 func (q *Queue[T]) Recv() (T, bool) {
 	q.mu.Lock()
 	defer q.mu.Unlock()
+	if len(q.items) == 0 && !q.closed && q.blockedSec != nil {
+		start := time.Now()
+		defer func() { q.blockedSec.Add(time.Since(start).Seconds()) }()
+	}
 	for len(q.items) == 0 && !q.closed {
 		q.cond.Wait()
 	}
@@ -88,6 +135,7 @@ func (q *Queue[T]) Recv() (T, bool) {
 	}
 	v := q.items[0]
 	q.items = q.items[1:]
+	q.depth.Set(float64(len(q.items)))
 	return v, true
 }
 
@@ -101,6 +149,7 @@ func (q *Queue[T]) TryRecv() (T, bool) {
 	}
 	v := q.items[0]
 	q.items = q.items[1:]
+	q.depth.Set(float64(len(q.items)))
 	return v, true
 }
 

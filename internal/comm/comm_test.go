@@ -1,9 +1,13 @@
 package comm
 
 import (
+	"runtime"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
+
+	"avgpipe/internal/obs"
 )
 
 func TestTransferTime(t *testing.T) {
@@ -80,15 +84,110 @@ func TestQueueCloseDrainsPending(t *testing.T) {
 	}
 }
 
-func TestQueueSendOnClosedPanics(t *testing.T) {
+func TestQueueSendAfterClose(t *testing.T) {
 	q := NewQueue[int]()
+	if err := q.Send(1); err != nil {
+		t.Fatalf("Send on open queue: %v", err)
+	}
 	q.Close()
-	defer func() {
-		if recover() == nil {
-			t.Fatal("expected panic")
+	if err := q.Send(2); err != ErrClosed {
+		t.Fatalf("Send after Close = %v, want ErrClosed", err)
+	}
+	// The rejected item must not have been enqueued.
+	if v, ok := q.Recv(); !ok || v != 1 {
+		t.Fatalf("Recv = %v %v, want 1 true", v, ok)
+	}
+	if _, ok := q.Recv(); ok {
+		t.Fatal("rejected send leaked into the queue")
+	}
+}
+
+// TestQueueSendCloseRace is the regression test for the send-after-Close
+// guard: under the race detector, concurrent senders racing one Close
+// must neither panic nor silently drop — every Send either enqueues (and
+// is received) or returns ErrClosed.
+func TestQueueSendCloseRace(t *testing.T) {
+	for trial := 0; trial < 20; trial++ {
+		q := NewQueue[int]()
+		const senders = 8
+		var accepted, rejected int64
+		var wg sync.WaitGroup
+		start := make(chan struct{})
+		for i := 0; i < senders; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				<-start
+				for j := 0; j < 50; j++ {
+					switch err := q.Send(i*100 + j); err {
+					case nil:
+						atomic.AddInt64(&accepted, 1)
+					case ErrClosed:
+						atomic.AddInt64(&rejected, 1)
+					default:
+						t.Errorf("Send returned unexpected error %v", err)
+					}
+				}
+			}(i)
 		}
-	}()
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			runtime.Gosched()
+			q.Close()
+		}()
+		close(start)
+		wg.Wait()
+		var received int64
+		for {
+			if _, ok := q.TryRecv(); !ok {
+				break
+			}
+			received++
+		}
+		if received != accepted {
+			t.Fatalf("trial %d: accepted %d sends but received %d", trial, accepted, received)
+		}
+		if accepted+rejected != senders*50 {
+			t.Fatalf("trial %d: %d accepted + %d rejected != %d sends", trial, accepted, rejected, senders*50)
+		}
+	}
+}
+
+func TestInstrumentedQueueMetrics(t *testing.T) {
+	reg := obs.NewRegistry()
+	q := NewInstrumentedQueue[int](reg, "test")
 	q.Send(1)
+	q.Send(2)
+	if d := reg.Gauge("avgpipe_queue_depth", "", "queue", "test").Value(); d != 2 {
+		t.Fatalf("depth gauge %v, want 2", d)
+	}
+	q.Recv()
+	if d := reg.Gauge("avgpipe_queue_depth", "", "queue", "test").Value(); d != 1 {
+		t.Fatalf("depth gauge %v after Recv, want 1", d)
+	}
+	// A blocked Recv must accrue blocked time.
+	done := make(chan struct{})
+	go func() {
+		q.Recv() // drains the remaining item immediately
+		q.Recv() // blocks until the late send
+		close(done)
+	}()
+	time.Sleep(10 * time.Millisecond)
+	q.Send(3)
+	<-done
+	if b := reg.Counter("avgpipe_queue_recv_blocked_seconds_total", "", "queue", "test").Value(); b <= 0 {
+		t.Fatalf("blocked seconds %v, want > 0", b)
+	}
+	if s := reg.Counter("avgpipe_queue_sends_total", "", "queue", "test").Value(); s != 3 {
+		t.Fatalf("sends %v, want 3", s)
+	}
+	q.Close()
+	q.Send(4)
+	if r := reg.Counter("avgpipe_queue_send_after_close_total", "", "queue", "test").Value(); r != 1 {
+		t.Fatalf("rejected %v, want 1", r)
+	}
 }
 
 func TestQueueConcurrentSenders(t *testing.T) {

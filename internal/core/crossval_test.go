@@ -188,8 +188,9 @@ func TestPipelineTraceMatchesSchedule(t *testing.T) {
 	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
 		t.Fatalf("trace not valid JSON: %v", err)
 	}
-	// k metadata rows + 2m ops per stage.
-	if want := k + k*2*m; len(doc.TraceEvents) != want {
+	// One process row, k thread rows, and per stage 2m op spans plus 2m
+	// flow points (the arrow chain linking each micro across stages).
+	if want := 1 + k + 2*(k*2*m); len(doc.TraceEvents) != want {
 		t.Fatalf("trace has %d events, want %d", len(doc.TraceEvents), want)
 	}
 	// Untraced runs record no per-op events.

@@ -3,9 +3,11 @@ package core
 import (
 	"fmt"
 	"sync"
+	"time"
 
 	"avgpipe/internal/comm"
 	"avgpipe/internal/nn"
+	"avgpipe/internal/obs"
 	"avgpipe/internal/tensor"
 )
 
@@ -58,27 +60,55 @@ type Averager struct {
 
 	done   chan struct{}
 	closed sync.Once
+
+	// Observability: elastic-round latency (first update arriving →
+	// round applied), update staleness (older incomplete rounds at
+	// arrival), applied-update count, and open-round gauge.
+	roundSec    *obs.Histogram
+	staleRounds *obs.Histogram
+	updates     *obs.Counter
+	openRounds  *obs.Gauge
 }
 
 type roundAcc struct {
 	sum   []*tensor.Tensor
 	count int
+	first time.Time
 }
 
 // NewAverager builds the framework around an initial model: the reference
 // model starts as a copy of init, and all N pipelines are assumed to start
-// from weights equal to init (use SeedReplica otherwise).
+// from weights equal to init (use SeedReplica otherwise). Metrics go to
+// obs.Default(); use NewAveragerObs to choose a registry.
 func NewAverager(n int, init []*nn.Param) *Averager {
+	return NewAveragerObs(n, init, nil)
+}
+
+// NewAveragerObs is NewAverager recording metrics into reg (nil =
+// obs.Default()).
+func NewAveragerObs(n int, init []*nn.Param, reg *obs.Registry) *Averager {
 	if n <= 0 {
 		panic("core: need at least one pipeline")
+	}
+	if reg == nil {
+		reg = obs.Default()
 	}
 	a := &Averager{
 		Alpha:     1 / float64(n),
 		N:         n,
-		queue:     comm.NewQueue[Update](),
+		queue:     comm.NewInstrumentedQueue[Update](reg, "averager"),
 		pending:   make(map[int]*roundAcc),
 		snapshots: make([][]*tensor.Tensor, n),
 		done:      make(chan struct{}),
+		roundSec: reg.Histogram("avgpipe_avg_round_seconds",
+			"Elastic-averaging round latency: first update arriving to round applied.", nil),
+		staleRounds: reg.Histogram("avgpipe_avg_staleness_rounds",
+			"Older incomplete rounds pending when an update arrives.",
+			obs.LinearBuckets(0, 1, 16)),
+		updates: reg.Counter("avgpipe_avg_updates_total",
+			"Local updates applied to the reference model."),
+		openRounds: reg.Gauge("avgpipe_avg_open_rounds",
+			"Rounds currently awaiting straggler pipelines."),
 	}
 	a.drainCond = sync.NewCond(&a.drainMu)
 	a.ref = make([]*tensor.Tensor, len(init))
@@ -119,9 +149,15 @@ func (a *Averager) referenceLoop() {
 			return
 		}
 		a.mu.Lock()
+		stale := 0
+		for r := range a.pending {
+			if r < u.Round {
+				stale++
+			}
+		}
 		acc := a.pending[u.Round]
 		if acc == nil {
-			acc = &roundAcc{sum: make([]*tensor.Tensor, len(a.ref))}
+			acc = &roundAcc{sum: make([]*tensor.Tensor, len(a.ref)), first: time.Now()}
 			for i, r := range a.ref {
 				acc.sum[i] = tensor.New(r.Shape()...)
 			}
@@ -131,14 +167,22 @@ func (a *Averager) referenceLoop() {
 			acc.sum[i].AddInPlace(d)
 		}
 		acc.count++
-		if acc.count == a.N {
+		roundDone := acc.count == a.N
+		if roundDone {
 			inv := float32(1 / float64(a.N))
 			for i := range a.ref {
 				a.ref[i].AxpyInPlace(inv, acc.sum[i])
 			}
 			delete(a.pending, u.Round)
 		}
+		open := len(a.pending)
 		a.mu.Unlock()
+		a.staleRounds.Observe(float64(stale))
+		a.updates.Inc()
+		a.openRounds.Set(float64(open))
+		if roundDone {
+			a.roundSec.Observe(time.Since(acc.first).Seconds())
+		}
 		a.drainMu.Lock()
 		a.applied++
 		a.drainMu.Unlock()
@@ -161,7 +205,15 @@ func (a *Averager) Submit(p, round int, params []*nn.Param) {
 	a.drainMu.Lock()
 	a.sent++
 	a.drainMu.Unlock()
-	a.queue.Send(Update{Pipeline: p, Round: round, Deltas: deltas})
+	if err := a.queue.Send(Update{Pipeline: p, Round: round, Deltas: deltas}); err != nil {
+		// The queue only rejects after Close; submitting then is API
+		// misuse (Close drains first), so fail loudly rather than let the
+		// update vanish and a later Drain hang on the phantom send.
+		a.drainMu.Lock()
+		a.sent--
+		a.drainMu.Unlock()
+		panic(fmt.Sprintf("core: Submit(pipeline %d, round %d) after Close: %v", p, round, err))
+	}
 }
 
 // Dilute performs step ❷ for pipeline p: its weights are mixed with the

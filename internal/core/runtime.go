@@ -1,15 +1,17 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"io"
+	"strconv"
 	"sync"
 	"time"
 
 	"avgpipe/internal/data"
 	"avgpipe/internal/nn"
+	"avgpipe/internal/obs"
 	"avgpipe/internal/optim"
-	"avgpipe/internal/pipesim"
 	"avgpipe/internal/sched"
 	"avgpipe/internal/tensor"
 )
@@ -40,6 +42,21 @@ type Pipeline struct {
 
 	params  []*nn.Param
 	metrics []StageMetrics
+
+	obs        *obs.Registry
+	stageInstr []stageInstr
+	batchSec   *obs.Histogram
+	batches    *obs.Counter
+}
+
+// stageInstr caches one stage's obs metric handles so the stage worker's
+// hot path is pure atomic updates — no registry lookups per op.
+type stageInstr struct {
+	fwdSec, bwdSec *obs.Histogram
+	waitSec        *obs.Counter
+	fwdOps, bwdOps *obs.Counter
+	bubbleFrac     *obs.Gauge
+	peakInFlight   *obs.Gauge
 }
 
 // StageMetrics instruments one stage worker's most recent batch: wall
@@ -51,6 +68,9 @@ type StageMetrics struct {
 	// Busy is time inside Forward/Backward; Wait is time blocked on
 	// channel receives.
 	Busy, Wait time.Duration
+	// FwdTime and BwdTime split Busy by pass direction — the per-stage
+	// compute costs the paper's tuner profiles (§5).
+	FwdTime, BwdTime time.Duration
 	// PeakInFlight is the stash high-water mark (live contexts).
 	PeakInFlight int
 	// Fwd and Bwd count micro-batch passes executed.
@@ -59,6 +79,17 @@ type StageMetrics struct {
 	// set), mirroring the simulator's timeline events so real and
 	// simulated traces are diff-able.
 	Ops []OpEvent
+}
+
+// BubbleFraction is the share of the stage's wall clock spent waiting on
+// channel receives rather than computing — the runtime analogue of the
+// simulator's (bubble + comm-blocked) / makespan.
+func (m StageMetrics) BubbleFraction() float64 {
+	wall := m.Busy + m.Wait
+	if wall <= 0 {
+		return 0
+	}
+	return float64(m.Wait) / float64(wall)
 }
 
 // OpEvent records one executed op for tracing: its position in the
@@ -100,6 +131,9 @@ type PipelineConfig struct {
 	Partition PartitionMode
 	// Trace records per-op timestamps (StageMetrics.Ops).
 	Trace bool
+	// Obs selects the metrics registry the pipeline records per-stage
+	// compute, wait, and occupancy metrics into (nil = obs.Default()).
+	Obs *obs.Registry
 }
 
 // NewPipeline partitions model layers into k stages of near-equal layer
@@ -140,8 +174,43 @@ func NewPipelineWith(model *nn.Sequential, cfg PipelineConfig) *Pipeline {
 	for s, b := range bounds {
 		stages[s] = model.Slice(b[0], b[1])
 	}
-	return &Pipeline{Stages: stages, Advance: advance, Trace: cfg.Trace,
+	p := &Pipeline{Stages: stages, Advance: advance, Trace: cfg.Trace,
 		plan: plan, params: model.Params(), metrics: make([]StageMetrics, k)}
+	p.SetObs(cfg.Obs)
+	return p
+}
+
+// SetObs rebinds the pipeline's metrics to reg (nil = obs.Default()) and
+// caches per-stage metric handles so RunBatch's hot path never touches
+// the registry. Call before RunBatch, not concurrently with it.
+func (p *Pipeline) SetObs(reg *obs.Registry) {
+	if reg == nil {
+		reg = obs.Default()
+	}
+	p.obs = reg
+	p.batchSec = reg.Histogram("avgpipe_batch_seconds",
+		"Wall time of one pipelined batch (RunBatch).", nil)
+	p.batches = reg.Counter("avgpipe_batches_total", "Pipelined batches executed.")
+	p.stageInstr = make([]stageInstr, len(p.Stages))
+	for s := range p.Stages {
+		st := strconv.Itoa(s)
+		p.stageInstr[s] = stageInstr{
+			fwdSec: reg.Histogram("avgpipe_stage_fwd_seconds",
+				"Per-micro-batch forward compute time by stage.", nil, "stage", st),
+			bwdSec: reg.Histogram("avgpipe_stage_bwd_seconds",
+				"Per-micro-batch backward compute time by stage.", nil, "stage", st),
+			waitSec: reg.Counter("avgpipe_stage_wait_seconds_total",
+				"Cumulative time a stage worker blocked on channel receives.", "stage", st),
+			fwdOps: reg.Counter("avgpipe_stage_fwd_ops_total",
+				"Forward micro-batch passes executed by stage.", "stage", st),
+			bwdOps: reg.Counter("avgpipe_stage_bwd_ops_total",
+				"Backward micro-batch passes executed by stage.", "stage", st),
+			bubbleFrac: reg.Gauge("avgpipe_stage_bubble_fraction",
+				"Wait share of the stage's wall clock in the last batch.", "stage", st),
+			peakInFlight: reg.Gauge("avgpipe_stage_peak_inflight",
+				"High-water mark of live activation stashes by stage.", "stage", st),
+		}
+	}
 }
 
 // NewPipelineFromSchedule builds a schedule interpreter over an explicit
@@ -164,10 +233,12 @@ func NewPipelineFromSchedule(model *nn.Sequential, schedule *sched.Schedule) (*P
 	for s, b := range bounds {
 		stages[s] = model.Slice(b[0], b[1])
 	}
-	return &Pipeline{Stages: stages,
+	p := &Pipeline{Stages: stages,
 		plan:  sched.Plan{Name: schedule.Name},
 		fixed: schedule, cur: schedule, curAn: an, curM: an.Micros,
-		params: model.Params(), metrics: make([]StageMetrics, k)}, nil
+		params: model.Params(), metrics: make([]StageMetrics, k)}
+	p.SetObs(nil)
+	return p, nil
 }
 
 // Params returns all parameters across stages in layer order.
@@ -246,6 +317,8 @@ func (p *Pipeline) RunBatch(batch *data.Batch, micro int) float64 {
 		}(s)
 	}
 	wg.Wait()
+	p.batchSec.Observe(time.Since(epoch).Seconds())
+	p.batches.Inc()
 
 	optim.ScaleGrads(p.params, m)
 	var total float64
@@ -270,7 +343,13 @@ func (p *Pipeline) stageWorker(s, k int, ops []sched.Op, micros []*data.Batch, f
 	pendB := make(map[int]*tensor.Tensor)
 	inflight := 0
 	met := StageMetrics{}
-	defer func() { p.metrics[s] = met }()
+	instr := p.stageInstr[s]
+	defer func() {
+		p.metrics[s] = met
+		instr.waitSec.Add(met.Wait.Seconds())
+		instr.bubbleFrac.Set(met.BubbleFraction())
+		instr.peakInFlight.SetMax(float64(met.PeakInFlight))
+	}()
 
 	// recv returns the payload for the requested micro, stashing any
 	// earlier arrivals the op order has not demanded yet (upstream may
@@ -340,6 +419,15 @@ func (p *Pipeline) stageWorker(s, k int, ops []sched.Op, micros []*data.Batch, f
 		}
 		dur := time.Since(busyStart)
 		met.Busy += dur
+		if op.Kind == sched.Fwd {
+			met.FwdTime += dur
+			instr.fwdSec.Observe(dur.Seconds())
+			instr.fwdOps.Inc()
+		} else {
+			met.BwdTime += dur
+			instr.bwdSec.Observe(dur.Seconds())
+			instr.bwdOps.Inc()
+		}
 		if p.Trace {
 			met.Ops = append(met.Ops, OpEvent{Index: i, Kind: op.Kind, Micro: op.Micro,
 				Start: busyStart.Sub(epoch), Dur: dur})
@@ -347,27 +435,67 @@ func (p *Pipeline) stageWorker(s, k int, ops []sched.Op, micros []*data.Batch, f
 	}
 }
 
-// WriteTrace renders the most recent traced RunBatch as a Chrome trace
-// in the same event shape as pipesim.Result.WriteTrace (one track per
-// stage, one complete event per op named like "F3"/"B3"), so a real run
-// and its simulation can be diffed directly. Requires Trace to have
-// been set before RunBatch.
-func (p *Pipeline) WriteTrace(w io.Writer) error {
-	var events []pipesim.TraceEvent
-	for s, met := range p.metrics {
-		events = append(events, pipesim.MetadataEvent(fmt.Sprintf("GPU %d", s+1), s+1))
-		for _, op := range met.Ops {
-			events = append(events, pipesim.TraceEvent{
-				Name:  sched.Op{Kind: op.Kind, Micro: op.Micro}.String(),
-				Cat:   "compute",
-				Phase: "X",
-				TS:    op.Start.Seconds() * 1e6,
-				Dur:   op.Dur.Seconds() * 1e6,
-				PID:   1,
-				TID:   s + 1,
-				Args:  map[string]any{"op": op.Index, "micro": op.Micro},
-			})
+// ErrNoTrace reports a WriteTrace call with nothing to write: Trace was
+// never enabled (or RunBatch never ran), so emitting a silently empty
+// trace file would mislead whoever opens it in Perfetto.
+var ErrNoTrace = errors.New("core: no per-op trace recorded; set Pipeline.Trace before RunBatch")
+
+// Tracer renders the most recent traced RunBatch into the shared
+// obs.Tracer: one track per stage, one complete event per op named like
+// "F3"/"B3" (matching pipesim.Result.Tracer so a real run and its
+// simulation diff directly), plus one flow-arrow chain per micro-batch
+// linking its journey forward down the stages and backward up again.
+func (p *Pipeline) Tracer() (*obs.Tracer, error) {
+	traced := false
+	for _, met := range p.metrics {
+		if len(met.Ops) > 0 {
+			traced = true
+			break
 		}
 	}
-	return pipesim.WriteTraceEvents(w, events, map[string]any{"source": "core.Pipeline"})
+	if !traced {
+		return nil, ErrNoTrace
+	}
+	t := obs.NewTracer("core.Pipeline")
+	t.Process(1, "pipeline runtime")
+	k := len(p.metrics)
+	for s, met := range p.metrics {
+		t.Thread(1, s+1, fmt.Sprintf("GPU %d", s+1))
+		for _, op := range met.Ops {
+			name := sched.Op{Kind: op.Kind, Micro: op.Micro}.String()
+			start := op.Start.Seconds() * 1e6
+			dur := op.Dur.Seconds() * 1e6
+			t.Span(1, s+1, name, "compute", start, dur,
+				map[string]any{"op": op.Index, "micro": op.Micro})
+			// Flow arrows: micro m starts its chain at stage 0's forward,
+			// steps through every intermediate op, and ends where its
+			// gradient returns to stage 0. Mid-span timestamps keep each
+			// flow point inside its slice, as chrome://tracing requires.
+			id := fmt.Sprintf("micro-%d", op.Micro)
+			mid := start + dur/2
+			switch {
+			case op.Kind == sched.Fwd && s == 0:
+				t.Flow(1, s+1, id, id, mid, obs.FlowStart)
+			case op.Kind == sched.Bwd && (s == 0 || k == 1):
+				t.Flow(1, s+1, id, id, mid, obs.FlowEnd)
+			default:
+				t.Flow(1, s+1, id, id, mid, obs.FlowStep)
+			}
+		}
+	}
+	return t, nil
+}
+
+// WriteTrace writes the most recent traced RunBatch as a Chrome trace.
+// It returns ErrNoTrace instead of silently writing an empty trace when
+// Trace was never enabled.
+func (p *Pipeline) WriteTrace(w io.Writer) error {
+	t, err := p.Tracer()
+	if err != nil {
+		return err
+	}
+	if err := t.Write(w); err != nil {
+		return fmt.Errorf("core: write pipeline trace: %w", err)
+	}
+	return nil
 }

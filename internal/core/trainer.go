@@ -2,10 +2,14 @@ package core
 
 import (
 	"fmt"
+	"io"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"avgpipe/internal/data"
 	"avgpipe/internal/nn"
+	"avgpipe/internal/obs"
 	"avgpipe/internal/optim"
 	"avgpipe/internal/sched"
 	"avgpipe/internal/workload"
@@ -43,6 +47,9 @@ type TrainerConfig struct {
 	// synchronous round is the default because it removes the one-round
 	// reference lag). Exposed for the ablation study.
 	AsyncDilute bool
+	// Obs selects the metrics registry the trainer, its pipelines, and
+	// the averager record into (nil = obs.Default()).
+	Obs *obs.Registry
 }
 
 // Trainer runs N parallel pipelines, each training a replica on its own
@@ -57,6 +64,29 @@ type Trainer struct {
 	evalModel *nn.Sequential
 	evalGen   data.Generator
 	round     int
+
+	stepLog *obs.JSONL
+
+	stepSec       *obs.Histogram
+	samplesTotal  *obs.Counter
+	tokensTotal   *obs.Counter
+	samplesPerSec *obs.Gauge
+	tokensPerSec  *obs.Gauge
+	lossGauge     *obs.Gauge
+}
+
+// StepRecord is one structured JSONL line per training round — the
+// step/epoch log the internal/exp figure harness and offline plotting
+// consume.
+type StepRecord struct {
+	Round       int     `json:"round"`
+	Loss        float64 `json:"loss"`
+	StepSeconds float64 `json:"step_seconds"`
+	Samples     int     `json:"samples"`
+	Tokens      int     `json:"tokens"`
+	SamplesPerS float64 `json:"samples_per_sec"`
+	TokensPerS  float64 `json:"tokens_per_sec"`
+	OpenRounds  int     `json:"open_rounds"`
 }
 
 // NewTrainer builds the replicas, data streams, optimizers, and the
@@ -67,17 +97,28 @@ func NewTrainer(cfg TrainerConfig) *Trainer {
 		panic(fmt.Sprintf("core: bad trainer config %+v", cfg))
 	}
 	t := &Trainer{cfg: cfg}
+	reg := cfg.Obs
+	if reg == nil {
+		reg = obs.Default()
+	}
+	t.stepSec = reg.Histogram("avgpipe_train_step_seconds",
+		"Wall time of one training round across all pipelines.", nil)
+	t.samplesTotal = reg.Counter("avgpipe_train_samples_total", "Training examples consumed.")
+	t.tokensTotal = reg.Counter("avgpipe_train_tokens_total", "Training targets (tokens) consumed.")
+	t.samplesPerSec = reg.Gauge("avgpipe_train_samples_per_second", "Throughput of the last round.")
+	t.tokensPerSec = reg.Gauge("avgpipe_train_tokens_per_second", "Token throughput of the last round.")
+	t.lossGauge = reg.Gauge("avgpipe_train_loss", "Mean training loss of the last round.")
 	base := cfg.Task.NewModel(cfg.Seed)
 	for p := 0; p < cfg.Pipelines; p++ {
 		m := cfg.Task.NewModel(cfg.Seed) // same seed: identical start
 		t.pipelines = append(t.pipelines, NewPipelineWith(m, PipelineConfig{
 			Stages: cfg.StageCount, Plan: cfg.Plan, Advance: cfg.Advance,
-			Partition: cfg.Partition, Trace: cfg.Trace,
+			Partition: cfg.Partition, Trace: cfg.Trace, Obs: cfg.Obs,
 		}))
 		t.gens = append(t.gens, cfg.Task.NewGen(cfg.Seed+100+int64(p)))
 		t.opts = append(t.opts, newOptimizer(cfg.Task))
 	}
-	t.avg = NewAverager(cfg.Pipelines, base.Params())
+	t.avg = NewAveragerObs(cfg.Pipelines, base.Params(), cfg.Obs)
 	if cfg.Alpha > 0 {
 		t.avg.Alpha = cfg.Alpha
 	}
@@ -100,12 +141,16 @@ func newOptimizer(task *workload.Task) optim.Optimizer {
 func (t *Trainer) Step() float64 {
 	n := t.cfg.Pipelines
 	losses := make([]float64, n)
+	start := time.Now()
+	var samples, tokens atomic.Int64
 	var wg sync.WaitGroup
 	for p := 0; p < n; p++ {
 		wg.Add(1)
 		go func(p int) {
 			defer wg.Done()
 			batch := t.gens[p].NextBatch(t.cfg.Task.BatchSize)
+			samples.Add(int64(batch.Size))
+			tokens.Add(int64(len(batch.Targets)))
 			pl := t.pipelines[p]
 			losses[p] = pl.RunBatch(batch, t.cfg.Micro)
 			if t.cfg.ClipNorm > 0 {
@@ -135,7 +180,39 @@ func (t *Trainer) Step() float64 {
 	for _, l := range losses {
 		total += l
 	}
-	return total / float64(n)
+	loss := total / float64(n)
+
+	dur := time.Since(start).Seconds()
+	sm, tk := samples.Load(), tokens.Load()
+	t.stepSec.Observe(dur)
+	t.samplesTotal.Add(float64(sm))
+	t.tokensTotal.Add(float64(tk))
+	var sps, tps float64
+	if dur > 0 {
+		sps, tps = float64(sm)/dur, float64(tk)/dur
+	}
+	t.samplesPerSec.Set(sps)
+	t.tokensPerSec.Set(tps)
+	t.lossGauge.Set(loss)
+	if err := t.stepLog.Log(StepRecord{
+		Round: t.round - 1, Loss: loss, StepSeconds: dur,
+		Samples: int(sm), Tokens: int(tk),
+		SamplesPerS: sps, TokensPerS: tps,
+		OpenRounds: t.avg.PendingRounds(),
+	}); err != nil {
+		panic(fmt.Sprintf("core: step log: %v", err))
+	}
+	return loss
+}
+
+// SetStepLog streams one StepRecord JSON line per Step to w (nil stops
+// logging). Call before training, not concurrently with Step.
+func (t *Trainer) SetStepLog(w io.Writer) {
+	if w == nil {
+		t.stepLog = nil
+		return
+	}
+	t.stepLog = obs.NewJSONL(w)
 }
 
 // Round returns the number of completed rounds.

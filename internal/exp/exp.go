@@ -11,12 +11,14 @@ package exp
 
 import (
 	"fmt"
+	"io"
 	"strings"
 
 	"avgpipe/internal/cluster"
 	"avgpipe/internal/comm"
 	"avgpipe/internal/core"
 	"avgpipe/internal/device"
+	"avgpipe/internal/obs"
 	"avgpipe/internal/pipesim"
 	"avgpipe/internal/sched"
 	"avgpipe/internal/workload"
@@ -266,6 +268,27 @@ func (t *Table) CSV() string {
 		writeRow(r)
 	}
 	return b.String()
+}
+
+// WriteJSONL streams the table as JSON Lines through the obs logger:
+// one object per data row keyed by the header cells, each carrying the
+// table slug — the structured counterpart of CSV for plotting pipelines
+// and the figure harness's step/epoch logs.
+func (t *Table) WriteJSONL(w io.Writer) error {
+	l := obs.NewJSONL(w)
+	for _, r := range t.Rows {
+		rec := make(map[string]any, len(t.Header)+1)
+		rec["table"] = t.Slug()
+		for i, h := range t.Header {
+			if i < len(r) {
+				rec[h] = r[i]
+			}
+		}
+		if err := l.Log(rec); err != nil {
+			return fmt.Errorf("exp: table %s: %w", t.Slug(), err)
+		}
+	}
+	return nil
 }
 
 // Slug derives a filesystem-friendly name from the table title.

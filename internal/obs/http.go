@@ -1,0 +1,62 @@
+package obs
+
+import (
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+)
+
+// publishOnce guards the expvar bridge: expvar panics on duplicate
+// Publish, and several binaries may build handlers for the same
+// registry.
+var publishOnce sync.Once
+
+// Handler serves the observability surface for a registry:
+//
+//	/metrics      Prometheus text exposition
+//	/debug        plain-text index of the endpoints below
+//	/debug/vars   expvar JSON (Go runtime stats + the avgpipe registry)
+//	/debug/pprof  the standard profiling endpoints
+//
+// Attach it to any server, or use Serve for the common one-liner.
+func Handler(reg *Registry) http.Handler {
+	publishOnce.Do(func() {
+		expvar.Publish("avgpipe", expvar.Func(func() any { return reg.Snapshot() }))
+	})
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if err := reg.WritePrometheus(w); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/debug", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, "avgpipe observability endpoints:")
+		fmt.Fprintln(w, "  /metrics       Prometheus text")
+		fmt.Fprintln(w, "  /debug/vars    expvar JSON")
+		fmt.Fprintln(w, "  /debug/pprof/  profiling (profile, heap, trace, ...)")
+	})
+	return mux
+}
+
+// Serve starts an HTTP server for Handler(reg) on addr (e.g. ":9090")
+// in a background goroutine, returning the bound address — useful with
+// ":0" in tests. The returned server's Close tears it down.
+func Serve(addr string, reg *Registry) (*http.Server, string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, "", fmt.Errorf("obs: listen %s: %w", addr, err)
+	}
+	srv := &http.Server{Handler: Handler(reg)}
+	go srv.Serve(ln)
+	return srv, ln.Addr().String(), nil
+}

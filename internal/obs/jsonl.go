@@ -1,0 +1,36 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+)
+
+// JSONL writes structured records as JSON Lines — the step/epoch log
+// format the trainer and the internal/exp figure harness emit for
+// offline plotting. Safe for concurrent use; each Log call writes one
+// complete line.
+type JSONL struct {
+	mu  sync.Mutex
+	enc *json.Encoder
+}
+
+// NewJSONL wraps a writer. The caller owns closing the underlying file.
+func NewJSONL(w io.Writer) *JSONL {
+	return &JSONL{enc: json.NewEncoder(w)}
+}
+
+// Log encodes one record as a single JSON line. Nil loggers drop the
+// record, so callers need no guards on optional logging.
+func (l *JSONL) Log(record any) error {
+	if l == nil {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if err := l.enc.Encode(record); err != nil {
+		return fmt.Errorf("obs: encode jsonl record: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,325 @@
+// Package obs is the repository's dependency-free telemetry subsystem:
+// a concurrent metrics registry (counters, gauges, fixed-bucket
+// histograms with quantile estimates), a Chrome-trace span tracer shared
+// by the real runtime and the simulator, structured JSONL step logging,
+// and an HTTP endpoint serving Prometheus text, expvar, and pprof.
+//
+// The paper's tuner (§4–5) chooses parallelism degrees from *measured*
+// per-stage compute, communication, and averaging costs; obs is where
+// those measurements live. Design constraints:
+//
+//   - Hot-path cheap: metric updates are one atomic op (plus a bucket
+//     search for histograms). Callers cache metric pointers outside
+//     loops; the registry map is only touched at registration time.
+//   - Dependency-free: obs imports only the standard library, so every
+//     layer (comm, sched, pipesim, core, exp, cmd) may use it without
+//     cycles.
+//   - Nil-safe: all metric methods are no-ops on nil receivers, so
+//     optional instrumentation needs no call-site guards.
+package obs
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// strictNames is enabled by the `obs` build tag (see strict_tag.go): it
+// validates metric family names at registration time, which `go vet
+// -tags obs ./...` in the Makefile ci tier compiles in.
+var strictNames = false
+
+// Counter is a monotonically increasing float64 metric.
+type Counter struct {
+	bits atomic.Uint64
+	off  bool
+}
+
+// Add increments the counter. Negative deltas are ignored (counters are
+// monotone); nil and discarded counters drop the update.
+func (c *Counter) Add(v float64) {
+	if c == nil || c.off || v < 0 {
+		return
+	}
+	addFloat(&c.bits, v)
+}
+
+// Inc adds 1.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() float64 {
+	if c == nil {
+		return 0
+	}
+	return math.Float64frombits(c.bits.Load())
+}
+
+// Gauge is a float64 metric that can go up and down.
+type Gauge struct {
+	bits atomic.Uint64
+	off  bool
+}
+
+// Set stores the value.
+func (g *Gauge) Set(v float64) {
+	if g == nil || g.off {
+		return
+	}
+	g.bits.Store(math.Float64bits(v))
+}
+
+// Add increments (or, with negative v, decrements) the gauge.
+func (g *Gauge) Add(v float64) {
+	if g == nil || g.off {
+		return
+	}
+	addFloat(&g.bits, v)
+}
+
+// SetMax raises the gauge to v if v exceeds the current value — a
+// high-water mark.
+func (g *Gauge) SetMax(v float64) {
+	if g == nil || g.off {
+		return
+	}
+	for {
+		old := g.bits.Load()
+		if math.Float64frombits(old) >= v {
+			return
+		}
+		if g.bits.CompareAndSwap(old, math.Float64bits(v)) {
+			return
+		}
+	}
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+func addFloat(bits *atomic.Uint64, v float64) {
+	for {
+		old := bits.Load()
+		niu := math.Float64bits(math.Float64frombits(old) + v)
+		if bits.CompareAndSwap(old, niu) {
+			return
+		}
+	}
+}
+
+// metric type tags for exposition.
+const (
+	typeCounter   = "counter"
+	typeGauge     = "gauge"
+	typeHistogram = "histogram"
+)
+
+// family is one metric name with its help text and series (one per label
+// combination).
+type family struct {
+	name, help, typ string
+	series          map[string]any // label-string -> *Counter | *Gauge | *Histogram
+}
+
+// Registry holds metric families. All methods are safe for concurrent
+// use; Get-or-create registration takes the registry lock, metric
+// updates never do.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+	off      bool
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+// Discard returns a registry whose metrics silently drop every update —
+// the zero-overhead baseline instrumented code is benchmarked against.
+func Discard() *Registry {
+	r := NewRegistry()
+	r.off = true
+	return r
+}
+
+var defaultRegistry = NewRegistry()
+
+// Default returns the process-wide registry that package-level
+// instrumentation (pipesim, core defaults) records into.
+func Default() *Registry { return defaultRegistry }
+
+// labelString renders "k1=\"v1\",k2=\"v2\"" from a flat key/value list.
+func labelString(labels []string) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	if len(labels)%2 != 0 {
+		panic(fmt.Sprintf("obs: odd label list %q", labels))
+	}
+	var b strings.Builder
+	for i := 0; i+1 < len(labels); i += 2 {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", labels[i], labels[i+1])
+	}
+	return b.String()
+}
+
+func validName(name string) bool {
+	if name == "" {
+		return false
+	}
+	for i, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_', r == ':':
+		case r >= '0' && r <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// register returns the family, creating it on first use and panicking on
+// a type conflict (a programmer error, like registering the same expvar
+// twice).
+func (r *Registry) register(name, help, typ string) *family {
+	if strictNames && !validName(name) {
+		panic(fmt.Sprintf("obs: invalid metric name %q", name))
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f, ok := r.families[name]
+	if !ok {
+		f = &family{name: name, help: help, typ: typ, series: make(map[string]any)}
+		r.families[name] = f
+		return f
+	}
+	if f.typ != typ {
+		panic(fmt.Sprintf("obs: metric %q registered as %s and %s", name, f.typ, typ))
+	}
+	return f
+}
+
+// Counter returns the counter for the family name and label pairs
+// (flat "key", "value" list), creating it on first use.
+func (r *Registry) Counter(name, help string, labels ...string) *Counter {
+	f := r.register(name, help, typeCounter)
+	ls := labelString(labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m, ok := f.series[ls]; ok {
+		return m.(*Counter)
+	}
+	c := &Counter{off: r.off}
+	f.series[ls] = c
+	return c
+}
+
+// Gauge returns the gauge for the family name and label pairs, creating
+// it on first use.
+func (r *Registry) Gauge(name, help string, labels ...string) *Gauge {
+	f := r.register(name, help, typeGauge)
+	ls := labelString(labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m, ok := f.series[ls]; ok {
+		return m.(*Gauge)
+	}
+	g := &Gauge{off: r.off}
+	f.series[ls] = g
+	return g
+}
+
+// Histogram returns the histogram for the family name and label pairs,
+// creating it with the given bucket upper bounds on first use (nil =
+// DefSecondsBuckets). Buckets are fixed at creation; later calls reuse
+// the first set.
+func (r *Registry) Histogram(name, help string, buckets []float64, labels ...string) *Histogram {
+	f := r.register(name, help, typeHistogram)
+	ls := labelString(labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m, ok := f.series[ls]; ok {
+		return m.(*Histogram)
+	}
+	h := newHistogram(buckets)
+	h.off = r.off
+	f.series[ls] = h
+	return h
+}
+
+// Snapshot returns every series as renderedName -> value, where
+// histograms contribute their _count, _sum, and per-quantile pseudo
+// series. Used by the expvar bridge and tests; the Prometheus text
+// exposition is WritePrometheus.
+func (r *Registry) Snapshot() map[string]float64 {
+	out := make(map[string]float64)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for name, f := range r.families {
+		for ls, m := range f.series {
+			full := name
+			if ls != "" {
+				full = name + "{" + ls + "}"
+			}
+			switch v := m.(type) {
+			case *Counter:
+				out[full] = v.Value()
+			case *Gauge:
+				out[full] = v.Value()
+			case *Histogram:
+				out[full+"_count"] = float64(v.Count())
+				out[full+"_sum"] = v.Sum()
+				out[full+"_p50"] = v.Quantile(0.5)
+				out[full+"_p99"] = v.Quantile(0.99)
+			}
+		}
+	}
+	return out
+}
+
+// familyView is a stable copy of one family's structure for exposition:
+// the series maps are only mutated under the registry lock, so the view
+// snapshots keys and metric pointers (whose values are atomics and safe
+// to read lock-free).
+type familyView struct {
+	name, help, typ string
+	labels          []string // sorted label strings
+	metrics         []any    // parallel to labels
+}
+
+// view returns the families in name order, each with its series sorted —
+// the deterministic iteration the text exposition and golden tests rely
+// on.
+func (r *Registry) view() []familyView {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]familyView, 0, len(r.families))
+	for _, f := range r.families {
+		fv := familyView{name: f.name, help: f.help, typ: f.typ}
+		for k := range f.series {
+			fv.labels = append(fv.labels, k)
+		}
+		sort.Strings(fv.labels)
+		for _, k := range fv.labels {
+			fv.metrics = append(fv.metrics, f.series[k])
+		}
+		out = append(out, fv)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].name < out[j].name })
+	return out
+}

@@ -1,0 +1,259 @@
+package obs
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c_total", "help")
+	c.Inc()
+	c.Add(2.5)
+	c.Add(-7) // counters are monotone: negative deltas dropped
+	if got := c.Value(); got != 3.5 {
+		t.Fatalf("Value = %v, want 3.5", got)
+	}
+	// Same name + labels returns the same counter.
+	if r.Counter("c_total", "help") != c {
+		t.Fatal("registry did not dedup the counter")
+	}
+	// Different labels are a different series.
+	if r.Counter("c_total", "help", "k", "v") == c {
+		t.Fatal("labelled series must be distinct")
+	}
+}
+
+func TestGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	g := r.Gauge("g", "help")
+	g.Set(5)
+	g.Add(-2)
+	if got := g.Value(); got != 3 {
+		t.Fatalf("Value = %v, want 3", got)
+	}
+	g.SetMax(1) // below current: no change
+	if got := g.Value(); got != 3 {
+		t.Fatalf("SetMax lowered the gauge to %v", got)
+	}
+	g.SetMax(10)
+	if got := g.Value(); got != 10 {
+		t.Fatalf("SetMax = %v, want 10", got)
+	}
+}
+
+func TestNilMetricsAreNoOps(t *testing.T) {
+	var c *Counter
+	var g *Gauge
+	var h *Histogram
+	var l *JSONL
+	c.Add(1)
+	c.Inc()
+	g.Set(1)
+	g.Add(1)
+	g.SetMax(1)
+	h.Observe(1)
+	if err := l.Log(struct{}{}); err != nil {
+		t.Fatalf("nil JSONL Log: %v", err)
+	}
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 || h.Sum() != 0 {
+		t.Fatal("nil metrics must read as zero")
+	}
+	if !math.IsNaN(h.Quantile(0.5)) {
+		t.Fatal("nil histogram quantile must be NaN")
+	}
+}
+
+func TestDiscardRegistryDropsUpdates(t *testing.T) {
+	r := Discard()
+	c := r.Counter("c_total", "")
+	g := r.Gauge("g", "")
+	h := r.Histogram("h", "", nil)
+	c.Add(5)
+	g.Set(5)
+	h.Observe(5)
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 {
+		t.Fatal("discard registry must drop all updates")
+	}
+}
+
+func TestTypeConflictPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("m", "")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("registering m as gauge after counter must panic")
+		}
+	}()
+	r.Gauge("m", "")
+}
+
+// TestConcurrentHammering drives every metric kind from many goroutines;
+// run under -race this is the registry's thread-safety regression test,
+// and the final values check that no update was lost.
+func TestConcurrentHammering(t *testing.T) {
+	r := NewRegistry()
+	const workers = 16
+	const iters = 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			// Mix registration (map access) with updates (atomics).
+			c := r.Counter("hammer_total", "")
+			g := r.Gauge("hammer_gauge", "")
+			hwm := r.Gauge("hammer_hwm", "")
+			h := r.Histogram("hammer_seconds", "", nil)
+			for i := 0; i < iters; i++ {
+				c.Inc()
+				g.Add(1)
+				hwm.SetMax(float64(w*iters + i))
+				h.Observe(float64(i%10) * 1e-3)
+				if i%100 == 0 {
+					r.Snapshot()
+					var buf bytes.Buffer
+					if err := r.WritePrometheus(&buf); err != nil {
+						t.Errorf("WritePrometheus: %v", err)
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := r.Counter("hammer_total", "").Value(); got != workers*iters {
+		t.Fatalf("counter %v, want %d", got, workers*iters)
+	}
+	if got := r.Gauge("hammer_gauge", "").Value(); got != workers*iters {
+		t.Fatalf("gauge %v, want %d", got, workers*iters)
+	}
+	if got := r.Gauge("hammer_hwm", "").Value(); got != workers*iters-1 {
+		t.Fatalf("high-water mark %v, want %d", got, workers*iters-1)
+	}
+	if got := r.Histogram("hammer_seconds", "", nil).Count(); got != workers*iters {
+		t.Fatalf("histogram count %v, want %d", got, workers*iters)
+	}
+}
+
+// TestHistogramQuantileAccuracy checks the linear-interpolation estimate
+// against the exact quantiles of a known sample set: the estimate must be
+// within one bucket width.
+func TestHistogramQuantileAccuracy(t *testing.T) {
+	h := newHistogram(LinearBuckets(0.01, 0.01, 100)) // [0.01, 1.00] in 0.01 steps
+	rng := rand.New(rand.NewSource(7))
+	n := 10000
+	samples := make([]float64, n)
+	for i := range samples {
+		samples[i] = rng.Float64() // uniform on [0,1)
+		h.Observe(samples[i])
+	}
+	const width = 0.01
+	for _, q := range []float64{0.1, 0.25, 0.5, 0.75, 0.9, 0.99} {
+		got := h.Quantile(q)
+		want := q // uniform distribution: quantile ~= q
+		if math.Abs(got-want) > 2*width {
+			t.Errorf("Quantile(%v) = %v, want %v ± %v", q, got, want, 2*width)
+		}
+	}
+	if !math.IsNaN(newHistogram(nil).Quantile(0.5)) {
+		t.Fatal("empty histogram quantile must be NaN")
+	}
+	// Overflow samples report the largest finite bound.
+	h2 := newHistogram([]float64{1, 2})
+	h2.Observe(50)
+	if got := h2.Quantile(0.5); got != 2 {
+		t.Fatalf("overflow quantile = %v, want 2", got)
+	}
+}
+
+// TestPrometheusGolden locks the text exposition byte-for-byte: families
+// sorted by name, series sorted by labels, histograms expanded into
+// cumulative buckets plus _sum and _count.
+func TestPrometheusGolden(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("avgpipe_ops_total", "Ops executed.", "stage", "1").Add(3)
+	r.Counter("avgpipe_ops_total", "Ops executed.", "stage", "0").Add(2)
+	r.Gauge("avgpipe_depth", "Queue depth.").Set(4)
+	h := r.Histogram("avgpipe_lat_seconds", "Latency.", []float64{0.5, 1})
+	h.Observe(0.25)
+	h.Observe(0.75)
+	h.Observe(5)
+
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := strings.Join([]string{
+		`# HELP avgpipe_depth Queue depth.`,
+		`# TYPE avgpipe_depth gauge`,
+		`avgpipe_depth 4`,
+		`# HELP avgpipe_lat_seconds Latency.`,
+		`# TYPE avgpipe_lat_seconds histogram`,
+		`avgpipe_lat_seconds_bucket{le="0.5"} 1`,
+		`avgpipe_lat_seconds_bucket{le="1"} 2`,
+		`avgpipe_lat_seconds_bucket{le="+Inf"} 3`,
+		`avgpipe_lat_seconds_sum 6`,
+		`avgpipe_lat_seconds_count 3`,
+		`# HELP avgpipe_ops_total Ops executed.`,
+		`# TYPE avgpipe_ops_total counter`,
+		`avgpipe_ops_total{stage="0"} 2`,
+		`avgpipe_ops_total{stage="1"} 3`,
+		``,
+	}, "\n")
+	if got := buf.String(); got != want {
+		t.Fatalf("exposition mismatch:\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+	// And the validator accepts its own renderer's output.
+	samples, err := ParsePrometheus(strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatalf("ParsePrometheus rejected own output: %v", err)
+	}
+	if samples != 8 {
+		t.Fatalf("samples = %d, want 8", samples)
+	}
+}
+
+func TestParsePrometheusRejectsMalformed(t *testing.T) {
+	for _, bad := range []string{
+		"no_value_here\n",
+		"name not-a-float\n",
+		`bad{unclosed="x` + "\n",
+		`bad{k=unquoted} 1` + "\n",
+		`bad{k="v" j="w"} 1` + "\n", // missing comma
+		`0leading_digit 1` + "\n",
+		"# BOGUS comment\n",
+	} {
+		if _, err := ParsePrometheus(strings.NewReader(bad)); err == nil {
+			t.Errorf("ParsePrometheus accepted %q", bad)
+		}
+	}
+	// Valid corner cases.
+	ok := "# HELP a b\n# TYPE a counter\na 1\na{x=\"y\",z=\"w, with comma\"} 2.5e-3\n"
+	samples, err := ParsePrometheus(strings.NewReader(ok))
+	if err != nil || samples != 2 {
+		t.Fatalf("valid input: samples=%d err=%v", samples, err)
+	}
+}
+
+func TestSnapshot(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("c_total", "").Add(2)
+	r.Gauge("g", "", "k", "v").Set(7)
+	h := r.Histogram("h", "", []float64{1, 10})
+	h.Observe(0.5)
+	h.Observe(5)
+	s := r.Snapshot()
+	if s["c_total"] != 2 {
+		t.Fatalf("counter snapshot %v", s["c_total"])
+	}
+	if s[`g{k="v"}`] != 7 {
+		t.Fatalf("gauge snapshot %v", s[`g{k="v"}`])
+	}
+	if s["h_count"] != 2 || s["h_sum"] != 5.5 {
+		t.Fatalf("histogram snapshot count=%v sum=%v", s["h_count"], s["h_sum"])
+	}
+}

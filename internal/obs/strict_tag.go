@@ -1,0 +1,10 @@
+//go:build obs
+
+package obs
+
+// Building with `-tags obs` (the Makefile ci tier runs `go vet -tags obs
+// ./...`) turns on strict metric-name validation: registering a family
+// whose name is not a legal Prometheus identifier panics at the
+// registration site instead of producing exposition output that scrapers
+// reject at runtime.
+func init() { strictNames = true }

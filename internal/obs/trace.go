@@ -1,0 +1,131 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+)
+
+// TraceEvent is one Chrome-trace event (the chrome://tracing and
+// Perfetto JSON format). Complete spans use Phase "X"; track metadata
+// uses "M"; flow arrows linking a micro-batch across stages use
+// "s"/"t"/"f" with a shared ID.
+type TraceEvent struct {
+	Name  string         `json:"name"`
+	Cat   string         `json:"cat,omitempty"`
+	Phase string         `json:"ph"`
+	TS    float64        `json:"ts"`            // microseconds
+	Dur   float64        `json:"dur,omitempty"` // microseconds
+	PID   int            `json:"pid"`
+	TID   int            `json:"tid"`
+	ID    string         `json:"id,omitempty"` // flow-event binding id
+	BP    string         `json:"bp,omitempty"` // "e": bind flow end to enclosing slice
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+// FlowPhase selects a flow event's role in its arrow chain.
+type FlowPhase string
+
+const (
+	FlowStart FlowPhase = "s"
+	FlowStep  FlowPhase = "t"
+	FlowEnd   FlowPhase = "f"
+)
+
+// Tracer accumulates Chrome-trace events and writes the single JSON
+// envelope both execution engines share: core.Pipeline.WriteTrace and
+// pipesim.Result.WriteTrace are thin adapters over one Tracer each, so
+// a real run and its simulation are directly diff-able in Perfetto.
+// Methods are safe for concurrent use.
+type Tracer struct {
+	mu     sync.Mutex
+	events []TraceEvent
+	meta   map[string]any
+}
+
+// NewTracer returns a tracer whose envelope records the producing
+// subsystem under otherData.source.
+func NewTracer(source string) *Tracer {
+	t := &Tracer{meta: map[string]any{}}
+	if source != "" {
+		t.meta["source"] = source
+	}
+	return t
+}
+
+// SetMeta records run-level metadata in the envelope's otherData.
+func (t *Tracer) SetMeta(key string, value any) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.meta[key] = value
+}
+
+// Process names a trace process (pid).
+func (t *Tracer) Process(pid int, name string) {
+	t.Add(TraceEvent{Name: "process_name", Cat: "__metadata", Phase: "M",
+		PID: pid, Args: map[string]any{"name": name}})
+}
+
+// Thread names a trace track (pid, tid) — one per GPU/stage.
+func (t *Tracer) Thread(pid, tid int, name string) {
+	t.Add(TraceEvent{Name: "thread_name", Cat: "__metadata", Phase: "M",
+		PID: pid, TID: tid, Args: map[string]any{"name": name}})
+}
+
+// Span records one complete event ("X"): ts and dur in microseconds.
+func (t *Tracer) Span(pid, tid int, name, cat string, tsUS, durUS float64, args map[string]any) {
+	t.Add(TraceEvent{Name: name, Cat: cat, Phase: "X",
+		TS: tsUS, Dur: durUS, PID: pid, TID: tid, Args: args})
+}
+
+// Flow records one flow event; events sharing id draw one arrow chain
+// across tracks (e.g. micro-batch 3's journey down the pipeline stages).
+// A flow event must lie inside a span on its track; FlowEnd binds to the
+// enclosing slice ("bp":"e") as chrome://tracing requires.
+func (t *Tracer) Flow(pid, tid int, name, id string, tsUS float64, phase FlowPhase) {
+	ev := TraceEvent{Name: name, Cat: "flow", Phase: string(phase),
+		TS: tsUS, PID: pid, TID: tid, ID: id}
+	if phase == FlowEnd {
+		ev.BP = "e"
+	}
+	t.Add(ev)
+}
+
+// Add appends pre-built events (the compatibility path for callers that
+// assemble events themselves).
+func (t *Tracer) Add(events ...TraceEvent) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.events = append(t.events, events...)
+}
+
+// Len returns the number of recorded events.
+func (t *Tracer) Len() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.events)
+}
+
+// Events returns a copy of the recorded events.
+func (t *Tracer) Events() []TraceEvent {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]TraceEvent(nil), t.events...)
+}
+
+// Write encodes the Chrome-trace JSON envelope. Encoder errors are
+// propagated with context rather than swallowed.
+func (t *Tracer) Write(w io.Writer) error {
+	t.mu.Lock()
+	doc := map[string]any{
+		"traceEvents":     t.events,
+		"displayTimeUnit": "ms",
+		"otherData":       t.meta,
+	}
+	t.mu.Unlock()
+	if err := json.NewEncoder(w).Encode(doc); err != nil {
+		return fmt.Errorf("obs: encode chrome trace: %w", err)
+	}
+	return nil
+}

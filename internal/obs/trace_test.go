@@ -1,0 +1,165 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestTracerRoundTrip(t *testing.T) {
+	tr := NewTracer("test")
+	tr.SetMeta("batchTime_s", 1.5)
+	tr.Process(1, "pipeline 0")
+	tr.Thread(1, 0, "GPU 1")
+	tr.Span(1, 0, "F3", "fwd", 100, 50, map[string]any{"micro": 3})
+	tr.Flow(1, 0, "micro", "micro-3", 125, FlowStart)
+	tr.Flow(1, 1, "micro", "micro-3", 300, FlowEnd)
+	if tr.Len() != 5 {
+		t.Fatalf("Len = %d, want 5", tr.Len())
+	}
+
+	var buf bytes.Buffer
+	if err := tr.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents     []TraceEvent   `json:"traceEvents"`
+		DisplayTimeUnit string         `json:"displayTimeUnit"`
+		OtherData       map[string]any `json:"otherData"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("round trip: %v", err)
+	}
+	if doc.DisplayTimeUnit != "ms" {
+		t.Fatalf("displayTimeUnit %q", doc.DisplayTimeUnit)
+	}
+	if doc.OtherData["source"] != "test" || doc.OtherData["batchTime_s"] != 1.5 {
+		t.Fatalf("otherData %v", doc.OtherData)
+	}
+	evs := doc.TraceEvents
+	if len(evs) != 5 {
+		t.Fatalf("%d events after round trip", len(evs))
+	}
+	if evs[0].Phase != "M" || evs[0].Name != "process_name" {
+		t.Fatalf("metadata event %+v", evs[0])
+	}
+	span := evs[2]
+	if span.Phase != "X" || span.TS != 100 || span.Dur != 50 || span.Cat != "fwd" {
+		t.Fatalf("span %+v", span)
+	}
+	start, end := evs[3], evs[4]
+	if start.Phase != "s" || end.Phase != "f" {
+		t.Fatalf("flow phases %q %q", start.Phase, end.Phase)
+	}
+	if start.ID != end.ID || start.ID != "micro-3" {
+		t.Fatal("flow chain must share its binding id")
+	}
+	if end.BP != "e" || start.BP != "" {
+		t.Fatalf("FlowEnd must bind to enclosing slice: bp start=%q end=%q", start.BP, end.BP)
+	}
+}
+
+type failWriter struct{}
+
+func (failWriter) Write(p []byte) (int, error) { return 0, errors.New("disk full") }
+
+func TestTracerWriteError(t *testing.T) {
+	tr := NewTracer("test")
+	tr.Span(0, 0, "op", "", 0, 1, nil)
+	err := tr.Write(failWriter{})
+	if err == nil {
+		t.Fatal("Write must propagate encoder errors")
+	}
+	if !strings.Contains(err.Error(), "obs: encode chrome trace") {
+		t.Fatalf("error lacks context: %v", err)
+	}
+}
+
+func TestJSONL(t *testing.T) {
+	var buf bytes.Buffer
+	l := NewJSONL(&buf)
+	if err := l.Log(map[string]int{"round": 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Log(map[string]int{"round": 2}); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("%d lines, want 2", len(lines))
+	}
+	for i, ln := range lines {
+		var rec map[string]int
+		if err := json.Unmarshal([]byte(ln), &rec); err != nil {
+			t.Fatalf("line %d: %v", i, err)
+		}
+		if rec["round"] != i+1 {
+			t.Fatalf("line %d: %v", i, rec)
+		}
+	}
+	if err := NewJSONL(failWriter{}).Log("x"); err == nil {
+		t.Fatal("Log must propagate writer errors")
+	}
+}
+
+func TestHandlerEndpoints(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("avgpipe_test_total", "A test counter.").Add(3)
+	h := Handler(r)
+
+	get := func(path string) (*http.Response, string) {
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest("GET", path, nil))
+		res := rec.Result()
+		body, _ := io.ReadAll(res.Body)
+		return res, string(body)
+	}
+
+	res, body := get("/metrics")
+	if res.StatusCode != 200 {
+		t.Fatalf("/metrics status %d", res.StatusCode)
+	}
+	if !strings.HasPrefix(res.Header.Get("Content-Type"), "text/plain") {
+		t.Fatalf("/metrics content type %q", res.Header.Get("Content-Type"))
+	}
+	if !strings.Contains(body, "avgpipe_test_total 3") {
+		t.Fatalf("/metrics body:\n%s", body)
+	}
+	if n, err := ParsePrometheus(strings.NewReader(body)); err != nil || n == 0 {
+		t.Fatalf("/metrics not parseable: n=%d err=%v", n, err)
+	}
+
+	if res, body := get("/debug/vars"); res.StatusCode != 200 || !strings.Contains(body, "avgpipe") {
+		t.Fatalf("/debug/vars status %d body %.80s", res.StatusCode, body)
+	}
+	if res, _ := get("/debug/pprof/cmdline"); res.StatusCode != 200 {
+		t.Fatalf("/debug/pprof/cmdline status %d", res.StatusCode)
+	}
+	if res, body := get("/debug"); res.StatusCode != 200 || !strings.Contains(body, "/metrics") {
+		t.Fatalf("/debug index status %d", res.StatusCode)
+	}
+}
+
+func TestServe(t *testing.T) {
+	r := NewRegistry()
+	r.Gauge("avgpipe_live", "").Set(1)
+	srv, addr, err := Serve("127.0.0.1:0", r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	res, err := http.Get("http://" + addr + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer res.Body.Close()
+	body, _ := io.ReadAll(res.Body)
+	if !strings.Contains(string(body), "avgpipe_live 1") {
+		t.Fatalf("live /metrics body:\n%s", body)
+	}
+}

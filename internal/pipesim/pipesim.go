@@ -31,6 +31,7 @@ import (
 
 	"avgpipe/internal/cluster"
 	"avgpipe/internal/device"
+	"avgpipe/internal/obs"
 	"avgpipe/internal/sched"
 	"avgpipe/internal/workload"
 )
@@ -66,6 +67,17 @@ type Config struct {
 	// replayed before the backward (bwd cost += fwd cost). The paper's
 	// experiments disable it; it is exposed here for the ablation study.
 	Recompute bool
+	// Obs selects the metrics registry the simulation records run and
+	// deadlock counters into (nil = obs.Default()).
+	Obs *obs.Registry
+}
+
+// registry resolves the configured metrics registry.
+func (c *Config) registry() *obs.Registry {
+	if c.Obs != nil {
+		return c.Obs
+	}
+	return obs.Default()
 }
 
 // Interval is one span of a GPU's utilization timeline.
@@ -209,6 +221,9 @@ func expandSchedule(s *sched.Schedule, n int) *sched.Schedule {
 
 // Run simulates the configuration.
 func Run(cfg Config) (*Result, error) {
+	reg := cfg.registry()
+	runs := reg.Counter("avgpipe_sim_runs_total", "Pipeline simulations executed.")
+	deadlocks := reg.Counter("avgpipe_sim_deadlocks_total", "Simulations rejected for schedule deadlock.")
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -218,8 +233,10 @@ func Run(cfg Config) (*Result, error) {
 	// analysis drives the memory accounting.
 	analysis, err := sched.Analyze(cfg.Schedule)
 	if err != nil {
+		deadlocks.Inc()
 		return nil, fmt.Errorf("pipesim: %v: %w", err, ErrDeadlock)
 	}
+	runs.Inc()
 	k := len(cfg.Stages)
 	n := cfg.Pipelines
 	b := cfg.microSamples()
@@ -336,6 +353,7 @@ func Run(cfg Config) (*Result, error) {
 			}
 		}
 		if best == -1 {
+			deadlocks.Inc()
 			return nil, fmt.Errorf("pipesim: schedule %s with %d ops remaining: %w", cfg.Schedule.Name, remaining, ErrDeadlock)
 		}
 		s := best
@@ -451,6 +469,35 @@ func (r *Result) computeMemory(an *sched.Analysis) {
 		}
 	}
 	r.OOM = oom
+}
+
+// RecordDrift cross-checks the simulation against measured runtime
+// occupancy: fwd, bwd, and peak are the real runtime's per-stage forward
+// op counts, backward op counts, and stash high-water marks (e.g. from
+// core.StageMetrics). Every disagreement increments the
+// avgpipe_sim_runtime_drift_total counter for its dimension in reg and
+// counts toward the returned total — zero means the simulator and the
+// runtime executed identical per-stage work, the invariant the
+// cross-validation tests pin.
+func (r *Result) RecordDrift(reg *obs.Registry, fwd, bwd, peak []int) int {
+	if reg == nil {
+		reg = obs.Default()
+	}
+	drift := 0
+	check := func(dim string, measured []int, simulated func(GPUStats) int) {
+		c := reg.Counter("avgpipe_sim_runtime_drift_total",
+			"Per-stage disagreements between simulated and measured occupancy.", "dim", dim)
+		for s, g := range r.PerGPU {
+			if s >= len(measured) || simulated(g) != measured[s] {
+				c.Inc()
+				drift++
+			}
+		}
+	}
+	check("fwd", fwd, func(g GPUStats) int { return g.Fwd })
+	check("bwd", bwd, func(g GPUStats) int { return g.Bwd })
+	check("peak_inflight", peak, func(g GPUStats) int { return g.PeakInFlight })
+	return drift
 }
 
 // MemoryOf assembles a memory breakdown from its components; shared by

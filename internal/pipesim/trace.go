@@ -1,25 +1,17 @@
 package pipesim
 
 import (
-	"encoding/json"
 	"fmt"
 	"io"
+
+	"avgpipe/internal/obs"
 )
 
-// TraceEvent is one Chrome-trace "complete" event (the chrome://tracing
-// and Perfetto JSON format). The shape is shared by the simulator's
-// Result.WriteTrace and the real runtime's core.Pipeline.WriteTrace so
+// TraceEvent is one Chrome-trace event. It is an alias of the obs
+// package's event type: the simulator and the real runtime
+// (core.Pipeline.WriteTrace) share one obs.Tracer implementation, so
 // simulated and measured traces are directly diff-able.
-type TraceEvent struct {
-	Name  string         `json:"name"`
-	Cat   string         `json:"cat"`
-	Phase string         `json:"ph"`
-	TS    float64        `json:"ts"`  // microseconds
-	Dur   float64        `json:"dur"` // microseconds
-	PID   int            `json:"pid"`
-	TID   int            `json:"tid"`
-	Args  map[string]any `json:"args,omitempty"`
-}
+type TraceEvent = obs.TraceEvent
 
 // MetadataEvent names a trace track (one per GPU/stage).
 func MetadataEvent(name string, tid int) TraceEvent {
@@ -31,44 +23,48 @@ func MetadataEvent(name string, tid int) TraceEvent {
 }
 
 // WriteTraceEvents encodes events in the Chrome-trace JSON envelope,
-// with otherData carried alongside for run-level metadata.
+// with otherData carried alongside for run-level metadata. Encoder
+// failures are propagated with context, not swallowed.
 func WriteTraceEvents(w io.Writer, events []TraceEvent, otherData map[string]any) error {
-	enc := json.NewEncoder(w)
-	return enc.Encode(map[string]any{
-		"traceEvents":     events,
-		"displayTimeUnit": "ms",
-		"otherData":       otherData,
-	})
+	t := obs.NewTracer("")
+	t.Add(events...)
+	for k, v := range otherData {
+		t.SetMeta(k, v)
+	}
+	if err := t.Write(w); err != nil {
+		return fmt.Errorf("pipesim: write trace events: %w", err)
+	}
+	return nil
 }
 
-// WriteTrace renders the simulation's per-GPU timelines as a Chrome trace
-// (load in chrome://tracing or ui.perfetto.dev). Each GPU is a track;
-// busy intervals become spans named after the op they executed,
-// annotated with the utilization level, and the gaps read directly as
-// bubbles/communication stalls.
-func (r *Result) WriteTrace(w io.Writer) error {
-	var events []TraceEvent
+// Tracer renders the simulation's per-GPU timelines into an obs.Tracer:
+// each GPU is a track; busy intervals become spans named after the op
+// they executed, annotated with the utilization level, and the gaps read
+// directly as bubbles/communication stalls.
+func (r *Result) Tracer() *obs.Tracer {
+	t := obs.NewTracer("pipesim.Result")
+	t.Process(1, "simulated pipeline")
 	for g, st := range r.PerGPU {
-		events = append(events, MetadataEvent(fmt.Sprintf("GPU %d", g+1), g+1))
+		t.Thread(1, g+1, fmt.Sprintf("GPU %d", g+1))
 		for i, iv := range st.Timeline {
 			name := iv.Label
 			if name == "" {
 				name = fmt.Sprintf("op %d", i)
 			}
-			events = append(events, TraceEvent{
-				Name:  name,
-				Cat:   "compute",
-				Phase: "X",
-				TS:    iv.Start * 1e6,
-				Dur:   (iv.End - iv.Start) * 1e6,
-				PID:   1,
-				TID:   g + 1,
-				Args:  map[string]any{"util": iv.Util},
-			})
+			t.Span(1, g+1, name, "compute", iv.Start*1e6, (iv.End-iv.Start)*1e6,
+				map[string]any{"util": iv.Util})
 		}
 	}
-	return WriteTraceEvents(w, events, map[string]any{
-		"batchTime_s": r.BatchTime,
-		"makespan_s":  r.Makespan,
-	})
+	t.SetMeta("batchTime_s", r.BatchTime)
+	t.SetMeta("makespan_s", r.Makespan)
+	return t
+}
+
+// WriteTrace renders the simulation as a Chrome trace (load in
+// chrome://tracing or ui.perfetto.dev) through the shared obs.Tracer.
+func (r *Result) WriteTrace(w io.Writer) error {
+	if err := r.Tracer().Write(w); err != nil {
+		return fmt.Errorf("pipesim: write trace: %w", err)
+	}
+	return nil
 }

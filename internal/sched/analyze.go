@@ -30,6 +30,17 @@ type Analysis struct {
 	WeightVersions []int
 }
 
+// TotalOps returns the schedule-wide op count (forwards plus backwards
+// across all GPUs) — the denominator observability cross-checks use when
+// comparing obs-measured op counters against the analysis.
+func (a *Analysis) TotalOps() int {
+	n := 0
+	for k := range a.Fwd {
+		n += a.Fwd[k] + a.Bwd[k]
+	}
+	return n
+}
+
 // Analyze checks a schedule's full legality and returns its occupancy
 // analysis. Legality has two layers:
 //
