@@ -1,11 +1,12 @@
 GO ?= go
 
-.PHONY: ci fmt vet vet-obs build test race bench-smoke
+.PHONY: ci fmt vet vet-obs build test race faults bench-smoke
 
 # ci is the full verification tier: formatting, static checks (including
 # the obs build tag, which turns on strict metric-name validation), build,
-# tests, and the race-detector pass over the concurrent packages.
-ci: fmt vet vet-obs build test race
+# tests, the race-detector pass over the concurrent packages, and the
+# seeded chaos matrix.
+ci: fmt vet vet-obs build test race faults
 
 fmt:
 	@out="$$(gofmt -l .)"; \
@@ -27,6 +28,20 @@ test:
 
 race:
 	$(GO) test -race ./internal/core/... ./internal/comm/... ./internal/obs/...
+
+# faults is the robustness tier: first the seeded-determinism check (the
+# same fault seed must produce the identical fault schedule on repeat
+# runs), then the chaos suite — crash/rejoin a replica with delayed
+# averaging messages — swept over a fixed seed matrix.
+FAULT_SEEDS ?= 99 7 1234
+faults:
+	$(GO) test ./internal/fault/ -run TestSeededDeterminism -count=2
+	@for seed in $(FAULT_SEEDS); do \
+		echo "faults: chaos suite, seed $$seed"; \
+		AVGPIPE_CHAOS_SEED=$$seed $(GO) test ./internal/core/ -count=1 \
+			-run 'TestTrainerChaosRecovery|TestWatchdogKillsWedgedSchedule|TestAveragerRoundDeadlineExpiresPartialRound|TestCheckpointBitExact' \
+			|| exit 1; \
+	done
 
 # bench-smoke runs one cheap figure with the metrics dump enabled.
 # avgpipe-bench validates the rendered exposition text itself (it exits

@@ -33,6 +33,7 @@ import (
 	"avgpipe/internal/core"
 	"avgpipe/internal/data"
 	"avgpipe/internal/device"
+	"avgpipe/internal/fault"
 	"avgpipe/internal/nn"
 	"avgpipe/internal/obs"
 	"avgpipe/internal/optim"
@@ -186,8 +187,19 @@ type TrainerConfig = core.TrainerConfig
 type Trainer = core.Trainer
 
 // NewTrainer builds the replicas, pipelines, optimizers, and reference
-// model for a task.
-func NewTrainer(cfg TrainerConfig) *Trainer { return core.NewTrainer(cfg) }
+// model for a task. A malformed config is an error, not a panic.
+func NewTrainer(cfg TrainerConfig) (*Trainer, error) { return core.NewTrainer(cfg) }
+
+// FaultConfig declares a deterministic fault schedule for a training
+// run (TrainerConfig.Faults): delayed/dropped averaging updates,
+// straggler stages, and a scripted replica crash/rejoin. The zero value
+// injects nothing.
+type FaultConfig = fault.Config
+
+// StallError is the diagnosable failure a runtime watchdog raises when
+// a pipeline schedule live-locks: it names the schedule and dumps each
+// stage worker's in-flight position.
+type StallError = core.StallError
 
 // Averager is the elastic-averaging coordinator (reference model plus
 // asynchronous update queues), usable directly with custom training loops.
@@ -221,8 +233,9 @@ func NewPipeline(model *Sequential, k int, advance []int) *Pipeline {
 }
 
 // NewPipelineWith builds a pipeline with full control over schedule
-// plan, partitioning, and tracing.
-func NewPipelineWith(model *Sequential, cfg PipelineConfig) *Pipeline {
+// plan, partitioning, and tracing. A malformed config is an error, not
+// a panic.
+func NewPipelineWith(model *Sequential, cfg PipelineConfig) (*Pipeline, error) {
 	return core.NewPipelineWith(model, cfg)
 }
 
@@ -258,15 +271,17 @@ type (
 	Link    = comm.Link
 )
 
-// Topology constructors.
+// Topology constructors. NewClusterChecked is NewCluster with topology
+// and link validation surfaced as an error instead of a panic.
 var (
-	NewCluster     = cluster.New
-	PaperTestbed   = cluster.PaperTestbed
-	TwoNodeTestbed = cluster.TwoNodeTestbed
-	V100           = device.V100
-	PCIe3          = comm.PCIe3
-	Ethernet1G     = comm.Ethernet1G
-	Ethernet10G    = comm.Ethernet10G
+	NewCluster        = cluster.New
+	NewClusterChecked = cluster.NewChecked
+	PaperTestbed      = cluster.PaperTestbed
+	TwoNodeTestbed    = cluster.TwoNodeTestbed
+	V100              = device.V100
+	PCIe3             = comm.PCIe3
+	Ethernet1G        = comm.Ethernet1G
+	Ethernet10G       = comm.Ethernet10G
 )
 
 // Schedule is a per-GPU pipeline execution plan — the one plan

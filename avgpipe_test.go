@@ -9,9 +9,12 @@ import (
 // through the public facade: model building blocks, Task, Trainer.
 func TestPublicAPITrainQuickstart(t *testing.T) {
 	task := TranslationTask()
-	tr := NewTrainer(TrainerConfig{
+	tr, err := NewTrainer(TrainerConfig{
 		Task: task, Pipelines: 2, Micro: 2, StageCount: 2, Seed: 1, ClipNorm: 5,
 	})
+	if err != nil {
+		t.Fatal(err)
+	}
 	defer tr.Close()
 	loss0, _ := tr.Eval()
 	for i := 0; i < 40; i++ {

@@ -15,6 +15,8 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
@@ -58,6 +60,22 @@ func main() {
 		metricsAddr = flag.String("metrics-addr", "", "serve /metrics, /debug/vars, and /debug/pprof on this address (e.g. :9090)")
 		traceOut    = flag.String("trace-out", "", "write a Chrome trace of pipeline 0's final batch to this file")
 		statsJSONL  = flag.String("stats-jsonl", "", "append one JSON line of step stats per round to this file")
+
+		checkpointDir   = flag.String("checkpoint-dir", "", "directory for training checkpoints")
+		checkpointEvery = flag.Int("checkpoint-every", 50, "save a checkpoint every this many rounds (needs -checkpoint-dir)")
+		resume          = flag.Bool("resume", false, "resume from the checkpoint in -checkpoint-dir")
+		watchdog        = flag.Duration("watchdog", 0, "kill a batch whose pipeline makes no progress for this long (0 = off)")
+		roundDeadline   = flag.Duration("round-deadline", 0, "expire averaging rounds open longer than this (0 = off)")
+
+		faultSeed       = flag.Int64("fault-seed", 0, "fault-injection seed (0 = faults off)")
+		faultDelayProb  = flag.Float64("fault-delay-prob", 0, "probability an averaging update is delayed")
+		faultDelay      = flag.Duration("fault-delay", 5*time.Millisecond, "delay applied to delayed averaging updates")
+		faultDropProb   = flag.Float64("fault-drop-prob", 0, "probability an averaging update is dropped")
+		faultStragProb  = flag.Float64("fault-straggler-prob", 0, "probability a stage op runs slow")
+		faultStragDelay = flag.Duration("fault-straggler-delay", 2*time.Millisecond, "extra latency for straggler ops")
+		crashPipeline   = flag.Int("crash-pipeline", 0, "pipeline to crash (with -crash-round)")
+		crashRound      = flag.Int("crash-round", 0, "round at which -crash-pipeline crashes (0 = never)")
+		rejoinAfter     = flag.Int("rejoin-after", 0, "rounds after the crash at which the replica rejoins (0 = never)")
 	)
 	flag.Parse()
 
@@ -105,15 +123,46 @@ func main() {
 		fmt.Printf("observability: http://%s/metrics (Prometheus), /debug/vars (expvar), /debug/pprof (profiles)\n", addr)
 	}
 
+	var faults avgpipe.FaultConfig
+	if *faultSeed != 0 {
+		faults = avgpipe.FaultConfig{
+			Seed:           *faultSeed,
+			MsgDelayProb:   *faultDelayProb,
+			MsgDelay:       *faultDelay,
+			MsgDropProb:    *faultDropProb,
+			StragglerProb:  *faultStragProb,
+			StragglerDelay: *faultStragDelay,
+			CrashPipeline:  *crashPipeline,
+			CrashRound:     *crashRound,
+			RejoinAfter:    *rejoinAfter,
+		}
+	}
+
 	fmt.Printf("training %q with N=%d pipelines, M=%d micro-batches, K=%d stages, %s schedule, %s partition (batch %d)\n",
 		task.Name, *pipelines, *micro, *stageN, plan.Name, *partition, task.BatchSize)
-	trainer := avgpipe.NewTrainer(avgpipe.TrainerConfig{
+	trainer, err := avgpipe.NewTrainer(avgpipe.TrainerConfig{
 		Task: task, Pipelines: *pipelines, Micro: *micro,
 		StageCount: *stageN, Seed: *seed, ClipNorm: 5,
 		Plan: plan, Advance: adv, Partition: part,
 		Trace: *traceOut != "", Obs: reg,
+		Faults: faults, RoundDeadline: *roundDeadline, Watchdog: *watchdog,
 	})
+	if err != nil {
+		log.Fatalf("trainer: %v", err)
+	}
 	defer trainer.Close()
+
+	startRound := 0
+	if *resume {
+		if *checkpointDir == "" {
+			log.Fatal("-resume needs -checkpoint-dir")
+		}
+		if err := trainer.Restore(*checkpointDir); err != nil {
+			log.Fatalf("restore: %v", err)
+		}
+		startRound = trainer.Round()
+		fmt.Printf("resumed from %s at round %d\n", *checkpointDir, startRound)
+	}
 
 	if *statsJSONL != "" {
 		f, err := os.Create(*statsJSONL)
@@ -138,18 +187,39 @@ func main() {
 		fmt.Printf("wrote Chrome trace of pipeline 0's last batch to %s\n", *traceOut)
 	}()
 
+	checkpoint := func(round int) {
+		if *checkpointDir == "" || *checkpointEvery <= 0 {
+			return
+		}
+		if err := trainer.SaveCheckpoint(*checkpointDir); err != nil {
+			log.Fatalf("checkpoint: %v", err)
+		}
+		fmt.Printf("checkpoint saved to %s at round %d\n", *checkpointDir, round)
+	}
+
 	start := time.Now()
-	for round := 0; round <= *rounds; round++ {
+	for round := startRound; round <= *rounds; round++ {
 		if round%20 == 0 {
 			loss, acc := trainer.Eval()
 			fmt.Printf("round %4d  batches %5d  loss=%.4f  acc=%.3f  %.1fs\n",
 				round, round**pipelines, loss, acc, time.Since(start).Seconds())
 			if task.Reached(loss, acc) {
 				fmt.Println("convergence target reached ✔")
+				checkpoint(round)
 				return
 			}
 		}
-		trainer.Step()
+		if round > startRound && *checkpointEvery > 0 && round%*checkpointEvery == 0 {
+			checkpoint(round)
+		}
+		if _, err := trainer.StepContext(context.Background()); err != nil {
+			var stall *avgpipe.StallError
+			if errors.As(err, &stall) {
+				log.Fatalf("watchdog killed a wedged round:\n%v", err)
+			}
+			log.Fatalf("round %d: %v", round, err)
+		}
 	}
 	fmt.Println("round budget exhausted before target")
+	checkpoint(*rounds)
 }

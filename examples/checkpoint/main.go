@@ -17,9 +17,12 @@ func main() {
 	task := avgpipe.ClassificationTask()
 
 	fmt.Println("phase 1: train 80 rounds, then checkpoint the reference model")
-	first := avgpipe.NewTrainer(avgpipe.TrainerConfig{
+	first, err := avgpipe.NewTrainer(avgpipe.TrainerConfig{
 		Task: task, Pipelines: 2, Micro: 2, StageCount: 2, Seed: 1, ClipNorm: 5,
 	})
+	if err != nil {
+		panic(err)
+	}
 	for r := 0; r < 80; r++ {
 		first.Step()
 	}
@@ -47,9 +50,12 @@ func main() {
 	fmt.Printf("  restored model: loss=%.3f acc=%.1f%%  (matches the checkpoint)\n", lossR, 100*accR)
 
 	fmt.Println("phase 3: resume elastic training from the restored weights")
-	second := avgpipe.NewTrainer(avgpipe.TrainerConfig{
+	second, err := avgpipe.NewTrainer(avgpipe.TrainerConfig{
 		Task: task, Pipelines: 2, Micro: 2, StageCount: 2, Seed: 2, ClipNorm: 5,
 	})
+	if err != nil {
+		panic(err)
+	}
 	defer second.Close()
 	// Seed every replica and the reference with the restored weights.
 	for _, pl := range second.Pipelines() {

@@ -20,7 +20,7 @@ func main() {
 		task.Name, task.TargetLoss)
 
 	fmt.Println("\n--- AvgPipe: 2 elastic-averaged pipelines, SGD ---")
-	trainer := avgpipe.NewTrainer(avgpipe.TrainerConfig{
+	trainer, err := avgpipe.NewTrainer(avgpipe.TrainerConfig{
 		Task:       task,
 		Pipelines:  2,
 		Micro:      2,
@@ -28,6 +28,9 @@ func main() {
 		Seed:       5,
 		ClipNorm:   5,
 	})
+	if err != nil {
+		panic(err)
+	}
 	defer trainer.Close()
 	for round := 0; round <= 300; round++ {
 		if round%25 == 0 {

@@ -42,7 +42,7 @@ func main() {
 	}
 
 	fmt.Println("AvgPipe quickstart: 2 elastic-averaged pipelines, 2 stages, 4 micro-batches")
-	trainer := avgpipe.NewTrainer(avgpipe.TrainerConfig{
+	trainer, err := avgpipe.NewTrainer(avgpipe.TrainerConfig{
 		Task:       task,
 		Pipelines:  2,
 		Micro:      4,
@@ -50,6 +50,9 @@ func main() {
 		Seed:       1,
 		ClipNorm:   5,
 	})
+	if err != nil {
+		panic(err)
+	}
 	defer trainer.Close()
 
 	for round := 0; round <= 300; round++ {

@@ -18,7 +18,7 @@ func main() {
 	fmt.Printf("task %q: sentence-pair paraphrase detection (target accuracy %.0f%%)\n",
 		task.Name, 100*task.TargetAccuracy)
 
-	trainer := avgpipe.NewTrainer(avgpipe.TrainerConfig{
+	trainer, err := avgpipe.NewTrainer(avgpipe.TrainerConfig{
 		Task:       task,
 		Pipelines:  2,
 		Micro:      4,
@@ -26,6 +26,9 @@ func main() {
 		Seed:       3,
 		ClipNorm:   5,
 	})
+	if err != nil {
+		panic(err)
+	}
 	defer trainer.Close()
 
 	for round := 0; round <= 300; round++ {

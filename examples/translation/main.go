@@ -45,7 +45,7 @@ func main() {
 	fmt.Printf("task %q: reverse a %d-token sequence (target accuracy %.0f%%)\n",
 		task.Name, 5, 100*task.TargetAccuracy)
 
-	trainer := avgpipe.NewTrainer(avgpipe.TrainerConfig{
+	trainer, err := avgpipe.NewTrainer(avgpipe.TrainerConfig{
 		Task:       task,
 		Pipelines:  3,
 		Micro:      4,
@@ -53,6 +53,9 @@ func main() {
 		Seed:       7,
 		ClipNorm:   5,
 	})
+	if err != nil {
+		panic(err)
+	}
 	defer trainer.Close()
 
 	start := time.Now()

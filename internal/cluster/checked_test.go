@@ -1,0 +1,35 @@
+package cluster
+
+import (
+	"testing"
+
+	"avgpipe/internal/comm"
+	"avgpipe/internal/device"
+)
+
+// TestNewCheckedValidatesTopologyAndLinks pins the error-returning
+// constructor: malformed geometry and unphysical links are errors, and
+// the panicking New wrapper stays available for static topologies.
+func TestNewCheckedValidatesTopologyAndLinks(t *testing.T) {
+	good, err := NewChecked(1, 2, device.V100(), comm.PCIe3(), comm.Ethernet1G())
+	if err != nil || good == nil {
+		t.Fatalf("valid topology rejected: %v", err)
+	}
+	cases := []struct {
+		name        string
+		nodes, gpus int
+		intra       comm.Link
+	}{
+		{"zero nodes", 0, 2, comm.PCIe3()},
+		{"zero gpus", 1, 0, comm.PCIe3()},
+		{"zero-bandwidth intra link", 1, 2, comm.Link{Name: "bad"}},
+	}
+	for _, c := range cases {
+		if _, err := NewChecked(c.nodes, c.gpus, device.V100(), c.intra, comm.Ethernet1G()); err == nil {
+			t.Errorf("%s: NewChecked accepted it", c.name)
+		}
+	}
+	if _, err := NewChecked(1, 2, device.V100(), comm.PCIe3(), comm.Link{Name: "bad-inter"}); err == nil {
+		t.Error("zero-bandwidth inter link: NewChecked accepted it")
+	}
+}

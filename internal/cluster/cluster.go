@@ -26,10 +26,28 @@ type Cluster struct {
 
 // New builds a homogeneous cluster of nodes*gpusPerNode GPUs. Adjacent
 // GPUs within a node are joined by intra; pairs that straddle a node
-// boundary are joined by inter.
+// boundary are joined by inter. It panics on a bad topology or link;
+// NewChecked returns the error instead.
 func New(nodes, gpusPerNode int, gpu device.GPU, intra, inter comm.Link) *Cluster {
+	c, err := NewChecked(nodes, gpusPerNode, gpu, intra, inter)
+	if err != nil {
+		panic(err.Error())
+	}
+	return c
+}
+
+// NewChecked is New with the topology and link validation surfaced as an
+// error, so callers assembling clusters from external configuration can
+// degrade gracefully instead of crashing.
+func NewChecked(nodes, gpusPerNode int, gpu device.GPU, intra, inter comm.Link) (*Cluster, error) {
 	if nodes <= 0 || gpusPerNode <= 0 {
-		panic(fmt.Sprintf("cluster: invalid topology %dx%d", nodes, gpusPerNode))
+		return nil, fmt.Errorf("cluster: invalid topology %dx%d", nodes, gpusPerNode)
+	}
+	if err := intra.Validate(); err != nil {
+		return nil, fmt.Errorf("cluster: intra-node link: %w", err)
+	}
+	if err := inter.Validate(); err != nil {
+		return nil, fmt.Errorf("cluster: inter-node link: %w", err)
 	}
 	n := nodes * gpusPerNode
 	c := &Cluster{
@@ -53,7 +71,7 @@ func New(nodes, gpusPerNode int, gpu device.GPU, intra, inter comm.Link) *Cluste
 	if nodes == 1 {
 		c.AllReduceLink = intra
 	}
-	return c
+	return c, nil
 }
 
 // PaperTestbed returns the paper's 3-node × 2-V100 cluster with 1 Gbps

@@ -5,7 +5,9 @@
 package comm
 
 import (
+	"context"
 	"errors"
+	"fmt"
 	"sync"
 	"time"
 
@@ -22,12 +24,35 @@ type Link struct {
 	BytesPerSec float64
 }
 
+// Validate reports whether the link parameters describe a physical
+// interconnect: positive bandwidth and non-negative latency. Simulation
+// entry points validate links up front so a malformed profile fails
+// loudly instead of producing +Inf/NaN transfer times.
+func (l Link) Validate() error {
+	if l.BytesPerSec <= 0 {
+		return fmt.Errorf("comm: link %q has non-positive bandwidth %v B/s", l.Name, l.BytesPerSec)
+	}
+	if l.Latency < 0 {
+		return fmt.Errorf("comm: link %q has negative latency %v", l.Name, l.Latency)
+	}
+	return nil
+}
+
 // TransferTime returns how long `bytes` take to move across the link.
+// A link that fails Validate degrades to a defined value — latency only
+// (an infinitely fast wire) — never an Inf/NaN duration.
 func (l Link) TransferTime(bytes int64) time.Duration {
 	if bytes <= 0 {
 		return 0
 	}
-	return l.Latency + time.Duration(float64(bytes)/l.BytesPerSec*float64(time.Second))
+	lat := l.Latency
+	if lat < 0 {
+		lat = 0
+	}
+	if l.BytesPerSec <= 0 {
+		return lat
+	}
+	return lat + time.Duration(float64(bytes)/l.BytesPerSec*float64(time.Second))
 }
 
 // PCIe3 returns an intra-node GPU-to-GPU link (PCIe 3.0 x16-class).
@@ -137,6 +162,41 @@ func (q *Queue[T]) Recv() (T, bool) {
 	q.items = q.items[1:]
 	q.depth.Set(float64(len(q.items)))
 	return v, true
+}
+
+// RecvContext blocks like Recv but gives up when ctx is cancelled or
+// its deadline passes: it returns (zero, false, ctx.Err()) without
+// consuming an item. ok is false with a nil error once the queue is
+// closed and drained — the same terminal condition Recv reports.
+func (q *Queue[T]) RecvContext(ctx context.Context) (T, bool, error) {
+	// Wake the cond loop when the context fires; the lock around the
+	// broadcast pairs with the wait loop so the wakeup cannot be missed.
+	stop := context.AfterFunc(ctx, func() {
+		q.mu.Lock()
+		defer q.mu.Unlock()
+		q.cond.Broadcast()
+	})
+	defer stop()
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if len(q.items) == 0 && !q.closed && q.blockedSec != nil {
+		start := time.Now()
+		defer func() { q.blockedSec.Add(time.Since(start).Seconds()) }()
+	}
+	for len(q.items) == 0 && !q.closed && ctx.Err() == nil {
+		q.cond.Wait()
+	}
+	var zero T
+	if len(q.items) == 0 {
+		if q.closed {
+			return zero, false, nil
+		}
+		return zero, false, ctx.Err()
+	}
+	v := q.items[0]
+	q.items = q.items[1:]
+	q.depth.Set(float64(len(q.items)))
+	return v, true, nil
 }
 
 // TryRecv dequeues without blocking; ok is false if nothing was pending.

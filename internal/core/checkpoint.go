@@ -1,0 +1,198 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"avgpipe/internal/nn"
+	"avgpipe/internal/optim"
+)
+
+// Checkpoint layout inside a directory:
+//
+//	reference.bin   reference model weights (nn.SaveParams format)
+//	replica-P.bin   pipeline P's post-dilution weights
+//	optim-P.bin     pipeline P's optimizer state (only for Stateful optimizers)
+//	meta.json       round counter, geometry, detached set — written last,
+//	                so its presence marks the checkpoint complete
+//
+// Restore reverses it bit-exactly: weights and optimizer moments are
+// stored as raw float32 bits, the averager's delta baselines are re-seeded
+// to the saved replica weights, and the data streams are fast-forwarded by
+// replaying the round counter — so the round after a restore produces
+// parameters identical to the round the uninterrupted run would have
+// produced.
+
+// checkpointMetaName is the commit marker; a directory without it is not
+// a complete checkpoint.
+const checkpointMetaName = "meta.json"
+
+type checkpointMeta struct {
+	Round     int    `json:"round"`
+	Pipelines int    `json:"pipelines"`
+	Seed      int64  `json:"seed"`
+	Optimizer string `json:"optimizer"`
+	Detached  []bool `json:"detached,omitempty"`
+}
+
+// IsCheckpoint reports whether dir holds a complete checkpoint (its
+// commit marker exists).
+func IsCheckpoint(dir string) bool {
+	_, err := os.Stat(filepath.Join(dir, checkpointMetaName))
+	return err == nil
+}
+
+// SaveCheckpoint serializes the full training state — reference model,
+// every replica's weights and optimizer state, and the round counter —
+// into dir (created if needed). The averager is drained first so the
+// saved reference includes every submitted update. meta.json is written
+// last as the commit marker: a crash mid-save leaves a directory that
+// IsCheckpoint rejects rather than a corrupt resume point.
+func (t *Trainer) SaveCheckpoint(dir string) error {
+	t.avg.Drain()
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("core: checkpoint dir: %w", err)
+	}
+	t.avg.WriteReference(t.evalModel.Params())
+	if err := saveParamsFile(filepath.Join(dir, "reference.bin"), t.evalModel.Params()); err != nil {
+		return err
+	}
+	for p, pl := range t.pipelines {
+		if err := saveParamsFile(filepath.Join(dir, fmt.Sprintf("replica-%d.bin", p)), pl.Params()); err != nil {
+			return err
+		}
+		if st, ok := t.opts[p].(optim.Stateful); ok {
+			if err := saveStateFile(filepath.Join(dir, fmt.Sprintf("optim-%d.bin", p)), st, pl.Params()); err != nil {
+				return err
+			}
+		}
+	}
+	meta := checkpointMeta{
+		Round:     t.round,
+		Pipelines: t.cfg.Pipelines,
+		Seed:      t.cfg.Seed,
+		Optimizer: t.opts[0].Name(),
+		Detached:  append([]bool(nil), t.detached...),
+	}
+	buf, err := json.MarshalIndent(meta, "", "  ")
+	if err != nil {
+		return fmt.Errorf("core: checkpoint meta: %w", err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, checkpointMetaName), append(buf, '\n'), 0o644); err != nil {
+		return fmt.Errorf("core: checkpoint meta: %w", err)
+	}
+	return nil
+}
+
+// Restore loads a checkpoint written by SaveCheckpoint into this
+// trainer, which must have been built with the same config (geometry,
+// task, seed, optimizer). On success the trainer resumes at the saved
+// round with bit-exact state: replica weights, optimizer moments, the
+// reference model, the averager's delta baselines, and the data streams
+// fast-forwarded to where the saved run left them. Call before training
+// starts, not mid-round.
+func (t *Trainer) Restore(dir string) error {
+	buf, err := os.ReadFile(filepath.Join(dir, checkpointMetaName))
+	if err != nil {
+		return fmt.Errorf("core: not a complete checkpoint (missing %s): %w", checkpointMetaName, err)
+	}
+	var meta checkpointMeta
+	if err := json.Unmarshal(buf, &meta); err != nil {
+		return fmt.Errorf("core: checkpoint meta: %w", err)
+	}
+	if meta.Pipelines != t.cfg.Pipelines {
+		return fmt.Errorf("core: checkpoint has %d pipelines, trainer has %d", meta.Pipelines, t.cfg.Pipelines)
+	}
+	if meta.Seed != t.cfg.Seed {
+		return fmt.Errorf("core: checkpoint seed %d, trainer seed %d — data streams would diverge", meta.Seed, t.cfg.Seed)
+	}
+	if meta.Optimizer != t.opts[0].Name() {
+		return fmt.Errorf("core: checkpoint optimizer %q, trainer uses %q", meta.Optimizer, t.opts[0].Name())
+	}
+	if err := loadParamsFile(filepath.Join(dir, "reference.bin"), t.evalModel.Params()); err != nil {
+		return err
+	}
+	// SetReference re-seeds every delta baseline to the reference; the
+	// per-replica SeedReplica below then restores each baseline to the
+	// replica's true post-dilution weights.
+	t.avg.SetReference(t.evalModel.Params())
+	for p, pl := range t.pipelines {
+		if err := loadParamsFile(filepath.Join(dir, fmt.Sprintf("replica-%d.bin", p)), pl.Params()); err != nil {
+			return err
+		}
+		t.avg.SeedReplica(p, pl.Params())
+		if st, ok := t.opts[p].(optim.Stateful); ok {
+			if err := loadStateFile(filepath.Join(dir, fmt.Sprintf("optim-%d.bin", p)), st, pl.Params()); err != nil {
+				return err
+			}
+		}
+	}
+	for p, det := range meta.Detached {
+		if det {
+			t.avg.Detach(p)
+			t.detached[p] = true
+		}
+	}
+	t.round = meta.Round
+	// Fast-forward the data streams: each generator's state is a pure
+	// function of how many batches it has drawn, which is one per round
+	// (drawn-and-discarded for detached replicas).
+	for p := range t.gens {
+		t.gens[p] = t.cfg.Task.NewGen(t.cfg.Seed + 100 + int64(p))
+		for r := 0; r < meta.Round; r++ {
+			t.gens[p].NextBatch(t.cfg.Task.BatchSize)
+		}
+	}
+	t.evalGen = t.cfg.Task.NewGen(t.cfg.Seed + 999)
+	return nil
+}
+
+func saveParamsFile(path string, ps []*nn.Param) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("core: checkpoint %s: %w", filepath.Base(path), err)
+	}
+	if err := nn.SaveParams(f, ps); err != nil {
+		f.Close()
+		return fmt.Errorf("core: checkpoint %s: %w", filepath.Base(path), err)
+	}
+	return f.Close()
+}
+
+func loadParamsFile(path string, ps []*nn.Param) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return fmt.Errorf("core: checkpoint %s: %w", filepath.Base(path), err)
+	}
+	defer f.Close()
+	if err := nn.LoadParams(f, ps); err != nil {
+		return fmt.Errorf("core: checkpoint %s: %w", filepath.Base(path), err)
+	}
+	return nil
+}
+
+func saveStateFile(path string, st optim.Stateful, ps []*nn.Param) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("core: checkpoint %s: %w", filepath.Base(path), err)
+	}
+	if err := st.SaveState(f, ps); err != nil {
+		f.Close()
+		return fmt.Errorf("core: checkpoint %s: %w", filepath.Base(path), err)
+	}
+	return f.Close()
+}
+
+func loadStateFile(path string, st optim.Stateful, ps []*nn.Param) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return fmt.Errorf("core: checkpoint %s: %w", filepath.Base(path), err)
+	}
+	defer f.Close()
+	if err := st.LoadState(f, ps); err != nil {
+		return fmt.Errorf("core: checkpoint %s: %w", filepath.Base(path), err)
+	}
+	return nil
+}

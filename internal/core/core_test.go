@@ -326,9 +326,12 @@ func TestPipelineStageCount(t *testing.T) {
 
 func TestTrainerConvergesOnTranslation(t *testing.T) {
 	task := workload.TranslationTask()
-	tr := NewTrainer(TrainerConfig{
+	tr, err := NewTrainer(TrainerConfig{
 		Task: task, Pipelines: 2, Micro: 4, StageCount: 2, Seed: 1, ClipNorm: 5,
 	})
+	if err != nil {
+		t.Fatal(err)
+	}
 	defer tr.Close()
 	loss0, _ := tr.Eval()
 	for i := 0; i < 60; i++ {
@@ -345,9 +348,12 @@ func TestTrainerConvergesOnTranslation(t *testing.T) {
 
 func TestTrainerReplicasStayCoupled(t *testing.T) {
 	task := workload.ClassificationTask()
-	tr := NewTrainer(TrainerConfig{
+	tr, err := NewTrainer(TrainerConfig{
 		Task: task, Pipelines: 3, Micro: 2, StageCount: 2, Seed: 2,
 	})
+	if err != nil {
+		t.Fatal(err)
+	}
 	defer tr.Close()
 	for i := 0; i < 10; i++ {
 		tr.Step()

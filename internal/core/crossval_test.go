@@ -161,7 +161,10 @@ func TestPipelineTraceMatchesSchedule(t *testing.T) {
 	gen := task.NewGen(5)
 	batch := gen.NextBatch(8)
 	const k, m = 2, 4
-	pl := NewPipelineWith(task.NewModel(2), PipelineConfig{Stages: k, Trace: true})
+	pl, err := NewPipelineWith(task.NewModel(2), PipelineConfig{Stages: k, Trace: true})
+	if err != nil {
+		t.Fatal(err)
+	}
 	pl.RunBatch(batch, m)
 	schedule, _ := pl.ScheduleFor(m)
 	for s, met := range pl.Metrics() {
@@ -239,10 +242,13 @@ func TestCostAwarePartitionThroughTrainer(t *testing.T) {
 		t.Fatalf("cost-aware bottleneck %d params > equal-layer %d", c, e)
 	}
 
-	tr := NewTrainer(TrainerConfig{
+	tr, err := NewTrainer(TrainerConfig{
 		Task: task, Pipelines: 2, Micro: 2, StageCount: 2, Seed: 3,
 		Partition: PartitionCostAware, Plan: sched.AFABPlan(),
 	})
+	if err != nil {
+		t.Fatal(err)
+	}
 	defer tr.Close()
 	loss0 := tr.Step()
 	var loss1 float64
@@ -260,10 +266,13 @@ func TestCostAwarePartitionThroughTrainer(t *testing.T) {
 func TestTrainerPlanThreading(t *testing.T) {
 	task := workload.ClassificationTask()
 	const m = 4
-	tr := NewTrainer(TrainerConfig{
+	tr, err := NewTrainer(TrainerConfig{
 		Task: task, Pipelines: 1, Micro: m, StageCount: 2, Seed: 4,
 		Plan: sched.AFABPlan(),
 	})
+	if err != nil {
+		t.Fatal(err)
+	}
 	defer tr.Close()
 	tr.Step()
 	for s, met := range tr.Pipelines()[0].Metrics() {

@@ -1,11 +1,13 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"time"
 
 	"avgpipe/internal/comm"
+	"avgpipe/internal/fault"
 	"avgpipe/internal/nn"
 	"avgpipe/internal/obs"
 	"avgpipe/internal/tensor"
@@ -31,10 +33,17 @@ type Update struct {
 //	step ❸  the local update is sent to the reference model via an async
 //	        queue,
 //	step ❹  the reference process accumulates one update per pipeline,
-//	step ❺  once all N arrive it normalizes and applies them.
+//	step ❺  once all live pipelines arrive it normalizes and applies them.
 //
 // Because the elastic pull lives here — outside any optimizer — AvgPipe
 // composes with Adam, AdaGrad, ASGD, or plain SGD unchanged (§3.1).
+//
+// The reference model decouples the pipelines, which makes failure
+// survivable by design: a replica may Detach (crash) and later Rejoin by
+// reseeding from the reference; rounds renormalize over the replicas
+// that are actually live; and with SetRoundDeadline a round whose
+// stragglers never report is closed over the updates that did arrive
+// instead of wedging the reference loop forever.
 type Averager struct {
 	// Alpha is the dilution coefficient; 1/N empirically (§3.2).
 	Alpha float64
@@ -45,14 +54,34 @@ type Averager struct {
 	ref   []*tensor.Tensor
 	queue *comm.Queue[Update]
 
-	// pending[round] accumulates deltas until all N pipelines report.
+	// pending[round] accumulates per-pipeline deltas until every live
+	// pipeline reports (or the round deadline closes the round early).
 	pending map[int]*roundAcc
 	// snapshots[p] is pipeline p's weights after its previous round,
 	// used to derive local update deltas.
 	snapshots [][]*tensor.Tensor
+	// live[p] marks replicas currently participating in rounds; liveN
+	// counts them. Detach/Rejoin flip these.
+	live       []bool
+	liveN      int
+	detachedAt []time.Time
+	// doneRounds/doneFloor record closed rounds so a straggler update
+	// arriving after its round was applied (or expired) is discarded
+	// instead of re-opening the round: every round below doneFloor is
+	// closed, plus the out-of-order closures listed in doneRounds.
+	doneRounds map[int]bool
+	doneFloor  int
+	// deadline bounds how long an incomplete round may wait before it is
+	// closed over the arrived updates (0 = wait forever); expiryOn marks
+	// the expiry goroutine as started.
+	deadline time.Duration
+	expiryOn bool
+
+	// faults, when set, decides the fate of each submitted update.
+	faults *fault.Injector
 
 	// drainMu guards the sent/applied counters; drainCond wakes Drain
-	// waiters whenever the reference loop applies an update.
+	// waiters whenever the reference loop processes an update.
 	drainMu   sync.Mutex
 	drainCond *sync.Cond
 	sent      int64
@@ -61,19 +90,31 @@ type Averager struct {
 	done   chan struct{}
 	closed sync.Once
 
-	// Observability: elastic-round latency (first update arriving →
-	// round applied), update staleness (older incomplete rounds at
-	// arrival), applied-update count, and open-round gauge.
+	// Observability: elastic-round latency, update staleness, applied
+	// updates, open rounds, plus the fault surface — detach/rejoin
+	// counts, recovery latency, degraded-mode gauge, expired rounds, and
+	// discarded late updates.
 	roundSec    *obs.Histogram
 	staleRounds *obs.Histogram
 	updates     *obs.Counter
 	openRounds  *obs.Gauge
+	detaches    *obs.Counter
+	rejoins     *obs.Counter
+	recoverySec *obs.Histogram
+	degraded    *obs.Gauge
+	expired     *obs.Counter
+	lateUpdates *obs.Counter
 }
 
+// roundAcc holds one round's per-pipeline deltas. Keeping them separate
+// (rather than summing on arrival) makes the reference update a
+// deterministic reduction — deltas fold in pipeline order regardless of
+// arrival order — which is what lets a restored checkpoint reproduce an
+// uninterrupted run bit-exactly.
 type roundAcc struct {
-	sum   []*tensor.Tensor
-	count int
-	first time.Time
+	deltas [][]*tensor.Tensor // indexed by pipeline; nil = not arrived
+	got    int
+	first  time.Time
 }
 
 // NewAverager builds the framework around an initial model: the reference
@@ -94,12 +135,16 @@ func NewAveragerObs(n int, init []*nn.Param, reg *obs.Registry) *Averager {
 		reg = obs.Default()
 	}
 	a := &Averager{
-		Alpha:     1 / float64(n),
-		N:         n,
-		queue:     comm.NewInstrumentedQueue[Update](reg, "averager"),
-		pending:   make(map[int]*roundAcc),
-		snapshots: make([][]*tensor.Tensor, n),
-		done:      make(chan struct{}),
+		Alpha:      1 / float64(n),
+		N:          n,
+		queue:      comm.NewInstrumentedQueue[Update](reg, "averager"),
+		pending:    make(map[int]*roundAcc),
+		snapshots:  make([][]*tensor.Tensor, n),
+		live:       make([]bool, n),
+		liveN:      n,
+		detachedAt: make([]time.Time, n),
+		doneRounds: make(map[int]bool),
+		done:       make(chan struct{}),
 		roundSec: reg.Histogram("avgpipe_avg_round_seconds",
 			"Elastic-averaging round latency: first update arriving to round applied.", nil),
 		staleRounds: reg.Histogram("avgpipe_avg_staleness_rounds",
@@ -109,6 +154,21 @@ func NewAveragerObs(n int, init []*nn.Param, reg *obs.Registry) *Averager {
 			"Local updates applied to the reference model."),
 		openRounds: reg.Gauge("avgpipe_avg_open_rounds",
 			"Rounds currently awaiting straggler pipelines."),
+		detaches: reg.Counter("avgpipe_avg_detaches_total",
+			"Replicas detached from elastic averaging (crashes)."),
+		rejoins: reg.Counter("avgpipe_avg_rejoins_total",
+			"Replicas rejoined after reseeding from the reference model."),
+		recoverySec: reg.Histogram("avgpipe_avg_recovery_seconds",
+			"Detach-to-rejoin latency of recovered replicas.", nil),
+		degraded: reg.Gauge("avgpipe_avg_degraded_replicas",
+			"Replicas currently detached (0 = full strength)."),
+		expired: reg.Counter("avgpipe_avg_rounds_expired_total",
+			"Rounds closed at the deadline over a partial update set."),
+		lateUpdates: reg.Counter("avgpipe_avg_late_updates_total",
+			"Updates discarded because their round had already closed."),
+	}
+	for p := 0; p < n; p++ {
+		a.live[p] = true
 	}
 	a.drainCond = sync.NewCond(&a.drainMu)
 	a.ref = make([]*tensor.Tensor, len(init))
@@ -138,6 +198,108 @@ func (a *Averager) SeedReplica(p int, params []*nn.Param) {
 	}
 }
 
+// SetFaults installs the fault injector consulted on every Submit (nil
+// = no faults). Call before training starts, not concurrently with
+// Submit.
+func (a *Averager) SetFaults(in *fault.Injector) { a.faults = in }
+
+// SetRoundDeadline bounds how long an incomplete averaging round may
+// wait for stragglers: a round older than d is closed over the updates
+// that did arrive (normalized by their count) and recorded as expired,
+// so a dropped or crashed replica can never wedge the reference loop.
+// d = 0 restores the default (rounds wait forever). Call before
+// training starts; the expiry check runs on a background ticker.
+func (a *Averager) SetRoundDeadline(d time.Duration) {
+	a.mu.Lock()
+	a.deadline = d
+	start := d > 0 && !a.expiryOn
+	if start {
+		a.expiryOn = true
+	}
+	a.mu.Unlock()
+	if start {
+		go a.expiryLoop()
+	}
+}
+
+// expiryLoop closes over-deadline rounds until the averager shuts down.
+func (a *Averager) expiryLoop() {
+	for {
+		a.mu.RLock()
+		d := a.deadline
+		a.mu.RUnlock()
+		if d <= 0 {
+			d = time.Second // deadline disabled mid-run: idle until re-enabled
+		}
+		tick := d / 4
+		if tick < time.Millisecond {
+			tick = time.Millisecond
+		}
+		select {
+		case <-a.done:
+			return
+		case <-time.After(tick):
+			a.expireStale()
+		}
+	}
+}
+
+// expireStale applies every pending round older than the deadline over
+// its partial update set and marks it closed.
+func (a *Averager) expireStale() {
+	now := time.Now()
+	a.mu.Lock()
+	d := a.deadline
+	if d <= 0 {
+		a.mu.Unlock()
+		return
+	}
+	expired := 0
+	for r, acc := range a.pending {
+		if now.Sub(acc.first) >= d {
+			a.applyRoundLocked(r, acc)
+			expired++
+		}
+	}
+	open := len(a.pending)
+	a.mu.Unlock()
+	if expired > 0 {
+		a.expired.Add(float64(expired))
+		a.openRounds.Set(float64(open))
+	}
+}
+
+// applyRoundLocked folds the round's arrived deltas into the reference
+// model — in pipeline order, so the reduction is deterministic — with
+// the moving rate renormalized over the updates that actually arrived,
+// then marks the round closed. Caller holds a.mu.
+func (a *Averager) applyRoundLocked(round int, acc *roundAcc) {
+	if acc.got > 0 {
+		inv := float32(1 / float64(acc.got))
+		for p := 0; p < a.N; p++ {
+			ds := acc.deltas[p]
+			if ds == nil {
+				continue
+			}
+			for i := range a.ref {
+				a.ref[i].AxpyInPlace(inv, ds[i])
+			}
+		}
+	}
+	delete(a.pending, round)
+	a.doneRounds[round] = true
+	for a.doneRounds[a.doneFloor] {
+		delete(a.doneRounds, a.doneFloor)
+		a.doneFloor++
+	}
+}
+
+// roundClosedLocked reports whether the round has already been applied
+// or expired. Caller holds a.mu.
+func (a *Averager) roundClosedLocked(round int) bool {
+	return round < a.doneFloor || a.doneRounds[round]
+}
+
 // referenceLoop is the separate reference-model process of §3.2: it
 // drains the update queue, accumulates per round, and applies the
 // normalized update when a round completes (steps ❹ and ❺).
@@ -148,71 +310,215 @@ func (a *Averager) referenceLoop() {
 		if !ok {
 			return
 		}
-		a.mu.Lock()
-		stale := 0
-		for r := range a.pending {
-			if r < u.Round {
-				stale++
-			}
-		}
-		acc := a.pending[u.Round]
-		if acc == nil {
-			acc = &roundAcc{sum: make([]*tensor.Tensor, len(a.ref)), first: time.Now()}
-			for i, r := range a.ref {
-				acc.sum[i] = tensor.New(r.Shape()...)
-			}
-			a.pending[u.Round] = acc
-		}
-		for i, d := range u.Deltas {
-			acc.sum[i].AddInPlace(d)
-		}
-		acc.count++
-		roundDone := acc.count == a.N
-		if roundDone {
-			inv := float32(1 / float64(a.N))
-			for i := range a.ref {
-				a.ref[i].AxpyInPlace(inv, acc.sum[i])
-			}
-			delete(a.pending, u.Round)
-		}
-		open := len(a.pending)
+		a.ingest(u)
+	}
+}
+
+// ingest accumulates one update, closing its round if every live
+// replica has now reported.
+func (a *Averager) ingest(u Update) {
+	a.mu.Lock()
+	if a.roundClosedLocked(u.Round) {
 		a.mu.Unlock()
-		a.staleRounds.Observe(float64(stale))
-		a.updates.Inc()
-		a.openRounds.Set(float64(open))
-		if roundDone {
-			a.roundSec.Observe(time.Since(acc.first).Seconds())
+		a.lateUpdates.Inc()
+		a.bumpApplied()
+		return
+	}
+	stale := 0
+	for r := range a.pending {
+		if r < u.Round {
+			stale++
 		}
-		a.drainMu.Lock()
-		a.applied++
-		a.drainMu.Unlock()
+	}
+	acc := a.pending[u.Round]
+	if acc == nil {
+		acc = &roundAcc{deltas: make([][]*tensor.Tensor, a.N), first: time.Now()}
+		a.pending[u.Round] = acc
+	}
+	if acc.deltas[u.Pipeline] == nil {
+		acc.deltas[u.Pipeline] = u.Deltas
+		acc.got++
+	}
+	roundDone := a.liveN > 0 && acc.got >= a.liveN
+	first := acc.first
+	if roundDone {
+		a.applyRoundLocked(u.Round, acc)
+	}
+	open := len(a.pending)
+	a.mu.Unlock()
+	a.staleRounds.Observe(float64(stale))
+	a.updates.Inc()
+	a.openRounds.Set(float64(open))
+	if roundDone {
+		a.roundSec.Observe(time.Since(first).Seconds())
+	}
+	a.bumpApplied()
+}
+
+// bumpApplied advances the drain watermark and wakes Drain waiters.
+func (a *Averager) bumpApplied() {
+	a.drainMu.Lock()
+	a.applied++
+	a.drainMu.Unlock()
+	a.drainCond.Broadcast()
+}
+
+// addSent adjusts the drain send watermark; negative deltas (a delayed
+// update lost to a closed queue) wake waiters so Drain cannot park on a
+// send that will never apply.
+func (a *Averager) addSent(d int64) {
+	a.drainMu.Lock()
+	a.sent += d
+	a.drainMu.Unlock()
+	if d < 0 {
 		a.drainCond.Broadcast()
 	}
 }
 
-// Submit performs step ❸ for pipeline p after its optimizer has applied a
-// local update for the given round: it derives the local update delta
-// from the previous snapshot and sends it to the reference model without
-// blocking.
+// Detach removes pipeline p from elastic averaging — the crash path.
+// Rounds in flight renormalize over the remaining live replicas, so a
+// round waiting only on the detached replica completes immediately and
+// later rounds complete at the reduced strength. Safe to call from the
+// training loop; a second Detach of the same replica is a no-op.
+func (a *Averager) Detach(p int) {
+	a.mu.Lock()
+	if p < 0 || p >= a.N || !a.live[p] {
+		a.mu.Unlock()
+		return
+	}
+	a.live[p] = false
+	a.liveN--
+	a.detachedAt[p] = time.Now()
+	// Close any round that was waiting only on the departed replica.
+	completed := 0
+	if a.liveN > 0 {
+		for r, acc := range a.pending {
+			if acc.got >= a.liveN {
+				a.applyRoundLocked(r, acc)
+				completed++
+			}
+		}
+	}
+	degraded := a.N - a.liveN
+	open := len(a.pending)
+	a.mu.Unlock()
+	a.detaches.Inc()
+	a.degraded.Set(float64(degraded))
+	if completed > 0 {
+		a.openRounds.Set(float64(open))
+	}
+}
+
+// Rejoin returns a detached pipeline p to elastic averaging: its weights
+// are reseeded from the current reference model (the elastic pull that
+// re-centres a returning replica) and its delta baseline reset to match,
+// so its first update after recovery is measured from the right point.
+func (a *Averager) Rejoin(p int, params []*nn.Param) {
+	a.mu.Lock()
+	if p < 0 || p >= a.N || a.live[p] {
+		a.mu.Unlock()
+		return
+	}
+	for i, pr := range params {
+		pr.W.CopyFrom(a.ref[i])
+		a.snapshots[p][i].CopyFrom(a.ref[i])
+	}
+	a.live[p] = true
+	a.liveN++
+	det := a.detachedAt[p]
+	degraded := a.N - a.liveN
+	a.mu.Unlock()
+	a.rejoins.Inc()
+	a.degraded.Set(float64(degraded))
+	if !det.IsZero() {
+		a.recoverySec.Observe(time.Since(det).Seconds())
+	}
+}
+
+// LiveReplicas reports how many pipelines currently participate in
+// rounds.
+func (a *Averager) LiveReplicas() int {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	return a.liveN
+}
+
+// Live reports whether pipeline p currently participates in rounds.
+func (a *Averager) Live(p int) bool {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	return p >= 0 && p < a.N && a.live[p]
+}
+
+// submitRetries bounds SubmitContext's retry loop; the backoff doubles
+// from submitBackoff between attempts.
+const (
+	submitRetries = 3
+	submitBackoff = time.Millisecond
+)
+
+// Submit performs step ❸ for pipeline p after its optimizer has applied
+// a local update for the given round. It panics on misuse (pipeline out
+// of range, submit after Close); SubmitContext is the error-returning
+// variant for callers that degrade gracefully.
 func (a *Averager) Submit(p, round int, params []*nn.Param) {
+	if err := a.SubmitContext(context.Background(), p, round, params); err != nil {
+		panic(fmt.Sprintf("core: Submit(pipeline %d, round %d): %v", p, round, err))
+	}
+}
+
+// SubmitContext derives pipeline p's local update delta from the
+// previous snapshot and sends it to the reference model without
+// blocking. A transient send failure is retried with exponential
+// backoff (bounded by submitRetries) until ctx is done; submitting
+// after Close returns an error instead of wedging a later Drain. When a
+// fault injector is installed the update may be delayed or dropped in
+// flight — a dropped update is absorbed by the round deadline, never an
+// error.
+func (a *Averager) SubmitContext(ctx context.Context, p, round int, params []*nn.Param) error {
 	if p < 0 || p >= a.N {
-		panic(fmt.Sprintf("core: pipeline %d out of range", p))
+		return fmt.Errorf("pipeline %d out of range [0, %d)", p, a.N)
 	}
 	deltas := make([]*tensor.Tensor, len(params))
 	for i, pr := range params {
 		deltas[i] = tensor.Sub(pr.W, a.snapshots[p][i])
 	}
-	a.drainMu.Lock()
-	a.sent++
-	a.drainMu.Unlock()
-	if err := a.queue.Send(Update{Pipeline: p, Round: round, Deltas: deltas}); err != nil {
-		// The queue only rejects after Close; submitting then is API
-		// misuse (Close drains first), so fail loudly rather than let the
-		// update vanish and a later Drain hang on the phantom send.
-		a.drainMu.Lock()
-		a.sent--
-		a.drainMu.Unlock()
-		panic(fmt.Sprintf("core: Submit(pipeline %d, round %d) after Close: %v", p, round, err))
+	u := Update{Pipeline: p, Round: round, Deltas: deltas}
+	switch fate, d := a.faults.UpdateFate(p, round); fate {
+	case fault.FateDrop:
+		// Lost in flight: never counted as sent, so Drain does not wait
+		// for it; the round deadline closes the round without it.
+		return nil
+	case fault.FateDelay:
+		a.addSent(1)
+		time.AfterFunc(d, func() {
+			if err := a.queue.Send(u); err != nil {
+				// The run shut down while the update was in flight; undo
+				// its drain accounting so Close's Drain cannot park on it.
+				a.lateUpdates.Inc()
+				a.addSent(-1)
+			}
+		})
+		return nil
+	}
+	a.addSent(1)
+	backoff := submitBackoff
+	for attempt := 0; ; attempt++ {
+		err := a.queue.Send(u)
+		if err == nil {
+			return nil
+		}
+		if attempt >= submitRetries {
+			a.addSent(-1)
+			return fmt.Errorf("after %d attempts: %w", attempt+1, err)
+		}
+		select {
+		case <-ctx.Done():
+			a.addSent(-1)
+			return ctx.Err()
+		case <-time.After(backoff):
+		}
+		backoff *= 2
 	}
 }
 
@@ -289,13 +595,26 @@ func (a *Averager) WriteReference(dst []*nn.Param) {
 // and evaluation points observe a consistent reference model. The wait
 // parks on a condition variable signalled by the reference loop — no
 // core is burned while updates are in flight.
-func (a *Averager) Drain() {
+func (a *Averager) Drain() { _ = a.DrainContext(context.Background()) }
+
+// DrainContext is Drain with a way out: it returns ctx.Err() when the
+// context is cancelled or its deadline passes before the outstanding
+// updates apply, leaving the averager in a consistent (if not fully
+// drained) state.
+func (a *Averager) DrainContext(ctx context.Context) error {
+	stop := context.AfterFunc(ctx, func() {
+		a.drainMu.Lock()
+		defer a.drainMu.Unlock()
+		a.drainCond.Broadcast()
+	})
+	defer stop()
 	a.drainMu.Lock()
 	defer a.drainMu.Unlock()
 	target := a.sent
-	for a.applied < target {
+	for a.applied < target && ctx.Err() == nil {
 		a.drainCond.Wait()
 	}
+	return ctx.Err()
 }
 
 // Close shuts the reference process down after draining pending updates.

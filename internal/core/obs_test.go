@@ -104,7 +104,10 @@ func TestObsCrossValidatesScheduleAnalysis(t *testing.T) {
 // write a misleading empty file.
 func TestWriteTraceWithoutTrace(t *testing.T) {
 	task := workload.TranslationTask()
-	pl := NewPipelineWith(task.NewModel(2), PipelineConfig{Stages: 2, Obs: obs.NewRegistry()})
+	pl, err := NewPipelineWith(task.NewModel(2), PipelineConfig{Stages: 2, Obs: obs.NewRegistry()})
+	if err != nil {
+		t.Fatal(err)
+	}
 	pl.RunBatch(task.NewGen(5).NextBatch(8), 4)
 	var buf bytes.Buffer
 	if err := pl.WriteTrace(&buf); err != ErrNoTrace {
@@ -125,9 +128,12 @@ func TestTrainerObsAndStepLog(t *testing.T) {
 	reg := obs.NewRegistry()
 	task := workload.TranslationTask()
 	const n, rounds = 2, 3
-	tr := NewTrainer(TrainerConfig{
+	tr, err := NewTrainer(TrainerConfig{
 		Task: task, Pipelines: n, Micro: 2, StageCount: 2, Seed: 1, Obs: reg,
 	})
+	if err != nil {
+		t.Fatal(err)
+	}
 	defer tr.Close()
 	var log bytes.Buffer
 	tr.SetStepLog(&log)
@@ -185,7 +191,10 @@ func TestTrainerObsAndStepLog(t *testing.T) {
 // in BENCH_obs.json (must stay under 3%).
 func benchRunBatch(b *testing.B, reg *obs.Registry) {
 	task := workload.TranslationTask()
-	pl := NewPipelineWith(task.NewModel(2), PipelineConfig{Stages: 2, Obs: reg})
+	pl, err := NewPipelineWith(task.NewModel(2), PipelineConfig{Stages: 2, Obs: reg})
+	if err != nil {
+		b.Fatal(err)
+	}
 	batch := task.NewGen(3).NextBatch(16)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {

@@ -1,14 +1,17 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"avgpipe/internal/data"
+	"avgpipe/internal/fault"
 	"avgpipe/internal/nn"
 	"avgpipe/internal/obs"
 	"avgpipe/internal/optim"
@@ -47,6 +50,15 @@ type Pipeline struct {
 	stageInstr []stageInstr
 	batchSec   *obs.Histogram
 	batches    *obs.Counter
+	stalls     *obs.Counter
+
+	// faults injects straggler delays into stage compute (nil = none);
+	// pipeID identifies this pipeline in the injector's coordinates.
+	faults *fault.Injector
+	pipeID int
+	// watchdog is the liveness window: a batch with no op retired for
+	// this long is aborted with a *StallError (0 = no watchdog).
+	watchdog time.Duration
 }
 
 // stageInstr caches one stage's obs metric handles so the stage worker's
@@ -140,24 +152,31 @@ type PipelineConfig struct {
 // count and drives them with the AFP schedule for the given advance
 // vector (nil = pure 1F1B). It is a thin wrapper over NewPipelineWith:
 // the hand-rolled channel discipline it used to implement is now just
-// one point in the schedule family the interpreter executes.
+// one point in the schedule family the interpreter executes. It panics
+// on a malformed config; NewPipelineWith returns the error instead.
 func NewPipeline(model *nn.Sequential, k int, advance []int) *Pipeline {
-	return NewPipelineWith(model, PipelineConfig{Stages: k, Advance: advance})
+	p, err := NewPipelineWith(model, PipelineConfig{Stages: k, Advance: advance})
+	if err != nil {
+		panic(err.Error())
+	}
+	return p
 }
 
 // NewPipelineWith builds a schedule-interpreting pipeline with explicit
-// partitioning and schedule choices.
-func NewPipelineWith(model *nn.Sequential, cfg PipelineConfig) *Pipeline {
+// partitioning and schedule choices. A malformed config (non-positive
+// stage count, advance vector of the wrong length) is an error, not a
+// panic, so callers can degrade gracefully.
+func NewPipelineWith(model *nn.Sequential, cfg PipelineConfig) (*Pipeline, error) {
 	k := cfg.Stages
 	if k <= 0 {
-		panic(fmt.Sprintf("core: need at least one stage, got %d", k))
+		return nil, fmt.Errorf("core: need at least one stage, got %d", k)
 	}
 	advance := cfg.Advance
 	if advance == nil {
 		advance = make([]int, k)
 	}
 	if len(advance) != k {
-		panic(fmt.Sprintf("core: advance length %d for %d stages", len(advance), k))
+		return nil, fmt.Errorf("core: advance length %d for %d stages", len(advance), k)
 	}
 	plan := cfg.Plan
 	if plan.Make == nil {
@@ -177,7 +196,7 @@ func NewPipelineWith(model *nn.Sequential, cfg PipelineConfig) *Pipeline {
 	p := &Pipeline{Stages: stages, Advance: advance, Trace: cfg.Trace,
 		plan: plan, params: model.Params(), metrics: make([]StageMetrics, k)}
 	p.SetObs(cfg.Obs)
-	return p
+	return p, nil
 }
 
 // SetObs rebinds the pipeline's metrics to reg (nil = obs.Default()) and
@@ -191,6 +210,8 @@ func (p *Pipeline) SetObs(reg *obs.Registry) {
 	p.batchSec = reg.Histogram("avgpipe_batch_seconds",
 		"Wall time of one pipelined batch (RunBatch).", nil)
 	p.batches = reg.Counter("avgpipe_batches_total", "Pipelined batches executed.")
+	p.stalls = reg.Counter("avgpipe_watchdog_stalls_total",
+		"Batches aborted by the runtime watchdog after a live-locked schedule.")
 	p.stageInstr = make([]stageInstr, len(p.Stages))
 	for s := range p.Stages {
 		st := strconv.Itoa(s)
@@ -284,48 +305,153 @@ type microMsg struct {
 	t     *tensor.Tensor
 }
 
+// batchRun is the shared state of one RunBatch execution: the channels
+// wiring the stage workers, the abort machinery the watchdog uses to
+// unwind a live-locked batch, and the liveness clock it reads.
+type batchRun struct {
+	micros       []*data.Batch
+	fwdCh, bwdCh []chan microMsg
+	losses       []float64
+	epoch        time.Time
+
+	// abort, once closed, unwinds every stage worker at its next receive
+	// or op boundary. kill records the first failure and closes it.
+	abort    chan struct{}
+	killOnce sync.Once
+	errMu    sync.Mutex
+	err      error
+
+	// last is the unix-nano timestamp of the most recent retired op —
+	// the liveness signal the watchdog monitors. pos[s] is the index of
+	// the op stage s is currently executing (len(ops) once done), read
+	// by the watchdog to dump in-flight state.
+	last atomic.Int64
+	pos  []atomic.Int32
+}
+
+// kill records the first failure and aborts the run; later calls lose.
+func (r *batchRun) kill(err error) {
+	r.killOnce.Do(func() {
+		r.errMu.Lock()
+		r.err = err
+		r.errMu.Unlock()
+		close(r.abort)
+	})
+}
+
+// failure returns the recorded abort cause, nil if the run completed.
+func (r *batchRun) failure() error {
+	r.errMu.Lock()
+	defer r.errMu.Unlock()
+	return r.err
+}
+
 // RunBatch pipelines the batch through the stages as M micro-batches,
 // each stage executing its schedule's op order, and returns the mean
 // training loss across micro-batches. Parameter gradients are
 // accumulated (summed over micro-batches) and then scaled to a batch
-// mean; the caller owns the optimizer step.
+// mean; the caller owns the optimizer step. It panics if the batch is
+// aborted (only possible with a watchdog armed); RunBatchContext is the
+// error-returning variant.
 func (p *Pipeline) RunBatch(batch *data.Batch, micro int) float64 {
+	loss, err := p.RunBatchContext(context.Background(), batch, micro)
+	if err != nil {
+		panic(fmt.Sprintf("core: RunBatch: %v", err))
+	}
+	return loss
+}
+
+// RunBatchContext is RunBatch under supervision: the batch is aborted —
+// every stage worker unwound, per-stage metrics still recorded, no
+// goroutine leaked — when ctx is cancelled, or when the watchdog window
+// (SetWatchdog) elapses with no op retired. A watchdog kill returns a
+// *StallError dumping each stage's in-flight schedule position. On
+// error the partially accumulated gradients are meaningless; discard
+// them before the next step.
+func (p *Pipeline) RunBatchContext(ctx context.Context, batch *data.Batch, micro int) (float64, error) {
 	k := len(p.Stages)
 	micros := batch.Slice(micro)
 	m := len(micros)
 	schedule, _ := p.scheduleFor(m)
 
+	run := &batchRun{
+		micros: micros,
+		fwdCh:  make([]chan microMsg, k),
+		bwdCh:  make([]chan microMsg, k),
+		losses: make([]float64, m),
+		epoch:  time.Now(),
+		abort:  make(chan struct{}),
+		pos:    make([]atomic.Int32, k),
+	}
 	// fwdCh[s] feeds stage s its inputs (s ≥ 1; stage 0 reads the batch
 	// slice directly); bwdCh[s] feeds stage s its output gradients.
 	// Capacity m means senders never block — all sequencing comes from
-	// the receivers following their op order.
-	fwdCh := make([]chan microMsg, k)
-	bwdCh := make([]chan microMsg, k)
+	// the receivers following their op order, and an aborted receiver
+	// can never strand a sender.
 	for s := 0; s < k; s++ {
-		fwdCh[s] = make(chan microMsg, m)
-		bwdCh[s] = make(chan microMsg, m)
+		run.fwdCh[s] = make(chan microMsg, m)
+		run.bwdCh[s] = make(chan microMsg, m)
 	}
-	losses := make([]float64, m)
-	epoch := time.Now()
+	run.last.Store(run.epoch.UnixNano())
+
+	stopMon := make(chan struct{})
+	if p.watchdog > 0 || ctx.Done() != nil {
+		go p.monitor(ctx, schedule, run, stopMon)
+	}
 
 	var wg sync.WaitGroup
 	for s := 0; s < k; s++ {
 		wg.Add(1)
 		go func(s int) {
 			defer wg.Done()
-			p.stageWorker(s, k, schedule.PerGPU[s], micros, fwdCh, bwdCh, losses, epoch)
+			p.stageWorker(s, k, schedule.PerGPU[s], run)
 		}(s)
 	}
 	wg.Wait()
-	p.batchSec.Observe(time.Since(epoch).Seconds())
+	close(stopMon)
+	p.batchSec.Observe(time.Since(run.epoch).Seconds())
 	p.batches.Inc()
+	if err := run.failure(); err != nil {
+		return 0, err
+	}
 
 	optim.ScaleGrads(p.params, m)
 	var total float64
-	for _, l := range losses {
+	for _, l := range run.losses {
 		total += l
 	}
-	return total / float64(m)
+	return total / float64(m), nil
+}
+
+// monitor is the per-batch watchdog goroutine: it aborts the run when
+// ctx fires or when no op has retired within the watchdog window.
+func (p *Pipeline) monitor(ctx context.Context, schedule *sched.Schedule, run *batchRun, stop chan struct{}) {
+	tick := p.watchdog / 4
+	if tick <= 0 || tick > 10*time.Millisecond {
+		tick = 10 * time.Millisecond
+	}
+	if tick < time.Millisecond {
+		tick = time.Millisecond
+	}
+	for {
+		select {
+		case <-stop:
+			return
+		case <-ctx.Done():
+			run.kill(ctx.Err())
+			return
+		case <-time.After(tick):
+			if p.watchdog <= 0 {
+				continue
+			}
+			idle := time.Since(time.Unix(0, run.last.Load()))
+			if idle >= p.watchdog {
+				p.stalls.Inc()
+				run.kill(p.stallError(schedule, run, idle))
+				return
+			}
+		}
+	}
 }
 
 // stageWorker interprets stage s's op list. A Fwd op receives the
@@ -335,9 +461,9 @@ func (p *Pipeline) RunBatch(batch *data.Batch, micro int) float64 {
 // runs the stage backward, and ships the input gradient upstream.
 // Because the worker follows the schedule verbatim, its measured
 // PeakInFlight equals the schedule's analytic MaxInFlight exactly.
-func (p *Pipeline) stageWorker(s, k int, ops []sched.Op, micros []*data.Batch, fwdCh, bwdCh []chan microMsg, losses []float64, epoch time.Time) {
+func (p *Pipeline) stageWorker(s, k int, ops []sched.Op, run *batchRun) {
 	stage := p.Stages[s]
-	ctxs := make(map[int]*nn.Context, len(micros))
+	ctxs := make(map[int]*nn.Context, len(run.micros))
 	outs := make(map[int]*tensor.Tensor) // last stage: fwd outputs awaiting their bwd
 	pendF := make(map[int]*tensor.Tensor)
 	pendB := make(map[int]*tensor.Tensor)
@@ -353,38 +479,59 @@ func (p *Pipeline) stageWorker(s, k int, ops []sched.Op, micros []*data.Batch, f
 
 	// recv returns the payload for the requested micro, stashing any
 	// earlier arrivals the op order has not demanded yet (upstream may
-	// produce in a different order than this stage consumes).
-	recv := func(ch chan microMsg, pending map[int]*tensor.Tensor, micro int) *tensor.Tensor {
+	// produce in a different order than this stage consumes). ok is
+	// false when the run was aborted while waiting.
+	recv := func(ch chan microMsg, pending map[int]*tensor.Tensor, micro int) (*tensor.Tensor, bool) {
 		if t, ok := pending[micro]; ok {
 			delete(pending, micro)
-			return t
+			return t, true
 		}
 		start := time.Now()
 		for {
-			msg := <-ch
-			if msg.micro == micro {
+			select {
+			case msg := <-ch:
+				if msg.micro == micro {
+					met.Wait += time.Since(start)
+					return msg.t, true
+				}
+				pending[msg.micro] = msg.t
+			case <-run.abort:
 				met.Wait += time.Since(start)
-				return msg.t
+				return nil, false
 			}
-			pending[msg.micro] = msg.t
 		}
 	}
 
 	for i, op := range ops {
+		run.pos[s].Store(int32(i))
+		select {
+		case <-run.abort:
+			return
+		default:
+		}
 		var x *tensor.Tensor
+		ok := true
 		switch op.Kind {
 		case sched.Fwd:
 			if s == 0 {
-				x = micros[op.Micro].X
+				x = run.micros[op.Micro].X
 			} else {
-				x = recv(fwdCh[s], pendF, op.Micro)
+				x, ok = recv(run.fwdCh[s], pendF, op.Micro)
 			}
 		case sched.Bwd:
 			if s < k-1 {
-				x = recv(bwdCh[s], pendB, op.Micro)
+				x, ok = recv(run.bwdCh[s], pendB, op.Micro)
 			}
 		}
+		if !ok {
+			return
+		}
 		busyStart := time.Now()
+		if d := p.faults.StageDelay(p.pipeID, s, i); d > 0 {
+			// Injected straggler: the op still computes, just slowly, so
+			// the slowdown shows up in Busy and the per-op trace.
+			time.Sleep(d)
+		}
 		switch op.Kind {
 		case sched.Fwd:
 			ctx := nn.NewContext()
@@ -396,7 +543,7 @@ func (p *Pipeline) stageWorker(s, k int, ops []sched.Op, micros []*data.Batch, f
 				met.PeakInFlight = inflight
 			}
 			if s < k-1 {
-				fwdCh[s+1] <- microMsg{micro: op.Micro, t: y}
+				run.fwdCh[s+1] <- microMsg{micro: op.Micro, t: y}
 			} else {
 				outs[op.Micro] = y
 			}
@@ -404,8 +551,8 @@ func (p *Pipeline) stageWorker(s, k int, ops []sched.Op, micros []*data.Batch, f
 			if s == k-1 {
 				// The loss gradient is local: derive it from the stashed
 				// forward output.
-				loss, dlogits := nn.CrossEntropy(outs[op.Micro], micros[op.Micro].Targets)
-				losses[op.Micro] = loss
+				loss, dlogits := nn.CrossEntropy(outs[op.Micro], run.micros[op.Micro].Targets)
+				run.losses[op.Micro] = loss
 				delete(outs, op.Micro)
 				x = dlogits
 			}
@@ -414,11 +561,12 @@ func (p *Pipeline) stageWorker(s, k int, ops []sched.Op, micros []*data.Batch, f
 			inflight--
 			met.Bwd++
 			if s > 0 {
-				bwdCh[s-1] <- microMsg{micro: op.Micro, t: dx}
+				run.bwdCh[s-1] <- microMsg{micro: op.Micro, t: dx}
 			}
 		}
 		dur := time.Since(busyStart)
 		met.Busy += dur
+		run.last.Store(time.Now().UnixNano())
 		if op.Kind == sched.Fwd {
 			met.FwdTime += dur
 			instr.fwdSec.Observe(dur.Seconds())
@@ -430,9 +578,10 @@ func (p *Pipeline) stageWorker(s, k int, ops []sched.Op, micros []*data.Batch, f
 		}
 		if p.Trace {
 			met.Ops = append(met.Ops, OpEvent{Index: i, Kind: op.Kind, Micro: op.Micro,
-				Start: busyStart.Sub(epoch), Dur: dur})
+				Start: busyStart.Sub(run.epoch), Dur: dur})
 		}
 	}
+	run.pos[s].Store(int32(len(ops)))
 }
 
 // ErrNoTrace reports a WriteTrace call with nothing to write: Trace was

@@ -1,13 +1,15 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"io"
 	"sync"
-	"sync/atomic"
 	"time"
 
 	"avgpipe/internal/data"
+	"avgpipe/internal/fault"
 	"avgpipe/internal/nn"
 	"avgpipe/internal/obs"
 	"avgpipe/internal/optim"
@@ -50,6 +52,19 @@ type TrainerConfig struct {
 	// Obs selects the metrics registry the trainer, its pipelines, and
 	// the averager record into (nil = obs.Default()).
 	Obs *obs.Registry
+	// Faults declares the deterministic fault schedule injected into the
+	// run (zero value = no faults): delayed/dropped averaging updates,
+	// straggler stages, and a scripted replica crash/rejoin.
+	Faults fault.Config
+	// RoundDeadline bounds how long an averaging round waits for
+	// stragglers before closing over the updates that arrived (0 = wait
+	// forever). Required for training to make progress past dropped
+	// updates.
+	RoundDeadline time.Duration
+	// Watchdog arms every pipeline's liveness monitor: a batch during
+	// which no op retires for this window fails with a *StallError
+	// instead of hanging (0 = no watchdog).
+	Watchdog time.Duration
 }
 
 // Trainer runs N parallel pipelines, each training a replica on its own
@@ -64,6 +79,11 @@ type Trainer struct {
 	evalModel *nn.Sequential
 	evalGen   data.Generator
 	round     int
+
+	// faults scripts the run's injected failures (nil = none); detached
+	// marks replicas currently crashed out of the averaging set.
+	faults   *fault.Injector
+	detached []bool
 
 	stepLog *obs.JSONL
 
@@ -87,19 +107,34 @@ type StepRecord struct {
 	SamplesPerS float64 `json:"samples_per_sec"`
 	TokensPerS  float64 `json:"tokens_per_sec"`
 	OpenRounds  int     `json:"open_rounds"`
+	Live        int     `json:"live_replicas"`
 }
 
 // NewTrainer builds the replicas, data streams, optimizers, and the
 // reference model. All replicas start from the same initialization (the
-// usual elastic-averaging warm start).
-func NewTrainer(cfg TrainerConfig) *Trainer {
-	if cfg.Pipelines <= 0 || cfg.Micro <= 0 || cfg.StageCount <= 0 {
-		panic(fmt.Sprintf("core: bad trainer config %+v", cfg))
+// usual elastic-averaging warm start). A malformed config — missing
+// task, non-positive dimensions, invalid fault schedule, bad pipeline
+// geometry — is an error, not a panic, so callers can degrade
+// gracefully.
+func NewTrainer(cfg TrainerConfig) (*Trainer, error) {
+	if cfg.Task == nil {
+		return nil, errors.New("core: trainer config needs a Task")
 	}
-	t := &Trainer{cfg: cfg}
+	if cfg.Pipelines <= 0 || cfg.Micro <= 0 || cfg.StageCount <= 0 {
+		return nil, fmt.Errorf("core: trainer needs positive Pipelines/Micro/StageCount, got %d/%d/%d",
+			cfg.Pipelines, cfg.Micro, cfg.StageCount)
+	}
+	t := &Trainer{cfg: cfg, detached: make([]bool, cfg.Pipelines)}
 	reg := cfg.Obs
 	if reg == nil {
 		reg = obs.Default()
+	}
+	if cfg.Faults != (fault.Config{}) {
+		in, err := fault.New(cfg.Faults, cfg.Obs)
+		if err != nil {
+			return nil, err
+		}
+		t.faults = in
 	}
 	t.stepSec = reg.Histogram("avgpipe_train_step_seconds",
 		"Wall time of one training round across all pipelines.", nil)
@@ -111,10 +146,16 @@ func NewTrainer(cfg TrainerConfig) *Trainer {
 	base := cfg.Task.NewModel(cfg.Seed)
 	for p := 0; p < cfg.Pipelines; p++ {
 		m := cfg.Task.NewModel(cfg.Seed) // same seed: identical start
-		t.pipelines = append(t.pipelines, NewPipelineWith(m, PipelineConfig{
+		pl, err := NewPipelineWith(m, PipelineConfig{
 			Stages: cfg.StageCount, Plan: cfg.Plan, Advance: cfg.Advance,
 			Partition: cfg.Partition, Trace: cfg.Trace, Obs: cfg.Obs,
-		}))
+		})
+		if err != nil {
+			return nil, err
+		}
+		pl.SetFaults(t.faults, p)
+		pl.SetWatchdog(cfg.Watchdog)
+		t.pipelines = append(t.pipelines, pl)
 		t.gens = append(t.gens, cfg.Task.NewGen(cfg.Seed+100+int64(p)))
 		t.opts = append(t.opts, newOptimizer(cfg.Task))
 	}
@@ -122,9 +163,13 @@ func NewTrainer(cfg TrainerConfig) *Trainer {
 	if cfg.Alpha > 0 {
 		t.avg.Alpha = cfg.Alpha
 	}
+	t.avg.SetFaults(t.faults)
+	if cfg.RoundDeadline > 0 {
+		t.avg.SetRoundDeadline(cfg.RoundDeadline)
+	}
 	t.evalModel = base
 	t.evalGen = cfg.Task.NewGen(cfg.Seed + 999)
-	return t
+	return t, nil
 }
 
 func newOptimizer(task *workload.Task) optim.Optimizer {
@@ -137,41 +182,96 @@ func newOptimizer(task *workload.Task) optim.Optimizer {
 // Step runs one training round: every pipeline processes one batch (M
 // micro-batches through K stages), applies its local optimizer update,
 // and performs the elastic-averaging exchange. It returns the mean
-// training loss across pipelines.
+// training loss across live pipelines. It panics if the round fails
+// (only possible with a watchdog armed or a cancelled context);
+// StepContext is the error-returning variant.
 func (t *Trainer) Step() float64 {
+	loss, err := t.StepContext(context.Background())
+	if err != nil {
+		panic(fmt.Sprintf("core: Step: %v", err))
+	}
+	return loss
+}
+
+// StepContext runs one training round under supervision: the round
+// fails — with a *StallError per wedged pipeline — when a watchdog
+// window elapses with no op retired, and aborts cleanly when ctx is
+// cancelled. Scripted faults fire here: a replica whose crash round has
+// arrived detaches from the averaging set (its rounds renormalize over
+// the survivors), and a replica whose rejoin round has arrived restarts
+// from the reference model with fresh optimizer state.
+func (t *Trainer) StepContext(ctx context.Context) (float64, error) {
 	n := t.cfg.Pipelines
+	round := t.round
+	for p := 0; p < n; p++ {
+		if !t.detached[p] && t.faults.CrashAt(p, round) {
+			t.avg.Detach(p)
+			t.detached[p] = true
+		}
+		if t.detached[p] && t.faults.RejoinAt(p, round) {
+			// A rebooted process, not a resumed one: weights reseed from
+			// the reference (the elastic pull) and optimizer state starts
+			// over.
+			t.avg.Rejoin(p, t.pipelines[p].Params())
+			t.opts[p] = newOptimizer(t.cfg.Task)
+			t.detached[p] = false
+		}
+	}
 	losses := make([]float64, n)
+	errs := make([]error, n)
+	live := 0
+	var samples, tokens int64
 	start := time.Now()
-	var samples, tokens atomic.Int64
 	var wg sync.WaitGroup
 	for p := 0; p < n; p++ {
+		batch := t.gens[p].NextBatch(t.cfg.Task.BatchSize)
+		if t.detached[p] {
+			// The batch is drawn and discarded so every generator's state
+			// stays a pure function of the round counter — which is what
+			// lets checkpoint restore fast-forward the streams.
+			continue
+		}
+		live++
+		samples += int64(batch.Size)
+		tokens += int64(len(batch.Targets))
 		wg.Add(1)
-		go func(p int) {
+		go func(p int, batch *data.Batch) {
 			defer wg.Done()
-			batch := t.gens[p].NextBatch(t.cfg.Task.BatchSize)
-			samples.Add(int64(batch.Size))
-			tokens.Add(int64(len(batch.Targets)))
 			pl := t.pipelines[p]
-			losses[p] = pl.RunBatch(batch, t.cfg.Micro)
+			loss, err := pl.RunBatchContext(ctx, batch, t.cfg.Micro)
+			if err != nil {
+				nn.ZeroGrads(pl.Params()) // partial gradients are meaningless
+				errs[p] = fmt.Errorf("pipeline %d: %w", p, err)
+				return
+			}
+			losses[p] = loss
 			if t.cfg.ClipNorm > 0 {
 				optim.ClipGradNorm(pl.Params(), t.cfg.ClipNorm)
 			}
 			t.opts[p].Step(pl.Params())
 			nn.ZeroGrads(pl.Params())
 			if t.cfg.AsyncDilute {
-				t.avg.AfterStep(p, t.round, pl.Params())
+				t.avg.AfterStep(p, round, pl.Params())
 			} else {
-				t.avg.Submit(p, t.round, pl.Params())
+				t.avg.Submit(p, round, pl.Params())
 			}
-		}(p)
+		}(p, batch)
 	}
 	wg.Wait()
+	if err := errors.Join(errs...); err != nil {
+		return 0, err
+	}
 	if !t.cfg.AsyncDilute {
 		// Synchronous elastic round: dilute against the reference that
 		// already includes this round's updates, so the pull is pure
 		// variance reduction rather than a drag on the common trajectory.
-		t.avg.Drain()
+		if err := t.avg.DrainContext(ctx); err != nil {
+			return 0, err
+		}
 		for p := 0; p < n; p++ {
+			if t.detached[p] {
+				continue
+			}
 			t.avg.Dilute(p, t.pipelines[p].Params())
 		}
 	}
@@ -180,29 +280,32 @@ func (t *Trainer) Step() float64 {
 	for _, l := range losses {
 		total += l
 	}
-	loss := total / float64(n)
+	var loss float64
+	if live > 0 {
+		loss = total / float64(live)
+	}
 
 	dur := time.Since(start).Seconds()
-	sm, tk := samples.Load(), tokens.Load()
 	t.stepSec.Observe(dur)
-	t.samplesTotal.Add(float64(sm))
-	t.tokensTotal.Add(float64(tk))
+	t.samplesTotal.Add(float64(samples))
+	t.tokensTotal.Add(float64(tokens))
 	var sps, tps float64
 	if dur > 0 {
-		sps, tps = float64(sm)/dur, float64(tk)/dur
+		sps, tps = float64(samples)/dur, float64(tokens)/dur
 	}
 	t.samplesPerSec.Set(sps)
 	t.tokensPerSec.Set(tps)
 	t.lossGauge.Set(loss)
 	if err := t.stepLog.Log(StepRecord{
 		Round: t.round - 1, Loss: loss, StepSeconds: dur,
-		Samples: int(sm), Tokens: int(tk),
+		Samples: int(samples), Tokens: int(tokens),
 		SamplesPerS: sps, TokensPerS: tps,
 		OpenRounds: t.avg.PendingRounds(),
+		Live:       live,
 	}); err != nil {
-		panic(fmt.Sprintf("core: step log: %v", err))
+		return loss, fmt.Errorf("core: step log: %w", err)
 	}
-	return loss
+	return loss, nil
 }
 
 // SetStepLog streams one StepRecord JSON line per Step to w (nil stops

@@ -25,10 +25,13 @@ func AblationAlpha() *Table {
 		Header: []string{"alpha", "loss", "acc"},
 	}
 	for _, alpha := range []float64{0.5, 0.25, 0.1, 0.05} {
-		tr := core.NewTrainer(core.TrainerConfig{
+		tr, err := core.NewTrainer(core.TrainerConfig{
 			Task: task, Pipelines: 2, Micro: 2, StageCount: 2,
 			Seed: 11, ClipNorm: 5, Alpha: alpha,
 		})
+		if err != nil {
+			panic(err)
+		}
 		for r := 0; r < 150; r++ {
 			tr.Step()
 		}
@@ -53,10 +56,13 @@ func AblationSyncAsync() *Table {
 		Header: []string{"mode", "loss", "acc"},
 	}
 	for _, async := range []bool{false, true} {
-		tr := core.NewTrainer(core.TrainerConfig{
+		tr, err := core.NewTrainer(core.TrainerConfig{
 			Task: task, Pipelines: 2, Micro: 2, StageCount: 2,
 			Seed: 11, ClipNorm: 5, AsyncDilute: async,
 		})
+		if err != nil {
+			panic(err)
+		}
 		for r := 0; r < 120; r++ {
 			tr.Step()
 		}

@@ -107,10 +107,13 @@ func StatEff(task *workload.Task, pipeDreamDelay int, avgPipeN int, seed int64) 
 	// AvgPipe: N elastic-averaged pipelines, each consuming a batch per
 	// round.
 	{
-		tr := core.NewTrainer(core.TrainerConfig{
+		tr, err := core.NewTrainer(core.TrainerConfig{
 			Task: task, Pipelines: avgPipeN, Micro: 2, StageCount: 2,
 			Seed: seed, ClipNorm: 5,
 		})
+		if err != nil {
+			panic(err)
+		}
 		defer tr.Close()
 		eval := func() (float64, float64, bool) {
 			l, a := tr.Eval()

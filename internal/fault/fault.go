@@ -1,0 +1,253 @@
+// Package fault is the deterministic fault-injection layer of the
+// robustness harness. An Injector makes seed-driven decisions — delay or
+// drop an elastic-averaging update, slow a stage's compute, crash a
+// replica at a chosen round — that the runtime (core.Pipeline), the
+// averager (core.Averager), and the trainer (core.Trainer) consult at
+// their hook points.
+//
+// Every decision is a pure function of (seed, coordinates): the same
+// seed produces the identical fault schedule regardless of goroutine
+// interleaving, so chaos tests are reproducible and a failing seed can
+// be replayed. There is no shared RNG stream to race on; decisions hash
+// the coordinates with a splitmix64 chain instead.
+//
+// All methods are nil-receiver safe and return "no fault", so hook
+// points need no call-site guards and cost one pointer test when fault
+// injection is disabled.
+package fault
+
+import (
+	"fmt"
+	"time"
+
+	"avgpipe/internal/obs"
+)
+
+// Fate is the injector's verdict on one elastic-averaging update.
+type Fate int
+
+const (
+	// FateDeliver ships the update immediately (no fault).
+	FateDeliver Fate = iota
+	// FateDelay ships the update after the configured delay.
+	FateDelay
+	// FateDrop loses the update in flight; the averaging round must
+	// survive without it (see Averager round deadlines).
+	FateDrop
+)
+
+// String names the fate for logs and test failures.
+func (f Fate) String() string {
+	switch f {
+	case FateDeliver:
+		return "deliver"
+	case FateDelay:
+		return "delay"
+	case FateDrop:
+		return "drop"
+	default:
+		return fmt.Sprintf("fate(%d)", int(f))
+	}
+}
+
+// Config declares the fault schedule. The zero value injects nothing.
+type Config struct {
+	// Seed drives every probabilistic decision. Two injectors with the
+	// same Seed (and config) produce identical fault schedules.
+	Seed int64
+
+	// MsgDelayProb is the fraction of averaging updates held back by
+	// MsgDelay before delivery.
+	MsgDelayProb float64
+	// MsgDelay is how long a delayed update is held.
+	MsgDelay time.Duration
+	// MsgDropProb is the fraction of averaging updates lost in flight.
+	MsgDropProb float64
+
+	// StragglerProb is the per-op probability that a stage's compute is
+	// slowed by StragglerDelay (a transient straggler GPU).
+	StragglerProb float64
+	// StragglerDelay is the injected compute slowdown.
+	StragglerDelay time.Duration
+
+	// CrashPipeline names the replica that crashes at the start of
+	// CrashRound. The crash is armed only when CrashRound > 0 (replicas
+	// must start live), so the zero Config injects nothing.
+	CrashPipeline int
+	// CrashRound is the training round at which the crash fires; 0
+	// disables the crash.
+	CrashRound int
+	// RejoinAfter is how many rounds the crashed replica stays detached
+	// before rejoining from the reference model; 0 means it never
+	// returns.
+	RejoinAfter int
+}
+
+// Validate reports the first malformed field, so a bad chaos setup
+// fails at construction instead of silently injecting nothing (or
+// everything).
+func (c Config) Validate() error {
+	probs := []struct {
+		name string
+		v    float64
+	}{
+		{"MsgDelayProb", c.MsgDelayProb},
+		{"MsgDropProb", c.MsgDropProb},
+		{"StragglerProb", c.StragglerProb},
+	}
+	for _, p := range probs {
+		if p.v < 0 || p.v > 1 {
+			return fmt.Errorf("fault: %s = %v outside [0, 1]", p.name, p.v)
+		}
+	}
+	if c.MsgDelayProb+c.MsgDropProb > 1 {
+		return fmt.Errorf("fault: MsgDelayProb + MsgDropProb = %v exceeds 1",
+			c.MsgDelayProb+c.MsgDropProb)
+	}
+	if c.MsgDelay < 0 || c.StragglerDelay < 0 {
+		return fmt.Errorf("fault: negative delay (msg %v, straggler %v)", c.MsgDelay, c.StragglerDelay)
+	}
+	if c.MsgDelayProb > 0 && c.MsgDelay == 0 {
+		return fmt.Errorf("fault: MsgDelayProb %v with zero MsgDelay", c.MsgDelayProb)
+	}
+	if c.StragglerProb > 0 && c.StragglerDelay == 0 {
+		return fmt.Errorf("fault: StragglerProb %v with zero StragglerDelay", c.StragglerProb)
+	}
+	if c.CrashRound < 0 || c.RejoinAfter < 0 {
+		return fmt.Errorf("fault: negative crash round %d or rejoin-after %d", c.CrashRound, c.RejoinAfter)
+	}
+	if c.CrashRound > 0 && c.CrashPipeline < 0 {
+		return fmt.Errorf("fault: crash armed at round %d with negative pipeline %d", c.CrashRound, c.CrashPipeline)
+	}
+	return nil
+}
+
+// crashArmed reports whether the config schedules a replica crash.
+func (c Config) crashArmed() bool { return c.CrashRound > 0 }
+
+// Injector makes the fault decisions for one run. Construct with New;
+// a nil *Injector injects nothing.
+type Injector struct {
+	cfg Config
+
+	delayed   *obs.Counter
+	dropped   *obs.Counter
+	straggled *obs.Counter
+	crashes   *obs.Counter
+	rejoins   *obs.Counter
+}
+
+// New validates cfg and builds an injector recording fault counters
+// into reg (nil = obs.Default()).
+func New(cfg Config, reg *obs.Registry) (*Injector, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if reg == nil {
+		reg = obs.Default()
+	}
+	return &Injector{
+		cfg: cfg,
+		delayed: reg.Counter("avgpipe_fault_msgs_delayed_total",
+			"Averaging updates held back by the fault injector."),
+		dropped: reg.Counter("avgpipe_fault_msgs_dropped_total",
+			"Averaging updates lost in flight by the fault injector."),
+		straggled: reg.Counter("avgpipe_fault_straggler_ops_total",
+			"Stage ops slowed by injected straggler delays."),
+		crashes: reg.Counter("avgpipe_fault_crashes_total",
+			"Replica crashes fired by the fault injector."),
+		rejoins: reg.Counter("avgpipe_fault_rejoins_total",
+			"Replica rejoins fired by the fault injector."),
+	}, nil
+}
+
+// Config returns the fault schedule declaration.
+func (in *Injector) Config() Config {
+	if in == nil {
+		return Config{}
+	}
+	return in.cfg
+}
+
+// Decision domains keep the hash streams for different fault kinds
+// independent even at equal coordinates.
+const (
+	domainMsg = 0x6d7367 // "msg"
+	domainOp  = 0x6f70   // "op"
+)
+
+// mix is the splitmix64 finalizer: a full-avalanche 64-bit hash step.
+func mix(z uint64) uint64 {
+	z += 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// rand01 maps (seed, domain, a, b, c) to a uniform value in [0, 1).
+func (in *Injector) rand01(domain uint64, a, b, c int) float64 {
+	h := mix(uint64(in.cfg.Seed) ^ domain)
+	h = mix(h ^ uint64(int64(a)))
+	h = mix(h ^ uint64(int64(b)))
+	h = mix(h ^ uint64(int64(c)))
+	return float64(h>>11) / (1 << 53)
+}
+
+// UpdateFate decides what happens to pipeline p's averaging update for
+// the given round: deliver it, delay it (returning the hold time), or
+// drop it.
+func (in *Injector) UpdateFate(pipeline, round int) (Fate, time.Duration) {
+	if in == nil {
+		return FateDeliver, 0
+	}
+	u := in.rand01(domainMsg, pipeline, round, 0)
+	switch {
+	case u < in.cfg.MsgDropProb:
+		in.dropped.Inc()
+		return FateDrop, 0
+	case u < in.cfg.MsgDropProb+in.cfg.MsgDelayProb:
+		in.delayed.Inc()
+		return FateDelay, in.cfg.MsgDelay
+	default:
+		return FateDeliver, 0
+	}
+}
+
+// StageDelay returns the injected straggler delay for op opIndex of
+// stage s in pipeline p (0 = run at full speed).
+func (in *Injector) StageDelay(pipeline, stage, opIndex int) time.Duration {
+	if in == nil || in.cfg.StragglerProb == 0 {
+		return 0
+	}
+	if in.rand01(domainOp, pipeline, stage, opIndex) < in.cfg.StragglerProb {
+		in.straggled.Inc()
+		return in.cfg.StragglerDelay
+	}
+	return 0
+}
+
+// CrashAt reports whether pipeline p crashes at the start of the given
+// round. The trainer must consult it exactly once per (pipeline, round).
+func (in *Injector) CrashAt(pipeline, round int) bool {
+	if in == nil || !in.cfg.crashArmed() {
+		return false
+	}
+	if pipeline == in.cfg.CrashPipeline && round == in.cfg.CrashRound {
+		in.crashes.Inc()
+		return true
+	}
+	return false
+}
+
+// RejoinAt reports whether a crashed pipeline p rejoins at the start of
+// the given round (RejoinAfter rounds after its crash).
+func (in *Injector) RejoinAt(pipeline, round int) bool {
+	if in == nil || !in.cfg.crashArmed() || in.cfg.RejoinAfter == 0 {
+		return false
+	}
+	if pipeline == in.cfg.CrashPipeline && round == in.cfg.CrashRound+in.cfg.RejoinAfter {
+		in.rejoins.Inc()
+		return true
+	}
+	return false
+}

@@ -1,0 +1,177 @@
+package fault
+
+import (
+	"testing"
+	"time"
+
+	"avgpipe/internal/obs"
+)
+
+func chaosConfig(seed int64) Config {
+	return Config{
+		Seed:           seed,
+		MsgDelayProb:   0.1,
+		MsgDelay:       2 * time.Millisecond,
+		MsgDropProb:    0.05,
+		StragglerProb:  0.02,
+		StragglerDelay: time.Millisecond,
+		CrashPipeline:  2,
+		CrashRound:     10,
+		RejoinAfter:    5,
+	}
+}
+
+// TestSeededDeterminism is the determinism contract the Makefile faults
+// tier depends on: the same seed must produce the identical fault
+// schedule, and different seeds must not.
+func TestSeededDeterminism(t *testing.T) {
+	a, err := New(chaosConfig(7), obs.NewRegistry())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := New(chaosConfig(7), obs.NewRegistry())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := New(chaosConfig(8), obs.NewRegistry())
+	if err != nil {
+		t.Fatal(err)
+	}
+	diff := 0
+	for p := 0; p < 4; p++ {
+		for r := 0; r < 200; r++ {
+			fa, da := a.UpdateFate(p, r)
+			fb, db := b.UpdateFate(p, r)
+			if fa != fb || da != db {
+				t.Fatalf("same seed diverged at pipeline %d round %d: %v/%v vs %v/%v", p, r, fa, da, fb, db)
+			}
+			if fc, _ := c.UpdateFate(p, r); fc != fa {
+				diff++
+			}
+			if a.CrashAt(p, r) != b.CrashAt(p, r) || a.RejoinAt(p, r) != b.RejoinAt(p, r) {
+				t.Fatalf("crash schedule diverged at pipeline %d round %d", p, r)
+			}
+			for s := 0; s < 3; s++ {
+				if a.StageDelay(p, s, r) != b.StageDelay(p, s, r) {
+					t.Fatalf("straggler schedule diverged at pipeline %d stage %d op %d", p, s, r)
+				}
+			}
+		}
+	}
+	if diff == 0 {
+		t.Fatal("different seeds produced the identical fault schedule")
+	}
+}
+
+func TestFateRatesMatchConfig(t *testing.T) {
+	in, err := New(chaosConfig(3), obs.NewRegistry())
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 20000
+	var delayed, dropped int
+	for i := 0; i < n; i++ {
+		switch f, d := in.UpdateFate(i%8, i/8); f {
+		case FateDelay:
+			if d != 2*time.Millisecond {
+				t.Fatalf("delay fate carries %v", d)
+			}
+			delayed++
+		case FateDrop:
+			dropped++
+		}
+	}
+	if r := float64(delayed) / n; r < 0.07 || r > 0.13 {
+		t.Fatalf("delay rate %v, want ~0.10", r)
+	}
+	if r := float64(dropped) / n; r < 0.03 || r > 0.07 {
+		t.Fatalf("drop rate %v, want ~0.05", r)
+	}
+}
+
+func TestCrashAndRejoinFireOnce(t *testing.T) {
+	in, err := New(chaosConfig(1), obs.NewRegistry())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var crashes, rejoins int
+	for p := 0; p < 4; p++ {
+		for r := 0; r < 40; r++ {
+			if in.CrashAt(p, r) {
+				if p != 2 || r != 10 {
+					t.Fatalf("crash fired at pipeline %d round %d", p, r)
+				}
+				crashes++
+			}
+			if in.RejoinAt(p, r) {
+				if p != 2 || r != 15 {
+					t.Fatalf("rejoin fired at pipeline %d round %d", p, r)
+				}
+				rejoins++
+			}
+		}
+	}
+	if crashes != 1 || rejoins != 1 {
+		t.Fatalf("crashes %d rejoins %d, want 1 each", crashes, rejoins)
+	}
+}
+
+func TestNilInjectorInjectsNothing(t *testing.T) {
+	var in *Injector
+	if f, d := in.UpdateFate(0, 0); f != FateDeliver || d != 0 {
+		t.Fatalf("nil injector fate %v/%v", f, d)
+	}
+	if d := in.StageDelay(0, 0, 0); d != 0 {
+		t.Fatalf("nil injector stage delay %v", d)
+	}
+	if in.CrashAt(0, 0) || in.RejoinAt(0, 0) {
+		t.Fatal("nil injector crashed a replica")
+	}
+}
+
+func TestZeroConfigInjectsNothing(t *testing.T) {
+	in, err := New(Config{}, obs.NewRegistry())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for p := 0; p < 4; p++ {
+		for r := 0; r < 100; r++ {
+			if f, _ := in.UpdateFate(p, r); f != FateDeliver {
+				t.Fatalf("zero config faulted update %d/%d", p, r)
+			}
+			if in.CrashAt(p, r) {
+				t.Fatalf("zero config crashed pipeline %d at round %d", p, r)
+			}
+			if in.StageDelay(p, 0, r) != 0 {
+				t.Fatal("zero config straggled")
+			}
+		}
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	bad := []Config{
+		{MsgDelayProb: -0.1},
+		{MsgDropProb: 1.5},
+		{MsgDelayProb: 0.6, MsgDropProb: 0.6},
+		{MsgDelayProb: 0.1}, // no delay duration
+		{StragglerProb: 0.1},
+		{MsgDelay: -time.Second},
+		{CrashRound: -1},
+		{CrashRound: 5, CrashPipeline: -1},
+	}
+	for i, cfg := range bad {
+		if err := cfg.Validate(); err == nil {
+			t.Fatalf("config %d validated: %+v", i, cfg)
+		}
+		if _, err := New(cfg, obs.NewRegistry()); err == nil {
+			t.Fatalf("New accepted bad config %d", i)
+		}
+	}
+	if err := (Config{}).Validate(); err != nil {
+		t.Fatalf("zero config rejected: %v", err)
+	}
+	if err := chaosConfig(1).Validate(); err != nil {
+		t.Fatalf("chaos config rejected: %v", err)
+	}
+}
