@@ -1,12 +1,12 @@
 GO ?= go
 
-.PHONY: ci fmt vet vet-obs build test race faults bench-smoke
+.PHONY: ci fmt vet vet-obs build test race faults bench-smoke bench-gate bench-baseline cover
 
 # ci is the full verification tier: formatting, static checks (including
 # the obs build tag, which turns on strict metric-name validation), build,
-# tests, the race-detector pass over the concurrent packages, and the
-# seeded chaos matrix.
-ci: fmt vet vet-obs build test race faults
+# tests, the race-detector pass over the concurrent packages, the seeded
+# chaos matrix, and the kernel benchmark-regression gate.
+ci: fmt vet vet-obs build test race faults bench-gate
 
 fmt:
 	@out="$$(gofmt -l .)"; \
@@ -27,7 +27,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/core/... ./internal/comm/... ./internal/obs/...
+	$(GO) test -race ./internal/core/... ./internal/comm/... ./internal/obs/... ./internal/tensor/...
 
 # faults is the robustness tier: first the seeded-determinism check (the
 # same fault seed must produce the identical fault schedule on repeat
@@ -46,9 +46,46 @@ faults:
 # bench-smoke runs one cheap figure with the metrics dump enabled.
 # avgpipe-bench validates the rendered exposition text itself (it exits
 # non-zero on malformed or empty output); the grep double-checks that the
-# file on disk actually carries avgpipe_* samples.
+# file on disk actually carries avgpipe_* samples. The dump goes to a
+# mktemp file so concurrent invocations cannot clobber each other, and is
+# removed on every exit path.
 bench-smoke:
-	$(GO) run ./cmd/avgpipe-bench -metrics-out /tmp/avgpipe-metrics.prom fig07 >/dev/null
-	@grep -q '^avgpipe_' /tmp/avgpipe-metrics.prom || \
-		{ echo "bench-smoke: no avgpipe_ samples in /tmp/avgpipe-metrics.prom"; exit 1; }
-	@echo "bench-smoke: /metrics output OK ($$(grep -c '^avgpipe_' /tmp/avgpipe-metrics.prom) samples)"
+	@out="$$(mktemp -t avgpipe-metrics.XXXXXX.prom)"; \
+	trap 'rm -f "$$out"' EXIT; \
+	$(GO) run ./cmd/avgpipe-bench -metrics-out "$$out" fig07 >/dev/null || exit 1; \
+	grep -q '^avgpipe_' "$$out" || \
+		{ echo "bench-smoke: no avgpipe_ samples in $$out"; exit 1; }; \
+	echo "bench-smoke: /metrics output OK ($$(grep -c '^avgpipe_' "$$out") samples)"
+
+# BENCH_FLAGS drives both the gate and re-baselining so they always
+# measure the same way: every Kernel* benchmark in the tensor and nn
+# packages, allocation counts on, minimum taken across 3 repetitions.
+BENCH_FLAGS = -run '^$$' -bench Kernel -benchmem -benchtime 300ms -count 5 ./internal/tensor/ ./internal/nn/
+
+# bench-gate fails on kernel benchmark regressions: >15% ns/op over the
+# committed BENCH_kernels.json baseline, or ANY allocs/op increase (arena
+# regressions surface in allocation counts long before wall time moves).
+bench-gate:
+	@out="$$(mktemp -t avgpipe-bench.XXXXXX.txt)"; \
+	trap 'rm -f "$$out"' EXIT; \
+	$(GO) test $(BENCH_FLAGS) > "$$out" 2>&1 || { cat "$$out"; exit 1; }; \
+	$(GO) run ./cmd/benchgate -baseline BENCH_kernels.json < "$$out"
+
+# bench-baseline rewrites BENCH_kernels.json from a fresh run. Use after
+# an intentional kernel change or on a new machine class, and commit the
+# result; pre_overhaul_* reference fields are preserved (see README
+# "Benchmarking & re-baselining").
+bench-baseline:
+	$(GO) test $(BENCH_FLAGS) | $(GO) run ./cmd/benchgate -baseline BENCH_kernels.json -update
+
+# cover reports per-package coverage and enforces a 70% floor on the
+# kernel hot path (internal/tensor), whose correctness claims lean on
+# exhaustive tests rather than review.
+cover:
+	@$(GO) test -cover ./... | grep -v '\[no test files\]'
+	@pct="$$($(GO) test -cover ./internal/tensor/ | grep -o 'coverage: [0-9.]*' | grep -o '[0-9.]*')"; \
+	ok="$$(echo "$$pct 70" | awk '{print ($$1 >= $$2) ? 1 : 0}')"; \
+	if [ "$$ok" != 1 ]; then \
+		echo "cover: internal/tensor coverage $$pct% is below the 70% floor"; exit 1; \
+	fi; \
+	echo "cover: internal/tensor coverage $$pct% meets the 70% floor"

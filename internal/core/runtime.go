@@ -207,6 +207,9 @@ func (p *Pipeline) SetObs(reg *obs.Registry) {
 		reg = obs.Default()
 	}
 	p.obs = reg
+	// The kernel layer's arena and worker-pool gauges land in the same
+	// registry, so /metrics shows whether buffer reuse is happening.
+	tensor.BindObs(reg)
 	p.batchSec = reg.Histogram("avgpipe_batch_seconds",
 		"Wall time of one pipelined batch (RunBatch).", nil)
 	p.batches = reg.Counter("avgpipe_batches_total", "Pipelined batches executed.")
@@ -550,8 +553,11 @@ func (p *Pipeline) stageWorker(s, k int, ops []sched.Op, run *batchRun) {
 		case sched.Bwd:
 			if s == k-1 {
 				// The loss gradient is local: derive it from the stashed
-				// forward output.
-				loss, dlogits := nn.CrossEntropy(outs[op.Micro], run.micros[op.Micro].Targets)
+				// forward output. The logits' last use is the loss, so
+				// their buffer goes back to the arena for the next micro.
+				y := outs[op.Micro]
+				loss, dlogits := nn.CrossEntropy(y, run.micros[op.Micro].Targets)
+				y.Release()
 				run.losses[op.Micro] = loss
 				delete(outs, op.Micro)
 				x = dlogits
@@ -562,6 +568,15 @@ func (p *Pipeline) stageWorker(s, k int, ops []sched.Op, run *batchRun) {
 			met.Bwd++
 			if s > 0 {
 				run.bwdCh[s-1] <- microMsg{micro: op.Micro, t: dx}
+			} else if dx != nil && dx != x {
+				// Stage 0's input gradient has no consumer.
+				dx.Release()
+			}
+			// The received gradient (or the local loss gradient) retires
+			// with this op; guard against identity passthroughs returning
+			// x itself.
+			if x != nil && dx != x {
+				x.Release()
 			}
 		}
 		dur := time.Since(busyStart)

@@ -18,7 +18,7 @@ func (r *ReLU) Forward(ctx *Context, x *tensor.Tensor, train bool) *tensor.Tenso
 // Backward gates dy by the stashed input's positivity.
 func (r *ReLU) Backward(ctx *Context, dy *tensor.Tensor) *tensor.Tensor {
 	x := ctx.Pop().(*tensor.Tensor)
-	out := tensor.New(dy.Shape()...)
+	out := tensor.Borrow(dy.Shape()...)
 	xd, dd, od := x.Data(), dy.Data(), out.Data()
 	for i := range xd {
 		if xd[i] > 0 {

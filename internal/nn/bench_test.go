@@ -1,0 +1,77 @@
+package nn
+
+import (
+	"testing"
+
+	"avgpipe/internal/tensor"
+)
+
+// Layer-level kernel benchmarks (LSTM cell, layernorm, linear) for the
+// bench-gate. Each iteration runs a full forward+backward over a fresh
+// Context, matching how stage workers drive layers per micro-batch.
+
+func BenchmarkKernelLSTMCell(b *testing.B) {
+	rng := tensor.NewRNG(6)
+	l := NewLSTM(rng, 128, 128, 1)
+	batch := 32
+	x := rng.Uniform(-1, 1, batch, 128)
+	dy := rng.Uniform(-1, 1, batch, 128)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ctx := NewContext()
+		y := l.Forward(ctx, x, true)
+		dx := l.Backward(ctx, dy)
+		y.Release()
+		dx.Release()
+	}
+}
+
+func BenchmarkKernelLSTMSeq(b *testing.B) {
+	rng := tensor.NewRNG(7)
+	seqLen, batch := 4, 16
+	l := NewLSTM(rng, 256, 256, seqLen)
+	x := rng.Uniform(-1, 1, seqLen*batch, 256)
+	dy := rng.Uniform(-1, 1, seqLen*batch, 256)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ctx := NewContext()
+		y := l.Forward(ctx, x, true)
+		dx := l.Backward(ctx, dy)
+		y.Release()
+		dx.Release()
+	}
+}
+
+func BenchmarkKernelLayerNorm(b *testing.B) {
+	rng := tensor.NewRNG(8)
+	l := NewLayerNorm(1024)
+	x := rng.Uniform(-1, 1, 256, 1024)
+	dy := rng.Uniform(-1, 1, 256, 1024)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ctx := NewContext()
+		y := l.Forward(ctx, x, true)
+		dx := l.Backward(ctx, dy)
+		y.Release()
+		dx.Release()
+	}
+}
+
+func BenchmarkKernelLinear(b *testing.B) {
+	rng := tensor.NewRNG(9)
+	l := NewLinear(rng, 512, 512)
+	x := rng.Uniform(-1, 1, 64, 512)
+	dy := rng.Uniform(-1, 1, 64, 512)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ctx := NewContext()
+		y := l.Forward(ctx, x, true)
+		dx := l.Backward(ctx, dy)
+		y.Release()
+		dx.Release()
+	}
+}

@@ -23,18 +23,19 @@ func NewLinear(rng *tensor.RNG, in, out int) *Linear {
 	}
 }
 
-// Forward computes x@W + b and stashes x.
+// Forward computes x@W + b in one fused pass and stashes x.
 func (l *Linear) Forward(ctx *Context, x *tensor.Tensor, train bool) *tensor.Tensor {
 	ctx.Push(x)
-	return tensor.AddRowVector(tensor.MatMul(x, l.W.W), l.B.W)
+	return tensor.MatMulBiasAct(x, l.W.W, l.B.W, tensor.ActIdentity)
 }
 
 // Backward returns dy @ Wᵀ and accumulates xᵀ@dy into dW, column sums
-// into dB.
+// into dB, using the fused accumulate kernels (no intermediate product
+// tensors).
 func (l *Linear) Backward(ctx *Context, dy *tensor.Tensor) *tensor.Tensor {
 	x := ctx.Pop().(*tensor.Tensor)
-	l.W.AddGrad(tensor.MatMulTransA(x, dy))
-	l.B.AddGrad(tensor.SumRows(dy))
+	tensor.MatMulTransAAcc(l.W.G, x, dy)
+	tensor.SumRowsAcc(l.B.G, dy)
 	return tensor.MatMulTransB(dy, l.W.W)
 }
 

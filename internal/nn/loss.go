@@ -25,11 +25,12 @@ func CrossEntropy(logits *tensor.Tensor, targets []int) (float64, *tensor.Tensor
 		loss -= float64(ls.At(i, t))
 		active++
 	}
+	ls.Release()
 	if active == 0 {
-		return 0, tensor.New(rows, cols)
+		return 0, tensor.Borrow(rows, cols)
 	}
 	loss /= float64(active)
-	grad := tensor.New(rows, cols)
+	grad := tensor.Borrow(rows, cols)
 	sm := tensor.SoftmaxRows(logits)
 	inv := float32(1 / float64(active))
 	for i, t := range targets {
@@ -43,6 +44,7 @@ func CrossEntropy(logits *tensor.Tensor, targets []int) (float64, *tensor.Tensor
 		}
 		gr[t] -= inv
 	}
+	sm.Release()
 	return loss, grad
 }
 

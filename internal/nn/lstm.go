@@ -38,10 +38,13 @@ func NewLSTM(rng *tensor.RNG, in, hidden, seqLen int) *LSTM {
 	}
 }
 
-// lstmStep is the stash for one timestep's backward.
+// lstmStep is the stash for one timestep's backward. xt and gates are
+// owned by this step; hPrev/cPrev alias the previous step's gates.H/.C
+// (or the borrowed initial zero states for step 0), so only the owning
+// step releases them.
 type lstmStep struct {
-	xt, hPrev, cPrev  *tensor.Tensor
-	i, f, g, o, tanhC *tensor.Tensor
+	xt, hPrev, cPrev *tensor.Tensor
+	gates            tensor.LSTMGates
 }
 
 // lstmSaved is the stash for the whole sequence.
@@ -90,25 +93,18 @@ func (l *LSTM) Forward(ctx *Context, x *tensor.Tensor, train bool) *tensor.Tenso
 	}
 
 	saved := &lstmSaved{whMask: mask, batch: batch}
-	out := tensor.New(rows, hDim)
-	h := tensor.New(batch, hDim)
-	c := tensor.New(batch, hDim)
+	out := tensor.Borrow(rows, hDim)
+	h := tensor.Borrow(batch, hDim)
+	c := tensor.Borrow(batch, hDim)
 	for t := 0; t < l.SeqLen; t++ {
 		xt := x.SliceRows(t*batch, (t+1)*batch)
-		z := tensor.AddRowVector(tensor.Add(tensor.MatMul(xt, l.Wx.W), tensor.MatMul(h, wh)), l.B.W)
-		i := tensor.Sigmoid(splitCols(z, 0, hDim))
-		f := tensor.Sigmoid(splitCols(z, hDim, 2*hDim))
-		g := tensor.Tanh(splitCols(z, 2*hDim, 3*hDim))
-		o := tensor.Sigmoid(splitCols(z, 3*hDim, 4*hDim))
-		cNew := tensor.Add(tensor.Mul(f, c), tensor.Mul(i, g))
-		tc := tensor.Tanh(cNew)
-		hNew := tensor.Mul(o, tc)
-		saved.steps = append(saved.steps, lstmStep{
-			xt: xt.Clone(), hPrev: h, cPrev: c,
-			i: i, f: f, g: g, o: o, tanhC: tc,
-		})
-		h, c = hNew, cNew
-		copy(out.Data()[t*batch*hDim:(t+1)*batch*hDim], hNew.Data())
+		g := tensor.LSTMCellForward(xt, h, c, l.Wx.W, wh, l.B.W)
+		saved.steps = append(saved.steps, lstmStep{xt: xt.Clone(), hPrev: h, cPrev: c, gates: g})
+		h, c = g.H, g.C
+		copy(out.Data()[t*batch*hDim:(t+1)*batch*hDim], g.H.Data())
+	}
+	if mask != nil {
+		wh.Release() // the masked copy; l.Wh.W itself is never pooled
 	}
 	ctx.Push(saved)
 	return out
@@ -118,52 +114,51 @@ func (l *LSTM) Forward(ctx *Context, x *tensor.Tensor, train bool) *tensor.Tenso
 // Wx, Wh, and B and returning the input gradient.
 func (l *LSTM) Backward(ctx *Context, dy *tensor.Tensor) *tensor.Tensor {
 	saved := ctx.Pop().(*lstmSaved)
-	batch, hDim := saved.batch, l.Hidden
+	batch := saved.batch
 	rows := l.SeqLen * batch
-	dx := tensor.New(rows, l.In)
+	dx := tensor.Borrow(rows, l.In)
 
 	wh := l.Wh.W
 	if saved.whMask != nil {
 		wh = tensor.Mul(wh, saved.whMask)
 	}
-	dWh := tensor.New(l.Wh.W.Shape()...)
+	dWh := tensor.Borrow(l.Wh.W.Shape()...)
 
-	dhNext := tensor.New(batch, hDim)
-	dcNext := tensor.New(batch, hDim)
-	one := func(t *tensor.Tensor) *tensor.Tensor {
-		return tensor.Apply(t, func(v float32) float32 { return 1 - v*v })
-	}
-	sigD := func(t *tensor.Tensor) *tensor.Tensor {
-		return tensor.Apply(t, func(v float32) float32 { return v * (1 - v) })
-	}
+	dhNext := tensor.Borrow(batch, l.Hidden)
+	dcNext := tensor.Borrow(batch, l.Hidden)
 	for t := l.SeqLen - 1; t >= 0; t-- {
 		st := saved.steps[t]
-		dh := tensor.Add(dy.SliceRows(t*batch, (t+1)*batch).Clone(), dhNext)
-		do := tensor.Mul(dh, st.tanhC)
-		dc := tensor.Add(dcNext, tensor.Mul(tensor.Mul(dh, st.o), one(st.tanhC)))
-		di := tensor.Mul(dc, st.g)
-		dg := tensor.Mul(dc, st.i)
-		df := tensor.Mul(dc, st.cPrev)
-		dcNext = tensor.Mul(dc, st.f)
+		dyt := dy.SliceRows(t*batch, (t+1)*batch)
+		dz, dcPrev := tensor.LSTMCellBackward(dyt, dhNext, dcNext, st.cPrev, st.gates)
 
-		dz := tensor.New(batch, 4*hDim)
-		setCols(dz, tensor.Mul(di, sigD(st.i)), 0)
-		setCols(dz, tensor.Mul(df, sigD(st.f)), hDim)
-		setCols(dz, tensor.Mul(dg, one(st.g)), 2*hDim)
-		setCols(dz, tensor.Mul(do, sigD(st.o)), 3*hDim)
+		tensor.MatMulTransAAcc(l.Wx.G, st.xt, dz)
+		tensor.MatMulTransAAcc(dWh, st.hPrev, dz)
+		tensor.SumRowsAcc(l.B.G, dz)
 
-		l.Wx.AddGrad(tensor.MatMulTransA(st.xt, dz))
-		dWh.AddInPlace(tensor.MatMulTransA(st.hPrev, dz))
-		l.B.AddGrad(tensor.SumRows(dz))
-
-		dxt := tensor.MatMulTransB(dz, l.Wx.W)
-		copy(dx.Data()[t*batch*l.In:(t+1)*batch*l.In], dxt.Data())
+		tensor.MatMulTransBInto(dx.SliceRows(t*batch, (t+1)*batch), dz, l.Wx.W)
+		dhNext.Release()
 		dhNext = tensor.MatMulTransB(dz, wh)
+		dcNext.Release()
+		dcNext = dcPrev
+
+		// This step owns its input clone and gate buffers; hPrev/cPrev
+		// belong to the previous step (released with its gates below).
+		dz.Release()
+		st.xt.Release()
+		st.gates.Release()
 	}
+	dhNext.Release()
+	dcNext.Release()
+	// The initial zero states are owned by Forward's borrow, not by any
+	// step's gates.
+	saved.steps[0].hPrev.Release()
+	saved.steps[0].cPrev.Release()
 	if saved.whMask != nil {
 		dWh.MulInPlace(saved.whMask)
+		wh.Release()
 	}
 	l.Wh.AddGrad(dWh)
+	dWh.Release()
 	return dx
 }
 

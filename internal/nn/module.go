@@ -110,12 +110,21 @@ func (s *Sequential) Forward(ctx *Context, x *tensor.Tensor, train bool) *tensor
 	return x
 }
 
-// Backward runs each layer's backward in reverse order.
+// Backward runs each layer's backward in reverse order. Intermediate
+// gradients are arena-backed and have no other holders once the layer
+// below consumed them, so they are released here; the caller-owned dy and
+// identity passthroughs (a layer returning its input, e.g. eval-mode
+// Dropout) are guarded by pointer equality.
 func (s *Sequential) Backward(ctx *Context, dy *tensor.Tensor) *tensor.Tensor {
+	d := dy
 	for i := len(s.Layers) - 1; i >= 0; i-- {
-		dy = s.Layers[i].Backward(ctx, dy)
+		next := s.Layers[i].Backward(ctx, d)
+		if d != nil && d != dy && next != d {
+			d.Release()
+		}
+		d = next
 	}
-	return dy
+	return d
 }
 
 // Params returns all parameters of all layers, in layer order.

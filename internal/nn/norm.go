@@ -38,9 +38,9 @@ func (l *LayerNorm) Forward(ctx *Context, x *tensor.Tensor, train bool) *tensor.
 		panic(fmt.Sprintf("nn: LayerNorm dim %d got input %v", l.Dim, x.Shape()))
 	}
 	rows, d := x.Dim(0), l.Dim
-	xhat := tensor.New(rows, d)
+	xhat := tensor.Borrow(rows, d)
 	invStd := make([]float32, rows)
-	out := tensor.New(rows, d)
+	out := tensor.Borrow(rows, d)
 	gain, bias := l.Gain.W.Data(), l.Bias.W.Data()
 	tensor.ParallelFor(rows, func(lo, hi int) {
 		for r := lo; r < hi; r++ {
@@ -75,7 +75,7 @@ func (l *LayerNorm) Forward(ctx *Context, x *tensor.Tensor, train bool) *tensor.
 func (l *LayerNorm) Backward(ctx *Context, dy *tensor.Tensor) *tensor.Tensor {
 	sv := ctx.Pop().(*lnSaved)
 	rows, d := dy.Dim(0), l.Dim
-	dx := tensor.New(rows, d)
+	dx := tensor.Borrow(rows, d)
 	gain := l.Gain.W.Data()
 	dgain := make([]float64, d)
 	dbias := make([]float64, d)
@@ -110,6 +110,8 @@ func (l *LayerNorm) Backward(ctx *Context, dy *tensor.Tensor) *tensor.Tensor {
 		l.Gain.G.Data()[j] += float32(dgain[j])
 		l.Bias.G.Data()[j] += float32(dbias[j])
 	}
+	// The stash (x̂) is owned by this layer; its last use is above.
+	sv.xhat.Release()
 	return dx
 }
 

@@ -1,0 +1,174 @@
+package tensor
+
+import (
+	"math/bits"
+	"sync"
+	"sync/atomic"
+)
+
+// The arena is a size-bucketed sync.Pool-backed allocator for tensor
+// storage. Kernels draw their outputs and scratch from it, so a pipeline
+// that releases tensors when their micro-batch retires (the runtime's
+// gradient chain, the LSTM activation stash, fused-kernel scratch) reuses
+// the same buffers across micro-batches instead of churning the GC.
+//
+// Ownership rules (see DESIGN.md "Kernel execution"):
+//
+//   - Borrow hands out a tensor; whoever holds it last calls Release.
+//   - Release on a tensor that did not come from the arena (New,
+//     FromSlice, views from Reshape/Row/SliceRows) is a safe no-op, so
+//     callers may release unconditionally.
+//   - Releasing the same tensor twice panics: the second release would
+//     hand one buffer to two live borrowers and silently alias them.
+//   - A tensor that is never released is simply collected by the GC; the
+//     arena is an optimization, not a lifetime obligation.
+const (
+	// minBucketBits is the smallest bucket (64 elements = 256 B); tinier
+	// tensors round up to it.
+	minBucketBits = 6
+	// maxBucketBits is the largest bucket (16Mi elements = 64 MiB);
+	// bigger borrows fall back to plain allocation and Release becomes a
+	// no-op for them.
+	maxBucketBits = 24
+)
+
+// arena[b] pools *Tensor whose backing storage has capacity 1<<b.
+var arena [maxBucketBits + 1]sync.Pool
+
+// arenaStats tracks arena traffic with always-on atomics; BindObs mirrors
+// them into obs gauges.
+var arenaStats struct {
+	borrows     atomic.Int64
+	hits        atomic.Int64
+	releases    atomic.Int64
+	discards    atomic.Int64
+	pooledBytes atomic.Int64
+}
+
+// ArenaStats is a point-in-time snapshot of arena traffic.
+type ArenaStats struct {
+	// Borrows counts Borrow calls that were arena-eligible; Hits counts
+	// how many of those were served from pooled storage.
+	Borrows, Hits int64
+	// Releases counts buffers returned to the arena; Discards counts
+	// Release calls that were no-ops (unpooled or oversize tensors).
+	Releases, Discards int64
+	// PooledBytes is the storage currently parked in the arena.
+	PooledBytes int64
+}
+
+// HitRate returns the fraction of borrows served from pooled storage.
+func (s ArenaStats) HitRate() float64 {
+	if s.Borrows == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(s.Borrows)
+}
+
+// ReadArenaStats snapshots the arena counters (for tests and telemetry).
+func ReadArenaStats() ArenaStats {
+	return ArenaStats{
+		Borrows:     arenaStats.borrows.Load(),
+		Hits:        arenaStats.hits.Load(),
+		Releases:    arenaStats.releases.Load(),
+		Discards:    arenaStats.discards.Load(),
+		PooledBytes: arenaStats.pooledBytes.Load(),
+	}
+}
+
+// bucketFor returns the bucket index whose capacity fits n elements, or
+// -1 when n is outside the pooled range.
+func bucketFor(n int) int {
+	if n <= 0 {
+		return -1
+	}
+	b := bits.Len(uint(n - 1)) // ceil(log2 n)
+	if b < minBucketBits {
+		b = minBucketBits
+	}
+	if b > maxBucketBits {
+		return -1
+	}
+	return b
+}
+
+// Borrow returns a zero-filled tensor of the given shape from the arena.
+// It is the pooled analogue of New; pair it with Release when the tensor's
+// lifetime is known.
+func Borrow(shape ...int) *Tensor {
+	t := borrowRaw(shape...)
+	clear(t.data)
+	return t
+}
+
+// borrowRaw returns an arena tensor with UNINITIALIZED contents: every
+// element must be written before it is read. Kernels that fully overwrite
+// their output use it to skip the clear pass.
+func borrowRaw(shape ...int) *Tensor {
+	n := 1
+	for _, d := range shape {
+		if d < 0 {
+			panic("tensor: negative dimension in Borrow shape")
+		}
+		n *= d
+	}
+	bk := bucketFor(n)
+	if bk < 0 {
+		// Outside the pooled range (empty or enormous): plain allocation,
+		// Release will be a no-op.
+		return New(shape...)
+	}
+	arenaStats.borrows.Add(1)
+	if v := arena[bk].Get(); v != nil {
+		t := v.(*Tensor)
+		arenaStats.hits.Add(1)
+		arenaStats.pooledBytes.Add(-(4 << bk))
+		t.data = t.data[:n]
+		// Reuse the pooled shape slice via explicit copy: append(.., shape...)
+		// here makes escape analysis leak the caller's variadic slice, costing
+		// one heap allocation per Borrow even on a pool hit.
+		if cap(t.shape) >= len(shape) {
+			t.shape = t.shape[:len(shape)]
+		} else {
+			t.shape = make([]int, len(shape))
+		}
+		copy(t.shape, shape)
+		t.free = false
+		publishArenaGauges()
+		return t
+	}
+	publishArenaGauges()
+	sh := make([]int, len(shape))
+	copy(sh, shape)
+	return &Tensor{
+		data:   make([]float32, n, 1<<bk),
+		shape:  sh,
+		bucket: uint8(bk + 1),
+	}
+}
+
+// Release returns the tensor's storage to the arena. Only tensors handed
+// out by Borrow (equivalently: by the kernels) are pooled; releasing any
+// other tensor — New, FromSlice, or a view — is a no-op, so callers may
+// release unconditionally. Releasing the same tensor twice panics, and the
+// caller must not touch the tensor (or views of it) afterwards.
+func (t *Tensor) Release() {
+	if t == nil || t.bucket == 0 {
+		arenaStats.discards.Add(1)
+		return
+	}
+	if t.free {
+		panic("tensor: Release of an already released tensor (double release would alias two live borrows)")
+	}
+	t.free = true
+	bk := int(t.bucket) - 1
+	t.data = t.data[:cap(t.data)]
+	arena[bk].Put(t)
+	arenaStats.releases.Add(1)
+	arenaStats.pooledBytes.Add(4 << bk)
+	publishArenaGauges()
+}
+
+// Pooled reports whether the tensor's storage came from the arena (and so
+// whether Release will actually recycle it).
+func (t *Tensor) Pooled() bool { return t != nil && t.bucket != 0 }

@@ -1,0 +1,121 @@
+package tensor
+
+import "testing"
+
+func TestBorrowZeroed(t *testing.T) {
+	// Dirty a buffer, release it, and re-borrow the same bucket: Borrow
+	// must hand back zeroed storage even on a pool hit.
+	a := Borrow(8, 8)
+	a.Fill(3)
+	a.Release()
+	b := Borrow(8, 8)
+	defer b.Release()
+	for i, v := range b.Data() {
+		if v != 0 {
+			t.Fatalf("Borrow after release: element %d = %v, want 0", i, v)
+		}
+	}
+}
+
+func TestBorrowReleaseNoAliasing(t *testing.T) {
+	// A released buffer may be recycled, but never while its borrower is
+	// live: borrow A, release A, borrow B (may reuse A's storage), then
+	// borrow C — C must not alias B.
+	a := Borrow(16, 16)
+	a.Release()
+	bt := Borrow(16, 16)
+	ct := Borrow(16, 16)
+	defer bt.Release()
+	defer ct.Release()
+	if &bt.Data()[0] == &ct.Data()[0] {
+		t.Fatal("two live borrows share storage")
+	}
+	bt.Fill(1)
+	ct.Fill(2)
+	if bt.Data()[0] != 1 || ct.Data()[0] != 2 {
+		t.Fatalf("live borrows clobbered each other: %v %v", bt.Data()[0], ct.Data()[0])
+	}
+}
+
+func TestDoubleReleasePanics(t *testing.T) {
+	a := Borrow(32)
+	a.Release()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("second Release did not panic")
+		}
+	}()
+	a.Release()
+}
+
+func TestReleaseUnpooledIsNoOp(t *testing.T) {
+	// New tensors, views, and FromSlice wrappers are not arena-backed;
+	// releasing them must be safe and must not poison the pool.
+	New(4, 4).Release()
+	FromSlice([]float32{1, 2, 3, 4}, 2, 2).Release()
+	m := Borrow(4, 4)
+	m.Row(1).Release()
+	m.SliceRows(0, 2).Release()
+	m.Reshape(16).Release()
+	// The base tensor is still releasable exactly once.
+	m.Release()
+}
+
+func TestBorrowShapesAndBuckets(t *testing.T) {
+	cases := [][]int{{1}, {1, 1}, {63, 65}, {7, 11, 13}, {64}, {65}}
+	for _, shape := range cases {
+		b := Borrow(shape...)
+		if !b.Pooled() {
+			t.Errorf("Borrow%v not pooled", shape)
+		}
+		n := 1
+		for _, d := range shape {
+			n *= d
+		}
+		if b.Size() != n {
+			t.Errorf("Borrow%v size %d, want %d", shape, b.Size(), n)
+		}
+		b.Release()
+	}
+	// Zero-size and oversize tensors fall back to plain allocation.
+	if Borrow(0, 5).Pooled() {
+		t.Error("zero-size borrow should not be pooled")
+	}
+	if bucketFor(1<<maxBucketBits+1) != -1 {
+		t.Error("oversize count should be outside the pooled range")
+	}
+}
+
+func TestArenaStatsAndReuse(t *testing.T) {
+	before := ReadArenaStats()
+	a := Borrow(128, 128)
+	a.Release()
+	b := Borrow(128, 128) // same bucket: must be a hit
+	b.Release()
+	after := ReadArenaStats()
+	if after.Borrows-before.Borrows != 2 {
+		t.Fatalf("borrows delta %d, want 2", after.Borrows-before.Borrows)
+	}
+	if after.Hits <= before.Hits {
+		t.Fatal("re-borrow of a released bucket did not count as a hit")
+	}
+	if after.PooledBytes <= 0 {
+		t.Fatalf("pooled bytes %d after a release, want > 0", after.PooledBytes)
+	}
+	if hr := after.HitRate(); hr <= 0 || hr > 1 {
+		t.Fatalf("hit rate %v out of range", hr)
+	}
+}
+
+func TestCloneIsPooledAndIndependent(t *testing.T) {
+	src := FromSlice([]float32{1, 2, 3, 4}, 2, 2)
+	c := src.Clone()
+	if !c.Pooled() {
+		t.Error("Clone should draw from the arena")
+	}
+	c.Data()[0] = 99
+	if src.Data()[0] != 1 {
+		t.Error("Clone shares storage with source")
+	}
+	c.Release()
+}

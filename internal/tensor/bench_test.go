@@ -1,0 +1,62 @@
+package tensor_test
+
+import (
+	"testing"
+
+	"avgpipe/internal/tensor"
+)
+
+// Kernel benchmarks feed the bench-gate (make bench-gate): any >15% ns/op
+// or allocs/op regression against BENCH_kernels.json fails CI. The matmul
+// shapes come from the three workload cost models (transformer translation
+// FFN, AWD-LSTM embedding projection, backward weight/input gradients).
+
+func benchMatMul(b *testing.B, m, k, n int) {
+	rng := tensor.NewRNG(1)
+	a := rng.Uniform(-1, 1, m, k)
+	w := rng.Uniform(-1, 1, k, n)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out := tensor.MatMul(a, w)
+		out.Release()
+	}
+}
+
+func BenchmarkKernelMatMulLarge(b *testing.B)  { benchMatMul(b, 32, 1024, 4096) }
+func BenchmarkKernelMatMulAWDEmb(b *testing.B) { benchMatMul(b, 32, 400, 1150) }
+
+func BenchmarkKernelMatMulTransA(b *testing.B) {
+	rng := tensor.NewRNG(2)
+	x := rng.Uniform(-1, 1, 32, 512)
+	dy := rng.Uniform(-1, 1, 32, 512)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out := tensor.MatMulTransA(x, dy)
+		out.Release()
+	}
+}
+
+func BenchmarkKernelMatMulTransB(b *testing.B) {
+	rng := tensor.NewRNG(3)
+	dy := rng.Uniform(-1, 1, 32, 512)
+	w := rng.Uniform(-1, 1, 512, 512)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out := tensor.MatMulTransB(dy, w)
+		out.Release()
+	}
+}
+
+func BenchmarkKernelSoftmax(b *testing.B) {
+	rng := tensor.NewRNG(4)
+	x := rng.Uniform(-4, 4, 256, 4600)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out := tensor.SoftmaxRows(x)
+		out.Release()
+	}
+}

@@ -1,0 +1,111 @@
+package tensor_test
+
+import (
+	"testing"
+
+	"avgpipe/internal/tensor"
+)
+
+// naiveMatMul is the reference implementation: single accumulator per
+// output element, ascending p — the exact order the optimized kernels
+// promise to preserve, so comparisons are bitwise.
+func naiveMatMul(a, b *tensor.Tensor) *tensor.Tensor {
+	m, k, n := a.Dim(0), a.Dim(1), b.Dim(1)
+	out := tensor.New(m, n)
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			var s float32
+			for p := 0; p < k; p++ {
+				s += a.At(i, p) * b.At(p, j)
+			}
+			out.Set(s, i, j)
+		}
+	}
+	return out
+}
+
+func bitEqual(t *testing.T, name string, got, want *tensor.Tensor) {
+	t.Helper()
+	if !got.SameShape(want) {
+		t.Fatalf("%s: shape %v, want %v", name, got.Shape(), want.Shape())
+	}
+	for i := range want.Data() {
+		if got.Data()[i] != want.Data()[i] {
+			t.Fatalf("%s: element %d = %v, want %v (must be bit-identical)",
+				name, i, got.Data()[i], want.Data()[i])
+		}
+	}
+}
+
+// TestMatMulEdgeShapes exercises dimensions around the kernels' blocking
+// and unrolling boundaries: 1×1, sizes straddling matmulBlock (64), odd
+// sizes like 63×65, primes, and the 8-wide unroll remainder.
+func TestMatMulEdgeShapes(t *testing.T) {
+	rng := tensor.NewRNG(42)
+	shapes := []struct{ m, k, n int }{
+		{1, 1, 1},
+		{1, 64, 1},
+		{63, 65, 63},
+		{65, 63, 65},
+		{7, 13, 17}, // primes
+		{3, 129, 5}, // k just past two blocks
+		{2, 64, 9},  // n not a multiple of the 8-wide unroll
+		{5, 1, 8},
+		{8, 200, 8},
+	}
+	for _, sh := range shapes {
+		a := rng.Uniform(-2, 2, sh.m, sh.k)
+		b := rng.Uniform(-2, 2, sh.k, sh.n)
+		// Sprinkle zeros to exercise the av==0 skip.
+		a.Data()[0] = 0
+		if len(a.Data()) > 3 {
+			a.Data()[3] = 0
+		}
+		bitEqual(t, "MatMul", tensor.MatMul(a, b), naiveMatMul(a, b))
+
+		at := tensor.Transpose2D(a)
+		bitEqual(t, "MatMulTransA", tensor.MatMulTransA(at, b), naiveMatMul(a, b))
+
+		bt := tensor.Transpose2D(b)
+		got := tensor.MatMulTransB(a, bt)
+		want := naiveMatMul(a, b)
+		if !got.SameShape(want) {
+			t.Fatalf("MatMulTransB shape %v, want %v", got.Shape(), want.Shape())
+		}
+		for i := range want.Data() {
+			d := got.Data()[i] - want.Data()[i]
+			if d < -1e-4 || d > 1e-4 {
+				t.Fatalf("MatMulTransB element %d = %v, want %v", i, got.Data()[i], want.Data()[i])
+			}
+		}
+	}
+}
+
+// TestMatMulZeroDims: zero-row and zero-column operands must produce
+// empty (but correctly shaped) outputs without panicking.
+func TestMatMulZeroDims(t *testing.T) {
+	a := tensor.New(0, 5)
+	b := tensor.New(5, 3)
+	if out := tensor.MatMul(a, b); out.Dim(0) != 0 || out.Dim(1) != 3 {
+		t.Fatalf("MatMul zero-row shape %v", out.Shape())
+	}
+	c := tensor.New(4, 0)
+	d := tensor.New(0, 2)
+	if out := tensor.MatMul(c, d); out.Dim(0) != 4 || out.Dim(1) != 2 {
+		t.Fatalf("MatMul zero-k shape %v", out.Shape())
+	}
+	for _, v := range tensor.MatMul(c, d).Data() {
+		if v != 0 {
+			t.Fatal("zero-k product must be all zeros")
+		}
+	}
+	if out := tensor.MatMulTransA(tensor.New(0, 4), tensor.New(0, 3)); out.Dim(0) != 4 || out.Dim(1) != 3 {
+		t.Fatalf("MatMulTransA zero-k shape %v", out.Shape())
+	}
+	if out := tensor.MatMulTransB(tensor.New(3, 0), tensor.New(2, 0)); out.Dim(0) != 3 || out.Dim(1) != 2 {
+		t.Fatalf("MatMulTransB zero-k shape %v", out.Shape())
+	}
+	if out := tensor.SumRows(tensor.New(0, 7)); out.Dim(0) != 7 {
+		t.Fatalf("SumRows zero-row shape %v", out.Shape())
+	}
+}

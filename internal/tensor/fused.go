@@ -1,0 +1,230 @@
+package tensor
+
+import (
+	"fmt"
+	"math"
+)
+
+// Fused kernels collapse the dominant op chains of the training hot path
+// into single passes over memory:
+//
+//   - MatMulBiasAct: matmul + bias broadcast + activation (the Linear
+//     forward) — one output write instead of three tensors.
+//   - MatMulTransAAcc / SumRowsAcc (matmul.go, reduce.go): the Linear
+//     backward weight/bias accumulates without intermediate products.
+//   - LSTMCellForward / LSTMCellBackward: the four-gate LSTM cell in one
+//     pass over the gate matrix instead of a dozen elementwise kernels.
+//
+// Every fused kernel evaluates the exact same float expressions, in the
+// same order, as the composed ops it replaces — the autograd cross-check
+// and fused-equality tests in fused_test.go enforce this — so fusing
+// never changes training losses.
+
+// Act selects the activation applied by fused kernels. The formulas are
+// the same float64-math ones used by Tanh/Sigmoid/ReLU in ops.go, so a
+// fused kernel is bit-identical to the composed equivalent.
+type Act uint8
+
+const (
+	// ActIdentity applies no activation.
+	ActIdentity Act = iota
+	// ActReLU applies max(x, 0).
+	ActReLU
+	// ActTanh applies tanh via float64 math.Tanh.
+	ActTanh
+	// ActSigmoid applies the logistic function via float64 math.Exp.
+	ActSigmoid
+)
+
+func sigmoid32(x float32) float32 {
+	return float32(1 / (1 + math.Exp(-float64(x))))
+}
+
+func tanh32(x float32) float32 {
+	return float32(math.Tanh(float64(x)))
+}
+
+// MatMulBiasAct returns act(a @ b + bias) in one pass: (m,k) x (k,n) with
+// bias (n) broadcast to every row; bias may be nil to skip the add. This
+// is the fused Linear/projection forward. Bit-identical to
+// Tanh(AddRowVector(MatMul(a, b), bias)) and friends.
+func MatMulBiasAct(a, b, bias *Tensor, act Act) *Tensor {
+	if len(a.shape) != 2 || len(b.shape) != 2 || a.shape[1] != b.shape[0] {
+		panic(fmt.Sprintf("tensor: MatMulBiasAct shapes %v x %v", a.shape, b.shape))
+	}
+	m, k, n := a.shape[0], a.shape[1], b.shape[1]
+	if bias != nil && (len(bias.shape) != 1 || bias.shape[0] != n) {
+		panic(fmt.Sprintf("tensor: MatMulBiasAct bias %v for output width %d", bias.shape, n))
+	}
+	out := Borrow(m, n)
+	ParallelForCost(m, k*n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			arow := a.data[i*k : (i+1)*k]
+			orow := out.data[i*n : (i+1)*n]
+			for p0 := 0; p0 < k; p0 += matmulBlock {
+				p1 := p0 + matmulBlock
+				if p1 > k {
+					p1 = k
+				}
+				for p := p0; p < p1; p++ {
+					av := arow[p]
+					if av == 0 {
+						continue
+					}
+					axpyAdd(av, b.data[p*n:(p+1)*n], orow)
+				}
+			}
+			if bias != nil {
+				bv := bias.data
+				for j := 0; j < n; j++ {
+					orow[j] += bv[j]
+				}
+			}
+			switch act {
+			case ActIdentity:
+			case ActReLU:
+				for j := 0; j < n; j++ {
+					if orow[j] < 0 {
+						orow[j] = 0
+					}
+				}
+			case ActTanh:
+				for j := 0; j < n; j++ {
+					orow[j] = tanh32(orow[j])
+				}
+			case ActSigmoid:
+				for j := 0; j < n; j++ {
+					orow[j] = sigmoid32(orow[j])
+				}
+			}
+		}
+	})
+	return out
+}
+
+// LSTMGates is the per-step activation bundle produced by LSTMCellForward.
+// All tensors are (batch, hidden), arena-backed, and owned by the caller
+// (the LSTM layer stashes them for backward and releases them there).
+type LSTMGates struct {
+	I, F, G, O *Tensor // gate activations
+	C          *Tensor // new cell state
+	TanhC      *Tensor // tanh of the new cell state
+	H          *Tensor // new hidden state
+}
+
+// Release returns every gate buffer to the arena.
+func (g *LSTMGates) Release() {
+	g.I.Release()
+	g.F.Release()
+	g.G.Release()
+	g.O.Release()
+	g.C.Release()
+	g.TanhC.Release()
+	g.H.Release()
+}
+
+// LSTMCellForward runs one LSTM time step in a single fused pass:
+//
+//	z = xt@wx + h@wh + bias            (packed gates [input|forget|cell|output])
+//	i,f,o = sigmoid(z…), g = tanh(z…)
+//	c' = f*c + i*g;  h' = o * tanh(c')
+//
+// xt is (batch,in), h and c are (batch,hidden), wx (in,4h), wh (hidden,4h),
+// bias (4h). The gate pre-activations are computed with the standard
+// matmul kernels (same accumulation order as the composed version:
+// (xt@wx + h@wh) + bias elementwise), then one pass produces all gate
+// activations and states — bit-identical to the chain of
+// MatMul/Add/AddRowVector/splitCols/Sigmoid/Tanh/Mul ops it replaces.
+func LSTMCellForward(xt, h, c, wx, wh, bias *Tensor) LSTMGates {
+	batch, hidden := h.shape[0], h.shape[1]
+	if len(xt.shape) != 2 || xt.shape[0] != batch ||
+		len(c.shape) != 2 || c.shape[0] != batch || c.shape[1] != hidden ||
+		wx.shape[1] != 4*hidden || wh.shape[0] != hidden || wh.shape[1] != 4*hidden ||
+		len(bias.shape) != 1 || bias.shape[0] != 4*hidden {
+		panic(fmt.Sprintf("tensor: LSTMCellForward shapes xt=%v h=%v c=%v wx=%v wh=%v bias=%v",
+			xt.shape, h.shape, c.shape, wx.shape, wh.shape, bias.shape))
+	}
+	zx := MatMul(xt, wx)
+	zh := MatMul(h, wh)
+	g := LSTMGates{
+		I: borrowRaw(batch, hidden), F: borrowRaw(batch, hidden),
+		G: borrowRaw(batch, hidden), O: borrowRaw(batch, hidden),
+		C: borrowRaw(batch, hidden), TanhC: borrowRaw(batch, hidden),
+		H: borrowRaw(batch, hidden),
+	}
+	ParallelForCost(batch, 4*hidden, func(lo, hi int) {
+		for r := lo; r < hi; r++ {
+			zxr := zx.data[r*4*hidden : (r+1)*4*hidden]
+			zhr := zh.data[r*4*hidden : (r+1)*4*hidden]
+			cr := c.data[r*hidden : (r+1)*hidden]
+			base := r * hidden
+			for j := 0; j < hidden; j++ {
+				// Same order as the composed path: (zx+zh) elementwise,
+				// then the broadcast bias add.
+				iv := sigmoid32((zxr[j] + zhr[j]) + bias.data[j])
+				fv := sigmoid32((zxr[hidden+j] + zhr[hidden+j]) + bias.data[hidden+j])
+				gv := tanh32((zxr[2*hidden+j] + zhr[2*hidden+j]) + bias.data[2*hidden+j])
+				ov := sigmoid32((zxr[3*hidden+j] + zhr[3*hidden+j]) + bias.data[3*hidden+j])
+				cv := fv*cr[j] + iv*gv
+				tc := tanh32(cv)
+				g.I.data[base+j] = iv
+				g.F.data[base+j] = fv
+				g.G.data[base+j] = gv
+				g.O.data[base+j] = ov
+				g.C.data[base+j] = cv
+				g.TanhC.data[base+j] = tc
+				g.H.data[base+j] = ov * tc
+			}
+		}
+	})
+	zx.Release()
+	zh.Release()
+	return g
+}
+
+// LSTMCellBackward computes, in one fused pass, the packed-gate
+// pre-activation gradient dz (batch, 4*hidden) and the cell-state
+// gradient dcPrev (batch, hidden) flowing to the previous time step:
+//
+//	dh = dyt + dhNext
+//	do = dh * tanhC;      dc = dcNext + (dh*o) * (1 - tanhC²)
+//	di = dc*g; df = dc*cPrev; dg = dc*i; dcPrev = dc*f
+//	dz = [di*i*(1-i) | df*f*(1-f) | dg*(1-g²) | do*o*(1-o)]
+//
+// Each expression is evaluated in exactly the order shown, matching the
+// chain of elementwise ops in the composed backward, so gradients are
+// bit-identical. The caller finishes the step with matmuls over dz
+// (weight-gradient accumulates, dx, dhPrev). Both outputs are
+// arena-backed and owned by the caller.
+func LSTMCellBackward(dyt, dhNext, dcNext, cPrev *Tensor, g LSTMGates) (dz, dcPrev *Tensor) {
+	batch, hidden := g.I.shape[0], g.I.shape[1]
+	for _, t := range []*Tensor{dyt, dhNext, dcNext, cPrev} {
+		if len(t.shape) != 2 || t.shape[0] != batch || t.shape[1] != hidden {
+			panic(fmt.Sprintf("tensor: LSTMCellBackward carry shape %v, want [%d %d]", t.shape, batch, hidden))
+		}
+	}
+	dz = borrowRaw(batch, 4*hidden)
+	dcPrev = borrowRaw(batch, hidden)
+	ParallelForCost(batch, 4*hidden, func(lo, hi int) {
+		for r := lo; r < hi; r++ {
+			base := r * hidden
+			dzr := dz.data[r*4*hidden : (r+1)*4*hidden]
+			for j := 0; j < hidden; j++ {
+				iv := g.I.data[base+j]
+				fv := g.F.data[base+j]
+				gv := g.G.data[base+j]
+				ov := g.O.data[base+j]
+				tc := g.TanhC.data[base+j]
+				dh := dyt.data[base+j] + dhNext.data[base+j]
+				do := dh * tc
+				dc := dcNext.data[base+j] + (dh*ov)*(1-tc*tc)
+				dzr[j] = (dc * gv) * (iv * (1 - iv))
+				dzr[hidden+j] = (dc * cPrev.data[base+j]) * (fv * (1 - fv))
+				dzr[2*hidden+j] = (dc * iv) * (1 - gv*gv)
+				dzr[3*hidden+j] = do * (ov * (1 - ov))
+				dcPrev.data[base+j] = dc * fv
+			}
+		}
+	})
+	return dz, dcPrev
+}

@@ -6,17 +6,226 @@ import "fmt"
 // float32s per row segment keeps three blocks comfortably inside L1.
 const matmulBlock = 64
 
+// Determinism contract for every matmul variant: output element (i,j) is
+// the sum over p, in ascending p order, into a single accumulator. The
+// optimizations below — unrolling across j (independent output elements),
+// cache blocking over p (which only groups the same ascending-p visits),
+// and row-parallelism — never reorder the per-element accumulation, so
+// results are bit-identical to the naive triple loop.
+
+// axpyAdd computes o[j] += av * b[j] for all j, unrolled 8-wide. Each
+// element still receives exactly one fused add in index order, so this is
+// bit-identical to the plain loop; the full slice expressions let the
+// compiler drop bounds checks inside the unrolled body.
+func axpyAdd(av float32, b, o []float32) {
+	n := len(o)
+	b = b[:n]
+	j := 0
+	for ; j+8 <= n; j += 8 {
+		bo := b[j : j+8 : j+8]
+		oo := o[j : j+8 : j+8]
+		oo[0] += av * bo[0]
+		oo[1] += av * bo[1]
+		oo[2] += av * bo[2]
+		oo[3] += av * bo[3]
+		oo[4] += av * bo[4]
+		oo[5] += av * bo[5]
+		oo[6] += av * bo[6]
+		oo[7] += av * bo[7]
+	}
+	for ; j < n; j++ {
+		o[j] += av * b[j]
+	}
+}
+
+// axpy4Add fuses four consecutive k-steps into one pass over the output
+// row: o[j] = (((o[j] + a0*b0[j]) + a1*b1[j]) + a2*b2[j]) + a3*b3[j].
+// That is the exact operation sequence of four successive axpyAdd calls —
+// one accumulator per element, ascending k — so it is bit-identical while
+// reading and writing the output row a quarter as often.
+func axpy4Add(a0, a1, a2, a3 float32, b0, b1, b2, b3, o []float32) {
+	n := len(o)
+	b0 = b0[:n]
+	b1 = b1[:n]
+	b2 = b2[:n]
+	b3 = b3[:n]
+	for j := 0; j < n; j++ {
+		s := o[j] + a0*b0[j]
+		s += a1 * b1[j]
+		s += a2 * b2[j]
+		s += a3 * b3[j]
+		o[j] = s
+	}
+}
+
+// dotSeq computes the in-order dot product of a and b with a single
+// accumulator, unrolled 4-wide purely to amortize loop overhead: the adds
+// into sum stay in ascending index order, so rounding matches the plain
+// loop exactly.
+func dotSeq(a, b []float32) float32 {
+	n := len(a)
+	b = b[:n]
+	var sum float32
+	p := 0
+	for ; p+4 <= n; p += 4 {
+		ao := a[p : p+4 : p+4]
+		bo := b[p : p+4 : p+4]
+		sum += ao[0] * bo[0]
+		sum += ao[1] * bo[1]
+		sum += ao[2] * bo[2]
+		sum += ao[3] * bo[3]
+	}
+	for ; p < n; p++ {
+		sum += a[p] * b[p]
+	}
+	return sum
+}
+
+// dot4Seq computes four in-order dot products of a against b0..b3 in one
+// pass, loading each a element once. Every accumulator is still a single
+// float32 summed in ascending index order, so each result is bit-identical
+// to a separate dotSeq call.
+func dot4Seq(a, b0, b1, b2, b3 []float32) (s0, s1, s2, s3 float32) {
+	n := len(a)
+	b0 = b0[:n]
+	b1 = b1[:n]
+	b2 = b2[:n]
+	b3 = b3[:n]
+	for p := 0; p < n; p++ {
+		av := a[p]
+		s0 += av * b0[p]
+		s1 += av * b1[p]
+		s2 += av * b2[p]
+		s3 += av * b3[p]
+	}
+	return
+}
+
+// axpy4Add2 is axpy4Add over two independent output rows at once, sharing
+// the four b-row loads between them. Each output element's accumulation
+// chain is the same as in axpy4Add, so it remains bit-identical; the
+// pairing only halves the number of passes over the B panel.
+func axpy4Add2(x0, x1, x2, x3, y0, y1, y2, y3 float32, b0, b1, b2, b3, ox, oy []float32) {
+	n := len(ox)
+	b0 = b0[:n]
+	b1 = b1[:n]
+	b2 = b2[:n]
+	b3 = b3[:n]
+	oy = oy[:n]
+	for j := 0; j < n; j++ {
+		bv0, bv1, bv2, bv3 := b0[j], b1[j], b2[j], b3[j]
+		s := ox[j] + x0*bv0
+		s += x1 * bv1
+		s += x2 * bv2
+		s += x3 * bv3
+		ox[j] = s
+		t := oy[j] + y0*bv0
+		t += y1 * bv1
+		t += y2 * bv2
+		t += y3 * bv3
+		oy[j] = t
+	}
+}
+
+// axpyRange runs the axpy accumulation for k-steps [p0,p1), taking the
+// fused 4-step path whenever the next four coefficients are all non-zero
+// and falling back to single steps (with the av==0 skip) otherwise, which
+// preserves the skip's semantics exactly.
+func axpyRange(arow []float32, bdata []float32, n int, p0, p1 int, orow []float32) {
+	p := p0
+	for ; p+4 <= p1; p += 4 {
+		a0, a1, a2, a3 := arow[p], arow[p+1], arow[p+2], arow[p+3]
+		if a0 != 0 && a1 != 0 && a2 != 0 && a3 != 0 {
+			axpy4Add(a0, a1, a2, a3,
+				bdata[p*n:(p+1)*n], bdata[(p+1)*n:(p+2)*n],
+				bdata[(p+2)*n:(p+3)*n], bdata[(p+3)*n:(p+4)*n], orow)
+			continue
+		}
+		for q := p; q < p+4; q++ {
+			if av := arow[q]; av != 0 {
+				axpyAdd(av, bdata[q*n:(q+1)*n], orow)
+			}
+		}
+	}
+	for ; p < p1; p++ {
+		if av := arow[p]; av != 0 {
+			axpyAdd(av, bdata[p*n:(p+1)*n], orow)
+		}
+	}
+}
+
+// axpyRange2 is axpyRange over two output rows, pairing them through
+// axpy4Add2 when all eight coefficients are non-zero and degrading to the
+// single-row path (which keeps the av==0 skip exact) otherwise.
+func axpyRange2(ar0, ar1 []float32, bdata []float32, n, p0, p1 int, o0, o1 []float32) {
+	p := p0
+	for ; p+4 <= p1; p += 4 {
+		x0, x1, x2, x3 := ar0[p], ar0[p+1], ar0[p+2], ar0[p+3]
+		y0, y1, y2, y3 := ar1[p], ar1[p+1], ar1[p+2], ar1[p+3]
+		if x0 != 0 && x1 != 0 && x2 != 0 && x3 != 0 &&
+			y0 != 0 && y1 != 0 && y2 != 0 && y3 != 0 {
+			axpy4Add2(x0, x1, x2, x3, y0, y1, y2, y3,
+				bdata[p*n:(p+1)*n], bdata[(p+1)*n:(p+2)*n],
+				bdata[(p+2)*n:(p+3)*n], bdata[(p+3)*n:(p+4)*n], o0, o1)
+			continue
+		}
+		for q := p; q < p+4; q++ {
+			if av := ar0[q]; av != 0 {
+				axpyAdd(av, bdata[q*n:(q+1)*n], o0)
+			}
+		}
+		for q := p; q < p+4; q++ {
+			if av := ar1[q]; av != 0 {
+				axpyAdd(av, bdata[q*n:(q+1)*n], o1)
+			}
+		}
+	}
+	for ; p < p1; p++ {
+		if av := ar0[p]; av != 0 {
+			axpyAdd(av, bdata[p*n:(p+1)*n], o0)
+		}
+		if av := ar1[p]; av != 0 {
+			axpyAdd(av, bdata[p*n:(p+1)*n], o1)
+		}
+	}
+}
+
 // MatMul returns a @ b for 2-D tensors: (m,k) x (k,n) -> (m,n).
 // Rows of the output are computed in parallel; the inner loops are blocked
-// over k so each B panel is reused while hot in cache.
+// over k so each B panel is reused while hot in cache. The result is drawn
+// from the buffer arena; Release it when its lifetime is known.
 func MatMul(a, b *Tensor) *Tensor {
 	if len(a.shape) != 2 || len(b.shape) != 2 || a.shape[1] != b.shape[0] {
 		panic(fmt.Sprintf("tensor: MatMul shapes %v x %v", a.shape, b.shape))
 	}
+	out := Borrow(a.shape[0], b.shape[1])
+	matMulAccInto(out, a, b)
+	return out
+}
+
+// matMulAccInto accumulates a @ b into out (out += a@b elementwise). out
+// must be zeroed for a plain product.
+func matMulAccInto(out, a, b *Tensor) {
 	m, k, n := a.shape[0], a.shape[1], b.shape[1]
-	out := New(m, n)
-	ParallelFor(m, func(lo, hi int) {
-		for i := lo; i < hi; i++ {
+	ParallelForCost(m, k*n, func(lo, hi int) {
+		// Rows are paired so each B panel pass feeds two output rows; a
+		// leftover odd row takes the single-row path. Pairing never changes
+		// any element's accumulation order, only B-row reuse.
+		i := lo
+		for ; i+2 <= hi; i += 2 {
+			ar0 := a.data[i*k : (i+1)*k]
+			ar1 := a.data[(i+1)*k : (i+2)*k]
+			o0 := out.data[i*n : (i+1)*n]
+			o1 := out.data[(i+1)*n : (i+2)*n]
+			for p0 := 0; p0 < k; p0 += matmulBlock {
+				p1 := p0 + matmulBlock
+				if p1 > k {
+					p1 = k
+				}
+				axpyRange2(ar0, ar1, b.data, n, p0, p1, o0, o1)
+			}
+		}
+		for ; i < hi; i++ {
 			arow := a.data[i*k : (i+1)*k]
 			orow := out.data[i*n : (i+1)*n]
 			for p0 := 0; p0 < k; p0 += matmulBlock {
@@ -24,81 +233,130 @@ func MatMul(a, b *Tensor) *Tensor {
 				if p1 > k {
 					p1 = k
 				}
-				for p := p0; p < p1; p++ {
-					av := arow[p]
-					if av == 0 {
-						continue
-					}
-					brow := b.data[p*n : (p+1)*n]
-					for j := 0; j < n; j++ {
-						orow[j] += av * brow[j]
-					}
-				}
+				axpyRange(arow, b.data, n, p0, p1, orow)
 			}
 		}
 	})
-	return out
 }
 
 // MatMulTransB returns a @ bᵀ: (m,k) x (n,k) -> (m,n). Used by backward
-// passes to avoid materializing transposes.
+// passes to avoid materializing transposes. The result is arena-backed.
 func MatMulTransB(a, b *Tensor) *Tensor {
+	checkTransB(a, b)
+	out := borrowRaw(a.shape[0], b.shape[0])
+	matMulTransBInto(out, a, b)
+	return out
+}
+
+// MatMulTransBInto computes dst = a @ bᵀ, fully overwriting dst — the
+// no-allocation variant for writing straight into a pre-sliced output
+// (e.g. one time step's rows of a sequence gradient). dst must be (m,n)
+// for a (m,k) and b (n,k).
+func MatMulTransBInto(dst, a, b *Tensor) {
+	checkTransB(a, b)
+	if len(dst.shape) != 2 || dst.shape[0] != a.shape[0] || dst.shape[1] != b.shape[0] {
+		panic(fmt.Sprintf("tensor: MatMulTransBInto dst %v for %v x %vᵀ", dst.shape, a.shape, b.shape))
+	}
+	matMulTransBInto(dst, a, b)
+}
+
+func checkTransB(a, b *Tensor) {
 	if len(a.shape) != 2 || len(b.shape) != 2 || a.shape[1] != b.shape[1] {
 		panic(fmt.Sprintf("tensor: MatMulTransB shapes %v x %vᵀ", a.shape, b.shape))
 	}
+}
+
+func matMulTransBInto(out, a, b *Tensor) {
 	m, k, n := a.shape[0], a.shape[1], b.shape[0]
-	out := New(m, n)
-	ParallelFor(m, func(lo, hi int) {
+	ParallelForCost(m, k*n, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			arow := a.data[i*k : (i+1)*k]
 			orow := out.data[i*n : (i+1)*n]
-			for j := 0; j < n; j++ {
-				brow := b.data[j*k : (j+1)*k]
-				var sum float32
-				for p := 0; p < k; p++ {
-					sum += arow[p] * brow[p]
-				}
-				orow[j] = sum
+			j := 0
+			for ; j+4 <= n; j += 4 {
+				orow[j], orow[j+1], orow[j+2], orow[j+3] = dot4Seq(arow,
+					b.data[j*k:(j+1)*k], b.data[(j+1)*k:(j+2)*k],
+					b.data[(j+2)*k:(j+3)*k], b.data[(j+3)*k:(j+4)*k])
+			}
+			for ; j < n; j++ {
+				orow[j] = dotSeq(arow, b.data[j*k:(j+1)*k])
 			}
 		}
 	})
-	return out
 }
 
 // MatMulTransA returns aᵀ @ b: (k,m) x (k,n) -> (m,n). Used to accumulate
-// weight gradients (xᵀ @ dy) without materializing transposes.
+// weight gradients (xᵀ @ dy) without materializing transposes. The result
+// is arena-backed.
 func MatMulTransA(a, b *Tensor) *Tensor {
+	checkTransA(a, b)
+	out := Borrow(a.shape[1], b.shape[1])
+	matMulTransAAccInto(out, a, b)
+	return out
+}
+
+// MatMulTransAAcc sets dst += aᵀ @ b without allocating the product — the
+// fused weight-gradient accumulate. To keep results bit-identical to
+// dst.AddInPlace(MatMulTransA(a, b)), the product is formed in zeroed
+// arena scratch first (accumulating directly into a non-zero dst would
+// change each element's rounding sequence) and added in one pass.
+func MatMulTransAAcc(dst, a, b *Tensor) {
+	checkTransA(a, b)
+	if len(dst.shape) != 2 || dst.shape[0] != a.shape[1] || dst.shape[1] != b.shape[1] {
+		panic(fmt.Sprintf("tensor: MatMulTransAAcc dst %v for %vᵀ x %v", dst.shape, a.shape, b.shape))
+	}
+	scratch := Borrow(dst.shape[0], dst.shape[1])
+	matMulTransAAccInto(scratch, a, b)
+	dst.AddInPlace(scratch)
+	scratch.Release()
+}
+
+func checkTransA(a, b *Tensor) {
 	if len(a.shape) != 2 || len(b.shape) != 2 || a.shape[0] != b.shape[0] {
 		panic(fmt.Sprintf("tensor: MatMulTransA shapes %vᵀ x %v", a.shape, b.shape))
 	}
+}
+
+// matMulTransAAccInto accumulates aᵀ @ b into out; out must be zeroed for
+// a plain product.
+func matMulTransAAccInto(out, a, b *Tensor) {
 	k, m, n := a.shape[0], a.shape[1], b.shape[1]
-	out := New(m, n)
-	ParallelFor(m, func(lo, hi int) {
+	ParallelForCost(m, k*n, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			orow := out.data[i*n : (i+1)*n]
-			for p := 0; p < k; p++ {
-				av := a.data[p*m+i]
-				if av == 0 {
+			p := 0
+			for ; p+4 <= k; p += 4 {
+				a0, a1 := a.data[p*m+i], a.data[(p+1)*m+i]
+				a2, a3 := a.data[(p+2)*m+i], a.data[(p+3)*m+i]
+				if a0 != 0 && a1 != 0 && a2 != 0 && a3 != 0 {
+					axpy4Add(a0, a1, a2, a3,
+						b.data[p*n:(p+1)*n], b.data[(p+1)*n:(p+2)*n],
+						b.data[(p+2)*n:(p+3)*n], b.data[(p+3)*n:(p+4)*n], orow)
 					continue
 				}
-				brow := b.data[p*n : (p+1)*n]
-				for j := 0; j < n; j++ {
-					orow[j] += av * brow[j]
+				for q := p; q < p+4; q++ {
+					if av := a.data[q*m+i]; av != 0 {
+						axpyAdd(av, b.data[q*n:(q+1)*n], orow)
+					}
+				}
+			}
+			for ; p < k; p++ {
+				if av := a.data[p*m+i]; av != 0 {
+					axpyAdd(av, b.data[p*n:(p+1)*n], orow)
 				}
 			}
 		}
 	})
-	return out
 }
 
-// Transpose2D returns the transpose of a 2-D tensor.
+// Transpose2D returns the transpose of a 2-D tensor (arena-backed).
 func Transpose2D(t *Tensor) *Tensor {
 	if len(t.shape) != 2 {
 		panic("tensor: Transpose2D requires a 2-D tensor")
 	}
 	r, c := t.shape[0], t.shape[1]
-	out := New(c, r)
-	ParallelFor(r, func(lo, hi int) {
+	out := borrowRaw(c, r)
+	ParallelForCost(r, c, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			for j := 0; j < c; j++ {
 				out.data[j*r+i] = t.data[i*c+j]
@@ -114,15 +372,10 @@ func MatVec(m, v *Tensor) *Tensor {
 		panic(fmt.Sprintf("tensor: MatVec shapes %v x %v", m.shape, v.shape))
 	}
 	r, c := m.shape[0], m.shape[1]
-	out := New(r)
-	ParallelFor(r, func(lo, hi int) {
+	out := borrowRaw(r)
+	ParallelForCost(r, c, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
-			row := m.data[i*c : (i+1)*c]
-			var sum float32
-			for j := 0; j < c; j++ {
-				sum += row[j] * v.data[j]
-			}
-			out.data[i] = sum
+			out.data[i] = dotSeq(m.data[i*c:(i+1)*c], v.data)
 		}
 	})
 	return out
@@ -134,8 +387,8 @@ func Outer(a, b *Tensor) *Tensor {
 		panic("tensor: Outer requires 1-D tensors")
 	}
 	m, n := a.shape[0], b.shape[0]
-	out := New(m, n)
-	ParallelFor(m, func(lo, hi int) {
+	out := borrowRaw(m, n)
+	ParallelForCost(m, n, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			av := a.data[i]
 			row := out.data[i*n : (i+1)*n]

@@ -1,0 +1,61 @@
+package tensor
+
+import (
+	"sync/atomic"
+
+	"avgpipe/internal/obs"
+)
+
+// The obs bridge mirrors arena and worker-pool state into metric gauges.
+// Unbound (the default), publishing is a single atomic load of a nil
+// pointer; once BindObs is called — the runtime does it in
+// Pipeline.SetObs — the /metrics endpoint shows whether buffer reuse is
+// actually happening.
+
+type obsHandles struct {
+	pooledBytes *obs.Gauge
+	hitRate     *obs.Gauge
+	workersBusy *obs.Gauge
+}
+
+var obsBridge atomic.Pointer[obsHandles]
+
+// BindObs registers the tensor arena and worker-pool gauges in reg and
+// keeps them updated from the kernel hot path. Passing nil binds the
+// process-wide obs.Default() registry. Safe to call more than once; the
+// latest registry wins.
+func BindObs(reg *obs.Registry) {
+	if reg == nil {
+		reg = obs.Default()
+	}
+	h := &obsHandles{
+		pooledBytes: reg.Gauge("avgpipe_tensor_arena_pooled_bytes",
+			"Bytes of tensor storage currently parked in the buffer arena."),
+		hitRate: reg.Gauge("avgpipe_tensor_arena_hit_rate",
+			"Fraction of arena borrows served from pooled storage."),
+		workersBusy: reg.Gauge("avgpipe_tensor_pool_workers_busy",
+			"Kernel worker-pool goroutines currently executing chunks."),
+	}
+	obsBridge.Store(h)
+	publishArenaGauges()
+	publishPoolGauges()
+}
+
+func publishArenaGauges() {
+	h := obsBridge.Load()
+	if h == nil {
+		return
+	}
+	h.pooledBytes.Set(float64(arenaStats.pooledBytes.Load()))
+	if b := arenaStats.borrows.Load(); b > 0 {
+		h.hitRate.Set(float64(arenaStats.hits.Load()) / float64(b))
+	}
+}
+
+func publishPoolGauges() {
+	h := obsBridge.Load()
+	if h == nil {
+		return
+	}
+	h.workersBusy.Set(float64(poolBusy.Load()))
+}

@@ -15,7 +15,7 @@ func checkSameShape(op string, a, b *Tensor) {
 // Add returns a + b elementwise.
 func Add(a, b *Tensor) *Tensor {
 	checkSameShape("Add", a, b)
-	out := New(a.shape...)
+	out := borrowRaw(a.shape...)
 	ParallelFor(len(a.data), func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			out.data[i] = a.data[i] + b.data[i]
@@ -27,7 +27,7 @@ func Add(a, b *Tensor) *Tensor {
 // Sub returns a - b elementwise.
 func Sub(a, b *Tensor) *Tensor {
 	checkSameShape("Sub", a, b)
-	out := New(a.shape...)
+	out := borrowRaw(a.shape...)
 	ParallelFor(len(a.data), func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			out.data[i] = a.data[i] - b.data[i]
@@ -39,7 +39,7 @@ func Sub(a, b *Tensor) *Tensor {
 // Mul returns the elementwise (Hadamard) product a * b.
 func Mul(a, b *Tensor) *Tensor {
 	checkSameShape("Mul", a, b)
-	out := New(a.shape...)
+	out := borrowRaw(a.shape...)
 	ParallelFor(len(a.data), func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			out.data[i] = a.data[i] * b.data[i]
@@ -51,7 +51,7 @@ func Mul(a, b *Tensor) *Tensor {
 // Div returns a / b elementwise.
 func Div(a, b *Tensor) *Tensor {
 	checkSameShape("Div", a, b)
-	out := New(a.shape...)
+	out := borrowRaw(a.shape...)
 	ParallelFor(len(a.data), func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			out.data[i] = a.data[i] / b.data[i]
@@ -117,7 +117,7 @@ func (t *Tensor) ScaleInPlace(alpha float32) *Tensor {
 
 // Scale returns alpha * t as a new tensor.
 func Scale(alpha float32, t *Tensor) *Tensor {
-	out := New(t.shape...)
+	out := borrowRaw(t.shape...)
 	ParallelFor(len(t.data), func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			out.data[i] = alpha * t.data[i]
@@ -128,7 +128,7 @@ func Scale(alpha float32, t *Tensor) *Tensor {
 
 // AddScalar returns t + c elementwise.
 func AddScalar(t *Tensor, c float32) *Tensor {
-	out := New(t.shape...)
+	out := borrowRaw(t.shape...)
 	ParallelFor(len(t.data), func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			out.data[i] = t.data[i] + c
@@ -142,7 +142,7 @@ func Neg(t *Tensor) *Tensor { return Scale(-1, t) }
 
 // Apply returns f mapped over every element of t.
 func Apply(t *Tensor, f func(float32) float32) *Tensor {
-	out := New(t.shape...)
+	out := borrowRaw(t.shape...)
 	ParallelFor(len(t.data), func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			out.data[i] = f(t.data[i])
@@ -195,7 +195,7 @@ func AddRowVector(m, v *Tensor) *Tensor {
 		panic(fmt.Sprintf("tensor: AddRowVector shapes %v, %v", m.shape, v.shape))
 	}
 	rows, cols := m.shape[0], m.shape[1]
-	out := New(rows, cols)
+	out := borrowRaw(rows, cols)
 	ParallelFor(rows, func(lo, hi int) {
 		for r := lo; r < hi; r++ {
 			mr := m.data[r*cols : (r+1)*cols]
@@ -214,7 +214,7 @@ func MulRowVector(m, v *Tensor) *Tensor {
 		panic(fmt.Sprintf("tensor: MulRowVector shapes %v, %v", m.shape, v.shape))
 	}
 	rows, cols := m.shape[0], m.shape[1]
-	out := New(rows, cols)
+	out := borrowRaw(rows, cols)
 	ParallelFor(rows, func(lo, hi int) {
 		for r := lo; r < hi; r++ {
 			mr := m.data[r*cols : (r+1)*cols]

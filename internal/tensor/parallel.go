@@ -3,43 +3,142 @@ package tensor
 import (
 	"runtime"
 	"sync"
+	"sync/atomic"
 )
 
-// parallelThreshold is the minimum element count before a kernel fans out
-// across goroutines; below it the scheduling overhead dominates.
+// Kernels fan work out to a persistent pool of worker goroutines instead
+// of spawning goroutines per call: a ParallelFor builds one task whose
+// chunked index ranges are claimed with an atomic counter, invites idle
+// workers with non-blocking sends, and then drains chunks itself. The
+// submitter always makes progress on its own task, so nested ParallelFor
+// (attention runs matmuls inside a ParallelFor over the batch) cannot
+// deadlock, and a saturated pool degrades to the caller running serially
+// rather than queueing behind other tasks.
+
+// parallelThreshold is the minimum amount of work (iterations × the
+// caller's per-iteration cost estimate) before a kernel fans out; below
+// it, scheduling overhead dominates and the body runs serially on the
+// caller's goroutine.
 const parallelThreshold = 1 << 14
 
-// maxWorkers caps kernel parallelism at the machine's core count.
+// chunksPerWorker oversubscribes chunks relative to workers so a worker
+// that finishes early claims remaining ranges instead of idling —
+// work-stealing-ish balance without per-worker deques.
+const chunksPerWorker = 4
+
+// maxWorkers is the pool size, fixed at first use to GOMAXPROCS.
 var maxWorkers = runtime.GOMAXPROCS(0)
 
-// ParallelFor splits [0, n) into contiguous chunks and runs body on each
-// chunk concurrently. body receives the half-open range [lo, hi). It is the
-// single parallelism primitive for every tensor kernel, keeping work
-// distribution and thresholds in one place.
+// poolTask is one ParallelFor invocation. Workers (and the submitter)
+// atomically claim chunk indices until the range is exhausted. Tasks are
+// freshly allocated per invocation: a lagging worker may still hold a
+// pointer to a finished task, so recycling them through a pool would race.
+type poolTask struct {
+	body  func(lo, hi int)
+	n     int
+	chunk int
+	next  atomic.Int64
+	wg    sync.WaitGroup
+}
+
+// run claims and executes chunks until none remain. Stale tasks (already
+// fully claimed by the time a worker dequeues them) fall through
+// immediately.
+func (t *poolTask) run() {
+	for {
+		c := t.next.Add(1) - 1
+		lo := int(c) * t.chunk
+		if lo >= t.n {
+			return
+		}
+		hi := lo + t.chunk
+		if hi > t.n {
+			hi = t.n
+		}
+		t.body(lo, hi)
+		t.wg.Done()
+	}
+}
+
+var (
+	poolOnce sync.Once
+	poolCh   chan *poolTask
+	// poolBusy counts pool goroutines currently executing a task; the obs
+	// bridge mirrors it into the workers-busy gauge.
+	poolBusy atomic.Int64
+)
+
+// startPool lazily launches the worker goroutines. maxWorkers-1 of them:
+// the submitting goroutine always acts as the final worker on its own
+// task.
+func startPool() {
+	poolCh = make(chan *poolTask, 4*maxWorkers)
+	for i := 0; i < maxWorkers-1; i++ {
+		go func() {
+			for t := range poolCh {
+				poolBusy.Add(1)
+				publishPoolGauges()
+				t.run()
+				poolBusy.Add(-1)
+				publishPoolGauges()
+			}
+		}()
+	}
+}
+
+// PoolWorkersBusy reports how many pool goroutines are currently running
+// kernel chunks (excluding submitters working on their own tasks).
+func PoolWorkersBusy() int { return int(poolBusy.Load()) }
+
+// ParallelFor splits [0, n) into chunks executed by the worker pool, with
+// each iteration costing roughly one unit of work. The ranges partition
+// [0, n) exactly; bodies on different ranges run concurrently, so they
+// must only write disjoint output. Falls back to a single serial call for
+// small n.
 func ParallelFor(n int, body func(lo, hi int)) {
+	ParallelForCost(n, 1, body)
+}
+
+// ParallelForCost is ParallelFor with an explicit per-iteration cost
+// estimate, for kernels whose iterations are expensive (a matmul row
+// costs k·n flops, a layernorm row costs the feature dimension). The
+// serial-versus-parallel decision uses n×costPerIter, so heavy loops with
+// few iterations still fan out. Chunking is by iteration count only —
+// per-element results are identical to the serial path regardless of
+// cost, worker count, or chunk boundaries.
+func ParallelForCost(n, costPerIter int, body func(lo, hi int)) {
 	if n <= 0 {
 		return
 	}
-	workers := maxWorkers
-	if n < parallelThreshold || workers <= 1 {
+	if costPerIter < 1 {
+		costPerIter = 1
+	}
+	if maxWorkers <= 1 || n == 1 || n*costPerIter < parallelThreshold {
 		body(0, n)
 		return
 	}
-	if workers > n {
-		workers = n
+	poolOnce.Do(startPool)
+	chunks := maxWorkers * chunksPerWorker
+	if chunks > n {
+		chunks = n
 	}
-	chunk := (n + workers - 1) / workers
-	var wg sync.WaitGroup
-	for lo := 0; lo < n; lo += chunk {
-		hi := lo + chunk
-		if hi > n {
-			hi = n
+	chunk := (n + chunks - 1) / chunks
+	nchunks := (n + chunk - 1) / chunk
+	t := &poolTask{body: body, n: n, chunk: chunk}
+	t.wg.Add(nchunks)
+	// Invite up to nchunks-1 helpers; non-blocking sends mean a busy pool
+	// simply leaves more chunks for the submitter.
+	helpers := nchunks - 1
+	if helpers > maxWorkers-1 {
+		helpers = maxWorkers - 1
+	}
+	for i := 0; i < helpers; i++ {
+		select {
+		case poolCh <- t:
+		default:
+			i = helpers
 		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			body(lo, hi)
-		}(lo, hi)
 	}
-	wg.Wait()
+	t.run()
+	t.wg.Wait()
 }

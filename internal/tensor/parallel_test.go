@@ -1,0 +1,99 @@
+package tensor
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestParallelForCoversRangeExactlyOnce(t *testing.T) {
+	for _, n := range []int{0, 1, 2, 63, 1 << 14, 1<<14 + 1, 100000} {
+		var mu sync.Mutex
+		seen := make([]int, n)
+		ParallelFor(n, func(lo, hi int) {
+			if lo < 0 || hi > n || lo >= hi {
+				t.Errorf("n=%d: bad range [%d,%d)", n, lo, hi)
+			}
+			mu.Lock()
+			for i := lo; i < hi; i++ {
+				seen[i]++
+			}
+			mu.Unlock()
+		})
+		for i, c := range seen {
+			if c != 1 {
+				t.Fatalf("n=%d: index %d visited %d times", n, i, c)
+			}
+		}
+	}
+}
+
+func TestParallelForCostFansOutSmallN(t *testing.T) {
+	// 64 iterations is far below the element threshold, but with a heavy
+	// per-iteration cost the loop must still be eligible for fan-out: the
+	// observable contract is that the whole range is covered.
+	var sum atomic.Int64
+	ParallelForCost(64, 1<<12, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			sum.Add(int64(i))
+		}
+	})
+	if got := sum.Load(); got != 64*63/2 {
+		t.Fatalf("sum %d, want %d", got, 64*63/2)
+	}
+}
+
+func TestParallelForNested(t *testing.T) {
+	// Attention runs kernels inside a ParallelFor over the batch; the
+	// submitter-participates design must not deadlock or drop ranges.
+	n := 1 << 15
+	out := make([]int32, n)
+	ParallelFor(8, func(blo, bhi int) {
+		for b := blo; b < bhi; b++ {
+			ParallelFor(n, func(lo, hi int) {
+				for i := lo; i < hi; i++ {
+					atomic.AddInt32(&out[i], 1)
+				}
+			})
+		}
+	})
+	for i, c := range out {
+		if c != 8 {
+			t.Fatalf("index %d visited %d times, want 8", i, c)
+		}
+	}
+}
+
+func TestParallelForConcurrentSubmitters(t *testing.T) {
+	// Many goroutines submitting tasks at once (the pipeline's stage
+	// workers) must each see their own full range. Run under -race in the
+	// Makefile race tier.
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			n := 1 << 15
+			local := make([]int32, n)
+			ParallelFor(n, func(lo, hi int) {
+				for i := lo; i < hi; i++ {
+					local[i]++
+				}
+			})
+			for i, c := range local {
+				if c != 1 {
+					t.Errorf("index %d visited %d times", i, c)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func TestPoolWorkersBusyNonNegative(t *testing.T) {
+	ParallelFor(1<<15, func(lo, hi int) {})
+	if PoolWorkersBusy() < 0 {
+		t.Fatalf("busy workers %d < 0", PoolWorkersBusy())
+	}
+}

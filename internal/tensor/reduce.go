@@ -73,20 +73,39 @@ func Dot(a, b *Tensor) float64 {
 }
 
 // SumRows returns the column-wise sum of a 2-D tensor: (r,c) -> (c).
-// This is the bias-gradient reduction.
+// This is the bias-gradient reduction. Rows are accumulated in ascending
+// order (sequentially) so the reduction is deterministic.
 func SumRows(t *Tensor) *Tensor {
 	if len(t.shape) != 2 {
 		panic("tensor: SumRows requires a 2-D tensor")
 	}
-	r, c := t.shape[0], t.shape[1]
-	out := New(c)
-	for i := 0; i < r; i++ {
-		row := t.data[i*c : (i+1)*c]
-		for j := 0; j < c; j++ {
-			out.data[j] += row[j]
-		}
-	}
+	out := Borrow(t.shape[1])
+	sumRowsAccInto(out, t)
 	return out
+}
+
+// SumRowsAcc sets dst += column-wise sum of t without allocating the
+// intermediate — the fused bias-gradient accumulate. The column sums are
+// formed in zeroed arena scratch first so each element's rounding
+// sequence matches dst.AddInPlace(SumRows(t)) exactly.
+func SumRowsAcc(dst, t *Tensor) {
+	if len(t.shape) != 2 {
+		panic("tensor: SumRowsAcc requires a 2-D tensor")
+	}
+	if len(dst.shape) != 1 || dst.shape[0] != t.shape[1] {
+		panic(fmt.Sprintf("tensor: SumRowsAcc dst %v for %v", dst.shape, t.shape))
+	}
+	scratch := Borrow(t.shape[1])
+	sumRowsAccInto(scratch, t)
+	dst.AddInPlace(scratch)
+	scratch.Release()
+}
+
+func sumRowsAccInto(out, t *Tensor) {
+	r, c := t.shape[0], t.shape[1]
+	for i := 0; i < r; i++ {
+		axpyAdd(1, t.data[i*c:(i+1)*c], out.data)
+	}
 }
 
 // SumCols returns the row-wise sum of a 2-D tensor: (r,c) -> (r).
@@ -95,8 +114,8 @@ func SumCols(t *Tensor) *Tensor {
 		panic("tensor: SumCols requires a 2-D tensor")
 	}
 	r, c := t.shape[0], t.shape[1]
-	out := New(r)
-	ParallelFor(r, func(lo, hi int) {
+	out := borrowRaw(r)
+	ParallelForCost(r, c, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			row := t.data[i*c : (i+1)*c]
 			var s float32
@@ -117,7 +136,7 @@ func ArgMaxRows(t *Tensor) []int {
 	}
 	r, c := t.shape[0], t.shape[1]
 	out := make([]int, r)
-	ParallelFor(r, func(lo, hi int) {
+	ParallelForCost(r, c, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			row := t.data[i*c : (i+1)*c]
 			best, bestV := 0, row[0]
@@ -139,8 +158,8 @@ func SoftmaxRows(t *Tensor) *Tensor {
 		panic("tensor: SoftmaxRows requires a 2-D tensor")
 	}
 	r, c := t.shape[0], t.shape[1]
-	out := New(r, c)
-	ParallelFor(r, func(lo, hi int) {
+	out := borrowRaw(r, c)
+	ParallelForCost(r, c, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			row := t.data[i*c : (i+1)*c]
 			orow := out.data[i*c : (i+1)*c]
@@ -171,8 +190,8 @@ func LogSoftmaxRows(t *Tensor) *Tensor {
 		panic("tensor: LogSoftmaxRows requires a 2-D tensor")
 	}
 	r, c := t.shape[0], t.shape[1]
-	out := New(r, c)
-	ParallelFor(r, func(lo, hi int) {
+	out := borrowRaw(r, c)
+	ParallelForCost(r, c, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			row := t.data[i*c : (i+1)*c]
 			orow := out.data[i*c : (i+1)*c]
@@ -202,8 +221,8 @@ func Gather(table *Tensor, idx []int) *Tensor {
 		panic("tensor: Gather requires a 2-D table")
 	}
 	d := table.shape[1]
-	out := New(len(idx), d)
-	ParallelFor(len(idx), func(lo, hi int) {
+	out := borrowRaw(len(idx), d)
+	ParallelForCost(len(idx), d, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			row := idx[i]
 			if row < 0 || row >= table.shape[0] {

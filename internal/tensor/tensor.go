@@ -19,6 +19,12 @@ import (
 type Tensor struct {
 	data  []float32
 	shape []int
+	// bucket is 1+arena bucket index when the backing storage came from
+	// the buffer arena, 0 for plain allocations and views (see arena.go).
+	bucket uint8
+	// free marks an arena tensor that has been Released; guards against
+	// double release.
+	free bool
 }
 
 // New returns a zero-filled tensor with the given shape. A tensor with no
@@ -27,11 +33,20 @@ func New(shape ...int) *Tensor {
 	n := 1
 	for _, d := range shape {
 		if d < 0 {
-			panic(fmt.Sprintf("tensor: negative dimension %d in shape %v", d, shape))
+			// Formatted in a helper: fmt.Sprintf(..., shape) here would make
+			// escape analysis leak the variadic slice, heap-allocating it at
+			// every call site even on the non-panic path.
+			panicNegativeDim(d)
 		}
 		n *= d
 	}
-	return &Tensor{data: make([]float32, n), shape: append([]int(nil), shape...)}
+	sh := make([]int, len(shape))
+	copy(sh, shape)
+	return &Tensor{data: make([]float32, n), shape: sh}
+}
+
+func panicNegativeDim(d int) {
+	panic(fmt.Sprintf("tensor: negative dimension %d in shape", d))
 }
 
 // Zeros is an alias for New, provided for readability at call sites.
@@ -105,9 +120,11 @@ func (t *Tensor) offset(idx []int) int {
 	return off
 }
 
-// Clone returns a deep copy of t.
+// Clone returns a deep copy of t. The copy is drawn from the buffer
+// arena, so short-lived clones (activation stashes, per-step snapshots)
+// can be Released when they retire.
 func (t *Tensor) Clone() *Tensor {
-	c := New(t.shape...)
+	c := borrowRaw(t.shape...)
 	copy(c.data, t.data)
 	return c
 }
