@@ -1,12 +1,13 @@
 GO ?= go
 
-.PHONY: ci fmt vet vet-obs build test race faults bench-smoke bench-gate bench-baseline cover
+.PHONY: ci fmt vet vet-obs build test race faults fuzz-smoke bench-smoke bench-gate bench-baseline cover
 
 # ci is the full verification tier: formatting, static checks (including
 # the obs build tag, which turns on strict metric-name validation), build,
 # tests, the race-detector pass over the concurrent packages, the seeded
-# chaos matrix, and the kernel benchmark-regression gate.
-ci: fmt vet vet-obs build test race faults bench-gate
+# chaos matrix, the wire-codec fuzz smoke, and the kernel
+# benchmark-regression gate.
+ci: fmt vet vet-obs build test race faults fuzz-smoke bench-gate
 
 fmt:
 	@out="$$(gofmt -l .)"; \
@@ -27,7 +28,15 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/core/... ./internal/comm/... ./internal/obs/... ./internal/tensor/...
+	$(GO) test -race ./internal/core/... ./internal/comm/... ./internal/net/... ./internal/obs/... ./internal/tensor/...
+
+# fuzz-smoke runs the wire-codec fuzz target for 30 seconds on top of
+# its checked-in regression corpus (internal/net/testdata/fuzz): decode
+# must never panic on arbitrary bytes, and any bytes that decode must
+# re-encode to exactly the consumed prefix (the canonical-encoding
+# property the mesh relies on).
+fuzz-smoke:
+	$(GO) test ./internal/net/ -run '^FuzzDecodeFrame$$' -fuzz '^FuzzDecodeFrame$$' -fuzztime 30s
 
 # faults is the robustness tier: first the seeded-determinism check (the
 # same fault seed must produce the identical fault schedule on repeat

@@ -26,6 +26,7 @@
 package avgpipe
 
 import (
+	"context"
 	"net/http"
 
 	"avgpipe/internal/cluster"
@@ -34,6 +35,7 @@ import (
 	"avgpipe/internal/data"
 	"avgpipe/internal/device"
 	"avgpipe/internal/fault"
+	netx "avgpipe/internal/net"
 	"avgpipe/internal/nn"
 	"avgpipe/internal/obs"
 	"avgpipe/internal/optim"
@@ -245,6 +247,37 @@ func NewPipelineWith(model *Sequential, cfg PipelineConfig) (*Pipeline, error) {
 // fixes the only legal RunBatch micro parameter.
 func NewPipelineFromSchedule(model *Sequential, s *Schedule) (*Pipeline, error) {
 	return core.NewPipelineFromSchedule(model, s)
+}
+
+// --- networking (multi-process elastic averaging) -------------------------
+
+// DistConfig identifies this process within a multi-process
+// elastic-averaging job (TrainerConfig.Dist): its replica id and the
+// formed mesh connecting it to its peers. Every process applies the
+// same deterministic reduction to its own reference copy, so the N
+// copies stay bit-identical without a coordinator.
+type DistConfig = core.DistConfig
+
+// Mesh is the coordinator-free full mesh of one replica: a dedicated
+// connection to and from every peer (see internal/net for the wire
+// protocol and the transport cancellation contract).
+type Mesh = netx.Mesh
+
+// Replica names one process of a multi-process job: its pipeline index
+// and the TCP address its transport listens on.
+type Replica = cluster.Replica
+
+// ParseReplicaPeers parses the -peers flag syntax,
+// "1=host:port,2=host:port", into an id → address map.
+var ParseReplicaPeers = cluster.ParsePeers
+
+// DialTCPMesh forms the TCP full mesh for replica self of an N-replica
+// job: it listens on listenAddr, dials every peer in peers (id →
+// address, the other N−1 replicas) with retry until ctx expires, and
+// verifies the job geometry. Peer processes may start in any order.
+// Metrics go to reg (nil = the default registry).
+func DialTCPMesh(ctx context.Context, self int, listenAddr string, peers map[int]string, reg *MetricsRegistry) (*Mesh, error) {
+	return netx.FormMesh(ctx, netx.NewTCP(reg), self, listenAddr, peers)
 }
 
 // --- simulation (cost models, clusters, schedules) ------------------------

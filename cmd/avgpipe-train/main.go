@@ -12,6 +12,14 @@
 // With -metrics-addr the run serves live observability while training:
 // Prometheus text on /metrics, expvar JSON on /debug/vars, and profiling
 // on /debug/pprof (see the Observability section of README.md).
+//
+// With -listen/-peers/-replica-id the run becomes ONE replica of a
+// multi-process job: N processes, each owning one pipeline, exchange
+// elastic-averaging updates over a coordinator-free TCP mesh (see the
+// Networking section of DESIGN.md). A 2-process localhost job:
+//
+//	avgpipe-train -replica-id 0 -listen 127.0.0.1:7070 -peers 1=127.0.0.1:7071 -pipelines 2 &
+//	avgpipe-train -replica-id 1 -listen 127.0.0.1:7071 -peers 0=127.0.0.1:7070 -pipelines 2
 package main
 
 import (
@@ -66,6 +74,11 @@ func main() {
 		resume          = flag.Bool("resume", false, "resume from the checkpoint in -checkpoint-dir")
 		watchdog        = flag.Duration("watchdog", 0, "kill a batch whose pipeline makes no progress for this long (0 = off)")
 		roundDeadline   = flag.Duration("round-deadline", 0, "expire averaging rounds open longer than this (0 = off)")
+
+		listenAddr  = flag.String("listen", "", "TCP address this replica's transport listens on (multi-process mode)")
+		peersFlag   = flag.String("peers", "", "remote replicas as id=host:port pairs, comma-separated (multi-process mode)")
+		replicaID   = flag.Int("replica-id", -1, "this process's pipeline index in a multi-process job (-1 = single-process)")
+		meshTimeout = flag.Duration("mesh-timeout", 30*time.Second, "how long to wait for all peers while forming the mesh")
 
 		faultSeed       = flag.Int64("fault-seed", 0, "fault-injection seed (0 = faults off)")
 		faultDelayProb  = flag.Float64("fault-delay-prob", 0, "probability an averaging update is delayed")
@@ -138,6 +151,31 @@ func main() {
 		}
 	}
 
+	var dist *avgpipe.DistConfig
+	if *replicaID >= 0 {
+		if *listenAddr == "" {
+			log.Fatal("-replica-id needs -listen")
+		}
+		if *checkpointDir != "" || *resume {
+			log.Fatal("checkpointing is not supported in multi-process mode")
+		}
+		peers, err := avgpipe.ParseReplicaPeers(*peersFlag)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if len(peers)+1 != *pipelines {
+			log.Fatalf("-pipelines says %d replicas, but %d peers + self = %d", *pipelines, len(peers), len(peers)+1)
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), *meshTimeout)
+		mesh, err := avgpipe.DialTCPMesh(ctx, *replicaID, *listenAddr, peers, reg)
+		cancel()
+		if err != nil {
+			log.Fatalf("mesh: %v", err)
+		}
+		fmt.Printf("replica %d of %d: mesh formed, listening on %s\n", *replicaID, *pipelines, mesh.Addr())
+		dist = &avgpipe.DistConfig{ReplicaID: *replicaID, Mesh: mesh}
+	}
+
 	fmt.Printf("training %q with N=%d pipelines, M=%d micro-batches, K=%d stages, %s schedule, %s partition (batch %d)\n",
 		task.Name, *pipelines, *micro, *stageN, plan.Name, *partition, task.BatchSize)
 	trainer, err := avgpipe.NewTrainer(avgpipe.TrainerConfig{
@@ -146,6 +184,7 @@ func main() {
 		Plan: plan, Advance: adv, Partition: part,
 		Trace: *traceOut != "", Obs: reg,
 		Faults: faults, RoundDeadline: *roundDeadline, Watchdog: *watchdog,
+		Dist: dist,
 	})
 	if err != nil {
 		log.Fatalf("trainer: %v", err)
@@ -181,10 +220,14 @@ func main() {
 			log.Fatalf("trace out: %v", err)
 		}
 		defer f.Close()
-		if err := trainer.Pipelines()[0].WriteTrace(f); err != nil {
+		tracePipe := 0
+		if dist != nil {
+			tracePipe = dist.ReplicaID // the only pipeline this process runs
+		}
+		if err := trainer.Pipelines()[tracePipe].WriteTrace(f); err != nil {
 			log.Fatalf("trace out: %v", err)
 		}
-		fmt.Printf("wrote Chrome trace of pipeline 0's last batch to %s\n", *traceOut)
+		fmt.Printf("wrote Chrome trace of pipeline %d's last batch to %s\n", tracePipe, *traceOut)
 	}()
 
 	checkpoint := func(round int) {

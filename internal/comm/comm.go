@@ -75,17 +75,30 @@ func Ethernet10G() Link {
 // ErrClosed is returned by Queue.Send once the queue has been closed.
 var ErrClosed = errors.New("comm: send on closed queue")
 
-// Queue is an unbounded, non-blocking FIFO used by the runtime to send
-// local updates from parallel pipelines to the reference-model process.
-// Senders never block (preventing inter-process communication from
-// stalling a pipeline); the receiver drains with Recv or TryRecv.
+// Queue is a FIFO used by the runtime to send local updates from
+// parallel pipelines to the reference-model process. The default queue
+// is unbounded and senders never block (preventing inter-process
+// communication from stalling a pipeline); NewBounded builds a
+// capacity-limited queue whose senders block while it is full — the
+// backpressure primitive the in-process network transport is built on.
+// The receiver drains with Recv, RecvContext, or TryRecv.
 // Sending after Close is safe under any interleaving: the item is
 // rejected with ErrClosed, never dropped silently and never a panic.
+//
+// Blocked sends and receives follow the transport cancellation contract
+// defined in package avgpipe/internal/net: a context firing while
+// blocked returns ctx.Err() without consuming (or enqueueing) an item,
+// and closed-and-drained wins over cancellation. That contract is
+// documented and conformance-tested in exactly one place — internal/net
+// — because the TCP transport inherits these semantics from this type.
 type Queue[T any] struct {
 	mu     sync.Mutex
 	cond   *sync.Cond
 	items  []T
 	closed bool
+	// capn bounds the queue length (0 = unbounded). Senders on a full
+	// bounded queue block until a receiver makes room.
+	capn int
 
 	// Optional instrumentation (nil-safe, see Instrument): queue depth,
 	// cumulative receiver blocked time, and op counters.
@@ -95,12 +108,25 @@ type Queue[T any] struct {
 	rejected   *obs.Counter
 }
 
-// NewQueue returns an open queue.
+// NewQueue returns an open, unbounded queue.
 func NewQueue[T any]() *Queue[T] {
 	q := &Queue[T]{}
 	q.cond = sync.NewCond(&q.mu)
 	return q
 }
+
+// NewBounded returns an open queue holding at most capacity items;
+// senders block while it is full. capacity <= 0 means unbounded.
+func NewBounded[T any](capacity int) *Queue[T] {
+	q := NewQueue[T]()
+	if capacity > 0 {
+		q.capn = capacity
+	}
+	return q
+}
+
+// Cap returns the queue's capacity (0 = unbounded).
+func (q *Queue[T]) Cap() int { return q.capn }
 
 // NewInstrumentedQueue returns an open queue registered under the given
 // name in reg: avgpipe_queue_depth{queue}, blocked-receive seconds, and
@@ -124,21 +150,48 @@ func (q *Queue[T]) Instrument(reg *obs.Registry, name string) {
 		"Sends rejected with ErrClosed because the queue was closed.", "queue", name)
 }
 
-// Send enqueues without blocking. It returns ErrClosed — rather than
-// panicking or dropping — if the queue has been closed, so racing
-// senders and closers compose safely.
+// Send enqueues, blocking only when a bounded queue is full (unbounded
+// queues never block). It returns ErrClosed — rather than panicking or
+// dropping — if the queue has been closed, so racing senders and
+// closers compose safely.
 func (q *Queue[T]) Send(v T) error {
+	return q.SendContext(context.Background(), v)
+}
+
+// SendContext is Send with a way out of backpressure: while a bounded
+// queue is full it parks, and returns ctx.Err() without enqueueing if
+// the context fires first. Closed wins over cancellation (see the
+// transport contract in package avgpipe/internal/net).
+func (q *Queue[T]) SendContext(ctx context.Context, v T) error {
+	var stop func() bool
 	q.mu.Lock()
+	for q.capn > 0 && len(q.items) >= q.capn && !q.closed && ctx.Err() == nil {
+		if stop == nil {
+			// Arm the wakeup lazily: the fast path (queue has room) never
+			// touches the context.
+			stop = context.AfterFunc(ctx, func() {
+				q.mu.Lock()
+				defer q.mu.Unlock()
+				q.cond.Broadcast()
+			})
+			defer stop()
+		}
+		q.cond.Wait()
+	}
 	if q.closed {
 		q.mu.Unlock()
 		q.rejected.Inc()
 		return ErrClosed
 	}
+	if err := ctx.Err(); err != nil {
+		q.mu.Unlock()
+		return err
+	}
 	q.items = append(q.items, v)
 	q.depth.Set(float64(len(q.items)))
 	q.mu.Unlock()
 	q.sends.Inc()
-	q.cond.Signal()
+	q.cond.Broadcast()
 	return nil
 }
 
@@ -161,6 +214,9 @@ func (q *Queue[T]) Recv() (T, bool) {
 	v := q.items[0]
 	q.items = q.items[1:]
 	q.depth.Set(float64(len(q.items)))
+	if q.capn > 0 {
+		q.cond.Broadcast() // wake senders parked on a full bounded queue
+	}
 	return v, true
 }
 
@@ -168,6 +224,8 @@ func (q *Queue[T]) Recv() (T, bool) {
 // its deadline passes: it returns (zero, false, ctx.Err()) without
 // consuming an item. ok is false with a nil error once the queue is
 // closed and drained — the same terminal condition Recv reports.
+// These are the transport cancellation semantics specified (once, for
+// both the queue and the wire transports) in package avgpipe/internal/net.
 func (q *Queue[T]) RecvContext(ctx context.Context) (T, bool, error) {
 	// Wake the cond loop when the context fires; the lock around the
 	// broadcast pairs with the wait loop so the wakeup cannot be missed.
@@ -196,6 +254,9 @@ func (q *Queue[T]) RecvContext(ctx context.Context) (T, bool, error) {
 	v := q.items[0]
 	q.items = q.items[1:]
 	q.depth.Set(float64(len(q.items)))
+	if q.capn > 0 {
+		q.cond.Broadcast()
+	}
 	return v, true, nil
 }
 
@@ -210,6 +271,9 @@ func (q *Queue[T]) TryRecv() (T, bool) {
 	v := q.items[0]
 	q.items = q.items[1:]
 	q.depth.Set(float64(len(q.items)))
+	if q.capn > 0 {
+		q.cond.Broadcast()
+	}
 	return v, true
 }
 

@@ -51,6 +51,9 @@ func IsCheckpoint(dir string) bool {
 // last as the commit marker: a crash mid-save leaves a directory that
 // IsCheckpoint rejects rather than a corrupt resume point.
 func (t *Trainer) SaveCheckpoint(dir string) error {
+	if t.cfg.Dist != nil {
+		return fmt.Errorf("core: checkpointing a multi-process job is not supported (replica %d holds only its own state)", t.cfg.Dist.ReplicaID)
+	}
 	t.avg.Drain()
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return fmt.Errorf("core: checkpoint dir: %w", err)
@@ -94,6 +97,9 @@ func (t *Trainer) SaveCheckpoint(dir string) error {
 // fast-forwarded to where the saved run left them. Call before training
 // starts, not mid-round.
 func (t *Trainer) Restore(dir string) error {
+	if t.cfg.Dist != nil {
+		return fmt.Errorf("core: restoring a multi-process job is not supported (replica %d holds only its own state)", t.cfg.Dist.ReplicaID)
+	}
 	buf, err := os.ReadFile(filepath.Join(dir, checkpointMetaName))
 	if err != nil {
 		return fmt.Errorf("core: not a complete checkpoint (missing %s): %w", checkpointMetaName, err)

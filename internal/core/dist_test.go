@@ -1,0 +1,234 @@
+package core
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"math"
+	"sync"
+	"testing"
+	"time"
+
+	"avgpipe/internal/fault"
+	netx "avgpipe/internal/net"
+	"avgpipe/internal/nn"
+	"avgpipe/internal/obs"
+	"avgpipe/internal/tensor"
+	"avgpipe/internal/workload"
+)
+
+// formTestMeshes assembles an n-replica TCP full mesh over loopback
+// inside one test process: every "replica" gets its own transport,
+// listener, and mesh, exactly as n OS processes would.
+func formTestMeshes(t *testing.T, n int) []*netx.Mesh {
+	t.Helper()
+	// Bind every listener first on a kernel-chosen port, then hand each
+	// replica its peers' real addresses — no port guessing.
+	trs := make([]*netx.TCP, n)
+	lns := make([]netx.Listener, n)
+	addrs := make([]string, n)
+	for i := 0; i < n; i++ {
+		trs[i] = netx.NewTCP(obs.NewRegistry())
+		ln, err := trs[i].Listen("127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		lns[i] = ln
+		addrs[i] = ln.Addr()
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	meshes := make([]*netx.Mesh, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		peers := make(map[int]string)
+		for j := 0; j < n; j++ {
+			if j != i {
+				peers[j] = addrs[j]
+			}
+		}
+		wg.Add(1)
+		go func(i int, peers map[int]string) {
+			defer wg.Done()
+			meshes[i], errs[i] = netx.FormMeshOn(ctx, trs[i], lns[i], i, peers)
+		}(i, peers)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("replica %d mesh: %v", i, err)
+		}
+	}
+	t.Cleanup(func() {
+		for _, m := range meshes {
+			m.Close()
+		}
+	})
+	return meshes
+}
+
+// TestDistBitwiseDeterminism is the end-to-end determinism gate for the
+// wire transport: the same seed trained single-process and as a 2-
+// replica TCP-loopback job must produce bit-identical per-round local
+// losses, because every process applies the same deterministic
+// reduction to its own reference copy and the codec moves float32 bits
+// exactly.
+func TestDistBitwiseDeterminism(t *testing.T) {
+	const (
+		n      = 2
+		rounds = 4
+		seed   = 11
+	)
+	task := workload.TranslationTask()
+
+	// Single-process reference run: per-pipeline losses from the step log.
+	var log bytes.Buffer
+	single, err := NewTrainer(TrainerConfig{
+		Task: task, Pipelines: n, Micro: 2, StageCount: 2,
+		Seed: seed, ClipNorm: 5, Obs: obs.NewRegistry(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	single.SetStepLog(&log)
+	for r := 0; r < rounds; r++ {
+		single.Step()
+	}
+	single.Close()
+	want := make([][]float64, 0, rounds) // [round][pipeline]
+	dec := json.NewDecoder(&log)
+	for dec.More() {
+		var rec StepRecord
+		if err := dec.Decode(&rec); err != nil {
+			t.Fatal(err)
+		}
+		if len(rec.Losses) != n {
+			t.Fatalf("round %d: want %d per-pipeline losses, got %v", rec.Round, n, rec.Losses)
+		}
+		want = append(want, rec.Losses)
+	}
+	if len(want) != rounds {
+		t.Fatalf("want %d logged rounds, got %d", rounds, len(want))
+	}
+
+	// The same job as two replicas over a TCP loopback mesh.
+	meshes := formTestMeshes(t, n)
+	got := make([][]float64, n) // [replica][round]
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for p := 0; p < n; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			tr, err := NewTrainer(TrainerConfig{
+				Task: task, Pipelines: n, Micro: 2, StageCount: 2,
+				Seed: seed, ClipNorm: 5, Obs: obs.NewRegistry(),
+				Dist: &DistConfig{ReplicaID: p, Mesh: meshes[p]},
+			})
+			if err != nil {
+				errs[p] = err
+				return
+			}
+			defer tr.Close()
+			for r := 0; r < rounds; r++ {
+				loss, err := tr.StepContext(context.Background())
+				if err != nil {
+					errs[p] = fmt.Errorf("round %d: %w", r, err)
+					return
+				}
+				got[p] = append(got[p], loss)
+			}
+		}(p)
+	}
+	wg.Wait()
+	for p, err := range errs {
+		if err != nil {
+			t.Fatalf("replica %d: %v", p, err)
+		}
+	}
+	for p := 0; p < n; p++ {
+		for r := 0; r < rounds; r++ {
+			w, g := want[r][p], got[p][r]
+			if math.Float64bits(w) != math.Float64bits(g) {
+				t.Errorf("replica %d round %d: single-process loss %.17g (bits %016x), "+
+					"2-process loss %.17g (bits %016x)",
+					p, r, w, math.Float64bits(w), g, math.Float64bits(g))
+			}
+		}
+	}
+}
+
+// TestDistConcurrentMembership exercises concurrent Submit, Detach, and
+// Rejoin over a live TCP mesh under the race detector: three replicas
+// submit rounds while one keeps crashing out and rejoining, with a
+// round deadline absorbing the updates that go missing. The test's
+// assertion is clean convergence — every averager closes every round
+// and shuts down without a deadlock or a race.
+func TestDistConcurrentMembership(t *testing.T) {
+	const (
+		n      = 3
+		rounds = 12
+	)
+	task := workload.TranslationTask()
+	meshes := formTestMeshes(t, n)
+
+	avgs := make([]*Averager, n)
+	params := make([][]*nn.Param, n)
+	for p := 0; p < n; p++ {
+		m := task.NewModel(3)
+		params[p] = m.Params()
+		avgs[p] = NewAveragerObs(n, m.Params(), obs.NewRegistry())
+		avgs[p].SetFaults(mustInjector(t, fault.Config{Seed: 7, MsgDropProb: 0.2}))
+		avgs[p].AttachMesh(meshes[p])
+		avgs[p].SetRoundDeadline(30 * time.Millisecond)
+	}
+
+	var wg sync.WaitGroup
+	for p := 0; p < n; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			a := avgs[p]
+			for r := 0; r < rounds; r++ {
+				// Replica 2 flaps its membership while the others submit.
+				if p == 2 && r%4 == 1 {
+					a.Detach(p)
+				}
+				if p == 2 && r%4 == 3 {
+					a.Rejoin(p, params[p])
+				}
+				if a.Live(p) {
+					// Nudge the weights so every round carries a real delta.
+					params[p][0].W.AxpyInPlace(0.001, tensor.Ones(params[p][0].W.Shape()...))
+					if err := a.SubmitContext(context.Background(), p, r, params[p]); err != nil {
+						t.Errorf("replica %d round %d: %v", p, r, err)
+						return
+					}
+				}
+				ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+				err := a.WaitRound(ctx, r)
+				cancel()
+				if err != nil {
+					t.Errorf("replica %d: round %d never closed: %v", p, r, err)
+					return
+				}
+				a.Dilute(p, params[p])
+			}
+		}(p)
+	}
+	wg.Wait()
+	for p := 0; p < n; p++ {
+		avgs[p].Close()
+	}
+}
+
+func mustInjector(t *testing.T, cfg fault.Config) *fault.Injector {
+	t.Helper()
+	in, err := fault.New(cfg, obs.NewRegistry())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return in
+}

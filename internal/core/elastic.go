@@ -2,12 +2,13 @@ package core
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sync"
 	"time"
 
-	"avgpipe/internal/comm"
 	"avgpipe/internal/fault"
+	netx "avgpipe/internal/net"
 	"avgpipe/internal/nn"
 	"avgpipe/internal/obs"
 	"avgpipe/internal/tensor"
@@ -15,8 +16,10 @@ import (
 
 // Update is one pipeline's local update for one training round: the
 // per-parameter weight deltas produced by its optimizer step (§3.2
-// step ❸). Updates travel to the reference model through asynchronous
-// message queues so they never block the pipeline.
+// step ❸). Updates travel to the reference model over a net.Transport
+// connection — an in-process loopback for single-process runs, fanned
+// out over a TCP mesh for multi-process jobs — so they never block the
+// pipeline.
 type Update struct {
 	Pipeline int
 	Round    int
@@ -50,9 +53,18 @@ type Averager struct {
 	// N is the number of parallel pipelines.
 	N int
 
-	mu    sync.RWMutex
-	ref   []*tensor.Tensor
-	queue *comm.Queue[Update]
+	mu  sync.RWMutex
+	ref []*tensor.Tensor
+
+	// The update stream is a transport connection: pipelines Submit on
+	// tx, the reference loop receives on loopRx. tx is the composed
+	// path — the local loopback, fanned out to the mesh peers when a
+	// multi-process mesh is attached, wrapped by the fault layer when
+	// an injector is installed.
+	loopTx netx.Conn
+	loopRx netx.Conn
+	tx     netx.Conn
+	mesh   *netx.Mesh
 
 	// pending[round] accumulates per-pipeline deltas until every live
 	// pipeline reports (or the round deadline closes the round early).
@@ -137,7 +149,6 @@ func NewAveragerObs(n int, init []*nn.Param, reg *obs.Registry) *Averager {
 	a := &Averager{
 		Alpha:      1 / float64(n),
 		N:          n,
-		queue:      comm.NewInstrumentedQueue[Update](reg, "averager"),
 		pending:    make(map[int]*roundAcc),
 		snapshots:  make([][]*tensor.Tensor, n),
 		live:       make([]bool, n),
@@ -170,6 +181,11 @@ func NewAveragerObs(n int, init []*nn.Param, reg *obs.Registry) *Averager {
 	for p := 0; p < n; p++ {
 		a.live[p] = true
 	}
+	// The loopback pipe is the refactored §3.2 update queue: unbounded
+	// (capacity 0), so Submit never blocks a pipeline, and instrumented
+	// under the historical queue name.
+	a.loopTx, a.loopRx = netx.InstrumentedPipe(0, reg, "averager")
+	a.tx = a.loopTx
 	a.drainCond = sync.NewCond(&a.drainMu)
 	a.ref = make([]*tensor.Tensor, len(init))
 	for i, p := range init {
@@ -199,9 +215,68 @@ func (a *Averager) SeedReplica(p int, params []*nn.Param) {
 }
 
 // SetFaults installs the fault injector consulted on every Submit (nil
-// = no faults). Call before training starts, not concurrently with
-// Submit.
-func (a *Averager) SetFaults(in *fault.Injector) { a.faults = in }
+// = no faults). Injection happens at the transport seam — the submit
+// connection is wrapped so updates are delivered, delayed, or dropped
+// in flight (net.Faulty) — rather than inside the queue. Call before
+// training starts, not concurrently with Submit.
+func (a *Averager) SetFaults(in *fault.Injector) {
+	a.faults = in
+	a.recomposeTx()
+}
+
+// recomposeTx rebuilds the submit path from its layers: the local
+// loopback, fanned out to mesh peers when attached, with the fault
+// layer outermost so one fate verdict governs the local and every
+// remote delivery of an update.
+func (a *Averager) recomposeTx() {
+	base := netx.FanOut(a.loopTx, a.mesh)
+	a.tx = netx.Faulty(base, a.faults, func() {
+		// A delayed update finally lost to a closed connection: undo its
+		// drain accounting so Close's Drain cannot park on it.
+		a.lateUpdates.Inc()
+		a.addSent(-1)
+	})
+}
+
+// AttachMesh joins this averager to a multi-process elastic-averaging
+// job: Submits fan out to every peer replica, and peer updates plus
+// detach/rejoin control frames are ingested from the mesh's inbound
+// connections. Every process applies the same deterministic reduction
+// to its own reference copy, so the N copies stay bit-identical without
+// a coordinator. Call before training starts.
+func (a *Averager) AttachMesh(m *netx.Mesh) {
+	if m.N != a.N {
+		panic(fmt.Sprintf("core: mesh has %d replicas, averager has %d", m.N, a.N))
+	}
+	a.mesh = m
+	a.recomposeTx()
+	for _, id := range m.Peers() {
+		go a.inboundLoop(m.Recv(id))
+	}
+}
+
+// inboundLoop forwards one peer's frames into the local reference
+// stream until the connection closes.
+func (a *Averager) inboundLoop(c netx.Conn) {
+	for {
+		f, err := c.Recv(context.Background())
+		if err != nil {
+			return
+		}
+		switch f.Type {
+		case netx.FrameUpdate:
+			if a.loopTx.Send(context.Background(), f) != nil {
+				return // shutting down; the round deadline absorbs the loss
+			}
+		case netx.FrameDetach:
+			a.Detach(int(f.Replica))
+		case netx.FrameRejoin:
+			// The rejoining process reseeds its own weights from its
+			// reference copy; peers only mark it live again.
+			a.Rejoin(int(f.Replica), nil)
+		}
+	}
+}
 
 // SetRoundDeadline bounds how long an incomplete averaging round may
 // wait for stragglers: a round older than d is closed over the updates
@@ -266,6 +341,7 @@ func (a *Averager) expireStale() {
 	if expired > 0 {
 		a.expired.Add(float64(expired))
 		a.openRounds.Set(float64(open))
+		a.notifyRounds()
 	}
 }
 
@@ -301,16 +377,17 @@ func (a *Averager) roundClosedLocked(round int) bool {
 }
 
 // referenceLoop is the separate reference-model process of §3.2: it
-// drains the update queue, accumulates per round, and applies the
-// normalized update when a round completes (steps ❹ and ❺).
+// drains the update stream — local submits and, in a multi-process job,
+// peer updates forwarded from the mesh — accumulates per round, and
+// applies the normalized update when a round completes (steps ❹ and ❺).
 func (a *Averager) referenceLoop() {
 	defer close(a.done)
 	for {
-		u, ok := a.queue.Recv()
-		if !ok {
-			return
+		f, err := a.loopRx.Recv(context.Background())
+		if err != nil {
+			return // closed and drained
 		}
-		a.ingest(u)
+		a.ingest(Update{Pipeline: int(f.Replica), Round: int(f.Round), Deltas: f.Tensors})
 	}
 }
 
@@ -355,12 +432,23 @@ func (a *Averager) ingest(u Update) {
 	a.bumpApplied()
 }
 
-// bumpApplied advances the drain watermark and wakes Drain waiters.
+// bumpApplied advances the drain watermark and wakes Drain and
+// WaitRound waiters.
 func (a *Averager) bumpApplied() {
 	a.drainMu.Lock()
 	a.applied++
 	a.drainMu.Unlock()
 	a.drainCond.Broadcast()
+}
+
+// notifyRounds wakes WaitRound waiters after a round closed outside the
+// ingest path (deadline expiry, detach renormalization). The lock
+// acquire-release pairs with the waiter holding drainMu between its
+// closed-check and Wait, so the wakeup cannot be missed.
+func (a *Averager) notifyRounds() {
+	a.drainMu.Lock()
+	a.drainCond.Broadcast()
+	a.drainMu.Unlock()
 }
 
 // addSent adjusts the drain send watermark; negative deltas (a delayed
@@ -373,6 +461,33 @@ func (a *Averager) addSent(d int64) {
 	if d < 0 {
 		a.drainCond.Broadcast()
 	}
+}
+
+// roundDeadline reads the configured deadline.
+func (a *Averager) roundDeadline() time.Duration {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	return a.deadline
+}
+
+// expireEmptyRound closes round with zero updates if it is still
+// unopened — the liveness backstop for a WaitRound whose round lost
+// every update in flight. A round with an accumulator is left to the
+// expiry loop, which measures the deadline from the first arrival.
+func (a *Averager) expireEmptyRound(round int) {
+	a.mu.Lock()
+	if a.roundClosedLocked(round) || a.pending[round] != nil {
+		a.mu.Unlock()
+		return
+	}
+	a.doneRounds[round] = true
+	for a.doneRounds[a.doneFloor] {
+		delete(a.doneRounds, a.doneFloor)
+		a.doneFloor++
+	}
+	a.mu.Unlock()
+	a.expired.Inc()
+	a.notifyRounds()
 }
 
 // Detach removes pipeline p from elastic averaging — the crash path.
@@ -406,7 +521,9 @@ func (a *Averager) Detach(p int) {
 	a.degraded.Set(float64(degraded))
 	if completed > 0 {
 		a.openRounds.Set(float64(open))
+		a.notifyRounds()
 	}
+	a.announce(netx.FrameDetach, p)
 }
 
 // Rejoin returns a detached pipeline p to elastic averaging: its weights
@@ -433,6 +550,19 @@ func (a *Averager) Rejoin(p int, params []*nn.Param) {
 	if !det.IsZero() {
 		a.recoverySec.Observe(time.Since(det).Seconds())
 	}
+	a.announce(netx.FrameRejoin, p)
+}
+
+// announce broadcasts a membership change for the LOCAL replica to the
+// mesh peers. Remote membership changes (applied via inboundLoop) are
+// not re-broadcast — each process announces only itself, which is what
+// keeps the coordinator-free protocol loop-free.
+func (a *Averager) announce(t netx.FrameType, p int) {
+	if a.mesh == nil || p != a.mesh.Self {
+		return
+	}
+	// Best effort: a peer that is itself gone cannot be told.
+	_ = a.mesh.Broadcast(context.Background(), &netx.Frame{Type: t, Replica: uint32(p)})
 }
 
 // LiveReplicas reports how many pipelines currently participate in
@@ -479,33 +609,26 @@ func (a *Averager) SubmitContext(ctx context.Context, p, round int, params []*nn
 	if p < 0 || p >= a.N {
 		return fmt.Errorf("pipeline %d out of range [0, %d)", p, a.N)
 	}
+	if round < 0 {
+		return fmt.Errorf("round %d negative", round)
+	}
 	deltas := make([]*tensor.Tensor, len(params))
 	for i, pr := range params {
 		deltas[i] = tensor.Sub(pr.W, a.snapshots[p][i])
 	}
-	u := Update{Pipeline: p, Round: round, Deltas: deltas}
-	switch fate, d := a.faults.UpdateFate(p, round); fate {
-	case fault.FateDrop:
-		// Lost in flight: never counted as sent, so Drain does not wait
-		// for it; the round deadline closes the round without it.
-		return nil
-	case fault.FateDelay:
-		a.addSent(1)
-		time.AfterFunc(d, func() {
-			if err := a.queue.Send(u); err != nil {
-				// The run shut down while the update was in flight; undo
-				// its drain accounting so Close's Drain cannot park on it.
-				a.lateUpdates.Inc()
-				a.addSent(-1)
-			}
-		})
-		return nil
-	}
+	f := &netx.Frame{Type: netx.FrameUpdate, Replica: uint32(p), Round: uint32(round), Tensors: deltas}
 	a.addSent(1)
 	backoff := submitBackoff
 	for attempt := 0; ; attempt++ {
-		err := a.queue.Send(u)
+		err := a.tx.Send(ctx, f)
 		if err == nil {
+			return nil
+		}
+		if errors.Is(err, netx.ErrDropped) {
+			// Lost in flight by the fault layer: not counted as sent, so
+			// Drain does not wait for it; the round deadline closes the
+			// round without it.
+			a.addSent(-1)
 			return nil
 		}
 		if attempt >= submitRetries {
@@ -520,6 +643,41 @@ func (a *Averager) SubmitContext(ctx context.Context, p, round int, params []*nn
 		}
 		backoff *= 2
 	}
+}
+
+// RoundClosed reports whether the round has been applied to the
+// reference model (complete, expired, or closed by a detach).
+func (a *Averager) RoundClosed(round int) bool {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	return a.roundClosedLocked(round)
+}
+
+// WaitRound blocks until the given round closes on THIS process's
+// reference copy — the distributed round barrier. Unlike Drain, whose
+// sent/applied watermarks only see local submits, WaitRound observes
+// the round itself, so it also waits for peer updates a multi-process
+// job delivers over the mesh. It returns ctx.Err() if ctx ends first.
+//
+// With a round deadline armed, WaitRound also bounds a round that never
+// opens: if every replica's update for the round was lost in flight, no
+// accumulator exists for the expiry loop to expire, so the waiter
+// closes the round as empty once the deadline passes. Without a
+// deadline such a round blocks until ctx ends — the same "wait forever"
+// contract the single-process round has.
+func (a *Averager) WaitRound(ctx context.Context, round int) error {
+	stop := context.AfterFunc(ctx, a.notifyRounds)
+	defer stop()
+	if d := a.roundDeadline(); d > 0 {
+		timer := time.AfterFunc(d, func() { a.expireEmptyRound(round) })
+		defer timer.Stop()
+	}
+	a.drainMu.Lock()
+	defer a.drainMu.Unlock()
+	for !a.RoundClosed(round) && ctx.Err() == nil {
+		a.drainCond.Wait()
+	}
+	return ctx.Err()
 }
 
 // Dilute performs step ❷ for pipeline p: its weights are mixed with the
@@ -617,11 +775,16 @@ func (a *Averager) DrainContext(ctx context.Context) error {
 	return ctx.Err()
 }
 
-// Close shuts the reference process down after draining pending updates.
+// Close shuts the reference process down after draining pending
+// updates. In a multi-process job the mesh connections close first, so
+// peer inbound loops stop before the local loopback drains.
 func (a *Averager) Close() {
 	a.closed.Do(func() {
 		a.Drain()
-		a.queue.Close()
+		if a.mesh != nil {
+			a.mesh.Close()
+		}
+		a.loopTx.Close()
 		<-a.done
 	})
 }

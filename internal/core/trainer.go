@@ -10,6 +10,7 @@ import (
 
 	"avgpipe/internal/data"
 	"avgpipe/internal/fault"
+	netx "avgpipe/internal/net"
 	"avgpipe/internal/nn"
 	"avgpipe/internal/obs"
 	"avgpipe/internal/optim"
@@ -65,6 +66,23 @@ type TrainerConfig struct {
 	// which no op retires for this window fails with a *StallError
 	// instead of hanging (0 = no watchdog).
 	Watchdog time.Duration
+	// Dist, when set, runs this process as ONE replica of a multi-process
+	// elastic-averaging job: only Dist.ReplicaID's pipeline is built
+	// locally, updates fan out to the peers over Dist.Mesh, and each
+	// round ends with the distributed round barrier instead of a local
+	// drain. Pipelines is still the job's TOTAL replica count N.
+	Dist *DistConfig
+}
+
+// DistConfig identifies this process within a multi-process job.
+type DistConfig struct {
+	// ReplicaID is this process's pipeline index in [0, Pipelines).
+	ReplicaID int
+	// Mesh is the formed full mesh connecting the job's replicas
+	// (net.FormMesh). Its Self must equal ReplicaID and its N must equal
+	// Pipelines. The trainer attaches it to its averager and closes it
+	// with the trainer.
+	Mesh *netx.Mesh
 }
 
 // Trainer runs N parallel pipelines, each training a replica on its own
@@ -108,6 +126,13 @@ type StepRecord struct {
 	TokensPerS  float64 `json:"tokens_per_sec"`
 	OpenRounds  int     `json:"open_rounds"`
 	Live        int     `json:"live_replicas"`
+	// Losses lists every pipeline's local loss for the round, indexed by
+	// pipeline (zero for detached replicas). A dist-mode process only
+	// runs one pipeline, so its records carry Replica and the local Loss
+	// instead: comparing that Loss against a single-process run's
+	// Losses[Replica] is the bitwise-determinism check.
+	Losses  []float64 `json:"losses,omitempty"`
+	Replica int       `json:"replica"`
 }
 
 // NewTrainer builds the replicas, data streams, optimizers, and the
@@ -123,6 +148,18 @@ func NewTrainer(cfg TrainerConfig) (*Trainer, error) {
 	if cfg.Pipelines <= 0 || cfg.Micro <= 0 || cfg.StageCount <= 0 {
 		return nil, fmt.Errorf("core: trainer needs positive Pipelines/Micro/StageCount, got %d/%d/%d",
 			cfg.Pipelines, cfg.Micro, cfg.StageCount)
+	}
+	if d := cfg.Dist; d != nil {
+		if d.Mesh == nil {
+			return nil, errors.New("core: DistConfig needs a formed Mesh")
+		}
+		if d.ReplicaID < 0 || d.ReplicaID >= cfg.Pipelines {
+			return nil, fmt.Errorf("core: dist replica id %d outside [0, %d)", d.ReplicaID, cfg.Pipelines)
+		}
+		if d.Mesh.Self != d.ReplicaID || d.Mesh.N != cfg.Pipelines {
+			return nil, fmt.Errorf("core: mesh is replica %d of %d, config says replica %d of %d",
+				d.Mesh.Self, d.Mesh.N, d.ReplicaID, cfg.Pipelines)
+		}
 	}
 	t := &Trainer{cfg: cfg, detached: make([]bool, cfg.Pipelines)}
 	reg := cfg.Obs
@@ -144,7 +181,13 @@ func NewTrainer(cfg TrainerConfig) (*Trainer, error) {
 	t.tokensPerSec = reg.Gauge("avgpipe_train_tokens_per_second", "Token throughput of the last round.")
 	t.lossGauge = reg.Gauge("avgpipe_train_loss", "Mean training loss of the last round.")
 	base := cfg.Task.NewModel(cfg.Seed)
+	t.pipelines = make([]*Pipeline, cfg.Pipelines)
+	t.gens = make([]data.Generator, cfg.Pipelines)
+	t.opts = make([]optim.Optimizer, cfg.Pipelines)
 	for p := 0; p < cfg.Pipelines; p++ {
+		if !t.local(p) {
+			continue // a peer process owns this replica
+		}
 		m := cfg.Task.NewModel(cfg.Seed) // same seed: identical start
 		pl, err := NewPipelineWith(m, PipelineConfig{
 			Stages: cfg.StageCount, Plan: cfg.Plan, Advance: cfg.Advance,
@@ -155,21 +198,30 @@ func NewTrainer(cfg TrainerConfig) (*Trainer, error) {
 		}
 		pl.SetFaults(t.faults, p)
 		pl.SetWatchdog(cfg.Watchdog)
-		t.pipelines = append(t.pipelines, pl)
-		t.gens = append(t.gens, cfg.Task.NewGen(cfg.Seed+100+int64(p)))
-		t.opts = append(t.opts, newOptimizer(cfg.Task))
+		t.pipelines[p] = pl
+		t.gens[p] = cfg.Task.NewGen(cfg.Seed + 100 + int64(p))
+		t.opts[p] = newOptimizer(cfg.Task)
 	}
 	t.avg = NewAveragerObs(cfg.Pipelines, base.Params(), cfg.Obs)
 	if cfg.Alpha > 0 {
 		t.avg.Alpha = cfg.Alpha
 	}
 	t.avg.SetFaults(t.faults)
+	if cfg.Dist != nil {
+		t.avg.AttachMesh(cfg.Dist.Mesh)
+	}
 	if cfg.RoundDeadline > 0 {
 		t.avg.SetRoundDeadline(cfg.RoundDeadline)
 	}
 	t.evalModel = base
 	t.evalGen = cfg.Task.NewGen(cfg.Seed + 999)
 	return t, nil
+}
+
+// local reports whether pipeline p runs in this process (always true
+// outside dist mode).
+func (t *Trainer) local(p int) bool {
+	return t.cfg.Dist == nil || t.cfg.Dist.ReplicaID == p
 }
 
 func newOptimizer(task *workload.Task) optim.Optimizer {
@@ -201,6 +253,9 @@ func (t *Trainer) Step() float64 {
 // the survivors), and a replica whose rejoin round has arrived restarts
 // from the reference model with fresh optimizer state.
 func (t *Trainer) StepContext(ctx context.Context) (float64, error) {
+	if t.cfg.Dist != nil {
+		return t.stepDist(ctx)
+	}
 	n := t.cfg.Pipelines
 	round := t.round
 	for p := 0; p < n; p++ {
@@ -302,6 +357,89 @@ func (t *Trainer) StepContext(ctx context.Context) (float64, error) {
 		SamplesPerS: sps, TokensPerS: tps,
 		OpenRounds: t.avg.PendingRounds(),
 		Live:       live,
+		Losses:     losses,
+	}); err != nil {
+		return loss, fmt.Errorf("core: step log: %w", err)
+	}
+	return loss, nil
+}
+
+// stepDist runs one training round of a multi-process job: the local
+// replica processes its batch, applies its local optimizer update,
+// submits the delta (which fans out to every peer's reference copy),
+// waits for the round to close on the local reference copy — the
+// distributed barrier that replaces Drain, whose watermarks only see
+// local submits — and dilutes. Because every process applies the same
+// deterministic reduction, the local loss sequence is bit-identical to
+// the same replica's losses in a single-process run of the same job.
+func (t *Trainer) stepDist(ctx context.Context) (float64, error) {
+	p := t.cfg.Dist.ReplicaID
+	round := t.round
+	if !t.detached[p] && t.faults.CrashAt(p, round) {
+		t.avg.Detach(p)
+		t.detached[p] = true
+	}
+	if t.detached[p] && t.faults.RejoinAt(p, round) {
+		t.avg.Rejoin(p, t.pipelines[p].Params())
+		t.opts[p] = newOptimizer(t.cfg.Task)
+		t.detached[p] = false
+	}
+	start := time.Now()
+	batch := t.gens[p].NextBatch(t.cfg.Task.BatchSize)
+	var loss float64
+	var samples, tokens int64
+	if !t.detached[p] {
+		samples, tokens = int64(batch.Size), int64(len(batch.Targets))
+		pl := t.pipelines[p]
+		l, err := pl.RunBatchContext(ctx, batch, t.cfg.Micro)
+		if err != nil {
+			nn.ZeroGrads(pl.Params())
+			return 0, fmt.Errorf("pipeline %d: %w", p, err)
+		}
+		loss = l
+		if t.cfg.ClipNorm > 0 {
+			optim.ClipGradNorm(pl.Params(), t.cfg.ClipNorm)
+		}
+		t.opts[p].Step(pl.Params())
+		nn.ZeroGrads(pl.Params())
+		if err := t.avg.SubmitContext(ctx, p, round, pl.Params()); err != nil {
+			return 0, err
+		}
+		if t.cfg.AsyncDilute {
+			t.avg.Dilute(p, pl.Params())
+		}
+	}
+	if !t.cfg.AsyncDilute {
+		// Synchronous elastic round across processes: wait until this
+		// round has been applied to the local reference copy (all live
+		// replicas' updates arrived, or the round deadline expired it).
+		if err := t.avg.WaitRound(ctx, round); err != nil {
+			return 0, err
+		}
+		if !t.detached[p] {
+			t.avg.Dilute(p, t.pipelines[p].Params())
+		}
+	}
+	t.round++
+
+	dur := time.Since(start).Seconds()
+	t.stepSec.Observe(dur)
+	t.samplesTotal.Add(float64(samples))
+	t.tokensTotal.Add(float64(tokens))
+	var sps, tps float64
+	if dur > 0 {
+		sps, tps = float64(samples)/dur, float64(tokens)/dur
+	}
+	t.samplesPerSec.Set(sps)
+	t.tokensPerSec.Set(tps)
+	t.lossGauge.Set(loss)
+	if err := t.stepLog.Log(StepRecord{
+		Round: round, Loss: loss, StepSeconds: dur,
+		Samples: int(samples), Tokens: int(tokens),
+		SamplesPerS: sps, TokensPerS: tps,
+		OpenRounds: t.avg.PendingRounds(),
+		Live:       t.avg.LiveReplicas(),
+		Replica:    p,
 	}); err != nil {
 		return loss, fmt.Errorf("core: step log: %w", err)
 	}

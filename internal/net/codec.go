@@ -1,0 +1,286 @@
+package net
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+
+	"avgpipe/internal/tensor"
+)
+
+// FrameType discriminates the messages of the elastic-averaging wire
+// protocol.
+type FrameType uint8
+
+const (
+	// FrameHello opens a mesh connection: Replica names the sender and
+	// Meta carries the total replica count, so a mis-assembled job
+	// fails at handshake instead of mid-round.
+	FrameHello FrameType = iota + 1
+	// FrameUpdate carries one replica's parameter deltas for one
+	// averaging round (§3.2 step ❸) in Tensors.
+	FrameUpdate
+	// FrameDetach announces that Replica left the averaging set at
+	// Round (crash or clean shutdown); peers renormalize without it.
+	FrameDetach
+	// FrameRejoin announces that Replica re-entered the averaging set
+	// at Round after reseeding itself from its reference copy.
+	FrameRejoin
+	frameTypeEnd
+)
+
+// String names the frame type for logs and test failures.
+func (t FrameType) String() string {
+	switch t {
+	case FrameHello:
+		return "hello"
+	case FrameUpdate:
+		return "update"
+	case FrameDetach:
+		return "detach"
+	case FrameRejoin:
+		return "rejoin"
+	default:
+		return fmt.Sprintf("frametype(%d)", uint8(t))
+	}
+}
+
+// Frame is one wire message. Replica and Round locate it in the
+// elastic-averaging protocol; Meta is per-type scalar payload (the
+// replica count for FrameHello, 0 otherwise); Tensors is the parameter
+// payload (deltas for FrameUpdate, empty for control frames).
+type Frame struct {
+	Type    FrameType
+	Replica uint32
+	Round   uint32
+	Meta    uint32
+	Tensors []*tensor.Tensor
+}
+
+// Wire format (all integers little-endian):
+//
+//	offset size field
+//	0      4    magic "AVPW"
+//	4      1    version (1)
+//	5      1    frame type (1..4)
+//	6      2    reserved, must be zero
+//	8      4    replica
+//	12     4    round
+//	16     4    meta
+//	20     4    payload length P
+//	24     P    payload: u32 tensor count, then per tensor
+//	            u8 ndims, ndims×u32 dims, prod(dims)×f32 data (IEEE bits)
+//
+// The encoding is canonical: for every byte string that decodes, re-
+// encoding the decoded frame reproduces the bytes exactly (the fuzz
+// target enforces this), so frames can be compared and deduplicated by
+// their encoding.
+const (
+	headerSize   = 24
+	codecVersion = 1
+
+	// Decode limits: a hostile or corrupt length field must not drive
+	// allocation. maxFramePayload bounds one frame (64 MiB covers the
+	// largest workload's full parameter set with wide margin);
+	// maxTensors and maxDims bound the per-frame structure.
+	maxFramePayload = 64 << 20
+	maxTensors      = 1 << 16
+	maxDims         = 8
+)
+
+var magic = [4]byte{'A', 'V', 'P', 'W'}
+
+// encodedSize returns the full wire size of f, or an error if f is not
+// encodable (unknown type, oversized structure).
+func encodedSize(f *Frame) (int, error) {
+	if f.Type < FrameHello || f.Type >= frameTypeEnd {
+		return 0, fmt.Errorf("net: cannot encode frame type %d", f.Type)
+	}
+	if len(f.Tensors) > maxTensors {
+		return 0, fmt.Errorf("net: frame has %d tensors (max %d)", len(f.Tensors), maxTensors)
+	}
+	n := headerSize + 4
+	for i, t := range f.Tensors {
+		if t == nil {
+			return 0, fmt.Errorf("net: tensor %d is nil", i)
+		}
+		if t.Dims() > maxDims {
+			return 0, fmt.Errorf("net: tensor %d has %d dims (max %d)", i, t.Dims(), maxDims)
+		}
+		n += 1 + 4*t.Dims() + 4*t.Size()
+	}
+	if n-headerSize > maxFramePayload {
+		return 0, fmt.Errorf("net: frame payload %d bytes exceeds max %d", n-headerSize, maxFramePayload)
+	}
+	return n, nil
+}
+
+// AppendFrame appends f's canonical encoding to dst and returns the
+// extended slice.
+func AppendFrame(dst []byte, f *Frame) ([]byte, error) {
+	size, err := encodedSize(f)
+	if err != nil {
+		return dst, err
+	}
+	base := len(dst)
+	if cap(dst)-base < size {
+		grown := make([]byte, base, base+size)
+		copy(grown, dst)
+		dst = grown
+	}
+	dst = append(dst, magic[:]...)
+	dst = append(dst, codecVersion, byte(f.Type), 0, 0)
+	dst = binary.LittleEndian.AppendUint32(dst, f.Replica)
+	dst = binary.LittleEndian.AppendUint32(dst, f.Round)
+	dst = binary.LittleEndian.AppendUint32(dst, f.Meta)
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(size-headerSize))
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(f.Tensors)))
+	for _, t := range f.Tensors {
+		dst = append(dst, byte(t.Dims()))
+		for _, d := range t.Shape() {
+			dst = binary.LittleEndian.AppendUint32(dst, uint32(d))
+		}
+		for _, v := range t.Data() {
+			dst = binary.LittleEndian.AppendUint32(dst, math.Float32bits(v))
+		}
+	}
+	return dst, nil
+}
+
+// EncodeFrame writes f's canonical encoding to w.
+func EncodeFrame(w io.Writer, f *Frame) error {
+	buf, err := AppendFrame(nil, f)
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(buf)
+	return err
+}
+
+// DecodeFrameBytes decodes one frame from the front of b, returning the
+// frame and the number of bytes consumed. It never panics: any
+// malformed input — bad magic, unknown version or type, non-zero
+// reserved bits, a length field disagreeing with the structure it
+// frames, dimension/data mismatches — is an error.
+func DecodeFrameBytes(b []byte) (*Frame, int, error) {
+	if len(b) < headerSize {
+		return nil, 0, fmt.Errorf("net: short frame header: %d bytes", len(b))
+	}
+	if [4]byte(b[0:4]) != magic {
+		return nil, 0, fmt.Errorf("net: bad magic %q", b[0:4])
+	}
+	if b[4] != codecVersion {
+		return nil, 0, fmt.Errorf("net: unknown wire version %d", b[4])
+	}
+	typ := FrameType(b[5])
+	if typ < FrameHello || typ >= frameTypeEnd {
+		return nil, 0, fmt.Errorf("net: unknown frame type %d", b[5])
+	}
+	if b[6] != 0 || b[7] != 0 {
+		return nil, 0, fmt.Errorf("net: non-zero reserved bytes %x", b[6:8])
+	}
+	payloadLen := int(binary.LittleEndian.Uint32(b[20:24]))
+	if payloadLen > maxFramePayload {
+		return nil, 0, fmt.Errorf("net: payload length %d exceeds max %d", payloadLen, maxFramePayload)
+	}
+	if len(b) < headerSize+payloadLen {
+		return nil, 0, fmt.Errorf("net: truncated frame: have %d of %d payload bytes",
+			len(b)-headerSize, payloadLen)
+	}
+	f := &Frame{
+		Type:    typ,
+		Replica: binary.LittleEndian.Uint32(b[8:12]),
+		Round:   binary.LittleEndian.Uint32(b[12:16]),
+		Meta:    binary.LittleEndian.Uint32(b[16:20]),
+	}
+	if err := decodePayload(f, b[headerSize:headerSize+payloadLen]); err != nil {
+		return nil, 0, err
+	}
+	return f, headerSize + payloadLen, nil
+}
+
+// decodePayload parses the tensor block into f. The payload must be
+// consumed exactly — trailing bytes inside the declared length are an
+// error, which is what makes the encoding canonical.
+func decodePayload(f *Frame, p []byte) error {
+	if len(p) < 4 {
+		return fmt.Errorf("net: payload too short for tensor count: %d bytes", len(p))
+	}
+	n := int(binary.LittleEndian.Uint32(p[0:4]))
+	if n > maxTensors {
+		return fmt.Errorf("net: %d tensors exceeds max %d", n, maxTensors)
+	}
+	p = p[4:]
+	if n > 0 {
+		f.Tensors = make([]*tensor.Tensor, 0, n)
+	}
+	for i := 0; i < n; i++ {
+		if len(p) < 1 {
+			return fmt.Errorf("net: tensor %d: missing dim count", i)
+		}
+		ndims := int(p[0])
+		p = p[1:]
+		if ndims > maxDims {
+			return fmt.Errorf("net: tensor %d: %d dims exceeds max %d", i, ndims, maxDims)
+		}
+		if len(p) < 4*ndims {
+			return fmt.Errorf("net: tensor %d: truncated dims", i)
+		}
+		dims := make([]int, ndims)
+		elems := 1
+		for d := 0; d < ndims; d++ {
+			dims[d] = int(binary.LittleEndian.Uint32(p[4*d : 4*d+4]))
+			// Payload length already bounds total data; this guard only
+			// prevents the product from overflowing before that check.
+			if dims[d] > maxFramePayload {
+				return fmt.Errorf("net: tensor %d: dim %d out of range", i, dims[d])
+			}
+			elems *= dims[d]
+			if elems > maxFramePayload {
+				return fmt.Errorf("net: tensor %d: element count overflows frame", i)
+			}
+		}
+		p = p[4*ndims:]
+		if len(p) < 4*elems {
+			return fmt.Errorf("net: tensor %d: truncated data (%d of %d bytes)", i, len(p), 4*elems)
+		}
+		data := make([]float32, elems)
+		for e := range data {
+			data[e] = math.Float32frombits(binary.LittleEndian.Uint32(p[4*e : 4*e+4]))
+		}
+		p = p[4*elems:]
+		f.Tensors = append(f.Tensors, tensor.FromSlice(data, dims...))
+	}
+	if len(p) != 0 {
+		return fmt.Errorf("net: %d trailing payload bytes", len(p))
+	}
+	return nil
+}
+
+// DecodeFrame reads exactly one frame from r. io.EOF at a frame
+// boundary is returned as io.EOF; a stream that ends inside a frame is
+// io.ErrUnexpectedEOF.
+func DecodeFrame(r io.Reader) (*Frame, error) {
+	var hdr [headerSize]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		if err == io.ErrUnexpectedEOF {
+			return nil, io.ErrUnexpectedEOF
+		}
+		return nil, err
+	}
+	payloadLen := int(binary.LittleEndian.Uint32(hdr[20:24]))
+	if payloadLen > maxFramePayload {
+		return nil, fmt.Errorf("net: payload length %d exceeds max %d", payloadLen, maxFramePayload)
+	}
+	buf := make([]byte, headerSize+payloadLen)
+	copy(buf, hdr[:])
+	if _, err := io.ReadFull(r, buf[headerSize:]); err != nil {
+		if err == io.EOF {
+			return nil, io.ErrUnexpectedEOF
+		}
+		return nil, err
+	}
+	f, _, err := DecodeFrameBytes(buf)
+	return f, err
+}

@@ -1,0 +1,163 @@
+package net
+
+import (
+	"bytes"
+	"io"
+	"math"
+	"strings"
+	"testing"
+
+	"avgpipe/internal/tensor"
+)
+
+// sampleFrames covers every frame type and the payload shapes the
+// protocol produces: control frames with no tensors, updates with one
+// and several tensors, non-finite and denormal float bits, and a
+// zero-element tensor.
+func sampleFrames() []*Frame {
+	return []*Frame{
+		{Type: FrameHello, Replica: 3, Meta: 4},
+		{Type: FrameDetach, Replica: 1, Round: 7},
+		{Type: FrameRejoin, Replica: 2, Round: 9},
+		{Type: FrameUpdate, Replica: 0, Round: 42, Tensors: []*tensor.Tensor{
+			tensor.FromSlice([]float32{1, -2.5, 3e-40, float32(math.Inf(1))}, 2, 2),
+		}},
+		{Type: FrameUpdate, Replica: 5, Round: 1, Tensors: []*tensor.Tensor{
+			tensor.FromSlice([]float32{0.25}, 1),
+			tensor.FromSlice(nil, 0),
+			tensor.FromSlice([]float32{1, 2, 3, 4, 5, 6}, 3, 2),
+		}},
+	}
+}
+
+func TestCodecRoundTrip(t *testing.T) {
+	for _, f := range sampleFrames() {
+		buf, err := AppendFrame(nil, f)
+		if err != nil {
+			t.Fatalf("encode %v: %v", f.Type, err)
+		}
+		got, n, err := DecodeFrameBytes(buf)
+		if err != nil {
+			t.Fatalf("decode %v: %v", f.Type, err)
+		}
+		if n != len(buf) {
+			t.Fatalf("decode %v consumed %d of %d bytes", f.Type, n, len(buf))
+		}
+		assertFramesEqual(t, f, got)
+		// Canonical: re-encoding the decoded frame reproduces the bytes.
+		again, err := AppendFrame(nil, got)
+		if err != nil {
+			t.Fatalf("re-encode %v: %v", f.Type, err)
+		}
+		if !bytes.Equal(buf, again) {
+			t.Fatalf("re-encoding %v is not canonical:\n %x\n %x", f.Type, buf, again)
+		}
+	}
+}
+
+func assertFramesEqual(t *testing.T, want, got *Frame) {
+	t.Helper()
+	if got.Type != want.Type || got.Replica != want.Replica ||
+		got.Round != want.Round || got.Meta != want.Meta {
+		t.Fatalf("header mismatch: want %+v, got %+v", want, got)
+	}
+	if len(got.Tensors) != len(want.Tensors) {
+		t.Fatalf("tensor count: want %d, got %d", len(want.Tensors), len(got.Tensors))
+	}
+	for i := range want.Tensors {
+		w, g := want.Tensors[i], got.Tensors[i]
+		ws, gs := w.Shape(), g.Shape()
+		if len(ws) != len(gs) {
+			t.Fatalf("tensor %d dims: want %v, got %v", i, ws, gs)
+		}
+		for d := range ws {
+			if ws[d] != gs[d] {
+				t.Fatalf("tensor %d shape: want %v, got %v", i, ws, gs)
+			}
+		}
+		wd, gd := w.Data(), g.Data()
+		for e := range wd {
+			// Bit comparison: the wire must preserve NaN payloads and
+			// signed zeros, not just values.
+			if math.Float32bits(wd[e]) != math.Float32bits(gd[e]) {
+				t.Fatalf("tensor %d element %d: want bits %08x, got %08x",
+					i, e, math.Float32bits(wd[e]), math.Float32bits(gd[e]))
+			}
+		}
+	}
+}
+
+func TestCodecStream(t *testing.T) {
+	var buf bytes.Buffer
+	frames := sampleFrames()
+	for _, f := range frames {
+		if err := EncodeFrame(&buf, f); err != nil {
+			t.Fatalf("encode: %v", err)
+		}
+	}
+	r := bytes.NewReader(buf.Bytes())
+	for i, want := range frames {
+		got, err := DecodeFrame(r)
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		assertFramesEqual(t, want, got)
+	}
+	if _, err := DecodeFrame(r); err != io.EOF {
+		t.Fatalf("at stream end: want io.EOF, got %v", err)
+	}
+}
+
+func TestCodecTruncatedStream(t *testing.T) {
+	full, err := AppendFrame(nil, sampleFrames()[3])
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cut := range []int{1, headerSize - 1, headerSize, headerSize + 3, len(full) - 1} {
+		if _, err := DecodeFrame(bytes.NewReader(full[:cut])); err != io.ErrUnexpectedEOF {
+			t.Errorf("stream cut at %d: want io.ErrUnexpectedEOF, got %v", cut, err)
+		}
+	}
+}
+
+func TestCodecRejectsMalformed(t *testing.T) {
+	good, err := AppendFrame(nil, sampleFrames()[3])
+	if err != nil {
+		t.Fatal(err)
+	}
+	corrupt := func(off int, b byte) []byte {
+		c := append([]byte(nil), good...)
+		c[off] = b
+		return c
+	}
+	cases := []struct {
+		name string
+		buf  []byte
+		want string
+	}{
+		{"short header", good[:10], "short frame header"},
+		{"bad magic", corrupt(0, 'X'), "bad magic"},
+		{"bad version", corrupt(4, 9), "wire version"},
+		{"zero type", corrupt(5, 0), "unknown frame type"},
+		{"high type", corrupt(5, 200), "unknown frame type"},
+		{"reserved bits", corrupt(6, 1), "reserved"},
+		{"trailing payload", append(corrupt(20, good[20]+4), 0, 0, 0, 0), "trailing"},
+	}
+	for _, tc := range cases {
+		if _, _, err := DecodeFrameBytes(tc.buf); err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: want error containing %q, got %v", tc.name, tc.want, err)
+		}
+	}
+}
+
+func TestEncodeRejectsUnencodable(t *testing.T) {
+	if _, err := AppendFrame(nil, &Frame{Type: 0}); err == nil {
+		t.Error("zero frame type encoded")
+	}
+	if _, err := AppendFrame(nil, &Frame{Type: frameTypeEnd}); err == nil {
+		t.Error("out-of-range frame type encoded")
+	}
+	if _, err := AppendFrame(nil, &Frame{Type: FrameUpdate, Tensors: []*tensor.Tensor{nil}}); err == nil {
+		t.Error("nil tensor encoded")
+	}
+}

@@ -1,0 +1,244 @@
+package net
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Mesh is the coordinator-free full mesh of one replica in a
+// multi-process elastic-averaging job: a dedicated send connection to
+// every peer plus a dedicated receive connection from every peer. Each
+// ordered replica pair (p → q) owns one connection — p dials, q
+// accepts — so formation needs no leader and no tie-breaking: every
+// process dials all of its peers and accepts one connection from each.
+type Mesh struct {
+	// Self is this process's replica id; N is the job's total replica
+	// count (peers + self).
+	Self int
+	N    int
+
+	sends map[int]Conn // outbound, keyed by peer id (dialed by us)
+	recvs map[int]Conn // inbound, keyed by peer id (accepted by us)
+	ln    Listener
+
+	closed sync.Once
+}
+
+// dialRetryBase paces redials while peer processes are still starting;
+// the backoff doubles up to dialRetryMax.
+const (
+	dialRetryBase = 25 * time.Millisecond
+	dialRetryMax  = 500 * time.Millisecond
+)
+
+// FormMesh assembles the full mesh for replica self: it listens on
+// listenAddr, dials every peer in peers (id → address) with retry until
+// ctx expires, exchanges hello frames, and verifies that every process
+// agrees on the job size. Peer processes may start in any order.
+func FormMesh(ctx context.Context, tr Transport, self int, listenAddr string, peers map[int]string) (*Mesh, error) {
+	ln, err := tr.Listen(listenAddr)
+	if err != nil {
+		return nil, err
+	}
+	return FormMeshOn(ctx, tr, ln, self, peers)
+}
+
+// FormMeshOn is FormMesh over an already-bound listener, for callers
+// that need the kernel-chosen address (":0" listens) before the peer
+// map can be assembled. The mesh owns the listener: Mesh.Close closes
+// it, and so does any formation failure.
+func FormMeshOn(ctx context.Context, tr Transport, ln Listener, self int, peers map[int]string) (*Mesh, error) {
+	n := len(peers) + 1
+	if self < 0 || self >= n {
+		ln.Close()
+		return nil, fmt.Errorf("net: replica id %d outside [0, %d)", self, n)
+	}
+	for id := range peers {
+		if id == self {
+			ln.Close()
+			return nil, fmt.Errorf("net: peer list contains self (replica %d)", self)
+		}
+		if id < 0 || id >= n {
+			ln.Close()
+			return nil, fmt.Errorf("net: peer id %d outside [0, %d) — ids must be contiguous", id, n)
+		}
+	}
+	m := &Mesh{Self: self, N: n, sends: make(map[int]Conn), recvs: make(map[int]Conn), ln: ln}
+
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var errs []error
+	fail := func(err error) {
+		mu.Lock()
+		errs = append(errs, err)
+		mu.Unlock()
+	}
+
+	// Dial every peer, announcing ourselves with a hello.
+	for id, addr := range peers {
+		wg.Add(1)
+		go func(id int, addr string) {
+			defer wg.Done()
+			c, err := dialRetry(ctx, tr, addr)
+			if err != nil {
+				fail(fmt.Errorf("net: dial replica %d at %s: %w", id, addr, err))
+				return
+			}
+			hello := &Frame{Type: FrameHello, Replica: uint32(self), Meta: uint32(n)}
+			if err := c.Send(ctx, hello); err != nil {
+				c.Close()
+				fail(fmt.Errorf("net: hello to replica %d: %w", id, err))
+				return
+			}
+			mu.Lock()
+			m.sends[id] = c
+			mu.Unlock()
+		}(id, addr)
+	}
+
+	// Accept one connection from every peer; its hello tells us who it
+	// is and lets us cross-check the job geometry.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < len(peers); i++ {
+			c, err := ln.Accept(ctx)
+			if err != nil {
+				fail(fmt.Errorf("net: accept: %w", err))
+				return
+			}
+			f, err := c.Recv(ctx)
+			if err != nil || f.Type != FrameHello {
+				c.Close()
+				fail(fmt.Errorf("net: handshake: want hello, got (%v, %v)", f, err))
+				return
+			}
+			id := int(f.Replica)
+			if _, known := peers[id]; !known {
+				c.Close()
+				fail(fmt.Errorf("net: hello from unexpected replica %d", id))
+				return
+			}
+			if int(f.Meta) != n {
+				c.Close()
+				fail(fmt.Errorf("net: replica %d believes the job has %d replicas, we have %d", id, f.Meta, n))
+				return
+			}
+			mu.Lock()
+			dup := m.recvs[id] != nil
+			if !dup {
+				m.recvs[id] = c
+			}
+			mu.Unlock()
+			if dup {
+				c.Close()
+				fail(fmt.Errorf("net: duplicate connection from replica %d", id))
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	if len(errs) > 0 {
+		m.Close()
+		return nil, errors.Join(errs...)
+	}
+	return m, nil
+}
+
+// dialRetry redials until the peer's listener is up or ctx expires.
+func dialRetry(ctx context.Context, tr Transport, addr string) (Conn, error) {
+	backoff := dialRetryBase
+	for {
+		c, err := tr.Dial(ctx, addr)
+		if err == nil {
+			return c, nil
+		}
+		select {
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case <-time.After(backoff):
+		}
+		if backoff *= 2; backoff > dialRetryMax {
+			backoff = dialRetryMax
+		}
+	}
+}
+
+// Peers returns the peer ids in ascending order.
+func (m *Mesh) Peers() []int {
+	ids := make([]int, 0, len(m.sends))
+	for id := range m.sends {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	return ids
+}
+
+// Recv returns the inbound connection from peer id (frames that peer
+// sent us).
+func (m *Mesh) Recv(id int) Conn { return m.recvs[id] }
+
+// Broadcast sends f to every peer in ascending id order, returning the
+// joined errors (nil if every send succeeded).
+func (m *Mesh) Broadcast(ctx context.Context, f *Frame) error {
+	var errs []error
+	for _, id := range m.Peers() {
+		if err := m.sends[id].Send(ctx, f); err != nil {
+			errs = append(errs, fmt.Errorf("net: broadcast to replica %d: %w", id, err))
+		}
+	}
+	return errors.Join(errs...)
+}
+
+// Addr reports the listener's bound address (for port-0 listens).
+func (m *Mesh) Addr() string {
+	if m.ln == nil {
+		return ""
+	}
+	return m.ln.Addr()
+}
+
+// Close tears down every connection and the listener. Idempotent.
+func (m *Mesh) Close() {
+	m.closed.Do(func() {
+		for _, c := range m.sends {
+			c.Close()
+		}
+		for _, c := range m.recvs {
+			c.Close()
+		}
+		if m.ln != nil {
+			m.ln.Close()
+		}
+	})
+}
+
+// fanOut is the averager's composed submit path in a multi-process job:
+// a Send delivers to the local loopback (this process's reference loop)
+// and broadcasts to every peer, so one Submit reaches all N reference
+// copies. Recv and Close operate on the local end only — the mesh's
+// lifecycle belongs to its owner.
+type fanOut struct {
+	Conn
+	mesh *Mesh
+}
+
+// FanOut returns a Conn that sends to local and to every mesh peer.
+func FanOut(local Conn, m *Mesh) Conn {
+	if m == nil {
+		return local
+	}
+	return &fanOut{Conn: local, mesh: m}
+}
+
+func (f *fanOut) Send(ctx context.Context, fr *Frame) error {
+	err := f.Conn.Send(ctx, fr)
+	if berr := f.mesh.Broadcast(ctx, fr); berr != nil && err == nil {
+		err = berr
+	}
+	return err
+}

@@ -1,0 +1,87 @@
+// Package net is the wire-transport layer of the elastic-averaging
+// runtime: it moves averaging-round updates, parameter deltas, and
+// detach/rejoin control frames between replica processes. A Transport
+// is pluggable — the in-process implementation (InProc) carries frames
+// by pointer through bounded comm.Queues for single-process runs and
+// tests, and the TCP implementation (TCP) carries them across OS
+// processes with the length-prefixed binary codec in codec.go. Mesh
+// forms the coordinator-free full mesh a multi-process training job
+// runs on.
+//
+// # Cancellation and close semantics (the transport contract)
+//
+// This section is the single normative statement of blocked-call
+// semantics for every transport AND for comm.Queue, which the
+// transports are built on. The conformance suite
+// (conformance_test.go) enforces it against each implementation:
+//
+//   - A Recv blocked when its context fires returns (nil, ctx.Err())
+//     WITHOUT consuming a frame: the next Recv still observes every
+//     frame the peer sent, in order.
+//   - A Send blocked on backpressure when its context fires returns
+//     ctx.Err() without delivering the frame (TCP only: a send
+//     cancelled after its frame was partially written poisons the
+//     connection, and every later Send fails — a stream cut mid-frame
+//     cannot be resumed).
+//   - Closed-and-drained wins over cancellation: once the peer has
+//     closed and all in-flight frames have been received, Recv returns
+//     ErrClosed even if the caller's context has also fired.
+//   - Close is graceful for frames already sent: the receiver drains
+//     them before seeing ErrClosed. Send after Close (either end's)
+//     returns ErrClosed, never a panic and never a silent drop.
+//
+// comm.Queue.RecvContext expresses the same contract in its
+// (value, ok, error) form: cancellation returns (zero, false, ctx.Err()),
+// and closed-and-drained returns (zero, false, nil).
+package net
+
+import (
+	"context"
+	"errors"
+)
+
+// ErrClosed is returned by Send and Recv once the connection (or its
+// peer) has closed and, for Recv, every in-flight frame has been
+// drained.
+var ErrClosed = errors.New("net: connection closed")
+
+// ErrDropped is returned by a fault-injecting connection (see Faulty)
+// when the frame was deliberately lost in flight. Callers treat it as
+// "sent into the void": not an error to retry, but a frame that will
+// never arrive.
+var ErrDropped = errors.New("net: frame dropped by fault injection")
+
+// Conn is one bidirectional, ordered frame stream between two replicas.
+// Send and Recv are safe for concurrent use (concurrent Sends are
+// serialized whole-frame; frames never interleave on the wire).
+type Conn interface {
+	// Send delivers one frame, blocking under backpressure until the
+	// peer makes room, the context fires, or the connection closes.
+	Send(ctx context.Context, f *Frame) error
+	// Recv returns the next frame in send order, blocking until one
+	// arrives, the context fires, or the stream is closed and drained.
+	Recv(ctx context.Context) (*Frame, error)
+	// Close tears the connection down. Frames already sent remain
+	// receivable by the peer; everything after fails with ErrClosed.
+	Close() error
+	// LocalAddr and RemoteAddr name the endpoints for logs and metrics.
+	LocalAddr() string
+	RemoteAddr() string
+}
+
+// Listener accepts inbound connections on one address.
+type Listener interface {
+	Accept(ctx context.Context) (Conn, error)
+	// Addr is the bound address — for TCP with port 0, the actual port.
+	Addr() string
+	Close() error
+}
+
+// Transport creates listeners and dials peers. Implementations must be
+// safe for concurrent use.
+type Transport interface {
+	Listen(addr string) (Listener, error)
+	Dial(ctx context.Context, addr string) (Conn, error)
+	// Name labels the transport in metrics and test output.
+	Name() string
+}

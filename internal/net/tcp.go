@@ -1,0 +1,261 @@
+package net
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	gonet "net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"avgpipe/internal/comm"
+	"avgpipe/internal/obs"
+)
+
+// TCP is the wire Transport: length-prefixed binary frames (codec.go)
+// over TCP. Backpressure is physical — a receiver that stops draining
+// its inbox stops reading the socket, the kernel windows fill, and the
+// sender's Send blocks — so a slow replica throttles its peers instead
+// of buffering unboundedly.
+type TCP struct {
+	// InboxFrames bounds the decoded frames buffered per connection
+	// before the reader stops pulling from the socket (default 64).
+	InboxFrames int
+
+	// Observability: wire volume, frame counts, dial latency, and the
+	// per-transport high-water encode-buffer size (allocation pressure
+	// of the codec).
+	bytesSent  *obs.Counter
+	bytesRecv  *obs.Counter
+	framesSent *obs.Counter
+	framesRecv *obs.Counter
+	dialSec    *obs.Histogram
+	encBufHigh *obs.Gauge
+
+	mu         sync.Mutex
+	encBufPeak int
+}
+
+const defaultInboxFrames = 64
+
+// NewTCP returns a TCP transport recording metrics into reg (nil =
+// obs.Default()).
+func NewTCP(reg *obs.Registry) *TCP {
+	if reg == nil {
+		reg = obs.Default()
+	}
+	return &TCP{
+		InboxFrames: defaultInboxFrames,
+		bytesSent: reg.Counter("avgpipe_net_bytes_sent_total",
+			"Wire bytes written by the transport.", "transport", "tcp"),
+		bytesRecv: reg.Counter("avgpipe_net_bytes_recv_total",
+			"Wire bytes read by the transport.", "transport", "tcp"),
+		framesSent: reg.Counter("avgpipe_net_frames_sent_total",
+			"Frames written by the transport.", "transport", "tcp"),
+		framesRecv: reg.Counter("avgpipe_net_frames_recv_total",
+			"Frames read by the transport.", "transport", "tcp"),
+		dialSec: reg.Histogram("avgpipe_net_dial_seconds",
+			"Latency of successful peer dials.", nil, "transport", "tcp"),
+		encBufHigh: reg.Gauge("avgpipe_net_codec_buffer_bytes",
+			"High-water per-connection encode buffer capacity.", "transport", "tcp"),
+	}
+}
+
+func (t *TCP) Name() string { return "tcp" }
+
+// Listen binds a TCP address; ":0" or "127.0.0.1:0" picks a free port,
+// reported by the listener's Addr.
+func (t *TCP) Listen(addr string) (Listener, error) {
+	ln, err := gonet.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return &tcpListener{tr: t, ln: ln}, nil
+}
+
+// Dial connects to addr, honoring ctx for the connection attempt.
+func (t *TCP) Dial(ctx context.Context, addr string) (Conn, error) {
+	start := time.Now()
+	var d gonet.Dialer
+	c, err := d.DialContext(ctx, "tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	t.dialSec.Observe(time.Since(start).Seconds())
+	return t.newConn(c), nil
+}
+
+type tcpListener struct {
+	tr *TCP
+	ln gonet.Listener
+}
+
+func (l *tcpListener) Accept(ctx context.Context) (Conn, error) {
+	// Abort a blocked accept by closing the listener when ctx fires;
+	// callers that hit this path are tearing the process down anyway.
+	stop := context.AfterFunc(ctx, func() { l.ln.Close() })
+	defer stop()
+	c, err := l.ln.Accept()
+	if err != nil {
+		if ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
+		if errors.Is(err, gonet.ErrClosed) {
+			return nil, ErrClosed
+		}
+		return nil, err
+	}
+	return l.tr.newConn(c), nil
+}
+
+func (l *tcpListener) Addr() string { return l.ln.Addr().String() }
+func (l *tcpListener) Close() error { return l.ln.Close() }
+
+// tcpConn frames one TCP socket. A dedicated reader goroutine decodes
+// frames into a bounded comm.Queue inbox, so Recv inherits the queue's
+// blocked-call semantics — the same contract, one implementation — and
+// a cancelled Recv can never leave the byte stream torn mid-frame.
+type tcpConn struct {
+	tr *TCP
+	c  gonet.Conn
+
+	inbox *comm.Queue[*Frame]
+
+	wmu    sync.Mutex
+	encBuf []byte
+	// broken marks a connection whose outbound stream may have been cut
+	// inside a frame (a Send cancelled mid-write); no further frame can
+	// be framed correctly, so every later Send fails. closed is set by
+	// Close without taking wmu, so closing never waits behind a Send
+	// blocked on backpressure — it unblocks it instead.
+	broken atomic.Bool
+	closed atomic.Bool
+}
+
+func (t *TCP) newConn(c gonet.Conn) *tcpConn {
+	capn := t.InboxFrames
+	if capn <= 0 {
+		capn = defaultInboxFrames
+	}
+	tc := &tcpConn{tr: t, c: c, inbox: comm.NewBounded[*Frame](capn)}
+	go tc.readLoop()
+	return tc
+}
+
+// readLoop decodes the socket into the inbox until the stream ends.
+// When the inbox is full it parks in SendContext, the socket stops
+// being read, and TCP flow control pushes the backpressure to the peer.
+func (tc *tcpConn) readLoop() {
+	defer tc.inbox.Close()
+	br := bufio.NewReaderSize(&countingReader{r: tc.c, n: tc.tr.bytesRecv}, 64<<10)
+	for {
+		f, err := DecodeFrame(br)
+		if err != nil {
+			return // EOF, peer reset, or a framing error: stream over
+		}
+		tc.tr.framesRecv.Inc()
+		if tc.inbox.Send(f) != nil {
+			return // local side closed while we were decoding
+		}
+	}
+}
+
+type countingReader struct {
+	r io.Reader
+	n *obs.Counter
+}
+
+func (cr *countingReader) Read(p []byte) (int, error) {
+	n, err := cr.r.Read(p)
+	cr.n.Add(float64(n))
+	return n, err
+}
+
+func (tc *tcpConn) Send(ctx context.Context, f *Frame) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	tc.wmu.Lock()
+	defer tc.wmu.Unlock()
+	if tc.closed.Load() || tc.broken.Load() {
+		return ErrClosed
+	}
+	buf, err := AppendFrame(tc.encBuf[:0], f)
+	if err != nil {
+		return err
+	}
+	tc.encBuf = buf
+	if c := cap(buf); c > tc.tr.bufPeak() {
+		tc.tr.setBufPeak(c)
+	}
+	// Clear any deadline a previously-cancelled Send's AfterFunc may
+	// have set after that call returned, then arm this call's abort: a
+	// context firing mid-write breaks the blocked syscall via the write
+	// deadline. A frame cut partway through tears the stream, so the
+	// connection is marked broken.
+	tc.c.SetWriteDeadline(time.Time{})
+	stop := context.AfterFunc(ctx, func() { tc.c.SetWriteDeadline(time.Unix(1, 0)) })
+	n, werr := tc.c.Write(buf)
+	stop()
+	tc.tr.bytesSent.Add(float64(n))
+	if werr != nil {
+		if n > 0 && n < len(buf) {
+			tc.broken.Store(true)
+		}
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		if tc.closed.Load() || errors.Is(werr, gonet.ErrClosed) {
+			return ErrClosed
+		}
+		return werr
+	}
+	tc.tr.framesSent.Inc()
+	return nil
+}
+
+func (tc *tcpConn) Recv(ctx context.Context) (*Frame, error) {
+	f, ok, err := tc.inbox.RecvContext(ctx)
+	if err != nil {
+		return nil, err
+	}
+	if !ok {
+		return nil, ErrClosed
+	}
+	return f, nil
+}
+
+// Close tears down the socket and the inbox. Closing the inbox (not
+// just the socket) matters when the reader goroutine is parked on a
+// full inbox: it is not reading the socket, so only the queue close can
+// unblock it.
+func (tc *tcpConn) Close() error {
+	tc.closed.Store(true)
+	err := tc.c.Close()
+	tc.inbox.Close()
+	return err
+}
+
+func (tc *tcpConn) LocalAddr() string  { return tc.c.LocalAddr().String() }
+func (tc *tcpConn) RemoteAddr() string { return tc.c.RemoteAddr().String() }
+
+func (t *TCP) bufPeak() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.encBufPeak
+}
+
+func (t *TCP) setBufPeak(c int) {
+	t.mu.Lock()
+	if c > t.encBufPeak {
+		t.encBufPeak = c
+		t.encBufHigh.Set(float64(c))
+	}
+	t.mu.Unlock()
+}
+
+// String renders the transport for logs.
+func (t *TCP) String() string { return fmt.Sprintf("tcp(inbox=%d)", t.InboxFrames) }
