@@ -1,13 +1,13 @@
 GO ?= go
 
-.PHONY: ci fmt vet vet-obs build test race faults fuzz-smoke bench-smoke bench-gate bench-baseline cover
+.PHONY: ci fmt vet vet-obs build test race faults fuzz-smoke bench-smoke bench-gate bench-baseline bench-graph-gate bench-graph-baseline cover
 
 # ci is the full verification tier: formatting, static checks (including
 # the obs build tag, which turns on strict metric-name validation), build,
 # tests, the race-detector pass over the concurrent packages, the seeded
-# chaos matrix, the wire-codec fuzz smoke, and the kernel
-# benchmark-regression gate.
-ci: fmt vet vet-obs build test race faults fuzz-smoke bench-gate
+# chaos matrix, the wire-codec fuzz smoke, and the kernel and compiled
+# op-graph benchmark-regression gates.
+ci: fmt vet vet-obs build test race faults fuzz-smoke bench-gate bench-graph-gate
 
 fmt:
 	@out="$$(gofmt -l .)"; \
@@ -28,7 +28,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/core/... ./internal/comm/... ./internal/net/... ./internal/obs/... ./internal/tensor/...
+	$(GO) test -race ./internal/core/... ./internal/comm/... ./internal/net/... ./internal/obs/... ./internal/tensor/... ./internal/compiled/...
 
 # fuzz-smoke runs the wire-codec fuzz target for 30 seconds on top of
 # its checked-in regression corpus (internal/net/testdata/fuzz): decode
@@ -87,14 +87,38 @@ bench-gate:
 bench-baseline:
 	$(GO) test $(BENCH_FLAGS) | $(GO) run ./cmd/benchgate -baseline BENCH_kernels.json -update
 
+# GRAPH_BENCH_FLAGS drives the compiled op-graph gate the same way:
+# every Graph* benchmark replays one full steady-state micro-batch
+# (forward, 2BP grad-input, grad-weight, EndMicro) against a pre-built
+# Program and pooled Env.
+GRAPH_BENCH_FLAGS = -run '^$$' -bench Graph -benchmem -benchtime 300ms -count 5 ./internal/nn/
+
+# bench-graph-gate fails on compiled-path regressions against
+# BENCH_graph.json: >15% ns/op, or ANY allocs/op increase — the replay
+# makes zero allocation decisions on slot registers, so a new
+# per-micro-batch allocation means the compiler or planner regressed.
+bench-graph-gate:
+	@out="$$(mktemp -t avgpipe-graphbench.XXXXXX.txt)"; \
+	trap 'rm -f "$$out"' EXIT; \
+	$(GO) test $(GRAPH_BENCH_FLAGS) > "$$out" 2>&1 || { cat "$$out"; exit 1; }; \
+	$(GO) run ./cmd/benchgate -baseline BENCH_graph.json < "$$out"
+
+# bench-graph-baseline rewrites BENCH_graph.json from a fresh run (after
+# an intentional compiler/planner change or on a new machine class).
+bench-graph-baseline:
+	$(GO) test $(GRAPH_BENCH_FLAGS) | $(GO) run ./cmd/benchgate -baseline BENCH_graph.json -update
+
 # cover reports per-package coverage and enforces a 70% floor on the
-# kernel hot path (internal/tensor), whose correctness claims lean on
-# exhaustive tests rather than review.
+# kernel hot path (internal/tensor) and the op-graph compiler
+# (internal/compiled), whose correctness claims lean on exhaustive tests
+# rather than review.
 cover:
 	@$(GO) test -cover ./... | grep -v '\[no test files\]'
-	@pct="$$($(GO) test -cover ./internal/tensor/ | grep -o 'coverage: [0-9.]*' | grep -o '[0-9.]*')"; \
-	ok="$$(echo "$$pct 70" | awk '{print ($$1 >= $$2) ? 1 : 0}')"; \
-	if [ "$$ok" != 1 ]; then \
-		echo "cover: internal/tensor coverage $$pct% is below the 70% floor"; exit 1; \
-	fi; \
-	echo "cover: internal/tensor coverage $$pct% meets the 70% floor"
+	@for pkg in ./internal/tensor/ ./internal/compiled/; do \
+		pct="$$($(GO) test -cover $$pkg | grep -o 'coverage: [0-9.]*' | grep -o '[0-9.]*')"; \
+		ok="$$(echo "$$pct 70" | awk '{print ($$1 >= $$2) ? 1 : 0}')"; \
+		if [ "$$ok" != 1 ]; then \
+			echo "cover: $$pkg coverage $$pct% is below the 70% floor"; exit 1; \
+		fi; \
+		echo "cover: $$pkg coverage $$pct% meets the 70% floor"; \
+	done

@@ -1,0 +1,83 @@
+package compiled
+
+// interval is a slot register's live range and buffer size, the
+// planner's unit of work. def/use are positions in the linear
+// fwd→bwdIn→bwdW op order; size is element count.
+type interval struct {
+	reg  Reg
+	def  int
+	use  int
+	size int
+}
+
+// assignSlots maps each interval to a slot index such that two
+// intervals share a slot only if their sizes are equal and their live
+// ranges are disjoint (strictly: one's lastUse precedes the other's
+// def — an op may not read a register whose storage it is overwriting,
+// so a register expiring at position p is not reusable by one defined
+// at p). Returns the slot of each interval (parallel slice) and the
+// element count of each slot.
+//
+// Intervals must be sorted by def (Finish produces them in def order).
+// The scan keeps a free list per size; expired intervals return their
+// slot to the free list before the next allocation.
+func assignSlots(ivs []interval) (slotOf []int, slotSizes []int) {
+	slotOf = make([]int, len(ivs))
+	type active struct {
+		use  int
+		slot int
+	}
+	var live []active
+	free := make(map[int][]int) // size → free slot indices
+	for i, iv := range ivs {
+		// Expire intervals whose last use strictly precedes this def.
+		keep := live[:0]
+		for _, a := range live {
+			if a.use < iv.def {
+				sz := slotSizes[a.slot]
+				free[sz] = append(free[sz], a.slot)
+			} else {
+				keep = append(keep, a)
+			}
+		}
+		live = keep
+
+		var slot int
+		if fl := free[iv.size]; len(fl) > 0 {
+			slot = fl[len(fl)-1]
+			free[iv.size] = fl[:len(fl)-1]
+		} else {
+			slot = len(slotSizes)
+			slotSizes = append(slotSizes, iv.size)
+		}
+		slotOf[i] = slot
+		live = append(live, active{use: iv.use, slot: slot})
+	}
+	return slotOf, slotSizes
+}
+
+// slotIntervals extracts the slot-class registers of a program as
+// def-ordered intervals for the given input shape.
+func (p *Program) slotIntervals(in []int) []interval {
+	var ivs []interval
+	for r := range p.regs {
+		ri := &p.regs[r]
+		if ri.class != regSlot || ri.def < 0 {
+			continue
+		}
+		dims := ri.shape(in)
+		n := 1
+		for _, d := range dims {
+			n *= d
+		}
+		ivs = append(ivs, interval{reg: Reg(r), def: ri.def, use: ri.lastUse, size: n})
+	}
+	// Registers are created in lowering order but defined in op order;
+	// insertion sort by def (lists are short, and mostly sorted already).
+	for i := 1; i < len(ivs); i++ {
+		for j := i; j > 0 && ivs[j].def < ivs[j-1].def; j-- {
+			ivs[j], ivs[j-1] = ivs[j-1], ivs[j]
+		}
+	}
+	return ivs
+}

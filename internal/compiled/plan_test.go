@@ -1,0 +1,85 @@
+package compiled
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestAssignSlotsProperty generates randomized interval sets and checks
+// the planner's safety invariants: two intervals sharing a slot must
+// have equal sizes and strictly disjoint live ranges (a register
+// expiring at position p is not reusable at p: an op may not read
+// storage it is overwriting).
+func TestAssignSlotsProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(1234))
+	sizes := []int{16, 16, 64, 256, 1024}
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(40)
+		ivs := make([]interval, n)
+		for i := range ivs {
+			def := rng.Intn(100)
+			ivs[i] = interval{
+				reg:  Reg(i),
+				def:  def,
+				use:  def + rng.Intn(30),
+				size: sizes[rng.Intn(len(sizes))],
+			}
+		}
+		// The planner requires def order.
+		for i := 1; i < len(ivs); i++ {
+			for j := i; j > 0 && ivs[j].def < ivs[j-1].def; j-- {
+				ivs[j], ivs[j-1] = ivs[j-1], ivs[j]
+			}
+		}
+		slotOf, slotSizes := assignSlots(ivs)
+		for i := range ivs {
+			if slotSizes[slotOf[i]] != ivs[i].size {
+				t.Fatalf("trial %d: interval %d size %d in slot of size %d",
+					trial, i, ivs[i].size, slotSizes[slotOf[i]])
+			}
+			for j := i + 1; j < n; j++ {
+				if slotOf[i] != slotOf[j] {
+					continue
+				}
+				a, b := ivs[i], ivs[j]
+				if a.def <= b.use && b.def <= a.use {
+					t.Fatalf("trial %d: live intervals [%d,%d] and [%d,%d] share slot %d",
+						trial, a.def, a.use, b.def, b.use, slotOf[i])
+				}
+			}
+		}
+	}
+}
+
+// TestAssignSlotsReuse checks that the planner actually shares storage:
+// two equal-sized registers with disjoint ranges must land in one slot.
+func TestAssignSlotsReuse(t *testing.T) {
+	ivs := []interval{
+		{reg: 0, def: 0, use: 1, size: 64},
+		{reg: 1, def: 2, use: 3, size: 64},
+	}
+	slotOf, slotSizes := assignSlots(ivs)
+	if len(slotSizes) != 1 || slotOf[0] != slotOf[1] {
+		t.Fatalf("disjoint equal-size intervals should share one slot, got slots %v sizes %v", slotOf, slotSizes)
+	}
+
+	// Touching at a boundary position must NOT share.
+	ivs = []interval{
+		{reg: 0, def: 0, use: 2, size: 64},
+		{reg: 1, def: 2, use: 3, size: 64},
+	}
+	slotOf, _ = assignSlots(ivs)
+	if slotOf[0] == slotOf[1] {
+		t.Fatal("intervals meeting at one position must not share a slot")
+	}
+
+	// Different sizes never share even when disjoint.
+	ivs = []interval{
+		{reg: 0, def: 0, use: 1, size: 64},
+		{reg: 1, def: 5, use: 6, size: 128},
+	}
+	slotOf, _ = assignSlots(ivs)
+	if slotOf[0] == slotOf[1] {
+		t.Fatal("different-size intervals must not share a slot")
+	}
+}

@@ -1,0 +1,100 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"avgpipe/internal/sched"
+	"avgpipe/internal/workload"
+)
+
+// TestCompiledEquivalenceAllWorkloads is the permanent bit-exactness
+// gate for the compiled execution path: for every workload task, a
+// trainer running compiled stages must produce round losses bitwise
+// identical (float64 bit patterns) to the reference interpreter from
+// the same seed. Any divergence — a reordered accumulation, a fused
+// kernel with different rounding, a stash corrupted across in-flight
+// micro-batches — trips this before it can masquerade as a tuning
+// artifact.
+func TestCompiledEquivalenceAllWorkloads(t *testing.T) {
+	for _, task := range workload.Tasks() {
+		task := task
+		t.Run(task.Name, func(t *testing.T) {
+			const rounds = 3
+			run := func(compiled bool) []float64 {
+				tr, err := NewTrainer(TrainerConfig{
+					Task: task, Pipelines: 2, Micro: 2, StageCount: 2,
+					Seed: 42, Compiled: compiled,
+				})
+				if err != nil {
+					t.Fatalf("NewTrainer(compiled=%v): %v", compiled, err)
+				}
+				defer tr.Close()
+				losses := make([]float64, rounds)
+				for r := range losses {
+					losses[r] = tr.Step()
+				}
+				return losses
+			}
+			ref := run(false)
+			cmp := run(true)
+			for r := range ref {
+				if math.Float64bits(ref[r]) != math.Float64bits(cmp[r]) {
+					t.Fatalf("round %d: interpreter loss %.17g, compiled loss %.17g — paths diverged",
+						r, ref[r], cmp[r])
+				}
+			}
+		})
+	}
+}
+
+// TestCompiledPipelineOccupancy cross-validates the compiled runtime
+// against the schedule analysis: with the backward split, the measured
+// per-stage op counts and stash high-water marks must equal the split
+// schedule's analytic values exactly.
+func TestCompiledPipelineOccupancy(t *testing.T) {
+	task := workload.ClassificationTask()
+	model := task.NewModel(7)
+	pl, err := NewPipelineWith(model, PipelineConfig{Stages: 2, Compiled: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const m = 4
+	batch := task.NewGen(11).NextBatch(8)
+	pl.RunBatch(batch, m)
+
+	s, an := pl.ScheduleFor(m)
+	for _, ops := range s.PerGPU {
+		var bi, bw int
+		for _, op := range ops {
+			switch op.Kind {
+			case sched.BwdIn:
+				bi++
+			case sched.BwdW:
+				bw++
+			case sched.Bwd:
+				t.Fatalf("compiled pipeline schedule still has combined op %v", op)
+			}
+		}
+		if bi != m || bw != m {
+			t.Fatalf("split schedule has %d BwdIn / %d BwdW ops per stage, want %d each", bi, bw, m)
+		}
+	}
+	for st, met := range pl.Metrics() {
+		if met.Fwd != an.Fwd[st] || met.Bwd != an.Bwd[st] || met.BwdW != an.BwdW[st] {
+			t.Errorf("stage %d ran F=%d Bi=%d Bw=%d, analysis says F=%d Bi=%d Bw=%d",
+				st, met.Fwd, met.Bwd, met.BwdW, an.Fwd[st], an.Bwd[st], an.BwdW[st])
+		}
+		if met.PeakInFlight != an.MaxInFlight[st] {
+			t.Errorf("stage %d peak in-flight %d, analysis %d", st, met.PeakInFlight, an.MaxInFlight[st])
+		}
+	}
+
+	// The plans behind each stage must satisfy the planner invariants
+	// for the shapes this batch actually bound.
+	for st, prog := range pl.StagePrograms() {
+		if err := prog.CheckPlan(batch.Slice(m)[0].X.Shape()); err != nil && st == 0 {
+			t.Errorf("stage %d plan: %v", st, err)
+		}
+	}
+}

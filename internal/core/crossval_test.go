@@ -102,6 +102,76 @@ func TestCrossValidationRuntimeSimAnalysis(t *testing.T) {
 	}
 }
 
+// TestCrossValidationSplitBackward extends the three-way contract to
+// split schedules: for each schedule family, the 2BP-split variant must
+// agree across sched.Analyze, pipesim, and the compiled runtime on
+// forward, grad-input, and grad-weight op counts and on the stash
+// high-water mark (which a split backward holds until BwdW).
+func TestCrossValidationSplitBackward(t *testing.T) {
+	task := workload.TranslationTask()
+	const k, m = 2, 8
+	batch := task.NewGen(31).NextBatch(16)
+	w, c, stages := simFixture(k, m)
+
+	advance := make([]int, k)
+	for s := range advance {
+		advance[s] = k - 1 - s
+	}
+	plans := []sched.Plan{sched.AFABPlan(), sched.OneFOneBPlan(), sched.AFPPlan(advance)}
+	for _, plan := range plans {
+		split := sched.SplitBackward(plan.Make(k, m))
+		an, err := sched.Analyze(split)
+		if err != nil {
+			t.Fatalf("%s split: %v", split.Name, err)
+		}
+		for st := 0; st < k; st++ {
+			if an.Bwd[st] != m || an.BwdW[st] != m {
+				t.Fatalf("%s split analysis stage %d: %dBi %dBw, want %d each",
+					split.Name, st, an.Bwd[st], an.BwdW[st], m)
+			}
+		}
+
+		// Compiled runtime: the pipeline splits the plan itself, so its
+		// effective schedule must match the explicit split.
+		pl, err := NewPipelineWith(task.NewModel(9), PipelineConfig{
+			Stages: k, Plan: plan, Compiled: true,
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", plan.Name, err)
+		}
+		pl.RunBatch(batch, m)
+		for st, met := range pl.Metrics() {
+			if met.Fwd != an.Fwd[st] || met.Bwd != an.Bwd[st] || met.BwdW != an.BwdW[st] {
+				t.Errorf("%s runtime stage %d: %dF %dBi %dBw, analysis %dF %dBi %dBw",
+					split.Name, st, met.Fwd, met.Bwd, met.BwdW, an.Fwd[st], an.Bwd[st], an.BwdW[st])
+			}
+			if met.PeakInFlight != an.MaxInFlight[st] {
+				t.Errorf("%s runtime stage %d: peak in-flight %d, analysis %d",
+					split.Name, st, met.PeakInFlight, an.MaxInFlight[st])
+			}
+		}
+
+		// Simulator on the explicit split schedule.
+		r, err := pipesim.Run(pipesim.Config{
+			Workload: w, Cluster: c, Stages: stages,
+			Micro: m, Pipelines: 1, Schedule: split, Batches: 1,
+		})
+		if err != nil {
+			t.Fatalf("%s sim: %v", split.Name, err)
+		}
+		for st, g := range r.PerGPU {
+			if g.Fwd != an.Fwd[st] || g.Bwd != an.Bwd[st] || g.BwdW != an.BwdW[st] {
+				t.Errorf("%s sim stage %d: %dF %dBi %dBw, analysis %dF %dBi %dBw",
+					split.Name, st, g.Fwd, g.Bwd, g.BwdW, an.Fwd[st], an.Bwd[st], an.BwdW[st])
+			}
+			if g.PeakInFlight != an.MaxInFlight[st] {
+				t.Errorf("%s sim stage %d: peak in-flight %d, analysis %d",
+					split.Name, st, g.PeakInFlight, an.MaxInFlight[st])
+			}
+		}
+	}
+}
+
 // TestScheduleInterpreterMatchesSequential proves AFAB, 1F1B, and AFP
 // all train the real task end-to-end through NewPipelineFromSchedule:
 // each schedule's loss and gradients equal plain sequential training.

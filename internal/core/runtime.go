@@ -10,6 +10,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"avgpipe/internal/compiled"
 	"avgpipe/internal/data"
 	"avgpipe/internal/fault"
 	"avgpipe/internal/nn"
@@ -42,6 +43,16 @@ type Pipeline struct {
 	cur   *sched.Schedule // schedule in effect for curM micro-batches
 	curAn *sched.Analysis
 	curM  int
+
+	// compiled selects the compiled execution path: each stage lowered
+	// once at build time into a static op graph (progs[s]) that the
+	// stage workers replay per micro-batch, with the backward pass split
+	// 2BP-style into grad-input and grad-weight ops. envPools[s] recycles
+	// per-micro execution environments across batches, keyed by input
+	// shape; each pool is touched only by stage s's worker goroutine.
+	compiled bool
+	progs    []*compiled.Program
+	envPools []map[string][]*compiled.Env
 
 	params  []*nn.Param
 	metrics []StageMetrics
@@ -85,8 +96,10 @@ type StageMetrics struct {
 	FwdTime, BwdTime time.Duration
 	// PeakInFlight is the stash high-water mark (live contexts).
 	PeakInFlight int
-	// Fwd and Bwd count micro-batch passes executed.
-	Fwd, Bwd int
+	// Fwd and Bwd count micro-batch passes executed. Under a split
+	// schedule Bwd counts grad-input passes (BwdIn) and BwdW counts
+	// grad-weight passes; combined backwards leave BwdW at zero.
+	Fwd, Bwd, BwdW int
 	// Ops is the per-op trace (only recorded when Pipeline.Trace is
 	// set), mirroring the simulator's timeline events so real and
 	// simulated traces are diff-able.
@@ -146,6 +159,12 @@ type PipelineConfig struct {
 	// Obs selects the metrics registry the pipeline records per-stage
 	// compute, wait, and occupancy metrics into (nil = obs.Default()).
 	Obs *obs.Registry
+	// Compiled lowers each stage into a static op graph at build time
+	// (kernel dispatch resolved, buffer lifetimes planned, arena slots
+	// pre-assigned) and replays it per micro-batch, splitting the
+	// backward pass into grad-input and grad-weight ops. Bitwise
+	// equivalent to the interpreter on the same seed.
+	Compiled bool
 }
 
 // NewPipeline partitions model layers into k stages of near-equal layer
@@ -195,9 +214,30 @@ func NewPipelineWith(model *nn.Sequential, cfg PipelineConfig) (*Pipeline, error
 	}
 	p := &Pipeline{Stages: stages, Advance: advance, Trace: cfg.Trace,
 		plan: plan, params: model.Params(), metrics: make([]StageMetrics, k)}
+	if cfg.Compiled {
+		p.compiled = true
+		p.progs = make([]*compiled.Program, k)
+		p.envPools = make([]map[string][]*compiled.Env, k)
+		for s := range stages {
+			prog, err := nn.CompileStage(stages[s], compiled.Options{EmitOut: s < k-1, EmitDX: s > 0})
+			if err != nil {
+				return nil, fmt.Errorf("core: compile stage %d: %w", s, err)
+			}
+			p.progs[s] = prog
+			p.envPools[s] = make(map[string][]*compiled.Env)
+		}
+	}
 	p.SetObs(cfg.Obs)
 	return p, nil
 }
+
+// Compiled reports whether the pipeline executes stages through the
+// compiled op-graph path rather than the reference interpreter.
+func (p *Pipeline) Compiled() bool { return p.compiled }
+
+// StagePrograms returns the per-stage compiled programs (nil when the
+// pipeline interprets); tests use them to validate plans directly.
+func (p *Pipeline) StagePrograms() []*compiled.Program { return p.progs }
 
 // SetObs rebinds the pipeline's metrics to reg (nil = obs.Default()) and
 // caches per-stage metric handles so RunBatch's hot path never touches
@@ -290,6 +330,13 @@ func (p *Pipeline) scheduleFor(m int) (*sched.Schedule, *sched.Analysis) {
 			p.fixed.Name, p.curAn.Micros, m))
 	}
 	s := p.plan.Make(len(p.Stages), m)
+	if p.compiled {
+		// The compiled runtime executes the finer-grained 2BP split: each
+		// combined backward becomes an adjacent BwdIn/BwdW pair, so the
+		// analysis (and the simulator) see the same op stream the stage
+		// workers retire.
+		s = sched.SplitBackward(s)
+	}
 	an, err := sched.Analyze(s)
 	if err != nil {
 		panic(fmt.Sprintf("core: plan %s produced an illegal schedule: %v", p.plan.Name, err))
@@ -407,7 +454,11 @@ func (p *Pipeline) RunBatchContext(ctx context.Context, batch *data.Batch, micro
 		wg.Add(1)
 		go func(s int) {
 			defer wg.Done()
-			p.stageWorker(s, k, schedule.PerGPU[s], run)
+			if p.compiled {
+				p.stageWorkerCompiled(s, k, schedule.PerGPU[s], run)
+			} else {
+				p.stageWorker(s, k, schedule.PerGPU[s], run)
+			}
 		}(s)
 	}
 	wg.Wait()
@@ -521,7 +572,7 @@ func (p *Pipeline) stageWorker(s, k int, ops []sched.Op, run *batchRun) {
 			} else {
 				x, ok = recv(run.fwdCh[s], pendF, op.Micro)
 			}
-		case sched.Bwd:
+		case sched.Bwd, sched.BwdIn:
 			if s < k-1 {
 				x, ok = recv(run.bwdCh[s], pendB, op.Micro)
 			}
@@ -550,7 +601,7 @@ func (p *Pipeline) stageWorker(s, k int, ops []sched.Op, run *batchRun) {
 			} else {
 				outs[op.Micro] = y
 			}
-		case sched.Bwd:
+		case sched.Bwd, sched.BwdIn:
 			if s == k-1 {
 				// The loss gradient is local: derive it from the stashed
 				// forward output. The logits' last use is the loss, so
@@ -562,9 +613,17 @@ func (p *Pipeline) stageWorker(s, k int, ops []sched.Op, run *batchRun) {
 				delete(outs, op.Micro)
 				x = dlogits
 			}
+			// The interpreter cannot split the passes (grad-input and
+			// grad-weight are interleaved inside Module.Backward), so a
+			// BwdIn op runs the full backward and the matching BwdW op
+			// becomes pure bookkeeping — the upstream send still happens
+			// at the earlier BwdIn position, which is the legality the
+			// split schedule encodes.
 			dx := stage.Backward(ctxs[op.Micro], x)
 			delete(ctxs, op.Micro)
-			inflight--
+			if op.Kind == sched.Bwd {
+				inflight--
+			}
 			met.Bwd++
 			if s > 0 {
 				run.bwdCh[s-1] <- microMsg{micro: op.Micro, t: dx}
@@ -578,6 +637,178 @@ func (p *Pipeline) stageWorker(s, k int, ops []sched.Op, run *batchRun) {
 			if x != nil && dx != x {
 				x.Release()
 			}
+		case sched.BwdW:
+			// Grad weights already accumulated by the BwdIn above; the
+			// micro-batch's stash retires here, as the schedule accounts.
+			inflight--
+			met.BwdW++
+		}
+		dur := time.Since(busyStart)
+		met.Busy += dur
+		run.last.Store(time.Now().UnixNano())
+		if op.Kind == sched.Fwd {
+			met.FwdTime += dur
+			instr.fwdSec.Observe(dur.Seconds())
+			instr.fwdOps.Inc()
+		} else {
+			met.BwdTime += dur
+			instr.bwdSec.Observe(dur.Seconds())
+			instr.bwdOps.Inc()
+		}
+		if p.Trace {
+			met.Ops = append(met.Ops, OpEvent{Index: i, Kind: op.Kind, Micro: op.Micro,
+				Start: busyStart.Sub(run.epoch), Dur: dur})
+		}
+	}
+	run.pos[s].Store(int32(len(ops)))
+}
+
+// shapeKey renders a tensor shape as an Env-pool map key.
+func shapeKey(shape []int) string { return fmt.Sprint(shape) }
+
+// stageWorkerCompiled interprets stage s's op list by replaying the
+// stage's compiled program: no kernel dispatch, no lifetime decisions,
+// no arena traffic in steady state — those were all resolved when the
+// pipeline was built. Backward is split 2BP-style: BwdIn replays the
+// grad-input ops and ships dx upstream immediately, BwdW replays the
+// grad-weight ops afterwards, which is when the micro-batch's Env (its
+// activation stash) retires. Combined Bwd ops (explicit unsplit
+// schedules) run both halves inline.
+func (p *Pipeline) stageWorkerCompiled(s, k int, ops []sched.Op, run *batchRun) {
+	prog := p.progs[s]
+	pool := p.envPools[s]
+	envs := make(map[int]*compiled.Env, len(run.micros))
+	pendF := make(map[int]*tensor.Tensor)
+	pendB := make(map[int]*tensor.Tensor)
+	inflight := 0
+	met := StageMetrics{}
+	instr := p.stageInstr[s]
+	defer func() {
+		// Recycle every Env, including those stranded by an abort: the
+		// ownership of their in-flight tensors is indeterminate, so
+		// ResetMicro drops the references without releasing.
+		for _, env := range envs {
+			env.ResetMicro()
+			key := shapeKey(env.InShape())
+			pool[key] = append(pool[key], env)
+		}
+		p.metrics[s] = met
+		instr.waitSec.Add(met.Wait.Seconds())
+		instr.bubbleFrac.Set(met.BubbleFraction())
+		instr.peakInFlight.SetMax(float64(met.PeakInFlight))
+	}()
+
+	getEnv := func(shape []int) *compiled.Env {
+		key := shapeKey(shape)
+		if es := pool[key]; len(es) > 0 {
+			env := es[len(es)-1]
+			pool[key] = es[:len(es)-1]
+			return env
+		}
+		return prog.NewEnv(shape)
+	}
+	putEnv := func(env *compiled.Env) {
+		key := shapeKey(env.InShape())
+		pool[key] = append(pool[key], env)
+	}
+	// retire runs the grad-weight half and returns the micro's Env to
+	// the pool; this is where the schedule's in-flight count drops.
+	retire := func(micro int) {
+		env := envs[micro]
+		env.BackwardWeights()
+		env.EndMicro()
+		delete(envs, micro)
+		putEnv(env)
+		inflight--
+	}
+
+	recv := func(ch chan microMsg, pending map[int]*tensor.Tensor, micro int) (*tensor.Tensor, bool) {
+		if t, ok := pending[micro]; ok {
+			delete(pending, micro)
+			return t, true
+		}
+		start := time.Now()
+		for {
+			select {
+			case msg := <-ch:
+				if msg.micro == micro {
+					met.Wait += time.Since(start)
+					return msg.t, true
+				}
+				pending[msg.micro] = msg.t
+			case <-run.abort:
+				met.Wait += time.Since(start)
+				return nil, false
+			}
+		}
+	}
+
+	for i, op := range ops {
+		run.pos[s].Store(int32(i))
+		select {
+		case <-run.abort:
+			return
+		default:
+		}
+		var x *tensor.Tensor
+		ok := true
+		switch op.Kind {
+		case sched.Fwd:
+			if s == 0 {
+				x = run.micros[op.Micro].X
+			} else {
+				x, ok = recv(run.fwdCh[s], pendF, op.Micro)
+			}
+		case sched.Bwd, sched.BwdIn:
+			if s < k-1 {
+				x, ok = recv(run.bwdCh[s], pendB, op.Micro)
+			}
+		}
+		if !ok {
+			return
+		}
+		busyStart := time.Now()
+		if d := p.faults.StageDelay(p.pipeID, s, i); d > 0 {
+			time.Sleep(d)
+		}
+		switch op.Kind {
+		case sched.Fwd:
+			env := getEnv(x.Shape())
+			env.BindInput(x)
+			env.Forward()
+			envs[op.Micro] = env
+			inflight++
+			met.Fwd++
+			if inflight > met.PeakInFlight {
+				met.PeakInFlight = inflight
+			}
+			if s < k-1 {
+				run.fwdCh[s+1] <- microMsg{micro: op.Micro, t: env.Output()}
+			}
+		case sched.Bwd, sched.BwdIn:
+			env := envs[op.Micro]
+			if s == k-1 {
+				// The loss gradient is local. The logits live in the Env
+				// (slot storage, or a dynamic tensor ReleaseOutput frees).
+				loss, dlogits := nn.CrossEntropy(env.Output(), run.micros[op.Micro].Targets)
+				env.ReleaseOutput()
+				run.losses[op.Micro] = loss
+				x = dlogits
+			}
+			env.BindGradIn(x)
+			env.BackwardInput()
+			// Ship dx the moment the grad-input half finishes — the 2BP
+			// payoff: upstream unblocks before our grad-weight work runs.
+			if s > 0 {
+				run.bwdCh[s-1] <- microMsg{micro: op.Micro, t: env.GradOut()}
+			}
+			met.Bwd++
+			if op.Kind == sched.Bwd {
+				retire(op.Micro)
+			}
+		case sched.BwdW:
+			retire(op.Micro)
+			met.BwdW++
 		}
 		dur := time.Since(busyStart)
 		met.Busy += dur
@@ -640,7 +871,9 @@ func (p *Pipeline) Tracer() (*obs.Tracer, error) {
 			switch {
 			case op.Kind == sched.Fwd && s == 0:
 				t.Flow(1, s+1, id, id, mid, obs.FlowStart)
-			case op.Kind == sched.Bwd && (s == 0 || k == 1):
+			case (op.Kind == sched.Bwd || op.Kind == sched.BwdW) && (s == 0 || k == 1):
+				// Under a split schedule the micro's chain ends at its
+				// grad-weight op on stage 0; its BwdIn there is a step.
 				t.Flow(1, s+1, id, id, mid, obs.FlowEnd)
 			default:
 				t.Flow(1, s+1, id, id, mid, obs.FlowStep)

@@ -38,6 +38,11 @@ type TrainerConfig struct {
 	Partition PartitionMode
 	// Trace records per-op timestamps in every pipeline's StageMetrics.
 	Trace bool
+	// Compiled runs every pipeline through the compiled op-graph path
+	// (static per-stage op lists with the 2BP backward split) instead of
+	// the reference interpreter. Loss-bitwise-equivalent for the same
+	// seed; logged per round in StepRecord.Compiled.
+	Compiled bool
 	// Seed derives all replica initializations and data streams.
 	Seed int64
 	// ClipNorm, when > 0, applies global gradient-norm clipping.
@@ -133,6 +138,9 @@ type StepRecord struct {
 	// Losses[Replica] is the bitwise-determinism check.
 	Losses  []float64 `json:"losses,omitempty"`
 	Replica int       `json:"replica"`
+	// Compiled records which execution path produced the round, so runs
+	// comparing the two paths are distinguishable from their logs alone.
+	Compiled bool `json:"compiled"`
 }
 
 // NewTrainer builds the replicas, data streams, optimizers, and the
@@ -192,6 +200,7 @@ func NewTrainer(cfg TrainerConfig) (*Trainer, error) {
 		pl, err := NewPipelineWith(m, PipelineConfig{
 			Stages: cfg.StageCount, Plan: cfg.Plan, Advance: cfg.Advance,
 			Partition: cfg.Partition, Trace: cfg.Trace, Obs: cfg.Obs,
+			Compiled: cfg.Compiled,
 		})
 		if err != nil {
 			return nil, err
@@ -358,6 +367,7 @@ func (t *Trainer) StepContext(ctx context.Context) (float64, error) {
 		OpenRounds: t.avg.PendingRounds(),
 		Live:       live,
 		Losses:     losses,
+		Compiled:   t.cfg.Compiled,
 	}); err != nil {
 		return loss, fmt.Errorf("core: step log: %w", err)
 	}
@@ -440,6 +450,7 @@ func (t *Trainer) stepDist(ctx context.Context) (float64, error) {
 		OpenRounds: t.avg.PendingRounds(),
 		Live:       t.avg.LiveReplicas(),
 		Replica:    p,
+		Compiled:   t.cfg.Compiled,
 	}); err != nil {
 		return loss, fmt.Errorf("core: step log: %w", err)
 	}

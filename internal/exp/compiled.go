@@ -1,0 +1,13 @@
+package exp
+
+// useCompiled selects the execution path for every trainer-backed
+// experiment (the Fig. 14 statistical-efficiency runs and the trainer
+// ablations): false interprets each stage's Forward/Backward, true
+// replays the compiled per-stage op graphs. The two paths are
+// loss-bitwise identical, so figures are path-independent; the switch
+// exists to benchmark the harness itself under both.
+var useCompiled bool
+
+// UseCompiled sets the execution path for subsequent trainer-backed
+// experiments (avgpipe-bench's -compiled flag).
+func UseCompiled(v bool) { useCompiled = v }

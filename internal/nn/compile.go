@@ -1,0 +1,420 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"avgpipe/internal/compiled"
+	"avgpipe/internal/tensor"
+)
+
+// Compiler is implemented by modules that can lower themselves into a
+// compiled op graph. The lowering must be bit-identical to the module's
+// Forward/Backward (the reference interpreter): same kernels, same
+// float expressions, same evaluation order per element. Modules without
+// a lowering are wrapped by a fallback that calls the interpreter per
+// op (see compileFallback), so every stage compiles.
+type Compiler interface {
+	Compile(b *compiled.Builder)
+}
+
+// CompileStage lowers a stage's layer list into a compiled Program.
+// Adjacent Linear+activation pairs are fused into a single
+// MatMulBiasAct op (the fused forward is bit-identical to the separate
+// matmul and activation passes by the tensor package's fused-kernel
+// contract). Nested Sequentials are flattened.
+func CompileStage(stage *Sequential, opts compiled.Options) (*compiled.Program, error) {
+	b := compiled.NewBuilder()
+	compileLayers(b, flattenLayers(stage.Layers))
+	return b.Finish(opts)
+}
+
+func flattenLayers(layers []Module) []Module {
+	var out []Module
+	for _, l := range layers {
+		if s, ok := l.(*Sequential); ok {
+			out = append(out, flattenLayers(s.Layers)...)
+			continue
+		}
+		out = append(out, l)
+	}
+	return out
+}
+
+func compileLayers(b *compiled.Builder, layers []Module) {
+	for i := 0; i < len(layers); i++ {
+		// A lowering needs the static shape of its input; if the cursor
+		// flows out of a module with no shape function, degrade to
+		// fallback until shapes are known again.
+		shaped := b.ShapeOf(b.Cur()) != nil
+		if lin, ok := layers[i].(*Linear); ok && shaped && i+1 < len(layers) {
+			if act, fuse := fusedActOf(layers[i+1]); fuse {
+				compileLinearAct(b, lin, act)
+				i++
+				continue
+			}
+		}
+		if c, ok := layers[i].(Compiler); ok && shaped {
+			c.Compile(b)
+			continue
+		}
+		compileFallback(b, layers[i])
+	}
+}
+
+// StaticOutShape is implemented by modules whose output shape is a
+// static function of the input shape. Fallback lowering uses it to keep
+// shape inference flowing through non-lowered layers, so layers after a
+// fallback can still compile natively.
+type StaticOutShape interface {
+	OutShape(in []int) []int
+}
+
+// fusedActOf reports whether m is an activation the fused
+// MatMulBiasAct kernel covers.
+func fusedActOf(m Module) (tensor.Act, bool) {
+	switch m.(type) {
+	case *ReLU:
+		return tensor.ActReLU, true
+	case *Tanh:
+		return tensor.ActTanh, true
+	case *Sigmoid:
+		return tensor.ActSigmoid, true
+	}
+	return tensor.ActIdentity, false
+}
+
+// rowsOf composes a shape function selecting the leading dimension.
+func rowsOf(s compiled.Shape) func(in []int) int {
+	return func(in []int) int { return s(in)[0] }
+}
+
+// sizeOf composes a shape function computing the element count.
+func sizeOf(s compiled.Shape) func(in []int) int {
+	return func(in []int) int {
+		n := 1
+		for _, d := range s(in) {
+			n *= d
+		}
+		return n
+	}
+}
+
+// Compile lowers the dense layer (identity activation).
+func (l *Linear) Compile(b *compiled.Builder) { compileLinearAct(b, l, tensor.ActIdentity) }
+
+// compileLinearAct lowers y = act(x@W + b). The grad-input half first
+// recovers the pre-activation gradient dpre from the stashed
+// post-activation y (for ReLU, y>0 iff the pre-activation is >0, so
+// gating on y is bit-identical to the interpreter's gate on x), then
+// computes dx; the grad-weight half accumulates into W.G/B.G through
+// caller-scratch slots with the same rounding as the interpreter's
+// fused accumulate kernels.
+func compileLinearAct(b *compiled.Builder, l *Linear, act tensor.Act) {
+	x := b.Cur()
+	xRows := rowsOf(b.ShapeOf(x))
+	y := b.Slot(func(in []int) []int { return []int{xRows(in), l.Out} })
+	name := fmt.Sprintf("linear[%dx%d]", l.In, l.Out)
+	if act != tensor.ActIdentity {
+		name = fmt.Sprintf("%s+act%d", name, act)
+	}
+	b.EmitFwd(name, []compiled.Reg{x}, []compiled.Reg{y}, func(e *compiled.Env) {
+		tensor.MatMulBiasActInto(e.Reg(y), e.Reg(x), l.W.W, l.B.W, act)
+	})
+	b.SetCur(y)
+
+	wScr := b.Slot(func(in []int) []int { return []int{l.In, l.Out} })
+	bScr := b.Slot(func(in []int) []int { return []int{l.Out} })
+	b.OnBackward(func(dy compiled.Reg) compiled.Reg {
+		dpre := dy
+		if act != tensor.ActIdentity {
+			dpre = b.Slot(func(in []int) []int { return []int{xRows(in), l.Out} })
+			emitActGrad(b, name+".dpre", act, y, dy, dpre)
+		}
+		dx := b.Slot(b.ShapeOf(x))
+		b.EmitBwdIn(name+".dx", []compiled.Reg{dpre}, []compiled.Reg{dx}, func(e *compiled.Env) {
+			tensor.MatMulTransBInto(e.Reg(dx), e.Reg(dpre), l.W.W)
+		})
+		b.EmitBwdW(name+".dw", []compiled.Reg{x, dpre}, []compiled.Reg{wScr, bScr}, func(e *compiled.Env) {
+			tensor.MatMulTransAAccWith(l.W.G, e.Reg(x), e.Reg(dpre), e.Reg(wScr))
+			tensor.SumRowsAccWith(l.B.G, e.Reg(dpre), e.Reg(bScr))
+		})
+		return dx
+	})
+}
+
+// emitActGrad emits the op recovering dpre = dy ⊙ act'(y) from the
+// post-activation. Tanh and Sigmoid run the interpreter's exact
+// two-pass form (Apply the derivative, then multiply) through the
+// zero-allocation Into variants; ReLU gates with explicit zeros (the
+// interpreter writes into a zeroed borrow).
+func emitActGrad(b *compiled.Builder, name string, act tensor.Act, y, dy, dpre compiled.Reg) {
+	b.EmitBwdIn(name, []compiled.Reg{y, dy}, []compiled.Reg{dpre}, func(e *compiled.Env) {
+		yt, dyt, dp := e.Reg(y), e.Reg(dy), e.Reg(dpre)
+		switch act {
+		case tensor.ActReLU:
+			yd, dd, od := yt.Data(), dyt.Data(), dp.Data()
+			for i := range yd {
+				if yd[i] > 0 {
+					od[i] = dd[i]
+				} else {
+					od[i] = 0
+				}
+			}
+		case tensor.ActTanh:
+			tensor.ApplyInto(dp, yt, func(v float32) float32 { return 1 - v*v })
+			tensor.MulInto(dp, dyt, dp)
+		case tensor.ActSigmoid:
+			tensor.ApplyInto(dp, yt, func(v float32) float32 { return v * (1 - v) })
+			tensor.MulInto(dp, dyt, dp)
+		}
+	})
+}
+
+// Compile lowers the embedding lookup. The index list is a per-Env aux
+// cell (per micro-batch, so compiled stages stay reentrant); there is
+// no input gradient (token IDs are discrete), so the thunk returns
+// NoReg and the whole backward is a grad-weight op.
+func (l *Embedding) Compile(b *compiled.Builder) {
+	x := b.Cur()
+	xSize := sizeOf(b.ShapeOf(x))
+	idxAux := b.Aux(func(in []int) any { return make([]int, xSize(in)) })
+	y := b.Slot(func(in []int) []int { return []int{xSize(in), l.Dim} })
+	name := fmt.Sprintf("embedding[%dx%d]", l.Vocab, l.Dim)
+	b.EmitFwd(name, []compiled.Reg{x}, []compiled.Reg{y}, func(e *compiled.Env) {
+		idx := e.Aux(idxAux).([]int)
+		for i, v := range e.Reg(x).Data() {
+			idx[i] = int(v)
+			if idx[i] < 0 || idx[i] >= l.Vocab {
+				panic(fmt.Sprintf("nn: embedding token %d out of vocab %d", idx[i], l.Vocab))
+			}
+		}
+		tensor.GatherInto(e.Reg(y), l.Table.W, idx)
+	})
+	b.SetCur(y)
+	b.OnBackward(func(dy compiled.Reg) compiled.Reg {
+		b.EmitBwdW(name+".dw", []compiled.Reg{dy}, nil, func(e *compiled.Env) {
+			tensor.ScatterAddRows(l.Table.G, e.Aux(idxAux).([]int), e.Reg(dy))
+		})
+		return compiled.NoReg
+	})
+}
+
+// compileUnaryAct lowers a standalone elementwise activation: forward
+// applies fwd over x into y; backward applies deriv over the stashed
+// tensor (x or y, per the module's stash convention) into dx and
+// multiplies by dy — the interpreter's exact two-pass form.
+func compileUnaryAct(b *compiled.Builder, name string, stashInput bool,
+	fwd, deriv func(float32) float32) {
+	x := b.Cur()
+	y := b.Slot(b.ShapeOf(x))
+	b.EmitFwd(name, []compiled.Reg{x}, []compiled.Reg{y}, func(e *compiled.Env) {
+		tensor.ApplyInto(e.Reg(y), e.Reg(x), fwd)
+	})
+	b.SetCur(y)
+	stash := y
+	if stashInput {
+		stash = x
+	}
+	b.OnBackward(func(dy compiled.Reg) compiled.Reg {
+		dx := b.Slot(b.ShapeOf(x))
+		b.EmitBwdIn(name+".dx", []compiled.Reg{stash, dy}, []compiled.Reg{dx}, func(e *compiled.Env) {
+			tensor.ApplyInto(e.Reg(dx), e.Reg(stash), deriv)
+			tensor.MulInto(e.Reg(dx), e.Reg(dy), e.Reg(dx))
+		})
+		return dx
+	})
+}
+
+// Compile lowers tanh (derivative from the stashed output).
+func (a *Tanh) Compile(b *compiled.Builder) {
+	compileUnaryAct(b, "tanh", false,
+		func(v float32) float32 { return tanh32f(v) },
+		func(v float32) float32 { return 1 - v*v })
+}
+
+// Compile lowers the logistic activation (derivative from the output).
+func (a *Sigmoid) Compile(b *compiled.Builder) {
+	compileUnaryAct(b, "sigmoid", false,
+		func(v float32) float32 { return sigmoid32f(v) },
+		func(v float32) float32 { return v * (1 - v) })
+}
+
+// Compile lowers GELU (derivative from the stashed input).
+func (a *GELU) Compile(b *compiled.Builder) {
+	compileUnaryAct(b, "gelu", true,
+		func(v float32) float32 { return float32(geluForward(float64(v))) },
+		func(v float32) float32 { return float32(geluDeriv(float64(v))) })
+}
+
+// Compile lowers ReLU. The backward gates dy on the stashed input's
+// positivity with explicit zeros (bit-identical to the interpreter's
+// zeroed borrow).
+func (r *ReLU) Compile(b *compiled.Builder) {
+	x := b.Cur()
+	y := b.Slot(b.ShapeOf(x))
+	b.EmitFwd("relu", []compiled.Reg{x}, []compiled.Reg{y}, func(e *compiled.Env) {
+		tensor.ApplyInto(e.Reg(y), e.Reg(x), func(v float32) float32 {
+			if v > 0 {
+				return v
+			}
+			return 0
+		})
+	})
+	b.SetCur(y)
+	b.OnBackward(func(dy compiled.Reg) compiled.Reg {
+		dx := b.Slot(b.ShapeOf(x))
+		b.EmitBwdIn("relu.dx", []compiled.Reg{x, dy}, []compiled.Reg{dx}, func(e *compiled.Env) {
+			xd, dd, od := e.Reg(x).Data(), e.Reg(dy).Data(), e.Reg(dx).Data()
+			for i := range xd {
+				if xd[i] > 0 {
+					od[i] = dd[i]
+				} else {
+					od[i] = 0
+				}
+			}
+		})
+		return dx
+	})
+}
+
+// Compile lowers dropout for training-mode replay. The keep mask lives
+// in a per-Env slot — the per-micro-batch stash that makes two in-flight
+// micro-batches safe (the interpreter version stashes per-Context; the
+// compiled version must not fall back to module fields). The RNG is
+// consumed in the exact element order of the interpreter's Bernoulli.
+// P <= 0 is a compile-time identity: no ops at all.
+func (d *Dropout) Compile(b *compiled.Builder) {
+	if d.P <= 0 {
+		b.OnBackward(func(dy compiled.Reg) compiled.Reg { return dy })
+		return
+	}
+	x := b.Cur()
+	mask := b.Slot(b.ShapeOf(x))
+	y := b.Slot(b.ShapeOf(x))
+	b.EmitFwd("dropout", []compiled.Reg{x}, []compiled.Reg{y, mask}, func(e *compiled.Env) {
+		m := e.Reg(mask)
+		d.rng.BernoulliInto(m, 1-d.P)
+		m.ScaleInPlace(float32(1 / (1 - d.P)))
+		tensor.MulInto(e.Reg(y), e.Reg(x), m)
+	})
+	b.SetCur(y)
+	b.OnBackward(func(dy compiled.Reg) compiled.Reg {
+		dx := b.Slot(b.ShapeOf(x))
+		b.EmitBwdIn("dropout.dx", []compiled.Reg{mask, dy}, []compiled.Reg{dx}, func(e *compiled.Env) {
+			tensor.MulInto(e.Reg(dx), e.Reg(dy), e.Reg(mask))
+		})
+		return dx
+	})
+}
+
+// Compile lowers layer norm through the helpers shared verbatim with
+// the interpreter (layerNormForwardInto / layerNormGradInInto /
+// layerNormGradW). x̂ lives in a slot, 1/σ in a per-Env aux cell; the
+// grad-weight accumulation is the BwdW op.
+func (l *LayerNorm) Compile(b *compiled.Builder) {
+	x := b.Cur()
+	xRows := rowsOf(b.ShapeOf(x))
+	xhat := b.Slot(b.ShapeOf(x))
+	y := b.Slot(b.ShapeOf(x))
+	invStdAux := b.Aux(func(in []int) any { return make([]float32, xRows(in)) })
+	name := fmt.Sprintf("layernorm[%d]", l.Dim)
+	b.EmitFwd(name, []compiled.Reg{x}, []compiled.Reg{xhat, y}, func(e *compiled.Env) {
+		layerNormForwardInto(e.Reg(x), e.Reg(xhat), e.Reg(y),
+			e.Aux(invStdAux).([]float32), l.Gain.W.Data(), l.Bias.W.Data(), l.Eps)
+	})
+	b.SetCur(y)
+	b.OnBackward(func(dy compiled.Reg) compiled.Reg {
+		dx := b.Slot(b.ShapeOf(x))
+		b.EmitBwdIn(name+".dx", []compiled.Reg{dy, xhat}, []compiled.Reg{dx}, func(e *compiled.Env) {
+			layerNormGradInInto(e.Reg(dy), e.Reg(xhat), e.Reg(dx),
+				e.Aux(invStdAux).([]float32), l.Gain.W.Data())
+		})
+		b.EmitBwdW(name+".dw", []compiled.Reg{dy, xhat}, nil, func(e *compiled.Env) {
+			layerNormGradW(e.Reg(dy), e.Reg(xhat), l.Gain.G.Data(), l.Bias.G.Data())
+		})
+		return dx
+	})
+}
+
+// Compile lowers time pooling through the shared meanPool helpers. The
+// output slot is cleared before the accumulate (the interpreter writes
+// into a fresh zeroed tensor; slots are reused storage).
+func (m *MeanPoolTime) Compile(b *compiled.Builder) {
+	x := b.Cur()
+	xShape := b.ShapeOf(x)
+	y := b.Slot(func(in []int) []int {
+		s := xShape(in)
+		return []int{s[0] / m.SeqLen, s[1]}
+	})
+	b.EmitFwd("meanpool", []compiled.Reg{x}, []compiled.Reg{y}, func(e *compiled.Env) {
+		yt := e.Reg(y)
+		yt.Zero()
+		meanPoolForwardInto(e.Reg(x), yt, m.SeqLen)
+	})
+	b.SetCur(y)
+	b.OnBackward(func(dy compiled.Reg) compiled.Reg {
+		dx := b.Slot(xShape)
+		b.EmitBwdIn("meanpool.dx", []compiled.Reg{dy}, []compiled.Reg{dx}, func(e *compiled.Env) {
+			meanPoolBackwardInto(e.Reg(dy), e.Reg(dx), m.SeqLen)
+		})
+		return dx
+	})
+}
+
+// compileFallback wraps a module without a lowering: the forward op
+// runs the reference Forward with a per-Env Context (per micro-batch,
+// so the stash discipline — and reentrancy — is preserved), and the
+// grad-input op runs the combined reference Backward; there is no
+// grad-weight op (parameter gradients accumulate inside Backward, which
+// only coarsens the schedule's overlap, never the values). Lifetimes
+// are conservative: the module may stash views of its input or output,
+// so both are declared read by the backward op.
+func compileFallback(b *compiled.Builder, m Module) {
+	x := b.Cur()
+	var yShape compiled.Shape
+	if so, ok := m.(StaticOutShape); ok {
+		if inShape := b.ShapeOf(x); inShape != nil {
+			yShape = func(in []int) []int { return so.OutShape(inShape(in)) }
+		}
+	}
+	y := b.Dynamic(yShape)
+	ctxAux := b.Aux(nil)
+	name := fmt.Sprintf("fallback:%T", m)
+	b.EmitFwd(name, []compiled.Reg{x}, []compiled.Reg{y}, func(e *compiled.Env) {
+		c := NewContext()
+		e.SetAux(ctxAux, c)
+		e.SetReg(y, m.Forward(c, e.Reg(x), true))
+	})
+	b.SetCur(y)
+	b.OnBackward(func(dy compiled.Reg) compiled.Reg {
+		dx := b.Dynamic(b.ShapeOf(x))
+		b.EmitBwdIn(name+".dx", []compiled.Reg{x, y, dy}, []compiled.Reg{dx}, func(e *compiled.Env) {
+			c := e.Aux(ctxAux).(*Context)
+			e.SetReg(dx, m.Backward(c, e.Reg(dy)))
+		})
+		return dx
+	})
+}
+
+// OutShape reports the LSTM's (seqLen*batch, hidden) output shape.
+func (l *LSTM) OutShape(in []int) []int { return []int{in[0], l.Hidden} }
+
+// OutShape reports the BiLSTM's concatenated (rows, 2*hidden) shape.
+func (l *BiLSTM) OutShape(in []int) []int { return []int{in[0], 2 * l.Fwd.Hidden} }
+
+// OutShape: time reversal preserves shape.
+func (r *Reverse) OutShape(in []int) []int { return in }
+
+// OutShape: self-attention preserves shape.
+func (a *MultiHeadSelfAttention) OutShape(in []int) []int { return in }
+
+// OutShape: the encoder layer preserves shape.
+func (t *TransformerEncoderLayer) OutShape(in []int) []int { return in }
+
+// tanh32f and sigmoid32f mirror the tensor package's activation
+// formulas (float64 math, rounded to float32) so standalone lowerings
+// are bit-identical to tensor.Tanh()/tensor.Sigmoid().
+func tanh32f(x float32) float32 { return float32(math.Tanh(float64(x))) }
+
+func sigmoid32f(x float32) float32 { return float32(1 / (1 + math.Exp(-float64(x)))) }

@@ -1,0 +1,271 @@
+package nn
+
+import (
+	"math"
+	"testing"
+
+	"avgpipe/internal/compiled"
+	"avgpipe/internal/tensor"
+)
+
+// runCompiled executes one full micro-batch through a compiled Env:
+// forward, grad-input, grad-weight. Returns the forward output and
+// input gradient (copies, so the caller can compare after EndMicro).
+func runCompiled(t *testing.T, prog *compiled.Program, env *compiled.Env, x, dy *tensor.Tensor) (y, dx *tensor.Tensor) {
+	t.Helper()
+	env.BindInput(x)
+	env.Forward()
+	y = env.Output().Clone()
+	env.BindGradIn(dy)
+	env.BackwardInput()
+	if g := env.GradOut(); g != nil {
+		dx = g.Clone()
+	}
+	env.BackwardWeights()
+	env.EndMicro()
+	return y, dx
+}
+
+func bitEqual(a, b *tensor.Tensor) bool {
+	if a == nil || b == nil {
+		return a == nil && b == nil
+	}
+	ad, bd := a.Data(), b.Data()
+	if len(ad) != len(bd) {
+		return false
+	}
+	for i := range ad {
+		if math.Float32bits(ad[i]) != math.Float32bits(bd[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// buildPair constructs two identical models from the same seed: one to
+// interpret, one to compile.
+func buildPair(mk func(g *tensor.RNG) *Sequential) (ref, cmp *Sequential) {
+	return mk(tensor.NewRNG(7)), mk(tensor.NewRNG(7))
+}
+
+func checkEquivalence(t *testing.T, name string, mk func(g *tensor.RNG) *Sequential, x *tensor.Tensor, micros int) {
+	t.Helper()
+	ref, cmp := buildPair(mk)
+	prog, err := CompileStage(cmp, compiled.Options{})
+	if err != nil {
+		t.Fatalf("%s: CompileStage: %v", name, err)
+	}
+	if err := prog.CheckPlan(x.Shape()); err != nil {
+		t.Fatalf("%s: CheckPlan: %v", name, err)
+	}
+	env := prog.NewEnv(x.Shape())
+	for m := 0; m < micros; m++ {
+		// Interpreter reference.
+		ctx := NewContext()
+		refY := ref.Forward(ctx, x, true)
+		dy := tensor.Full(0.01, refY.Shape()...)
+		refDX := ref.Backward(ctx, dy)
+
+		cmpY, cmpDX := runCompiled(t, prog, env, x, tensor.Full(0.01, refY.Shape()...))
+		if !bitEqual(refY, cmpY) {
+			t.Fatalf("%s micro %d: forward output differs", name, m)
+		}
+		if (refDX == nil) != (cmpDX == nil) || (refDX != nil && !bitEqual(refDX, cmpDX)) {
+			t.Fatalf("%s micro %d: input gradient differs", name, m)
+		}
+		rp, cp := ref.Params(), cmp.Params()
+		for i := range rp {
+			if !bitEqual(rp[i].G, cp[i].G) {
+				t.Fatalf("%s micro %d: grad of %s differs", name, m, rp[i].Name)
+			}
+		}
+	}
+}
+
+func TestCompileLinearTanhMLPBitExact(t *testing.T) {
+	mk := func(g *tensor.RNG) *Sequential {
+		return NewSequential(
+			NewLinear(g, 6, 8),
+			&Tanh{},
+			NewLinear(g, 8, 5),
+			&ReLU{},
+			NewLinear(g, 5, 3),
+		)
+	}
+	x := tensor.NewRNG(11).Normal(0, 1, 4, 6)
+	checkEquivalence(t, "mlp", mk, x, 3)
+}
+
+func TestCompileStandaloneActivationsBitExact(t *testing.T) {
+	mk := func(g *tensor.RNG) *Sequential {
+		return NewSequential(
+			&Tanh{},
+			&Sigmoid{},
+			&GELU{},
+			&ReLU{},
+		)
+	}
+	x := tensor.NewRNG(3).Normal(0, 2, 5, 7)
+	checkEquivalence(t, "acts", mk, x, 2)
+}
+
+func TestCompileEmbeddingLayerNormBitExact(t *testing.T) {
+	mk := func(g *tensor.RNG) *Sequential {
+		return NewSequential(
+			NewEmbedding(g, 12, 16),
+			NewLayerNorm(16),
+			NewLinear(g, 16, 4),
+		)
+	}
+	x := tensor.New(6, 1)
+	for i := 0; i < 6; i++ {
+		x.Set(float32(i*2%12), i, 0)
+	}
+	checkEquivalence(t, "embed-ln", mk, x, 2)
+}
+
+func TestCompileMeanPoolBitExact(t *testing.T) {
+	mk := func(g *tensor.RNG) *Sequential {
+		return NewSequential(
+			NewLinear(g, 4, 6),
+			&MeanPoolTime{SeqLen: 3},
+			NewLinear(g, 6, 2),
+		)
+	}
+	x := tensor.NewRNG(5).Normal(0, 1, 3*4, 4) // seqLen 3, batch 4
+	checkEquivalence(t, "meanpool", mk, x, 2)
+}
+
+func TestCompileDropoutBitExact(t *testing.T) {
+	// Dropout draws from the module's RNG: both models start from the
+	// same seed and both paths must consume the stream identically.
+	mk := func(g *tensor.RNG) *Sequential {
+		return NewSequential(
+			NewLinear(g, 6, 8),
+			NewDropout(tensor.NewRNG(99), 0.3),
+			NewLinear(g, 8, 3),
+		)
+	}
+	x := tensor.NewRNG(13).Normal(0, 1, 4, 6)
+	checkEquivalence(t, "dropout", mk, x, 3)
+}
+
+func TestCompileFallbackLSTMBitExact(t *testing.T) {
+	const seqLen, batch, dim = 3, 2, 5
+	mk := func(g *tensor.RNG) *Sequential {
+		return NewSequential(
+			NewLSTM(g, dim, dim, seqLen),
+			NewLinear(g, dim, 4),
+		)
+	}
+	x := tensor.NewRNG(17).Normal(0, 1, seqLen*batch, dim)
+	checkEquivalence(t, "lstm", mk, x, 2)
+}
+
+// TestCompiledReentrancy runs two in-flight micro-batches interleaved
+// (F0, F1, Bi1, Bw1, Bi0, Bw0) through stochastic and stash-heavy
+// layers and checks each against a sequential interpreter reference —
+// the regression test for stash-in-module state: per-micro state must
+// live in the Env, so overlapping micro-batches cannot corrupt each
+// other.
+func TestCompiledReentrancy(t *testing.T) {
+	mk := func(g *tensor.RNG) *Sequential {
+		return NewSequential(
+			NewLinear(g, 6, 8),
+			&Sigmoid{},
+			NewDropout(tensor.NewRNG(42), 0.25),
+			NewLayerNorm(8),
+			NewLinear(g, 8, 3),
+		)
+	}
+	ref, cmp := buildPair(mk)
+	prog, err := CompileStage(cmp, compiled.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	x0 := tensor.NewRNG(1).Normal(0, 1, 4, 6)
+	x1 := tensor.NewRNG(2).Normal(0, 1, 4, 6)
+
+	// Interpreter reference: contexts interleave the same way so the
+	// dropout RNG stream is consumed in the same order (forward order
+	// F0, F1 in both paths).
+	ctx0, ctx1 := NewContext(), NewContext()
+	refY0 := ref.Forward(ctx0, x0, true)
+	refY1 := ref.Forward(ctx1, x1, true)
+	refDX1 := ref.Backward(ctx1, tensor.Full(0.01, refY1.Shape()...))
+	refDX0 := ref.Backward(ctx0, tensor.Full(0.02, refY0.Shape()...))
+
+	env0 := prog.NewEnv(x0.Shape())
+	env1 := prog.NewEnv(x1.Shape())
+	env0.BindInput(x0)
+	env0.Forward()
+	y0 := env0.Output().Clone()
+	env1.BindInput(x1)
+	env1.Forward()
+	y1 := env1.Output().Clone()
+
+	env1.BindGradIn(tensor.Full(0.01, y1.Shape()...))
+	env1.BackwardInput()
+	dx1 := env1.GradOut().Clone()
+	env1.BackwardWeights()
+	env1.EndMicro()
+
+	env0.BindGradIn(tensor.Full(0.02, y0.Shape()...))
+	env0.BackwardInput()
+	dx0 := env0.GradOut().Clone()
+	env0.BackwardWeights()
+	env0.EndMicro()
+
+	if !bitEqual(refY0, y0) || !bitEqual(refY1, y1) {
+		t.Fatal("in-flight forward outputs corrupted across micro-batches")
+	}
+	if !bitEqual(refDX1, dx1) || !bitEqual(refDX0, dx0) {
+		t.Fatal("in-flight input gradients corrupted across micro-batches")
+	}
+	rp, cp := ref.Params(), cmp.Params()
+	for i := range rp {
+		if !bitEqual(rp[i].G, cp[i].G) {
+			t.Fatalf("grad of %s differs under interleaved micro-batches", rp[i].Name)
+		}
+	}
+}
+
+// TestCompiledSteadyStateZeroArena verifies the tentpole's allocation
+// contract directly: after warm-up, replaying a fully lowered stage
+// performs zero arena borrows and zero arena releases per micro-batch.
+func TestCompiledSteadyStateZeroArena(t *testing.T) {
+	g := tensor.NewRNG(23)
+	stage := NewSequential(
+		NewLinear(g, 16, 16),
+		&Tanh{},
+		NewLayerNorm(16),
+		NewLinear(g, 16, 8),
+	)
+	prog, err := CompileStage(stage, compiled.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := tensor.NewRNG(29).Normal(0, 1, 8, 16)
+	env := prog.NewEnv(x.Shape())
+	dyShape := []int{8, 8}
+	run := func() {
+		env.BindInput(x)
+		env.Forward()
+		env.BindGradIn(tensor.FromSlice(make([]float32, 8*8), dyShape...))
+		env.BackwardInput()
+		env.BackwardWeights()
+		env.EndMicro()
+	}
+	run() // warm-up
+	before := tensor.ReadArenaStats()
+	for i := 0; i < 5; i++ {
+		run()
+	}
+	after := tensor.ReadArenaStats()
+	if got := after.Borrows - before.Borrows; got != 0 {
+		t.Fatalf("steady-state compiled replay made %d arena borrows, want 0", got)
+	}
+	if got := after.Releases - before.Releases; got != 0 {
+		t.Fatalf("steady-state compiled replay made %d arena releases, want 0", got)
+	}
+}

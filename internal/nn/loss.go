@@ -97,8 +97,18 @@ func (m *MeanPoolTime) Forward(ctx *Context, x *tensor.Tensor, train bool) *tens
 	}
 	batch := rows / m.SeqLen
 	out := tensor.New(batch, dim)
-	inv := float32(1 / float64(m.SeqLen))
-	for t := 0; t < m.SeqLen; t++ {
+	meanPoolForwardInto(x, out, m.SeqLen)
+	ctx.Push(batch)
+	return out
+}
+
+// meanPoolForwardInto accumulates the time average of x into out, which
+// must be zeroed; shared verbatim by the interpreter and the compiled
+// lowering so both paths are bit-identical.
+func meanPoolForwardInto(x, out *tensor.Tensor, seqLen int) {
+	batch, dim := out.Dim(0), out.Dim(1)
+	inv := float32(1 / float64(seqLen))
+	for t := 0; t < seqLen; t++ {
 		for b := 0; b < batch; b++ {
 			src := x.Data()[(t*batch+b)*dim : (t*batch+b+1)*dim]
 			dst := out.Data()[b*dim : (b+1)*dim]
@@ -107,8 +117,6 @@ func (m *MeanPoolTime) Forward(ctx *Context, x *tensor.Tensor, train bool) *tens
 			}
 		}
 	}
-	ctx.Push(batch)
-	return out
 }
 
 // Backward broadcasts dy/T back across timesteps.
@@ -116,8 +124,17 @@ func (m *MeanPoolTime) Backward(ctx *Context, dy *tensor.Tensor) *tensor.Tensor 
 	batch := ctx.Pop().(int)
 	dim := dy.Dim(1)
 	dx := tensor.New(m.SeqLen*batch, dim)
-	inv := float32(1 / float64(m.SeqLen))
-	for t := 0; t < m.SeqLen; t++ {
+	meanPoolBackwardInto(dy, dx, m.SeqLen)
+	return dx
+}
+
+// meanPoolBackwardInto broadcasts dy/T across timesteps into dx, fully
+// overwriting it; shared verbatim by the interpreter and the compiled
+// lowering.
+func meanPoolBackwardInto(dy, dx *tensor.Tensor, seqLen int) {
+	batch, dim := dy.Dim(0), dy.Dim(1)
+	inv := float32(1 / float64(seqLen))
+	for t := 0; t < seqLen; t++ {
 		for b := 0; b < batch; b++ {
 			src := dy.Data()[b*dim : (b+1)*dim]
 			dst := dx.Data()[(t*batch+b)*dim : (t*batch+b+1)*dim]
@@ -126,7 +143,6 @@ func (m *MeanPoolTime) Backward(ctx *Context, dy *tensor.Tensor) *tensor.Tensor 
 			}
 		}
 	}
-	return dx
 }
 
 // Params returns nil; pooling has no parameters.

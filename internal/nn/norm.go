@@ -41,7 +41,17 @@ func (l *LayerNorm) Forward(ctx *Context, x *tensor.Tensor, train bool) *tensor.
 	xhat := tensor.Borrow(rows, d)
 	invStd := make([]float32, rows)
 	out := tensor.Borrow(rows, d)
-	gain, bias := l.Gain.W.Data(), l.Bias.W.Data()
+	layerNormForwardInto(x, xhat, out, invStd, l.Gain.W.Data(), l.Bias.W.Data(), l.Eps)
+	ctx.Push(&lnSaved{xhat: xhat, invStd: invStd})
+	return out
+}
+
+// layerNormForwardInto is the layer-norm forward body, shared verbatim
+// by the interpreter and the compiled lowering so both paths compute
+// bit-identical normalizations. xhat, out, and invStd are fully
+// overwritten.
+func layerNormForwardInto(x, xhat, out *tensor.Tensor, invStd []float32, gain, bias []float32, eps float64) {
+	rows, d := x.Dim(0), x.Dim(1)
 	tensor.ParallelFor(rows, func(lo, hi int) {
 		for r := lo; r < hi; r++ {
 			row := x.Data()[r*d : (r+1)*d]
@@ -56,7 +66,7 @@ func (l *LayerNorm) Forward(ctx *Context, x *tensor.Tensor, train bool) *tensor.
 				varia += dv * dv
 			}
 			varia /= float64(d)
-			is := float32(1 / math.Sqrt(varia+l.Eps))
+			is := float32(1 / math.Sqrt(varia+eps))
 			invStd[r] = is
 			xh := xhat.Data()[r*d : (r+1)*d]
 			o := out.Data()[r*d : (r+1)*d]
@@ -66,8 +76,6 @@ func (l *LayerNorm) Forward(ctx *Context, x *tensor.Tensor, train bool) *tensor.
 			}
 		}
 	})
-	ctx.Push(&lnSaved{xhat: xhat, invStd: invStd})
-	return out
 }
 
 // Backward computes the layer-norm input gradient and accumulates gain and
@@ -76,21 +84,44 @@ func (l *LayerNorm) Backward(ctx *Context, dy *tensor.Tensor) *tensor.Tensor {
 	sv := ctx.Pop().(*lnSaved)
 	rows, d := dy.Dim(0), l.Dim
 	dx := tensor.Borrow(rows, d)
-	gain := l.Gain.W.Data()
+	layerNormGradW(dy, sv.xhat, l.Gain.G.Data(), l.Bias.G.Data())
+	layerNormGradInInto(dy, sv.xhat, dx, sv.invStd, l.Gain.W.Data())
+	// The stash (x̂) is owned by this layer; its last use is above.
+	sv.xhat.Release()
+	return dx
+}
+
+// layerNormGradW accumulates the gain and bias gradients (the
+// grad-weight half of the backward split); shared verbatim by the
+// interpreter and the compiled lowering. The float64 accumulation is
+// sequential over rows, so it is deterministic.
+func layerNormGradW(dy, xhat *tensor.Tensor, gainG, biasG []float32) {
+	rows, d := dy.Dim(0), dy.Dim(1)
 	dgain := make([]float64, d)
 	dbias := make([]float64, d)
 	for r := 0; r < rows; r++ {
 		dyr := dy.Data()[r*d : (r+1)*d]
-		xh := sv.xhat.Data()[r*d : (r+1)*d]
+		xh := xhat.Data()[r*d : (r+1)*d]
 		for j := 0; j < d; j++ {
 			dgain[j] += float64(dyr[j]) * float64(xh[j])
 			dbias[j] += float64(dyr[j])
 		}
 	}
+	for j := 0; j < d; j++ {
+		gainG[j] += float32(dgain[j])
+		biasG[j] += float32(dbias[j])
+	}
+}
+
+// layerNormGradInInto computes the input gradient (the grad-input half
+// of the backward split) into dx, fully overwriting it; shared verbatim
+// by the interpreter and the compiled lowering.
+func layerNormGradInInto(dy, xhat, dx *tensor.Tensor, invStd []float32, gain []float32) {
+	rows, d := dy.Dim(0), dy.Dim(1)
 	tensor.ParallelFor(rows, func(lo, hi int) {
 		for r := lo; r < hi; r++ {
 			dyr := dy.Data()[r*d : (r+1)*d]
-			xh := sv.xhat.Data()[r*d : (r+1)*d]
+			xh := xhat.Data()[r*d : (r+1)*d]
 			dxr := dx.Data()[r*d : (r+1)*d]
 			// dxhat = dy * gain; dx = (dxhat - mean(dxhat) - xhat*mean(dxhat*xhat)) * invStd.
 			var sum1, sum2 float64
@@ -102,17 +133,10 @@ func (l *LayerNorm) Backward(ctx *Context, dy *tensor.Tensor) *tensor.Tensor {
 			m1, m2 := float32(sum1/float64(d)), float32(sum2/float64(d))
 			for j := 0; j < d; j++ {
 				dxh := dyr[j] * gain[j]
-				dxr[j] = (dxh - m1 - xh[j]*m2) * sv.invStd[r]
+				dxr[j] = (dxh - m1 - xh[j]*m2) * invStd[r]
 			}
 		}
 	})
-	for j := 0; j < d; j++ {
-		l.Gain.G.Data()[j] += float32(dgain[j])
-		l.Bias.G.Data()[j] += float32(dbias[j])
-	}
-	// The stash (x̂) is owned by this layer; its last use is above.
-	sv.xhat.Release()
-	return dx
 }
 
 // Params returns the gain and bias.

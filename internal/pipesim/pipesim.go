@@ -108,9 +108,11 @@ type GPUStats struct {
 	// is the stash high-water mark actually reached — the simulator-side
 	// counterparts of the runtime's StageMetrics, asserted equal to the
 	// schedule's analytic occupancy (sched.Analyze) by the
-	// cross-validation tests.
-	Fwd, Bwd     int
-	PeakInFlight int
+	// cross-validation tests. Under a split schedule Bwd counts the
+	// grad-input (BwdIn) ops and BwdW the grad-weight ops, mirroring
+	// StageMetrics.Bwd/BwdW.
+	Fwd, Bwd, BwdW int
+	PeakInFlight   int
 	// Memory is the peak footprint breakdown.
 	Memory device.MemoryBreakdown
 	// Timeline is the busy-interval record (idle gaps implicit).
@@ -249,6 +251,8 @@ func Run(cfg Config) (*Result, error) {
 	// kernel efficiency: every unit executes at eff(N·b).
 	fwdDur := make([]float64, k)
 	bwdDur := make([]float64, k)
+	bwdInDur := make([]float64, k)
+	bwdWDur := make([]float64, k)
 	util := make([]float64, k)
 	for s := 0; s < k; s++ {
 		gpu := cfg.Cluster.GPUs[s]
@@ -256,9 +260,18 @@ func Run(cfg Config) (*Result, error) {
 		eff := gpu.Efficiency(float64(n * b))
 		fwdDur[s] = cfg.Stages[s].FwdFLOPs * float64(b) / (gpu.PeakFLOPs * eff)
 		bwdDur[s] = cfg.Stages[s].BwdFLOPs * float64(b) / (gpu.PeakFLOPs * eff)
+		// A split backward's halves are modeled as an even split of the
+		// combined cost (dx = dy·Wᵀ and dW = xᵀ·dy are the same GEMM
+		// shape transposed), so Bi + Bw sums exactly to B and split vs
+		// combined simulations stay makespan-comparable.
+		bwdInDur[s] = bwdDur[s] / 2
+		bwdWDur[s] = bwdDur[s] / 2
 		if cfg.Recompute {
-			// The backward pass replays the forward first.
+			// The backward pass replays the forward first; for a split
+			// backward the replay precedes the grad-input half (it rebuilds
+			// the activations both halves read).
 			bwdDur[s] += fwdDur[s]
+			bwdInDur[s] += fwdDur[s]
 		}
 		util[s] = eff
 	}
@@ -316,6 +329,11 @@ func Run(cfg Config) (*Result, error) {
 		case sched.Fwd:
 			at = fwdArrive[s][op.Micro]
 			depEnd = fwdDepEnd[s][op.Micro]
+		case sched.BwdW:
+			// Grad-weight consumes only local state: the gradient received
+			// (and stash read) by this GPU's own grad-input op.
+			at = bwdEnd[s][op.Micro]
+			depEnd = at
 		default:
 			if s == k-1 {
 				// Loss gradient is local: ready when own forward is done.
@@ -371,9 +389,14 @@ func Run(cfg Config) (*Result, error) {
 		}
 
 		var dur float64
-		if op.Kind == sched.Fwd {
+		switch op.Kind {
+		case sched.Fwd:
 			dur = fwdDur[s]
-		} else {
+		case sched.BwdIn:
+			dur = bwdInDur[s]
+		case sched.BwdW:
+			dur = bwdWDur[s]
+		default:
 			dur = bwdDur[s]
 		}
 		end := bestStart + dur
@@ -397,9 +420,13 @@ func Run(cfg Config) (*Result, error) {
 				fwdDepEnd[s+1][op.Micro] = end
 				stats[s+1].CommTotal += xfer[s]
 			}
-		case sched.Bwd:
+		case sched.Bwd, sched.BwdIn:
 			stats[s].Bwd++
-			inflight[s]--
+			if op.Kind == sched.Bwd {
+				// A combined backward retires the stash here; a split one
+				// keeps it live until the grad-weight op reads it.
+				inflight[s]--
+			}
 			bwdEnd[s][op.Micro] = end
 			if s > 0 {
 				depart := math.Max(end, linkBwdFree[s-1])
@@ -409,6 +436,9 @@ func Run(cfg Config) (*Result, error) {
 				bwdDepEnd[s-1][op.Micro] = end
 				stats[s-1].CommTotal += xfer[s-1]
 			}
+		case sched.BwdW:
+			stats[s].BwdW++
+			inflight[s]--
 		}
 	}
 

@@ -19,8 +19,13 @@ type Analysis struct {
 	// MaxMicro is the largest micro index that appears (single-flush
 	// schedules over m micros have Micros == m and MaxMicro == m−1).
 	MaxMicro int
-	// Fwd[k] and Bwd[k] count the forward and backward ops of GPU k.
+	// Fwd[k] and Bwd[k] count the forward and backward passes of GPU k;
+	// a split backward's BwdIn op counts in Bwd (it is the pass that
+	// unblocks the upstream stage) and its BwdW op counts in BwdW.
 	Fwd, Bwd []int
+	// BwdW[k] counts GPU k's grad-weight ops; zero for schedules whose
+	// backwards are combined Bwd ops.
+	BwdW []int
 	// MaxInFlight[k] is GPU k's activation-stash high-water mark: the
 	// peak number of micro-batches whose forward has run but whose
 	// backward has not.
@@ -30,13 +35,14 @@ type Analysis struct {
 	WeightVersions []int
 }
 
-// TotalOps returns the schedule-wide op count (forwards plus backwards
-// across all GPUs) — the denominator observability cross-checks use when
-// comparing obs-measured op counters against the analysis.
+// TotalOps returns the schedule-wide op count (forwards plus backwards,
+// counting both halves of split backwards, across all GPUs) — the
+// denominator observability cross-checks use when comparing obs-measured
+// op counters against the analysis.
 func (a *Analysis) TotalOps() int {
 	n := 0
 	for k := range a.Fwd {
-		n += a.Fwd[k] + a.Bwd[k]
+		n += a.Fwd[k] + a.Bwd[k] + a.BwdW[k]
 	}
 	return n
 }
@@ -69,6 +75,7 @@ func Analyze(s *Schedule) (*Analysis, error) {
 		MaxMicro:       -1,
 		Fwd:            make([]int, k),
 		Bwd:            make([]int, k),
+		BwdW:           make([]int, k),
 		MaxInFlight:    s.MaxInFlight(),
 		WeightVersions: make([]int, k),
 	}
@@ -85,9 +92,12 @@ func Analyze(s *Schedule) (*Analysis, error) {
 			if op.Micro > a.MaxMicro {
 				a.MaxMicro = op.Micro
 			}
-			if op.Kind == Fwd {
+			switch op.Kind {
+			case Fwd:
 				a.Fwd[g]++
-			} else {
+			case BwdW:
+				a.BwdW[g]++
+			default:
 				a.Bwd[g]++
 			}
 		}
@@ -134,7 +144,7 @@ func Analyze(s *Schedule) (*Analysis, error) {
 				switch op.Kind {
 				case Fwd:
 					ready = g == 0 || fwdDone[g-1][op.Micro]
-				case Bwd:
+				case Bwd, BwdIn:
 					if g == k-1 {
 						// Loss gradient is local; Validate plus program
 						// order guarantee the forward already ran.
@@ -142,13 +152,21 @@ func Analyze(s *Schedule) (*Analysis, error) {
 					} else {
 						ready = bwdDone[g+1][op.Micro]
 					}
+				case BwdW:
+					// Grad-weight needs only the local gradient received at
+					// this GPU's BwdIn; Validate guarantees the Bi precedes
+					// the Bw in program order, so by execution here it ran.
+					ready = bwdDone[g][op.Micro]
 				}
 				if !ready {
 					break
 				}
-				if op.Kind == Fwd {
+				switch op.Kind {
+				case Fwd:
 					fwdDone[g][op.Micro] = true
-				} else {
+				case Bwd, BwdIn:
+					// The upstream stage's backward consumes the gradient
+					// emitted here: a split backward emits it at BwdIn.
 					bwdDone[g][op.Micro] = true
 				}
 				idx[g]++

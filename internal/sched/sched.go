@@ -31,22 +31,43 @@ package sched
 
 import "fmt"
 
-// Kind distinguishes forward from backward passes.
+// Kind distinguishes forward from backward passes. A backward pass
+// exists in two granularities: the combined Bwd op, and the 2BP-style
+// split into BwdIn (grad-input: compute dx and unblock the upstream
+// stage) and BwdW (grad-weight: accumulate parameter gradients locally).
+// SplitBackward rewrites a schedule from the former into the latter.
 type Kind uint8
 
 // Operation kinds.
 const (
 	Fwd Kind = iota
 	Bwd
+	// BwdIn is the grad-input half of a split backward: it consumes the
+	// downstream gradient and produces the input gradient, so it is the
+	// op the upstream stage's backward depends on.
+	BwdIn
+	// BwdW is the grad-weight half of a split backward: it accumulates
+	// parameter gradients from the stashed activations and has no
+	// cross-stage consumers, so the scheduler may overlap it freely.
+	BwdW
 )
 
 // String implements fmt.Stringer.
 func (k Kind) String() string {
-	if k == Fwd {
+	switch k {
+	case Fwd:
 		return "F"
+	case BwdIn:
+		return "Bi"
+	case BwdW:
+		return "Bw"
+	default:
+		return "B"
 	}
-	return "B"
 }
+
+// Backward reports whether the kind is any flavor of backward pass.
+func (k Kind) Backward() bool { return k != Fwd }
 
 // Op is one unit of work on a GPU: the forward or backward pass of one
 // micro-batch. Micro indices are global across the simulated batches, so
@@ -225,20 +246,52 @@ func validate(k, m, batches int) {
 	}
 }
 
+// SplitBackward rewrites every combined Bwd op into the adjacent pair
+// BwdIn, BwdW — the 2BP-style backward split the compiled runtime
+// executes. Adjacency keeps each micro-batch's grad-weight accumulation
+// in the same position of the per-parameter accumulation order as the
+// combined op, so a split schedule trains bitwise-identically to its
+// unsplit original; the gain is that the input gradient ships upstream
+// after BwdIn, before the grad-weight work runs. Fwd ops and schedules
+// already split pass through unchanged.
+func SplitBackward(s *Schedule) *Schedule {
+	out := &Schedule{
+		Name:           s.Name,
+		Continuous:     s.Continuous,
+		WeightVersions: s.WeightVersions,
+		PerGPU:         make([][]Op, len(s.PerGPU)),
+	}
+	for g, ops := range s.PerGPU {
+		split := make([]Op, 0, 2*len(ops))
+		for _, op := range ops {
+			if op.Kind == Bwd {
+				split = append(split, Op{BwdIn, op.Micro}, Op{BwdW, op.Micro})
+			} else {
+				split = append(split, op)
+			}
+		}
+		out.PerGPU[g] = split
+	}
+	return out
+}
+
 // MaxInFlight returns, for each GPU, the peak number of micro-batches
 // whose forward has run but whose backward has not — the activation-stash
-// high-water mark the schedule implies.
+// high-water mark the schedule implies. With a split backward the stash
+// lives until BwdW: the grad-weight op still reads the stashed
+// activations, so BwdIn does not retire the micro-batch.
 func (s *Schedule) MaxInFlight() []int {
 	out := make([]int, len(s.PerGPU))
 	for k, ops := range s.PerGPU {
 		cur, peak := 0, 0
 		for _, op := range ops {
-			if op.Kind == Fwd {
+			switch op.Kind {
+			case Fwd:
 				cur++
 				if cur > peak {
 					peak = cur
 				}
-			} else {
+			case Bwd, BwdW:
 				cur--
 			}
 		}
@@ -248,12 +301,16 @@ func (s *Schedule) MaxInFlight() []int {
 }
 
 // Validate checks the structural invariants every legal schedule must
-// satisfy: each micro's forward and backward appear exactly once per GPU,
-// with the backward after the forward.
+// satisfy: each micro's forward appears exactly once per GPU, and its
+// backward appears exactly once after it — either as one combined Bwd op
+// or as the split pair BwdIn then BwdW (never both forms for the same
+// micro).
 func (s *Schedule) Validate() error {
 	for k, ops := range s.PerGPU {
 		fwdSeen := map[int]int{}
 		bwdSeen := map[int]int{}
+		biSeen := map[int]int{}
+		bwSeen := map[int]int{}
 		for i, op := range ops {
 			switch op.Kind {
 			case Fwd:
@@ -265,18 +322,50 @@ func (s *Schedule) Validate() error {
 				if _, dup := bwdSeen[op.Micro]; dup {
 					return fmt.Errorf("sched %s: GPU %d repeats B%d", s.Name, k, op.Micro)
 				}
+				if _, split := biSeen[op.Micro]; split {
+					return fmt.Errorf("sched %s: GPU %d mixes B%d with split Bi%d", s.Name, k, op.Micro, op.Micro)
+				}
 				fi, ok := fwdSeen[op.Micro]
 				if !ok || fi > i {
 					return fmt.Errorf("sched %s: GPU %d runs B%d before F%d", s.Name, k, op.Micro, op.Micro)
 				}
 				bwdSeen[op.Micro] = i
+			case BwdIn:
+				if _, dup := biSeen[op.Micro]; dup {
+					return fmt.Errorf("sched %s: GPU %d repeats Bi%d", s.Name, k, op.Micro)
+				}
+				if _, combined := bwdSeen[op.Micro]; combined {
+					return fmt.Errorf("sched %s: GPU %d mixes Bi%d with combined B%d", s.Name, k, op.Micro, op.Micro)
+				}
+				fi, ok := fwdSeen[op.Micro]
+				if !ok || fi > i {
+					return fmt.Errorf("sched %s: GPU %d runs Bi%d before F%d", s.Name, k, op.Micro, op.Micro)
+				}
+				biSeen[op.Micro] = i
+			case BwdW:
+				if _, dup := bwSeen[op.Micro]; dup {
+					return fmt.Errorf("sched %s: GPU %d repeats Bw%d", s.Name, k, op.Micro)
+				}
+				bi, ok := biSeen[op.Micro]
+				if !ok || bi > i {
+					return fmt.Errorf("sched %s: GPU %d runs Bw%d before Bi%d", s.Name, k, op.Micro, op.Micro)
+				}
+				bwSeen[op.Micro] = i
 			}
 		}
-		if len(fwdSeen) != len(bwdSeen) {
-			return fmt.Errorf("sched %s: GPU %d has %d forwards but %d backwards", s.Name, k, len(fwdSeen), len(bwdSeen))
+		for m := range biSeen {
+			if _, ok := bwSeen[m]; !ok {
+				return fmt.Errorf("sched %s: GPU %d missing Bw%d after Bi%d", s.Name, k, m, m)
+			}
+		}
+		if backs := len(bwdSeen) + len(biSeen); len(fwdSeen) != backs {
+			return fmt.Errorf("sched %s: GPU %d has %d forwards but %d backwards", s.Name, k, len(fwdSeen), backs)
 		}
 		for m := range fwdSeen {
-			if _, ok := bwdSeen[m]; !ok {
+			if _, combined := bwdSeen[m]; combined {
+				continue
+			}
+			if _, split := biSeen[m]; !split {
 				return fmt.Errorf("sched %s: GPU %d missing B%d", s.Name, k, m)
 			}
 		}

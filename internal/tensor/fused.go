@@ -49,14 +49,37 @@ func tanh32(x float32) float32 {
 // is the fused Linear/projection forward. Bit-identical to
 // Tanh(AddRowVector(MatMul(a, b), bias)) and friends.
 func MatMulBiasAct(a, b, bias *Tensor, act Act) *Tensor {
+	checkMatMulBiasAct(a, b, bias)
+	out := Borrow(a.shape[0], b.shape[1])
+	matMulBiasActInto(out, a, b, bias, act)
+	return out
+}
+
+// MatMulBiasActInto computes dst = act(a @ b + bias), fully overwriting
+// dst — the zero-allocation variant the compiled execution path writes
+// into pre-planned slot storage. dst is cleared first so the in-place
+// accumulation is bit-identical to MatMulBiasAct's zeroed arena borrow.
+func MatMulBiasActInto(dst, a, b, bias *Tensor, act Act) {
+	checkMatMulBiasAct(a, b, bias)
+	if len(dst.shape) != 2 || dst.shape[0] != a.shape[0] || dst.shape[1] != b.shape[1] {
+		panic(fmt.Sprintf("tensor: MatMulBiasActInto dst %v for %v x %v", dst.shape, a.shape, b.shape))
+	}
+	dst.Zero()
+	matMulBiasActInto(dst, a, b, bias, act)
+}
+
+func checkMatMulBiasAct(a, b, bias *Tensor) {
 	if len(a.shape) != 2 || len(b.shape) != 2 || a.shape[1] != b.shape[0] {
 		panic(fmt.Sprintf("tensor: MatMulBiasAct shapes %v x %v", a.shape, b.shape))
 	}
-	m, k, n := a.shape[0], a.shape[1], b.shape[1]
-	if bias != nil && (len(bias.shape) != 1 || bias.shape[0] != n) {
-		panic(fmt.Sprintf("tensor: MatMulBiasAct bias %v for output width %d", bias.shape, n))
+	if bias != nil && (len(bias.shape) != 1 || bias.shape[0] != b.shape[1]) {
+		panic(fmt.Sprintf("tensor: MatMulBiasAct bias %v for output width %d", bias.shape, b.shape[1]))
 	}
-	out := Borrow(m, n)
+}
+
+// matMulBiasActInto accumulates into out, which must be zeroed.
+func matMulBiasActInto(out, a, b, bias *Tensor, act Act) {
+	m, k, n := a.shape[0], a.shape[1], b.shape[1]
 	ParallelForCost(m, k*n, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			arow := a.data[i*k : (i+1)*k]
@@ -99,7 +122,6 @@ func MatMulBiasAct(a, b, bias *Tensor, act Act) *Tensor {
 			}
 		}
 	})
-	return out
 }
 
 // LSTMGates is the per-step activation bundle produced by LSTMCellForward.
