@@ -5,9 +5,10 @@ GO ?= go
 # ci is the full verification tier: formatting, static checks (including
 # the obs build tag, which turns on strict metric-name validation), build,
 # tests, the race-detector pass over the concurrent packages, the seeded
-# chaos matrix, the wire-codec fuzz smoke, and the kernel and compiled
-# op-graph benchmark-regression gates.
-ci: fmt vet vet-obs build test race faults fuzz-smoke bench-gate bench-graph-gate
+# chaos matrix, the wire-codec fuzz smoke, the metrics-exposition and
+# collector-overhead smoke, and the kernel and compiled op-graph
+# benchmark-regression gates.
+ci: fmt vet vet-obs build test race faults fuzz-smoke bench-smoke bench-gate bench-graph-gate
 
 fmt:
 	@out="$$(gofmt -l .)"; \
@@ -52,12 +53,15 @@ faults:
 			|| exit 1; \
 	done
 
-# bench-smoke runs one cheap figure with the metrics dump enabled.
-# avgpipe-bench validates the rendered exposition text itself (it exits
-# non-zero on malformed or empty output); the grep double-checks that the
-# file on disk actually carries avgpipe_* samples. The dump goes to a
-# mktemp file so concurrent invocations cannot clobber each other, and is
-# removed on every exit path.
+# bench-smoke runs one cheap figure with the metrics dump enabled, then
+# the cluster-telemetry overhead gate. avgpipe-bench validates the
+# rendered exposition text itself (it exits non-zero on malformed or
+# empty output); the grep double-checks that the file on disk actually
+# carries avgpipe_* samples. The dump goes to a mktemp file so
+# concurrent invocations cannot clobber each other, and is removed on
+# every exit path. The overhead gate measures publishing snapshots to a
+# live collector against the collector_overhead_limit budget recorded
+# in BENCH_obs.json (<3% of step time); a regression fails `make ci`.
 bench-smoke:
 	@out="$$(mktemp -t avgpipe-metrics.XXXXXX.prom)"; \
 	trap 'rm -f "$$out"' EXIT; \
@@ -65,6 +69,8 @@ bench-smoke:
 	grep -q '^avgpipe_' "$$out" || \
 		{ echo "bench-smoke: no avgpipe_ samples in $$out"; exit 1; }; \
 	echo "bench-smoke: /metrics output OK ($$(grep -c '^avgpipe_' "$$out") samples)"
+	AVGPIPE_BENCH_COLLECT=1 $(GO) test ./internal/obs/collect/ \
+		-run '^TestCollectorOverheadGate$$' -count=1
 
 # BENCH_FLAGS drives both the gate and re-baselining so they always
 # measure the same way: every Kernel* benchmark in the tensor and nn

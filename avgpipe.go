@@ -38,6 +38,7 @@ import (
 	netx "avgpipe/internal/net"
 	"avgpipe/internal/nn"
 	"avgpipe/internal/obs"
+	"avgpipe/internal/obs/collect"
 	"avgpipe/internal/optim"
 	"avgpipe/internal/pipesim"
 	"avgpipe/internal/sched"
@@ -275,9 +276,19 @@ var ParseReplicaPeers = cluster.ParsePeers
 // job: it listens on listenAddr, dials every peer in peers (id →
 // address, the other N−1 replicas) with retry until ctx expires, and
 // verifies the job geometry. Peer processes may start in any order.
+// After forming, it measures every peer's clock offset (round-trip
+// midpoint) so distributed traces can be aligned onto one timeline.
 // Metrics go to reg (nil = the default registry).
 func DialTCPMesh(ctx context.Context, self int, listenAddr string, peers map[int]string, reg *MetricsRegistry) (*Mesh, error) {
-	return netx.FormMesh(ctx, netx.NewTCP(reg), self, listenAddr, peers)
+	m, err := netx.FormMesh(ctx, netx.NewTCP(reg), self, listenAddr, peers)
+	if err != nil {
+		return nil, err
+	}
+	if err := m.SyncClocks(ctx); err != nil {
+		m.Close()
+		return nil, err
+	}
+	return m, nil
 }
 
 // --- simulation (cost models, clusters, schedules) ------------------------
@@ -442,15 +453,68 @@ func DefaultMetrics() *MetricsRegistry { return obs.Default() }
 func DiscardMetrics() *MetricsRegistry { return obs.Discard() }
 
 // MetricsHandler serves a registry over HTTP: Prometheus text on
-// /metrics, expvar JSON on /debug/vars, and net/http/pprof profiles
-// under /debug/pprof.
-func MetricsHandler(reg *MetricsRegistry) http.Handler { return obs.Handler(reg) }
+// /metrics, liveness/readiness on /healthz and /readyz, expvar JSON on
+// /debug/vars, and net/http/pprof profiles under /debug/pprof.
+func MetricsHandler(reg *MetricsRegistry, opts ...MetricsOption) http.Handler {
+	return obs.Handler(reg, opts...)
+}
 
 // ServeMetrics starts MetricsHandler on addr (":0" picks a free port)
 // and returns the server plus the bound address.
-func ServeMetrics(addr string, reg *MetricsRegistry) (*http.Server, string, error) {
-	return obs.Serve(addr, reg)
+func ServeMetrics(addr string, reg *MetricsRegistry, opts ...MetricsOption) (*http.Server, string, error) {
+	return obs.Serve(addr, reg, opts...)
 }
+
+// MetricsOption customizes MetricsHandler and ServeMetrics; Health and
+// WithHealth wire the /readyz probe to real process state.
+type (
+	MetricsOption = obs.HandlerOption
+	Health        = obs.Health
+)
+
+// NewHealth returns a Health that starts not-ready.
+func NewHealth() *Health { return obs.NewHealth() }
+
+// WithHealth serves h behind /healthz and /readyz.
+func WithHealth(h *Health) MetricsOption { return obs.WithHealth(h) }
+
+// ClusterEvent is one structured health event (straggler detected,
+// round deadline missed, replica detach/rejoin, watchdog stall, ...)
+// from the event stream every registry carries (see internal/obs for
+// the taxonomy).
+type ClusterEvent = obs.Event
+
+// TelemetryCollector ingests per-replica telemetry sessions and serves
+// the merged cluster view: one /metrics exposition with a `replica`
+// label, derived cross-replica series, the merged health-event stream,
+// and a clock-aligned merged Chrome trace. cmd/avgpipe-obs is its CLI.
+type (
+	TelemetryCollector       = collect.Collector
+	TelemetryCollectorConfig = collect.CollectorConfig
+)
+
+// NewTelemetryCollector binds the ingest listener and starts accepting
+// publisher sessions.
+func NewTelemetryCollector(cfg TelemetryCollectorConfig) (*TelemetryCollector, error) {
+	return collect.NewCollector(cfg)
+}
+
+// TelemetryPublisher ships one replica's metric snapshots, health
+// events, and averaging-trace spans to the collector.
+type (
+	TelemetryPublisher       = collect.Publisher
+	TelemetryPublisherConfig = collect.PublisherConfig
+)
+
+// NewTelemetryPublisher dials the collector and measures the clock
+// offset; Start launches the periodic publish loop.
+func NewTelemetryPublisher(ctx context.Context, cfg TelemetryPublisherConfig) (*TelemetryPublisher, error) {
+	return collect.NewPublisher(ctx, cfg)
+}
+
+// NewTCPTransport returns the TCP frame transport (telemetry sessions,
+// mesh links) recording into reg (nil = the default registry).
+func NewTCPTransport(reg *MetricsRegistry) netx.Transport { return netx.NewTCP(reg) }
 
 // Tracer accumulates Chrome-trace events (spans, process/thread
 // metadata, and flow arrows) and writes the chrome://tracing JSON
@@ -460,3 +524,8 @@ type Tracer = obs.Tracer
 
 // TraceEvent is one Chrome-trace event.
 type TraceEvent = obs.TraceEvent
+
+// NewTracer returns an empty tracer labeled with a source name. Attach
+// one to an Averager (SetTracer) to record wall-clock submit/apply
+// spans that a TelemetryPublisher can ship for cross-replica merging.
+func NewTracer(source string) *Tracer { return obs.NewTracer(source) }

@@ -1,0 +1,96 @@
+// Command avgpipe-obs is the cluster telemetry collector for
+// multi-process elastic-averaging jobs. It ingests per-replica metric
+// snapshots, health events, and averaging-trace spans pushed by
+// avgpipe-train processes started with -telemetry-addr, and serves the
+// merged cluster view over HTTP:
+//
+//	/metrics   one Prometheus exposition for the whole job, every
+//	           series labeled replica="id", plus derived cluster series
+//	           (round skew, loss divergence, bubble spread, straggler
+//	           scores)
+//	/events    the merged health-event stream as a JSON array
+//	/trace     one clock-aligned Chrome trace with a process row per
+//	           replica and flow arrows from each delta submit to its
+//	           remote apply
+//	/healthz   liveness
+//	/readyz    readiness: 200 once -expect replicas report snapshots
+//
+// A 2-process localhost job with a collector:
+//
+//	avgpipe-obs -listen 127.0.0.1:7090 -http 127.0.0.1:9090 -expect 2 &
+//	avgpipe-train -replica-id 0 -listen 127.0.0.1:7070 -peers 1=127.0.0.1:7071 \
+//	              -pipelines 2 -telemetry-addr 127.0.0.1:7090 &
+//	avgpipe-train -replica-id 1 -listen 127.0.0.1:7071 -peers 0=127.0.0.1:7070 \
+//	              -pipelines 2 -telemetry-addr 127.0.0.1:7090
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"avgpipe"
+)
+
+func main() {
+	var (
+		listen   = flag.String("listen", "127.0.0.1:7090", "ingest address replicas push telemetry to")
+		httpAddr = flag.String("http", "127.0.0.1:9090", "serve the merged /metrics, /events, /trace, and probes here")
+		expect   = flag.Int("expect", 0, "replicas that must report before /readyz flips (0 = ready immediately)")
+		jsonlOut = flag.String("jsonl", "", "append one JSON line per ingested snapshot and event to this file")
+		traceOut = flag.String("trace-out", "", "write the merged Chrome trace to this file on shutdown")
+	)
+	flag.Parse()
+
+	cfg := avgpipe.TelemetryCollectorConfig{
+		Transport: avgpipe.NewTCPTransport(nil),
+		Listen:    *listen,
+		Expect:    *expect,
+		Registry:  avgpipe.NewMetricsRegistry(),
+	}
+	if *jsonlOut != "" {
+		f, err := os.Create(*jsonlOut)
+		if err != nil {
+			log.Fatalf("jsonl: %v", err)
+		}
+		defer f.Close()
+		cfg.JSONL = f
+	}
+	col, err := avgpipe.NewTelemetryCollector(cfg)
+	if err != nil {
+		log.Fatalf("collector: %v", err)
+	}
+	defer col.Close()
+
+	ln, err := net.Listen("tcp", *httpAddr)
+	if err != nil {
+		log.Fatalf("http: %v", err)
+	}
+	srv := &http.Server{Handler: col.Handler()}
+	go srv.Serve(ln)
+	defer srv.Close()
+
+	fmt.Printf("collector: ingesting on %s, serving http://%s/metrics /events /trace /healthz /readyz\n",
+		col.Addr(), ln.Addr())
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	<-stop
+
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			log.Fatalf("trace out: %v", err)
+		}
+		if err := col.WriteMergedTrace(f); err != nil {
+			log.Fatalf("trace out: %v", err)
+		}
+		f.Close()
+		fmt.Printf("wrote merged Chrome trace to %s\n", *traceOut)
+	}
+}

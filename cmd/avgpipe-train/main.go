@@ -10,8 +10,11 @@
 //	avgpipe-train -metrics-addr :9090 -stats-jsonl steps.jsonl -trace-out run.trace
 //
 // With -metrics-addr the run serves live observability while training:
-// Prometheus text on /metrics, expvar JSON on /debug/vars, and profiling
-// on /debug/pprof (see the Observability section of README.md).
+// Prometheus text on /metrics, liveness/readiness probes on /healthz and
+// /readyz, expvar JSON on /debug/vars, and profiling on /debug/pprof
+// (see the Observability section of README.md). With -telemetry-addr it
+// additionally pushes metric snapshots, health events, and averaging
+// trace spans to a running avgpipe-obs collector.
 //
 // With -listen/-peers/-replica-id the run becomes ONE replica of a
 // multi-process job: N processes, each owning one pipeline, exchange
@@ -66,9 +69,12 @@ func main() {
 		partition = flag.String("partition", "equal", "layer partitioning: equal or cost")
 		compiled  = flag.Bool("compiled", false, "execute stages as compiled op graphs with the 2BP backward split (loss-bitwise identical to the interpreter)")
 
-		metricsAddr = flag.String("metrics-addr", "", "serve /metrics, /debug/vars, and /debug/pprof on this address (e.g. :9090)")
+		metricsAddr = flag.String("metrics-addr", "", "serve /metrics, /healthz, /readyz, /debug/vars, and /debug/pprof on this address (e.g. :9090)")
 		traceOut    = flag.String("trace-out", "", "write a Chrome trace of pipeline 0's final batch to this file")
 		statsJSONL  = flag.String("stats-jsonl", "", "append one JSON line of step stats per round to this file")
+
+		telemetryAddr     = flag.String("telemetry-addr", "", "ship metric snapshots, health events, and averaging traces to the avgpipe-obs collector at this address")
+		telemetryInterval = flag.Duration("telemetry-interval", time.Second, "how often the telemetry publisher snapshots the registry")
 
 		checkpointDir   = flag.String("checkpoint-dir", "", "directory for training checkpoints")
 		checkpointEvery = flag.Int("checkpoint-every", 50, "save a checkpoint every this many rounds (needs -checkpoint-dir)")
@@ -128,13 +134,15 @@ func main() {
 	}
 
 	reg := avgpipe.NewMetricsRegistry()
+	health := avgpipe.NewHealth()
+	health.SetNotReady("starting")
 	if *metricsAddr != "" {
-		srv, addr, err := avgpipe.ServeMetrics(*metricsAddr, reg)
+		srv, addr, err := avgpipe.ServeMetrics(*metricsAddr, reg, avgpipe.WithHealth(health))
 		if err != nil {
 			log.Fatalf("metrics server: %v", err)
 		}
 		defer srv.Close()
-		fmt.Printf("observability: http://%s/metrics (Prometheus), /debug/vars (expvar), /debug/pprof (profiles)\n", addr)
+		fmt.Printf("observability: http://%s/metrics (Prometheus), /healthz + /readyz (probes), /debug/vars (expvar), /debug/pprof (profiles)\n", addr)
 	}
 
 	var faults avgpipe.FaultConfig
@@ -195,6 +203,33 @@ func main() {
 		log.Fatalf("trainer: %v", err)
 	}
 	defer trainer.Close()
+	health.SetReady() // mesh formed (if dist) and pipelines built: the run can serve traffic
+
+	if *telemetryAddr != "" {
+		tracer := avgpipe.NewTracer("avgpipe-train")
+		trainer.Averager().SetTracer(tracer)
+		rid := 0 // single-process runs publish as replica 0
+		if dist != nil {
+			rid = dist.ReplicaID
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		pub, err := avgpipe.NewTelemetryPublisher(ctx, avgpipe.TelemetryPublisherConfig{
+			Transport: avgpipe.NewTCPTransport(reg),
+			Addr:      *telemetryAddr,
+			Replica:   rid,
+			Registry:  reg,
+			Interval:  *telemetryInterval,
+			Tracer:    tracer,
+		})
+		cancel()
+		if err != nil {
+			log.Fatalf("telemetry: %v", err)
+		}
+		pub.Start()
+		defer pub.Close()
+		fmt.Printf("telemetry: publishing to %s every %v (clock offset %v)\n",
+			*telemetryAddr, *telemetryInterval, pub.ClockOffset())
+	}
 
 	startRound := 0
 	if *resume {

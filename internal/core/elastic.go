@@ -116,6 +116,11 @@ type Averager struct {
 	degraded    *obs.Gauge
 	expired     *obs.Counter
 	lateUpdates *obs.Counter
+	// events receives membership and round-health events (the registry's
+	// event log); tracer, when set, records submit/apply spans on wall-
+	// clock timestamps for cross-replica trace merging.
+	events *obs.EventLog
+	tracer *obs.Tracer
 }
 
 // roundAcc holds one round's per-pipeline deltas. Keeping them separate
@@ -177,6 +182,7 @@ func NewAveragerObs(n int, init []*nn.Param, reg *obs.Registry) *Averager {
 			"Rounds closed at the deadline over a partial update set."),
 		lateUpdates: reg.Counter("avgpipe_avg_late_updates_total",
 			"Updates discarded because their round had already closed."),
+		events: reg.Events(),
 	}
 	for p := 0; p < n; p++ {
 		a.live[p] = true
@@ -212,6 +218,41 @@ func (a *Averager) SeedReplica(p int, params []*nn.Param) {
 	for i, pr := range params {
 		a.snapshots[p][i].CopyFrom(pr.W)
 	}
+}
+
+// SetTracer installs a tracer on which the averager records "submit"
+// and "apply" spans (Cat "avg", wall-clock microsecond timestamps) —
+// the raw material obs.MergeTraces turns into cross-replica delta
+// arrows. Call before training starts; nil disables tracing.
+func (a *Averager) SetTracer(tr *obs.Tracer) {
+	a.tracer = tr
+	if tr != nil {
+		tr.Process(avgTracePID, "averaging")
+		tr.Thread(avgTracePID, avgTraceSubmitTID, "submit")
+		tr.Thread(avgTracePID, avgTraceApplyTID, "apply")
+	}
+}
+
+// Averaging-span trace coordinates: the averager claims its own process
+// row (the pipeline runtime uses PID 1) with one track per direction.
+const (
+	avgTracePID       = 2
+	avgTraceSubmitTID = 1
+	avgTraceApplyTID  = 2
+)
+
+// wallUS is the wall-clock timestamp in trace microseconds. Averaging
+// spans use wall time (not a run-relative clock) so different
+// processes' spans can be aligned by their measured clock offsets.
+func wallUS(t time.Time) float64 { return float64(t.UnixNano()) / 1e3 }
+
+// self is the local replica id for event attribution: the mesh identity
+// in a multi-process job, -1 (all pipelines local) otherwise.
+func (a *Averager) self() int {
+	if a.mesh != nil {
+		return a.mesh.Self
+	}
+	return -1
 }
 
 // SetFaults installs the fault injector consulted on every Submit (nil
@@ -274,6 +315,12 @@ func (a *Averager) inboundLoop(c netx.Conn) {
 			// The rejoining process reseeds its own weights from its
 			// reference copy; peers only mark it live again.
 			a.Rejoin(int(f.Replica), nil)
+		case netx.FrameClockPing:
+			// A peer re-measuring its clock offset mid-run (see
+			// Mesh.ResyncClock); answer on the same connection.
+			if netx.AnswerClockPing(context.Background(), c, a.self(), f) != nil {
+				return
+			}
 		}
 	}
 }
@@ -329,18 +376,24 @@ func (a *Averager) expireStale() {
 		a.mu.Unlock()
 		return
 	}
-	expired := 0
+	type expiredRound struct{ round, got int }
+	var expired []expiredRound
 	for r, acc := range a.pending {
 		if now.Sub(acc.first) >= d {
+			expired = append(expired, expiredRound{r, acc.got})
 			a.applyRoundLocked(r, acc)
-			expired++
 		}
 	}
 	open := len(a.pending)
 	a.mu.Unlock()
-	if expired > 0 {
-		a.expired.Add(float64(expired))
+	if len(expired) > 0 {
+		a.expired.Add(float64(len(expired)))
 		a.openRounds.Set(float64(open))
+		for _, e := range expired {
+			a.events.Emit(obs.Event{Type: obs.EventRoundDeadlineMissed,
+				Replica: a.self(), Round: e.round, Value: float64(e.got),
+				Detail: "round closed over a partial update set"})
+		}
 		a.notifyRounds()
 	}
 }
@@ -351,6 +404,7 @@ func (a *Averager) expireStale() {
 // then marks the round closed. Caller holds a.mu.
 func (a *Averager) applyRoundLocked(round int, acc *roundAcc) {
 	if acc.got > 0 {
+		start := time.Now()
 		inv := float32(1 / float64(acc.got))
 		for p := 0; p < a.N; p++ {
 			ds := acc.deltas[p]
@@ -359,6 +413,19 @@ func (a *Averager) applyRoundLocked(round int, acc *roundAcc) {
 			}
 			for i := range a.ref {
 				a.ref[i].AxpyInPlace(inv, ds[i])
+			}
+		}
+		if a.tracer != nil {
+			// One apply span per contributing delta, so each remote
+			// submit has a span to land its flow arrow on.
+			ts := wallUS(start)
+			dur := float64(time.Since(start).Nanoseconds()) / 1e3
+			for p := 0; p < a.N; p++ {
+				if acc.deltas[p] == nil {
+					continue
+				}
+				a.tracer.Span(avgTracePID, avgTraceApplyTID, "apply", "avg",
+					ts, dur, map[string]any{"round": round, "from": p})
 			}
 		}
 	}
@@ -487,6 +554,9 @@ func (a *Averager) expireEmptyRound(round int) {
 	}
 	a.mu.Unlock()
 	a.expired.Inc()
+	a.events.Emit(obs.Event{Type: obs.EventRoundDeadlineMissed,
+		Replica: a.self(), Round: round,
+		Detail: "round closed empty: every update lost in flight"})
 	a.notifyRounds()
 }
 
@@ -519,6 +589,8 @@ func (a *Averager) Detach(p int) {
 	a.mu.Unlock()
 	a.detaches.Inc()
 	a.degraded.Set(float64(degraded))
+	a.events.Emit(obs.Event{Type: obs.EventReplicaDetach, Replica: p, Round: -1,
+		Value: float64(degraded)})
 	if completed > 0 {
 		a.openRounds.Set(float64(open))
 		a.notifyRounds()
@@ -547,6 +619,8 @@ func (a *Averager) Rejoin(p int, params []*nn.Param) {
 	a.mu.Unlock()
 	a.rejoins.Inc()
 	a.degraded.Set(float64(degraded))
+	a.events.Emit(obs.Event{Type: obs.EventReplicaRejoin, Replica: p, Round: -1,
+		Value: float64(degraded)})
 	if !det.IsZero() {
 		a.recoverySec.Observe(time.Since(det).Seconds())
 	}
@@ -618,10 +692,16 @@ func (a *Averager) SubmitContext(ctx context.Context, p, round int, params []*nn
 	}
 	f := &netx.Frame{Type: netx.FrameUpdate, Replica: uint32(p), Round: uint32(round), Tensors: deltas}
 	a.addSent(1)
+	start := time.Now()
 	backoff := submitBackoff
 	for attempt := 0; ; attempt++ {
 		err := a.tx.Send(ctx, f)
 		if err == nil {
+			if a.tracer != nil {
+				a.tracer.Span(avgTracePID, avgTraceSubmitTID, "submit", "avg",
+					wallUS(start), float64(time.Since(start).Nanoseconds())/1e3,
+					map[string]any{"round": round, "replica": p})
+			}
 			return nil
 		}
 		if errors.Is(err, netx.ErrDropped) {

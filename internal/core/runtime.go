@@ -501,7 +501,11 @@ func (p *Pipeline) monitor(ctx context.Context, schedule *sched.Schedule, run *b
 			idle := time.Since(time.Unix(0, run.last.Load()))
 			if idle >= p.watchdog {
 				p.stalls.Inc()
-				run.kill(p.stallError(schedule, run, idle))
+				err := p.stallError(schedule, run, idle)
+				p.obs.Events().Emit(obs.Event{Type: obs.EventWatchdogStall,
+					Replica: p.pipeID, Round: -1, Value: idle.Seconds(),
+					Detail: err.Error()})
+				run.kill(err)
 				return
 			}
 		}

@@ -116,6 +116,7 @@ type Trainer struct {
 	samplesPerSec *obs.Gauge
 	tokensPerSec  *obs.Gauge
 	lossGauge     *obs.Gauge
+	roundGauge    *obs.Gauge
 }
 
 // StepRecord is one structured JSONL line per training round — the
@@ -138,6 +139,10 @@ type StepRecord struct {
 	// Losses[Replica] is the bitwise-determinism check.
 	Losses  []float64 `json:"losses,omitempty"`
 	Replica int       `json:"replica"`
+	// ReplicaID attributes the record in merged multi-process streams:
+	// the owning replica's id in dist mode, -1 for a single-process run
+	// (where every replica is local and Losses carries the breakdown).
+	ReplicaID int `json:"replica_id"`
 	// Compiled records which execution path produced the round, so runs
 	// comparing the two paths are distinguishable from their logs alone.
 	Compiled bool `json:"compiled"`
@@ -181,13 +186,21 @@ func NewTrainer(cfg TrainerConfig) (*Trainer, error) {
 		}
 		t.faults = in
 	}
+	// In dist mode every trainer metric carries this process's replica
+	// label, so the telemetry collector can merge N processes' streams
+	// without relabeling collisions.
+	var lbl []string
+	if cfg.Dist != nil {
+		lbl = []string{"replica", fmt.Sprint(cfg.Dist.ReplicaID)}
+	}
 	t.stepSec = reg.Histogram("avgpipe_train_step_seconds",
-		"Wall time of one training round across all pipelines.", nil)
-	t.samplesTotal = reg.Counter("avgpipe_train_samples_total", "Training examples consumed.")
-	t.tokensTotal = reg.Counter("avgpipe_train_tokens_total", "Training targets (tokens) consumed.")
-	t.samplesPerSec = reg.Gauge("avgpipe_train_samples_per_second", "Throughput of the last round.")
-	t.tokensPerSec = reg.Gauge("avgpipe_train_tokens_per_second", "Token throughput of the last round.")
-	t.lossGauge = reg.Gauge("avgpipe_train_loss", "Mean training loss of the last round.")
+		"Wall time of one training round across all pipelines.", nil, lbl...)
+	t.samplesTotal = reg.Counter("avgpipe_train_samples_total", "Training examples consumed.", lbl...)
+	t.tokensTotal = reg.Counter("avgpipe_train_tokens_total", "Training targets (tokens) consumed.", lbl...)
+	t.samplesPerSec = reg.Gauge("avgpipe_train_samples_per_second", "Throughput of the last round.", lbl...)
+	t.tokensPerSec = reg.Gauge("avgpipe_train_tokens_per_second", "Token throughput of the last round.", lbl...)
+	t.lossGauge = reg.Gauge("avgpipe_train_loss", "Mean training loss of the last round.", lbl...)
+	t.roundGauge = reg.Gauge("avgpipe_train_round", "Completed training rounds.", lbl...)
 	base := cfg.Task.NewModel(cfg.Seed)
 	t.pipelines = make([]*Pipeline, cfg.Pipelines)
 	t.gens = make([]data.Generator, cfg.Pipelines)
@@ -360,6 +373,7 @@ func (t *Trainer) StepContext(ctx context.Context) (float64, error) {
 	t.samplesPerSec.Set(sps)
 	t.tokensPerSec.Set(tps)
 	t.lossGauge.Set(loss)
+	t.roundGauge.Set(float64(t.round))
 	if err := t.stepLog.Log(StepRecord{
 		Round: t.round - 1, Loss: loss, StepSeconds: dur,
 		Samples: int(samples), Tokens: int(tokens),
@@ -367,6 +381,7 @@ func (t *Trainer) StepContext(ctx context.Context) (float64, error) {
 		OpenRounds: t.avg.PendingRounds(),
 		Live:       live,
 		Losses:     losses,
+		ReplicaID:  -1,
 		Compiled:   t.cfg.Compiled,
 	}); err != nil {
 		return loss, fmt.Errorf("core: step log: %w", err)
@@ -443,6 +458,7 @@ func (t *Trainer) stepDist(ctx context.Context) (float64, error) {
 	t.samplesPerSec.Set(sps)
 	t.tokensPerSec.Set(tps)
 	t.lossGauge.Set(loss)
+	t.roundGauge.Set(float64(t.round))
 	if err := t.stepLog.Log(StepRecord{
 		Round: round, Loss: loss, StepSeconds: dur,
 		Samples: int(samples), Tokens: int(tokens),
@@ -450,6 +466,7 @@ func (t *Trainer) stepDist(ctx context.Context) (float64, error) {
 		OpenRounds: t.avg.PendingRounds(),
 		Live:       t.avg.LiveReplicas(),
 		Replica:    p,
+		ReplicaID:  p,
 		Compiled:   t.cfg.Compiled,
 	}); err != nil {
 		return loss, fmt.Errorf("core: step log: %w", err)

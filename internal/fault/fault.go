@@ -135,6 +135,11 @@ type Injector struct {
 	straggled *obs.Counter
 	crashes   *obs.Counter
 	rejoins   *obs.Counter
+
+	// events mirrors each injected fault as a structured health event,
+	// so a telemetry collector can correlate observed symptoms (expired
+	// rounds, straggler scores) with their injected causes.
+	events *obs.EventLog
 }
 
 // New validates cfg and builds an injector recording fault counters
@@ -158,6 +163,7 @@ func New(cfg Config, reg *obs.Registry) (*Injector, error) {
 			"Replica crashes fired by the fault injector."),
 		rejoins: reg.Counter("avgpipe_fault_rejoins_total",
 			"Replica rejoins fired by the fault injector."),
+		events: reg.Events(),
 	}, nil
 }
 
@@ -204,9 +210,12 @@ func (in *Injector) UpdateFate(pipeline, round int) (Fate, time.Duration) {
 	switch {
 	case u < in.cfg.MsgDropProb:
 		in.dropped.Inc()
+		in.events.Emit(obs.Event{Type: obs.EventUpdateDropped, Replica: pipeline, Round: round})
 		return FateDrop, 0
 	case u < in.cfg.MsgDropProb+in.cfg.MsgDelayProb:
 		in.delayed.Inc()
+		in.events.Emit(obs.Event{Type: obs.EventUpdateDelayed, Replica: pipeline, Round: round,
+			Value: in.cfg.MsgDelay.Seconds()})
 		return FateDelay, in.cfg.MsgDelay
 	default:
 		return FateDeliver, 0
@@ -221,6 +230,8 @@ func (in *Injector) StageDelay(pipeline, stage, opIndex int) time.Duration {
 	}
 	if in.rand01(domainOp, pipeline, stage, opIndex) < in.cfg.StragglerProb {
 		in.straggled.Inc()
+		in.events.Emit(obs.Event{Type: obs.EventStragglerInjected, Replica: pipeline,
+			Round: -1, Stage: stage, Value: in.cfg.StragglerDelay.Seconds()})
 		return in.cfg.StragglerDelay
 	}
 	return 0

@@ -1,0 +1,97 @@
+package net
+
+import (
+	"context"
+	"encoding/binary"
+	"fmt"
+	"time"
+)
+
+// Clock-offset estimation. Replicas on different hosts do not share a
+// clock, so laying their Chrome traces on one timeline needs a per-pair
+// offset. One FrameClockPing/FrameClockPong round trip gives the
+// classic NTP midpoint estimate: the pinger records send time t1, the
+// responder stamps receive time t2 and reply time t3, the pinger
+// records arrival t4, and
+//
+//	offset = ((t2-t1) + (t3-t4)) / 2
+//
+// is the responder's clock minus the pinger's, exact when the path is
+// symmetric and otherwise off by at most half the round-trip time.
+
+// ClockPingFrame builds a ping carrying send timestamp t1 (unix nanos).
+func ClockPingFrame(replica int, t1 int64) *Frame {
+	blob := make([]byte, 8)
+	binary.LittleEndian.PutUint64(blob, uint64(t1))
+	return &Frame{Type: FrameClockPing, Replica: uint32(replica), Blob: blob}
+}
+
+// ParseClockPing extracts t1 from a ping frame.
+func ParseClockPing(f *Frame) (t1 int64, err error) {
+	if f.Type != FrameClockPing {
+		return 0, fmt.Errorf("net: expected clock-ping, got %v", f.Type)
+	}
+	if len(f.Blob) != 8 {
+		return 0, fmt.Errorf("net: clock-ping blob is %d bytes, want 8", len(f.Blob))
+	}
+	return int64(binary.LittleEndian.Uint64(f.Blob)), nil
+}
+
+// ClockPongFrame builds the answer to a ping: it echoes t1 and adds the
+// responder's receive (t2) and reply (t3) timestamps.
+func ClockPongFrame(replica int, t1, t2, t3 int64) *Frame {
+	blob := make([]byte, 24)
+	binary.LittleEndian.PutUint64(blob[0:8], uint64(t1))
+	binary.LittleEndian.PutUint64(blob[8:16], uint64(t2))
+	binary.LittleEndian.PutUint64(blob[16:24], uint64(t3))
+	return &Frame{Type: FrameClockPong, Replica: uint32(replica), Blob: blob}
+}
+
+// ParseClockPong extracts t1, t2, t3 from a pong frame.
+func ParseClockPong(f *Frame) (t1, t2, t3 int64, err error) {
+	if f.Type != FrameClockPong {
+		return 0, 0, 0, fmt.Errorf("net: expected clock-pong, got %v", f.Type)
+	}
+	if len(f.Blob) != 24 {
+		return 0, 0, 0, fmt.Errorf("net: clock-pong blob is %d bytes, want 24", len(f.Blob))
+	}
+	return int64(binary.LittleEndian.Uint64(f.Blob[0:8])),
+		int64(binary.LittleEndian.Uint64(f.Blob[8:16])),
+		int64(binary.LittleEndian.Uint64(f.Blob[16:24])), nil
+}
+
+// AnswerClockPing replies to a received ping frame on c, stamping the
+// receive and reply times on the responder's clock.
+func AnswerClockPing(ctx context.Context, c Conn, replica int, ping *Frame) error {
+	t2 := time.Now().UnixNano()
+	t1, err := ParseClockPing(ping)
+	if err != nil {
+		return err
+	}
+	return c.Send(ctx, ClockPongFrame(replica, t1, t2, time.Now().UnixNano()))
+}
+
+// MeasureClockOffset runs one ping/pong round trip on c and returns the
+// peer's clock minus the local clock, plus the observed round-trip
+// time. The peer must answer the ping (AnswerClockPing) before sending
+// anything else on c.
+func MeasureClockOffset(ctx context.Context, c Conn, replica int) (offset, rtt time.Duration, err error) {
+	t1 := time.Now().UnixNano()
+	if err := c.Send(ctx, ClockPingFrame(replica, t1)); err != nil {
+		return 0, 0, fmt.Errorf("net: clock ping: %w", err)
+	}
+	f, err := c.Recv(ctx)
+	if err != nil {
+		return 0, 0, fmt.Errorf("net: clock pong: %w", err)
+	}
+	t4 := time.Now().UnixNano()
+	echo, t2, t3, err := ParseClockPong(f)
+	if err != nil {
+		return 0, 0, err
+	}
+	if echo != t1 {
+		return 0, 0, fmt.Errorf("net: clock pong echoes t1=%d, sent %d", echo, t1)
+	}
+	offset = time.Duration(((t2 - t1) + (t3 - t4)) / 2)
+	return offset, time.Duration(t4 - t1), nil
+}

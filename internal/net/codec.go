@@ -27,8 +27,31 @@ const (
 	// FrameRejoin announces that Replica re-entered the averaging set
 	// at Round after reseeding itself from its reference copy.
 	FrameRejoin
+	// FrameClockPing opens one round-trip clock measurement: the blob
+	// carries the sender's send timestamp t1 (8 bytes, unix nanos LE).
+	FrameClockPing
+	// FrameClockPong answers a ping: the blob echoes t1 and adds the
+	// responder's receive/reply timestamps t2, t3 (24 bytes total), from
+	// which the pinger computes the round-trip-midpoint clock offset.
+	FrameClockPong
+	// FrameTelemetry carries one replica's periodic metric snapshot
+	// (JSON, see obs/collect) to a telemetry collector.
+	FrameTelemetry
+	// FrameEvent carries a batch of structured health events (JSON
+	// array of obs.Event) to a telemetry collector.
+	FrameEvent
+	// FrameTrace carries a batch of Chrome-trace events (JSON array of
+	// obs.TraceEvent) to a telemetry collector for cross-replica merge.
+	FrameTrace
 	frameTypeEnd
 )
+
+// blobPayload reports whether t's payload is an opaque byte blob rather
+// than the tensor block. Blob frames skip the tensor framing entirely:
+// the payload IS the blob, so the encoding stays trivially canonical.
+func (t FrameType) blobPayload() bool {
+	return t >= FrameClockPing && t <= FrameTrace
+}
 
 // String names the frame type for logs and test failures.
 func (t FrameType) String() string {
@@ -41,6 +64,16 @@ func (t FrameType) String() string {
 		return "detach"
 	case FrameRejoin:
 		return "rejoin"
+	case FrameClockPing:
+		return "clock-ping"
+	case FrameClockPong:
+		return "clock-pong"
+	case FrameTelemetry:
+		return "telemetry"
+	case FrameEvent:
+		return "event"
+	case FrameTrace:
+		return "trace"
 	default:
 		return fmt.Sprintf("frametype(%d)", uint8(t))
 	}
@@ -49,13 +82,17 @@ func (t FrameType) String() string {
 // Frame is one wire message. Replica and Round locate it in the
 // elastic-averaging protocol; Meta is per-type scalar payload (the
 // replica count for FrameHello, 0 otherwise); Tensors is the parameter
-// payload (deltas for FrameUpdate, empty for control frames).
+// payload (deltas for FrameUpdate, empty for control frames). Blob is
+// the opaque payload of the telemetry frame types (clock ping/pong,
+// telemetry, event, trace) and must be nil on tensor frames, just as
+// Tensors must be empty on blob frames.
 type Frame struct {
 	Type    FrameType
 	Replica uint32
 	Round   uint32
 	Meta    uint32
 	Tensors []*tensor.Tensor
+	Blob    []byte
 }
 
 // Wire format (all integers little-endian):
@@ -69,8 +106,10 @@ type Frame struct {
 //	12     4    round
 //	16     4    meta
 //	20     4    payload length P
-//	24     P    payload: u32 tensor count, then per tensor
-//	            u8 ndims, ndims×u32 dims, prod(dims)×f32 data (IEEE bits)
+//	24     P    payload — tensor frames (types 1..4): u32 tensor count,
+//	            then per tensor u8 ndims, ndims×u32 dims, prod(dims)×f32
+//	            data (IEEE bits); blob frames (types 5..9): P raw bytes,
+//	            verbatim
 //
 // The encoding is canonical: for every byte string that decodes, re-
 // encoding the decoded frame reproduces the bytes exactly (the fuzz
@@ -96,6 +135,18 @@ var magic = [4]byte{'A', 'V', 'P', 'W'}
 func encodedSize(f *Frame) (int, error) {
 	if f.Type < FrameHello || f.Type >= frameTypeEnd {
 		return 0, fmt.Errorf("net: cannot encode frame type %d", f.Type)
+	}
+	if f.Type.blobPayload() {
+		if len(f.Tensors) > 0 {
+			return 0, fmt.Errorf("net: %v frame cannot carry tensors", f.Type)
+		}
+		if len(f.Blob) > maxFramePayload {
+			return 0, fmt.Errorf("net: frame payload %d bytes exceeds max %d", len(f.Blob), maxFramePayload)
+		}
+		return headerSize + len(f.Blob), nil
+	}
+	if f.Blob != nil {
+		return 0, fmt.Errorf("net: %v frame cannot carry a blob", f.Type)
 	}
 	if len(f.Tensors) > maxTensors {
 		return 0, fmt.Errorf("net: frame has %d tensors (max %d)", len(f.Tensors), maxTensors)
@@ -135,6 +186,9 @@ func AppendFrame(dst []byte, f *Frame) ([]byte, error) {
 	dst = binary.LittleEndian.AppendUint32(dst, f.Round)
 	dst = binary.LittleEndian.AppendUint32(dst, f.Meta)
 	dst = binary.LittleEndian.AppendUint32(dst, uint32(size-headerSize))
+	if f.Type.blobPayload() {
+		return append(dst, f.Blob...), nil
+	}
 	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(f.Tensors)))
 	for _, t := range f.Tensors {
 		dst = append(dst, byte(t.Dims()))
@@ -200,10 +254,17 @@ func DecodeFrameBytes(b []byte) (*Frame, int, error) {
 	return f, headerSize + payloadLen, nil
 }
 
-// decodePayload parses the tensor block into f. The payload must be
+// decodePayload parses the payload into f. Blob frames copy the bytes
+// verbatim; tensor frames parse the tensor block, which must be
 // consumed exactly — trailing bytes inside the declared length are an
 // error, which is what makes the encoding canonical.
 func decodePayload(f *Frame, p []byte) error {
+	if f.Type.blobPayload() {
+		if len(p) > 0 {
+			f.Blob = append([]byte(nil), p...)
+		}
+		return nil
+	}
 	if len(p) < 4 {
 		return fmt.Errorf("net: payload too short for tensor count: %d bytes", len(p))
 	}

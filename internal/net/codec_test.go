@@ -27,6 +27,13 @@ func sampleFrames() []*Frame {
 			tensor.FromSlice(nil, 0),
 			tensor.FromSlice([]float32{1, 2, 3, 4, 5, 6}, 3, 2),
 		}},
+		// Blob frames (the telemetry plane): raw payloads carried
+		// verbatim, including empty and binary-looking bytes.
+		{Type: FrameClockPing, Replica: 1, Blob: []byte{1, 2, 3, 4, 5, 6, 7, 8}},
+		{Type: FrameClockPong, Replica: 2, Blob: bytes.Repeat([]byte{0xff, 0x00}, 12)},
+		{Type: FrameTelemetry, Replica: 0, Blob: []byte(`{"replica":0,"families":[]}`)},
+		{Type: FrameEvent, Replica: 3, Round: 11, Blob: []byte(`[{"type":"straggler_detected"}]`)},
+		{Type: FrameTrace, Replica: 4},
 	}
 }
 
@@ -60,6 +67,9 @@ func assertFramesEqual(t *testing.T, want, got *Frame) {
 	if got.Type != want.Type || got.Replica != want.Replica ||
 		got.Round != want.Round || got.Meta != want.Meta {
 		t.Fatalf("header mismatch: want %+v, got %+v", want, got)
+	}
+	if !bytes.Equal(got.Blob, want.Blob) {
+		t.Fatalf("blob mismatch: want %x, got %x", want.Blob, got.Blob)
 	}
 	if len(got.Tensors) != len(want.Tensors) {
 		t.Fatalf("tensor count: want %d, got %d", len(want.Tensors), len(got.Tensors))
@@ -159,5 +169,13 @@ func TestEncodeRejectsUnencodable(t *testing.T) {
 	}
 	if _, err := AppendFrame(nil, &Frame{Type: FrameUpdate, Tensors: []*tensor.Tensor{nil}}); err == nil {
 		t.Error("nil tensor encoded")
+	}
+	if _, err := AppendFrame(nil, &Frame{Type: FrameTelemetry, Tensors: []*tensor.Tensor{
+		tensor.FromSlice([]float32{1}, 1),
+	}}); err == nil {
+		t.Error("blob frame with tensors encoded")
+	}
+	if _, err := AppendFrame(nil, &Frame{Type: FrameUpdate, Blob: []byte{1}}); err == nil {
+		t.Error("tensor frame with a blob encoded")
 	}
 }

@@ -108,6 +108,7 @@ func TestConformance(t *testing.T) {
 		{"CancelBeforeRecvDoesNotConsume", confCancelDoesNotConsume},
 		{"Backpressure", confBackpressure},
 		{"ConcurrentSenders", confConcurrentSenders},
+		{"BlobRoundTrip", confBlobRoundTrip},
 	}
 	for _, tr := range transports {
 		for _, tc := range cases {
@@ -230,6 +231,41 @@ func confBackpressure(t *testing.T, mk pairMaker) {
 	}
 	if !blocked {
 		t.Fatal("sender never blocked: no backpressure")
+	}
+}
+
+// confBlobRoundTrip: telemetry-plane blob frames cross the transport
+// byte-identical, interleaved with tensor frames on the same connection.
+func confBlobRoundTrip(t *testing.T, mk pairMaker) {
+	pair := mk(t, 0)
+	frames := []*Frame{
+		{Type: FrameClockPing, Replica: 1, Blob: []byte{8, 7, 6, 5, 4, 3, 2, 1}},
+		{Type: FrameUpdate, Replica: 1, Round: 3, Tensors: []*tensor.Tensor{
+			tensor.FromSlice([]float32{1, 2}, 2),
+		}},
+		{Type: FrameTelemetry, Replica: 2, Blob: []byte(`{"replica":2}`)},
+		{Type: FrameEvent, Replica: 2, Blob: []byte(`[]`)},
+		{Type: FrameTrace, Replica: 2},
+	}
+	go func() {
+		for i, f := range frames {
+			if err := pair.a.Send(context.Background(), f); err != nil {
+				t.Errorf("send %d: %v", i, err)
+				return
+			}
+		}
+	}()
+	for i, want := range frames {
+		got, err := pair.b.Recv(context.Background())
+		if err != nil {
+			t.Fatalf("recv %d: %v", i, err)
+		}
+		if got.Type != want.Type || got.Replica != want.Replica {
+			t.Fatalf("frame %d: want %v/%d, got %v/%d", i, want.Type, want.Replica, got.Type, got.Replica)
+		}
+		if string(got.Blob) != string(want.Blob) {
+			t.Fatalf("frame %d blob: want %q, got %q", i, want.Blob, got.Blob)
+		}
 	}
 }
 

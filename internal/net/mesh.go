@@ -25,6 +25,9 @@ type Mesh struct {
 	recvs map[int]Conn // inbound, keyed by peer id (accepted by us)
 	ln    Listener
 
+	mu      sync.Mutex
+	offsets map[int]time.Duration // peer clock − local clock, from SyncClocks
+
 	closed sync.Once
 }
 
@@ -166,6 +169,96 @@ func dialRetry(ctx context.Context, tr Transport, addr string) (Conn, error) {
 			backoff = dialRetryMax
 		}
 	}
+}
+
+// SyncClocks estimates every peer's clock offset with one ping/pong
+// round trip per ordered pair (round-trip midpoint, see clock.go). Each
+// replica pings every peer on its outbound connection and answers
+// exactly one ping per peer on its inbound connection, so the exchange
+// is symmetric, deterministic in frame count, and leaves every
+// connection quiescent. Call it after mesh formation and before the
+// averager attaches (the averager's inbound loops also answer pings,
+// so later re-syncs go through ResyncClock instead).
+func (m *Mesh) SyncClocks(ctx context.Context) error {
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var errs []error
+	offsets := make(map[int]time.Duration, len(m.sends))
+	for _, id := range m.Peers() {
+		wg.Add(2)
+		go func(id int) {
+			defer wg.Done()
+			off, _, err := MeasureClockOffset(ctx, m.sends[id], m.Self)
+			mu.Lock()
+			defer mu.Unlock()
+			if err != nil {
+				errs = append(errs, fmt.Errorf("net: clock sync with replica %d: %w", id, err))
+				return
+			}
+			offsets[id] = off
+		}(id)
+		go func(id int) {
+			defer wg.Done()
+			f, err := m.recvs[id].Recv(ctx)
+			if err == nil {
+				err = AnswerClockPing(ctx, m.recvs[id], m.Self, f)
+			}
+			if err != nil {
+				mu.Lock()
+				errs = append(errs, fmt.Errorf("net: answering clock ping from replica %d: %w", id, err))
+				mu.Unlock()
+			}
+		}(id)
+	}
+	wg.Wait()
+	if len(errs) > 0 {
+		return errors.Join(errs...)
+	}
+	m.mu.Lock()
+	m.offsets = offsets
+	m.mu.Unlock()
+	return nil
+}
+
+// ResyncClock re-measures one peer's offset over the outbound
+// connection. The peer's inbound handler (the averager's inbound loop
+// once attached) must be answering pings.
+func (m *Mesh) ResyncClock(ctx context.Context, id int) (time.Duration, error) {
+	c, ok := m.sends[id]
+	if !ok {
+		return 0, fmt.Errorf("net: no connection to replica %d", id)
+	}
+	off, _, err := MeasureClockOffset(ctx, c, m.Self)
+	if err != nil {
+		return 0, err
+	}
+	m.mu.Lock()
+	if m.offsets == nil {
+		m.offsets = make(map[int]time.Duration)
+	}
+	m.offsets[id] = off
+	m.mu.Unlock()
+	return off, nil
+}
+
+// ClockOffset returns peer id's estimated clock minus the local clock,
+// and whether SyncClocks has measured it.
+func (m *Mesh) ClockOffset(id int) (time.Duration, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	off, ok := m.offsets[id]
+	return off, ok
+}
+
+// ClockOffsets returns a copy of the measured peer-clock offsets.
+func (m *Mesh) ClockOffsets() map[int]time.Duration {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make(map[int]time.Duration, len(m.offsets))
+	for id, off := range m.offsets {
+		out[id] = off
+	}
+	return out
 }
 
 // Peers returns the peer ids in ascending order.

@@ -1,0 +1,399 @@
+package collect_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	netx "avgpipe/internal/net"
+	"avgpipe/internal/obs"
+	"avgpipe/internal/obs/collect"
+)
+
+// waitFor polls cond until it holds or the deadline passes.
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+// lockedBuffer makes a bytes.Buffer safe against the collector's
+// concurrent JSONL writes.
+type lockedBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *lockedBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *lockedBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+// replicaRegistry fabricates one replica's metrics: a round gauge, a
+// loss gauge, a per-stage bubble fraction, and a step-latency histogram
+// with the given mean.
+func replicaRegistry(round, loss, bubble, stepMean float64) *obs.Registry {
+	reg := obs.NewRegistry()
+	reg.Gauge("avgpipe_train_round", "Rounds.").Set(round)
+	reg.Gauge("avgpipe_train_loss", "Loss.").Set(loss)
+	reg.Gauge("avgpipe_stage_bubble_fraction", "Bubble.", "stage", "0").Set(bubble)
+	h := reg.Histogram("avgpipe_train_step_seconds", "Step latency.", []float64{0.01, 0.1, 1})
+	for i := 0; i < 4; i++ {
+		h.Observe(stepMean)
+	}
+	return reg
+}
+
+func newPublisher(t *testing.T, tr netx.Transport, addr string, replica int, reg *obs.Registry, tracer *obs.Tracer) *collect.Publisher {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	pub, err := collect.NewPublisher(ctx, collect.PublisherConfig{
+		Transport: tr, Addr: addr, Replica: replica, Registry: reg, Tracer: tracer,
+	})
+	if err != nil {
+		t.Fatalf("publisher %d: %v", replica, err)
+	}
+	t.Cleanup(func() { pub.Close() })
+	return pub
+}
+
+// TestPublishCollectMerge is the collector's core contract: two
+// replicas publish snapshots and the merged exposition is the union of
+// their series under replica labels, plus the derived cluster series.
+func TestPublishCollectMerge(t *testing.T) {
+	tr := netx.NewInProc(64)
+	jsonl := &lockedBuffer{}
+	col, err := collect.NewCollector(collect.CollectorConfig{
+		Transport: tr, Listen: "col", Expect: 2,
+		Registry: obs.NewRegistry(), JSONL: jsonl,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer col.Close()
+
+	if ready, _ := col.Health().Ready(); ready {
+		t.Fatal("collector ready before any replica reported")
+	}
+
+	regs := []*obs.Registry{
+		replicaRegistry(5, 1.0, 0.10, 0.02),
+		replicaRegistry(7, 2.5, 0.30, 0.02),
+	}
+	regs[0].Events().Emit(obs.Event{Type: obs.EventStragglerInjected, Replica: 0, Round: -1, Stage: 1, Value: 0.005})
+	for r, reg := range regs {
+		if err := newPublisher(t, tr, "col", r, reg, nil).Flush(); err != nil {
+			t.Fatalf("flush %d: %v", r, err)
+		}
+	}
+	waitFor(t, "both snapshots", func() bool { return len(col.Snapshots()) == 2 })
+	waitFor(t, "the injected event", func() bool {
+		for _, ev := range col.Events() {
+			if ev.Type == obs.EventStragglerInjected && ev.Replica == 0 {
+				return true
+			}
+		}
+		return false
+	})
+
+	if ready, reason := col.Health().Ready(); !ready {
+		t.Fatalf("collector not ready after both replicas reported: %s", reason)
+	}
+
+	// Union: every per-replica counter/gauge series appears in the
+	// merged families under its replica label; histogram families merge
+	// with per-replica series too.
+	merged := col.MergedFamilies()
+	for r, reg := range regs {
+		for _, f := range reg.Export() {
+			for _, s := range f.Series {
+				wantLabels := obs.WithLabel(s.Labels, "replica", fmt.Sprint(r))
+				if f.Type == "histogram" {
+					if !hasSeries(merged, f.Name, wantLabels) {
+						t.Errorf("merged families missing %s{%s}", f.Name, wantLabels)
+					}
+					continue
+				}
+				if v, ok := obs.SeriesValue(merged, f.Name, wantLabels); !ok || v != s.Value {
+					t.Errorf("merged %s{%s} = (%v, %v), want %v", f.Name, wantLabels, v, ok, s.Value)
+				}
+			}
+		}
+	}
+
+	// Derived cluster series.
+	for name, want := range map[string]float64{
+		"avgpipe_cluster_replicas":          2,
+		"avgpipe_cluster_round_skew_rounds": 2,   // rounds 7 - 5
+		"avgpipe_cluster_loss_divergence":   1.5, // losses 2.5 - 1.0
+	} {
+		if v, ok := obs.SeriesValue(merged, name, ""); !ok || v != want {
+			t.Errorf("%s = (%v, %v), want %v", name, v, ok, want)
+		}
+	}
+	if v, ok := obs.SeriesValue(merged, "avgpipe_cluster_stage_bubble_spread", `stage="0"`); !ok || !near(v, 0.2) {
+		t.Errorf("bubble spread = (%v, %v), want 0.2", v, ok)
+	}
+
+	// The merged exposition is valid Prometheus text.
+	var buf bytes.Buffer
+	if err := col.WriteMergedMetrics(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := obs.ParsePrometheus(strings.NewReader(buf.String())); err != nil {
+		t.Fatalf("merged exposition does not parse: %v\n%s", err, buf.String())
+	}
+
+	// The JSONL stream carries both snapshot lines and the event.
+	kinds := map[string]int{}
+	dec := json.NewDecoder(strings.NewReader(jsonl.String()))
+	for dec.More() {
+		var line struct {
+			Kind string `json:"kind"`
+		}
+		if err := dec.Decode(&line); err != nil {
+			t.Fatalf("jsonl: %v", err)
+		}
+		kinds[line.Kind]++
+	}
+	if kinds["snapshot"] != 2 || kinds["event"] == 0 {
+		t.Fatalf("jsonl kinds = %v, want 2 snapshots and >=1 event", kinds)
+	}
+}
+
+func hasSeries(fams []obs.FamilyExport, name, labels string) bool {
+	for _, f := range fams {
+		if f.Name != name {
+			continue
+		}
+		for _, s := range f.Series {
+			if s.Labels == labels {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func near(v, want float64) bool { return v > want-1e-9 && v < want+1e-9 }
+
+// TestStragglerDetection: a replica whose mean step time is far above
+// the cluster median is flagged with one straggler_detected event
+// (hysteresis: no re-flagging on subsequent snapshots).
+func TestStragglerDetection(t *testing.T) {
+	tr := netx.NewInProc(64)
+	col, err := collect.NewCollector(collect.CollectorConfig{Transport: tr, Listen: "col"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer col.Close()
+
+	fast := replicaRegistry(3, 1, 0, 0.01)
+	slow := replicaRegistry(3, 1, 0, 0.10)
+	pubFast := newPublisher(t, tr, "col", 0, fast, nil)
+	pubSlow := newPublisher(t, tr, "col", 1, slow, nil)
+	for i := 0; i < 3; i++ {
+		if err := pubFast.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		if err := pubSlow.Flush(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitFor(t, "straggler_detected", func() bool {
+		return countEvents(col.Events(), obs.EventStragglerDetected, 1) >= 1
+	})
+	if n := countEvents(col.Events(), obs.EventStragglerDetected, 1); n != 1 {
+		t.Fatalf("straggler flagged %d times, want exactly 1 (hysteresis)", n)
+	}
+	if countEvents(col.Events(), obs.EventStragglerDetected, 0) != 0 {
+		t.Fatal("fast replica flagged as straggler")
+	}
+	if v, ok := obs.SeriesValue(col.MergedFamilies(), "avgpipe_cluster_straggler_score", `replica="1"`); !ok || v <= 0.5 {
+		t.Fatalf("straggler score = (%v, %v), want > 0.5", v, ok)
+	}
+}
+
+func countEvents(events []obs.Event, typ string, replica int) int {
+	n := 0
+	for _, ev := range events {
+		if ev.Type == typ && ev.Replica == replica {
+			n++
+		}
+	}
+	return n
+}
+
+// TestMergedTraceFromPublishers ships averaging spans from two
+// publishers and checks the merged timeline keeps per-replica rows and
+// links the cross-replica delta.
+func TestMergedTraceFromPublishers(t *testing.T) {
+	tr := netx.NewInProc(64)
+	col, err := collect.NewCollector(collect.CollectorConfig{Transport: tr, Listen: "col"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer col.Close()
+
+	mkTracer := func(name string, ts float64, args map[string]any) *obs.Tracer {
+		tc := obs.NewTracer("test")
+		tc.Process(2, "averaging")
+		tc.Span(2, 1, name, "avg", ts, 25, args)
+		return tc
+	}
+	base := float64(time.Now().UnixNano()) / 1e3
+	pub0 := newPublisher(t, tr, "col", 0, obs.NewRegistry(),
+		mkTracer("submit", base, map[string]any{"round": 1, "replica": 0}))
+	pub1 := newPublisher(t, tr, "col", 1, obs.NewRegistry(),
+		mkTracer("apply", base+100, map[string]any{"round": 1, "from": 0}))
+	if err := pub0.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := pub1.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	waitFor(t, "both trace batches", func() bool {
+		events := col.MergedTrace().Events()
+		spans := 0
+		for _, ev := range events {
+			if ev.Phase == "X" {
+				spans++
+			}
+		}
+		return spans == 2
+	})
+	events := col.MergedTrace().Events()
+	flows := 0
+	for _, ev := range events {
+		if ev.Phase == string(obs.FlowStart) || ev.Phase == string(obs.FlowEnd) {
+			flows++
+		}
+		if ev.Phase == "X" {
+			wantReplica := 0
+			if ev.Name == "apply" {
+				wantReplica = 1
+			}
+			if ev.PID != obs.MergePID(wantReplica, 2) {
+				t.Errorf("%s span on pid %d, want %d", ev.Name, ev.PID, obs.MergePID(wantReplica, 2))
+			}
+		}
+	}
+	if flows != 2 {
+		t.Fatalf("%d flow events, want 2 (submit→apply arrow)", flows)
+	}
+	var buf bytes.Buffer
+	if err := col.WriteMergedTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !json.Valid(buf.Bytes()) {
+		t.Fatal("merged trace is not valid JSON")
+	}
+}
+
+// TestCollectorHandler drives the HTTP surface end to end: merged
+// /metrics, /events, /trace, and the probes.
+func TestCollectorHandler(t *testing.T) {
+	tr := netx.NewInProc(64)
+	col, err := collect.NewCollector(collect.CollectorConfig{
+		Transport: tr, Listen: "col", Expect: 1, Registry: obs.NewRegistry(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer col.Close()
+	srv := httptest.NewServer(col.Handler())
+	defer srv.Close()
+
+	get := func(path string) (int, string) {
+		t.Helper()
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(body)
+	}
+
+	if code, _ := get("/healthz"); code != 200 {
+		t.Fatalf("/healthz = %d", code)
+	}
+	if code, body := get("/readyz"); code != http.StatusServiceUnavailable || !strings.Contains(body, "0/1 replicas") {
+		t.Fatalf("/readyz before ingest = (%d, %q)", code, body)
+	}
+
+	reg := replicaRegistry(2, 0.5, 0, 0.01)
+	reg.Events().Emit(obs.Event{Type: obs.EventWatchdogStall, Replica: 0, Round: -1})
+	if err := newPublisher(t, tr, "col", 0, reg, nil).Flush(); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "snapshot ingest", func() bool { return len(col.Snapshots()) == 1 })
+	waitFor(t, "event ingest", func() bool { return len(col.Events()) > 0 })
+
+	if code, _ := get("/readyz"); code != 200 {
+		t.Fatalf("/readyz after ingest = %d", code)
+	}
+	code, body := get("/metrics")
+	if code != 200 || !strings.Contains(body, `avgpipe_train_round{replica="0"} 2`) {
+		t.Fatalf("/metrics = (%d):\n%s", code, body)
+	}
+	if _, err := obs.ParsePrometheus(strings.NewReader(body)); err != nil {
+		t.Fatalf("/metrics does not parse: %v", err)
+	}
+	code, body = get("/events")
+	var events []obs.Event
+	if code != 200 || json.Unmarshal([]byte(body), &events) != nil {
+		t.Fatalf("/events = (%d, %q)", code, body)
+	}
+	found := false
+	for _, ev := range events {
+		if ev.Type == obs.EventWatchdogStall {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("/events missing the watchdog event: %+v", events)
+	}
+	code, body = get("/trace")
+	if code != 200 || !json.Valid([]byte(body)) {
+		t.Fatalf("/trace = (%d, valid=%v)", code, json.Valid([]byte(body)))
+	}
+}
+
+// TestPublisherClockOffset: publisher and collector share one process
+// clock, so the measured offset must be tiny.
+func TestPublisherClockOffset(t *testing.T) {
+	tr := netx.NewInProc(64)
+	col, err := collect.NewCollector(collect.CollectorConfig{Transport: tr, Listen: "col"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer col.Close()
+	pub := newPublisher(t, tr, "col", 0, obs.NewRegistry(), nil)
+	if off := pub.ClockOffset(); off < -time.Second || off > time.Second {
+		t.Fatalf("same-host clock offset %v is not plausible", off)
+	}
+}

@@ -1,0 +1,183 @@
+package collect_test
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"testing"
+	"time"
+
+	"avgpipe/internal/core"
+	netx "avgpipe/internal/net"
+	"avgpipe/internal/obs"
+	"avgpipe/internal/obs/collect"
+	"avgpipe/internal/workload"
+)
+
+// flushEvery is the gate's publish duty cycle: one full
+// snapshot+events+trace flush per 5 training steps. At the bench
+// workload's ~10ms steps that is one flush every ~50ms — 20x the
+// frequency the default 1s publish interval would produce, so the gate
+// is a conservative bound on what a deployed publisher costs.
+const flushEvery = 5
+
+// TestCollectorOverheadGate is the bench-smoke gate for the telemetry
+// plane: publishing snapshots to a live collector at flushEvery duty
+// cycle must cost less than the collector_overhead_limit fraction of
+// step time recorded in BENCH_obs.json.
+//
+// The two sides are measured separately — per-flush cost from a tight
+// flush loop, per-step cost from a bare training run, both min-of-reps
+// — and the gate compares their ratio. Subtracting two full
+// training-run wall clocks instead does not work: CI-box noise is
+// ±10-15% per run while the true telemetry delta is ~1%, so a
+// difference gate flakes in both directions (the live-vs-discard notes
+// in BENCH_obs.json record the same floor for the registry overhead).
+//
+// Run via `make bench-smoke` / `make ci` with AVGPIPE_BENCH_COLLECT=1;
+// skipped otherwise because wall-clock measurement under
+// `go test ./...` parallelism is meaningless.
+func TestCollectorOverheadGate(t *testing.T) {
+	if os.Getenv("AVGPIPE_BENCH_COLLECT") == "" {
+		t.Skip("set AVGPIPE_BENCH_COLLECT=1 to run the collector-overhead gate")
+	}
+
+	raw, err := os.ReadFile("../../../BENCH_obs.json")
+	if err != nil {
+		t.Fatalf("reading BENCH_obs.json: %v", err)
+	}
+	var baseline struct {
+		Results struct {
+			CollectorOverheadLimit float64 `json:"collector_overhead_limit"`
+		} `json:"results"`
+	}
+	if err := json.Unmarshal(raw, &baseline); err != nil {
+		t.Fatalf("parsing BENCH_obs.json: %v", err)
+	}
+	limit := baseline.Results.CollectorOverheadLimit
+	if limit <= 0 {
+		t.Fatal("BENCH_obs.json carries no collector_overhead_limit")
+	}
+
+	const reps = 5
+	step, flush := 0.0, 0.0
+	for rep := 0; rep < reps; rep++ {
+		if s := meanStep(t, rep, 30); step == 0 || s < step {
+			step = s
+		}
+		if f := meanFlush(t, rep, 50); flush == 0 || f < flush {
+			flush = f
+		}
+	}
+
+	overhead := flush / (flushEvery * step)
+	t.Logf("step %.3fms, flush %.3fms, overhead at 1-in-%d duty cycle %.2f%% (limit %.0f%%)",
+		step*1e3, flush*1e3, flushEvery, overhead*100, limit*100)
+	if overhead > limit {
+		t.Fatalf("collector overhead %.2f%% exceeds the %.0f%% budget in BENCH_obs.json",
+			overhead*100, limit*100)
+	}
+}
+
+// benchTrainer builds the gate's fixed training workload.
+func benchTrainer(t testing.TB, reg *obs.Registry) *core.Trainer {
+	t.Helper()
+	trainer, err := core.NewTrainer(core.TrainerConfig{
+		Task: workload.TranslationTask(), Pipelines: 2, Micro: 4, StageCount: 2, Seed: 21, Obs: reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return trainer
+}
+
+// meanStep trains `steps` rounds without telemetry and returns the mean
+// step wall time.
+func meanStep(t *testing.T, rep, steps int) float64 {
+	t.Helper()
+	trainer := benchTrainer(t, obs.NewRegistry())
+	defer trainer.Close()
+	trainer.Step() // warm caches and lazily-built state before timing
+	start := time.Now()
+	for s := 0; s < steps; s++ {
+		trainer.Step()
+	}
+	return time.Since(start).Seconds() / float64(steps)
+}
+
+// meanFlush runs `flushes` back-to-back Publisher.Flush calls against a
+// live in-process collector and returns the mean wall time per flush —
+// the full telemetry cost: snapshot export, JSON marshal, wire send,
+// and (since the loop saturates the channel) the collector's ingest.
+func meanFlush(t *testing.T, rep, flushes int) float64 {
+	t.Helper()
+	reg := obs.NewRegistry()
+	trainer := benchTrainer(t, reg)
+	defer trainer.Close()
+	tracer := obs.NewTracer("overhead")
+	trainer.Averager().SetTracer(tracer)
+	for s := 0; s < 3; s++ {
+		trainer.Step() // populate every trainer family and some spans
+	}
+	tr := netx.NewInProc(16)
+	col, err := collect.NewCollector(collect.CollectorConfig{
+		Transport: tr, Listen: fmt.Sprintf("overhead-%d", rep),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer col.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	pub, err := collect.NewPublisher(ctx, collect.PublisherConfig{
+		Transport: tr, Addr: col.Addr(), Registry: reg, Tracer: tracer,
+	})
+	cancel()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pub.Close()
+	if err := pub.Flush(); err != nil { // warm the path before timing
+		t.Fatal(err)
+	}
+	start := time.Now()
+	for i := 0; i < flushes; i++ {
+		if err := pub.Flush(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return time.Since(start).Seconds() / float64(flushes)
+}
+
+// BenchmarkPublisherFlush isolates the per-flush cost (snapshot export,
+// JSON marshal, wire send, collector ingest) for profiling; the gate
+// above is what CI enforces.
+func BenchmarkPublisherFlush(b *testing.B) {
+	reg := obs.NewRegistry()
+	trainer := benchTrainer(b, reg)
+	defer trainer.Close()
+	for s := 0; s < 3; s++ {
+		trainer.Step()
+	}
+	tr := netx.NewInProc(16)
+	col, err := collect.NewCollector(collect.CollectorConfig{Transport: tr, Listen: "flush-bench"})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer col.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	pub, err := collect.NewPublisher(ctx, collect.PublisherConfig{
+		Transport: tr, Addr: col.Addr(), Registry: reg,
+	})
+	cancel()
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer pub.Close()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := pub.Flush(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

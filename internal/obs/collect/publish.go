@@ -1,0 +1,217 @@
+// Package collect is the cluster telemetry plane: each replica of a
+// multi-process elastic-averaging job runs a Publisher that ships
+// periodic metric snapshots, health events, and averaging-trace spans
+// over the wire transport (FrameTelemetry / FrameEvent / FrameTrace
+// blobs), and one Collector ingests N such streams, merges them into
+// cluster-level metric families with a `replica` label, derives
+// cross-replica series (round skew, loss divergence, bubble-fraction
+// spread, straggler score), and serves one merged /metrics, an /events
+// JSON stream, a merged clock-aligned Chrome trace, and a JSONL feed.
+//
+// Clock alignment: the publisher measures its offset to the collector's
+// clock at connect time (round-trip midpoint, net.MeasureClockOffset)
+// and corrects event and trace timestamps into collector time before
+// shipping, so the collector merges already-aligned streams.
+package collect
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"sync"
+	"time"
+
+	netx "avgpipe/internal/net"
+	"avgpipe/internal/obs"
+)
+
+// Snapshot is the FrameTelemetry payload: one replica's full registry
+// export plus its clock-offset estimate.
+type Snapshot struct {
+	Replica       int                `json:"replica"`
+	TimeUnixNano  int64              `json:"ts_unix_nano"`
+	ClockOffsetNS int64              `json:"clock_offset_ns"` // collector clock − replica clock
+	Families      []obs.FamilyExport `json:"families"`
+}
+
+// PublisherConfig configures one replica's telemetry publisher.
+type PublisherConfig struct {
+	// Transport carries the telemetry session; Addr is the collector's
+	// ingest address.
+	Transport netx.Transport
+	Addr      string
+	// Replica is this process's replica id.
+	Replica int
+	// Registry is the metrics registry to snapshot; its event log is
+	// drained into FrameEvent batches.
+	Registry *obs.Registry
+	// Interval paces the periodic publish loop (Start); 0 means
+	// DefaultPublishInterval. Flush publishes on demand regardless.
+	Interval time.Duration
+	// Tracer, when set, ships newly recorded trace events each publish.
+	// Spans must carry wall-clock microsecond timestamps (the averager's
+	// submit/apply spans do); the publisher shifts them into collector
+	// time before sending.
+	Tracer *obs.Tracer
+}
+
+// DefaultPublishInterval paces Start's publish loop when the config
+// leaves Interval zero.
+const DefaultPublishInterval = time.Second
+
+// Publisher ships one replica's telemetry to the collector. Flush is
+// safe for concurrent use with the Start loop and with ongoing metric
+// updates.
+type Publisher struct {
+	cfg    PublisherConfig
+	conn   netx.Conn
+	offset time.Duration // collector clock − local clock
+
+	mu        sync.Mutex // serializes frame sends and trace cursor
+	traceSent int
+
+	stop      chan struct{}
+	loopDone  chan struct{}
+	startOnce sync.Once
+	closeOnce sync.Once
+}
+
+// NewPublisher dials the collector, announces the replica with a hello
+// frame, and measures the clock offset with one ping/pong round trip.
+func NewPublisher(ctx context.Context, cfg PublisherConfig) (*Publisher, error) {
+	if cfg.Transport == nil {
+		return nil, fmt.Errorf("collect: publisher needs a Transport")
+	}
+	if cfg.Registry == nil {
+		return nil, fmt.Errorf("collect: publisher needs a Registry")
+	}
+	if cfg.Interval <= 0 {
+		cfg.Interval = DefaultPublishInterval
+	}
+	conn, err := cfg.Transport.Dial(ctx, cfg.Addr)
+	if err != nil {
+		return nil, fmt.Errorf("collect: dial collector %s: %w", cfg.Addr, err)
+	}
+	hello := &netx.Frame{Type: netx.FrameHello, Replica: uint32(cfg.Replica)}
+	if err := conn.Send(ctx, hello); err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("collect: hello: %w", err)
+	}
+	offset, _, err := netx.MeasureClockOffset(ctx, conn, cfg.Replica)
+	if err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("collect: clock sync: %w", err)
+	}
+	return &Publisher{
+		cfg: cfg, conn: conn, offset: offset,
+		stop: make(chan struct{}), loopDone: make(chan struct{}),
+	}, nil
+}
+
+// ClockOffset returns the measured collector-minus-local clock offset.
+func (p *Publisher) ClockOffset() time.Duration { return p.offset }
+
+// Start launches the periodic publish loop (idempotent). Close stops it
+// after one final flush.
+func (p *Publisher) Start() {
+	p.startOnce.Do(func() {
+		go func() {
+			defer close(p.loopDone)
+			tick := time.NewTicker(p.cfg.Interval)
+			defer tick.Stop()
+			for {
+				select {
+				case <-p.stop:
+					return
+				case <-tick.C:
+					if p.Flush() != nil {
+						return // collector gone; Close still flushes best-effort
+					}
+				}
+			}
+		}()
+	})
+}
+
+// Flush publishes one snapshot frame, the drained event batch, and any
+// newly recorded trace events.
+func (p *Publisher) Flush() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	ctx := context.Background()
+
+	snap := Snapshot{
+		Replica:       p.cfg.Replica,
+		TimeUnixNano:  time.Now().Add(p.offset).UnixNano(),
+		ClockOffsetNS: p.offset.Nanoseconds(),
+		Families:      p.cfg.Registry.Export(),
+	}
+	blob, err := json.Marshal(snap)
+	if err != nil {
+		return fmt.Errorf("collect: marshal snapshot: %w", err)
+	}
+	err = p.conn.Send(ctx, &netx.Frame{
+		Type: netx.FrameTelemetry, Replica: uint32(p.cfg.Replica), Blob: blob,
+	})
+	if err != nil {
+		return fmt.Errorf("collect: send snapshot: %w", err)
+	}
+
+	if events := p.cfg.Registry.Events().Drain(); len(events) > 0 {
+		// Shift into collector time so the collector's merged stream is
+		// ordered on one clock.
+		for i := range events {
+			events[i].TimeUnixNano += p.offset.Nanoseconds()
+		}
+		blob, err := json.Marshal(events)
+		if err != nil {
+			return fmt.Errorf("collect: marshal events: %w", err)
+		}
+		err = p.conn.Send(ctx, &netx.Frame{
+			Type: netx.FrameEvent, Replica: uint32(p.cfg.Replica), Blob: blob,
+		})
+		if err != nil {
+			return fmt.Errorf("collect: send events: %w", err)
+		}
+	}
+
+	if tr := p.cfg.Tracer; tr != nil {
+		all := tr.Events()
+		if len(all) > p.traceSent {
+			fresh := make([]obs.TraceEvent, len(all)-p.traceSent)
+			copy(fresh, all[p.traceSent:])
+			offsetUS := float64(p.offset.Nanoseconds()) / 1e3
+			for i := range fresh {
+				if fresh[i].Phase != "M" {
+					fresh[i].TS += offsetUS
+				}
+			}
+			blob, err := json.Marshal(fresh)
+			if err != nil {
+				return fmt.Errorf("collect: marshal trace: %w", err)
+			}
+			err = p.conn.Send(ctx, &netx.Frame{
+				Type: netx.FrameTrace, Replica: uint32(p.cfg.Replica), Blob: blob,
+			})
+			if err != nil {
+				return fmt.Errorf("collect: send trace: %w", err)
+			}
+			p.traceSent = len(all)
+		}
+	}
+	return nil
+}
+
+// Close stops the publish loop, ships one final snapshot so the
+// collector sees the end-of-run state, and closes the connection.
+func (p *Publisher) Close() error {
+	var err error
+	p.closeOnce.Do(func() {
+		p.Start() // ensure loopDone closes even if Start was never called
+		close(p.stop)
+		<-p.loopDone
+		err = p.Flush()
+		p.conn.Close()
+	})
+	return err
+}

@@ -81,14 +81,16 @@ func (h *Histogram) Sum() float64 {
 // Quantile estimates the q-quantile (q in [0,1]) by linear interpolation
 // within the containing bucket. The estimate is exact to within the
 // bucket's width; samples landing in the overflow bucket report the
-// largest finite bound. Returns NaN when empty.
+// largest finite bound. An empty (or nil) histogram reports 0 — never
+// NaN, which would poison JSON marshaling and Prometheus scrapes of
+// registered-but-unobserved series.
 func (h *Histogram) Quantile(q float64) float64 {
 	if h == nil {
-		return math.NaN()
+		return 0
 	}
 	total := h.count.Load()
 	if total == 0 {
-		return math.NaN()
+		return 0
 	}
 	if q < 0 {
 		q = 0

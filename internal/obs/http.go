@@ -14,15 +14,83 @@ import (
 // registry.
 var publishOnce sync.Once
 
+// Health is the liveness/readiness state behind /healthz and /readyz.
+// A process is live as soon as it serves HTTP; it is ready only once
+// its long-lived machinery is up (mesh formed, schedule running for a
+// trainer; expected replicas reporting for a collector). SetNotReady's
+// reason is served with the 503 so a stuck rollout is debuggable from
+// the probe alone.
+type Health struct {
+	mu     sync.Mutex
+	ready  bool
+	reason string
+}
+
+// NewHealth returns a Health that starts not-ready ("starting").
+func NewHealth() *Health {
+	return &Health{reason: "starting"}
+}
+
+// SetReady marks the process ready.
+func (h *Health) SetReady() {
+	if h == nil {
+		return
+	}
+	h.mu.Lock()
+	h.ready, h.reason = true, ""
+	h.mu.Unlock()
+}
+
+// SetNotReady marks the process not ready with a human-readable reason.
+func (h *Health) SetNotReady(reason string) {
+	if h == nil {
+		return
+	}
+	h.mu.Lock()
+	h.ready, h.reason = false, reason
+	h.mu.Unlock()
+}
+
+// Ready reports the current state and, when not ready, the reason.
+func (h *Health) Ready() (bool, string) {
+	if h == nil {
+		return true, ""
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.ready, h.reason
+}
+
+// handlerOpts collects Handler/Serve options.
+type handlerOpts struct {
+	health *Health
+}
+
+// HandlerOption customizes Handler and Serve.
+type HandlerOption func(*handlerOpts)
+
+// WithHealth wires h behind /healthz and /readyz. Without it /healthz
+// still answers 200 (the process is demonstrably alive) and /readyz
+// answers 200 unconditionally.
+func WithHealth(h *Health) HandlerOption {
+	return func(o *handlerOpts) { o.health = h }
+}
+
 // Handler serves the observability surface for a registry:
 //
 //	/metrics      Prometheus text exposition
+//	/healthz      liveness: 200 while the process serves HTTP
+//	/readyz       readiness: 200 once ready, 503 + reason before (see WithHealth)
 //	/debug        plain-text index of the endpoints below
 //	/debug/vars   expvar JSON (Go runtime stats + the avgpipe registry)
 //	/debug/pprof  the standard profiling endpoints
 //
 // Attach it to any server, or use Serve for the common one-liner.
-func Handler(reg *Registry) http.Handler {
+func Handler(reg *Registry, opts ...HandlerOption) http.Handler {
+	var o handlerOpts
+	for _, opt := range opts {
+		opt(&o)
+	}
 	publishOnce.Do(func() {
 		expvar.Publish("avgpipe", expvar.Func(func() any { return reg.Snapshot() }))
 	})
@@ -33,6 +101,7 @@ func Handler(reg *Registry) http.Handler {
 			http.Error(w, err.Error(), http.StatusInternalServerError)
 		}
 	})
+	RegisterHealth(mux, o.health)
 	mux.Handle("/debug/vars", expvar.Handler())
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -42,21 +111,40 @@ func Handler(reg *Registry) http.Handler {
 	mux.HandleFunc("/debug", func(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintln(w, "avgpipe observability endpoints:")
 		fmt.Fprintln(w, "  /metrics       Prometheus text")
+		fmt.Fprintln(w, "  /healthz       liveness probe")
+		fmt.Fprintln(w, "  /readyz        readiness probe")
 		fmt.Fprintln(w, "  /debug/vars    expvar JSON")
 		fmt.Fprintln(w, "  /debug/pprof/  profiling (profile, heap, trace, ...)")
 	})
 	return mux
 }
 
+// RegisterHealth mounts /healthz and /readyz on mux, reading state from
+// h (nil h: both always 200). Shared by the trainer's obs handler and
+// the collector's.
+func RegisterHealth(mux *http.ServeMux, h *Health) {
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/readyz", func(w http.ResponseWriter, r *http.Request) {
+		ready, reason := h.Ready()
+		if !ready {
+			http.Error(w, "not ready: "+reason, http.StatusServiceUnavailable)
+			return
+		}
+		fmt.Fprintln(w, "ready")
+	})
+}
+
 // Serve starts an HTTP server for Handler(reg) on addr (e.g. ":9090")
 // in a background goroutine, returning the bound address — useful with
 // ":0" in tests. The returned server's Close tears it down.
-func Serve(addr string, reg *Registry) (*http.Server, string, error) {
+func Serve(addr string, reg *Registry, opts ...HandlerOption) (*http.Server, string, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, "", fmt.Errorf("obs: listen %s: %w", addr, err)
 	}
-	srv := &http.Server{Handler: Handler(reg)}
+	srv := &http.Server{Handler: Handler(reg, opts...)}
 	go srv.Serve(ln)
 	return srv, ln.Addr().String(), nil
 }

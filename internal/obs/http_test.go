@@ -1,0 +1,67 @@
+package obs
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+func get(t *testing.T, h http.Handler, path string) (int, string) {
+	t.Helper()
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", path, nil))
+	body, _ := io.ReadAll(rec.Result().Body)
+	return rec.Code, string(body)
+}
+
+// TestHealthEndpoints: /healthz answers 200 while the process serves
+// HTTP at all; /readyz follows the Health state machine and serves the
+// not-ready reason with the 503.
+func TestHealthEndpoints(t *testing.T) {
+	reg := NewRegistry()
+	h := NewHealth()
+	handler := Handler(reg, WithHealth(h))
+
+	if code, body := get(t, handler, "/healthz"); code != 200 || body != "ok\n" {
+		t.Fatalf("/healthz = (%d, %q), want (200, ok)", code, body)
+	}
+	if code, body := get(t, handler, "/readyz"); code != http.StatusServiceUnavailable ||
+		body != "not ready: starting\n" {
+		t.Fatalf("/readyz before ready = (%d, %q)", code, body)
+	}
+
+	h.SetNotReady("waiting for 2 peers")
+	if code, body := get(t, handler, "/readyz"); code != http.StatusServiceUnavailable ||
+		body != "not ready: waiting for 2 peers\n" {
+		t.Fatalf("/readyz reason = (%d, %q)", code, body)
+	}
+
+	h.SetReady()
+	if code, body := get(t, handler, "/readyz"); code != 200 || body != "ready\n" {
+		t.Fatalf("/readyz after ready = (%d, %q)", code, body)
+	}
+
+	h.SetNotReady("mesh lost")
+	if code, _ := get(t, handler, "/readyz"); code != http.StatusServiceUnavailable {
+		t.Fatalf("/readyz after regression = %d, want 503", code)
+	}
+}
+
+// TestHealthDefaults: without WithHealth both probes answer 200, and a
+// nil *Health is always ready (the zero-config path must not panic).
+func TestHealthDefaults(t *testing.T) {
+	handler := Handler(NewRegistry())
+	if code, _ := get(t, handler, "/healthz"); code != 200 {
+		t.Fatalf("/healthz without health = %d", code)
+	}
+	if code, _ := get(t, handler, "/readyz"); code != 200 {
+		t.Fatalf("/readyz without health = %d", code)
+	}
+	var h *Health
+	if ready, reason := h.Ready(); !ready || reason != "" {
+		t.Fatalf("nil health = (%v, %q), want ready", ready, reason)
+	}
+	h.SetReady()            // must not panic
+	h.SetNotReady("reason") // must not panic
+}

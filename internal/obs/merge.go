@@ -1,0 +1,161 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Cross-replica trace merging. Each replica of a multi-process job
+// records its own Chrome trace on its own clock; MergeTraces lays N of
+// them on one timeline. Per-replica clock offsets (round-trip-midpoint
+// estimates, see net.MeasureClockOffset) align the clocks, PID
+// remapping gives every replica its own process rows, and matched
+// averaging spans get cross-replica flow arrows so a delta's
+// submit→apply journey is visible in Perfetto.
+
+// ReplicaTrace is one replica's contribution to a merged trace.
+// OffsetUS is added to every timestamp to convert the replica's clock
+// to the reference clock (0 for pre-corrected or same-host events).
+type ReplicaTrace struct {
+	Replica  int
+	OffsetUS float64
+	Events   []TraceEvent
+}
+
+// mergePIDStride spaces the per-replica PID ranges: replica r's process
+// p becomes mergePIDStride*(r+1) + p, keeping rows distinct for any
+// realistic per-replica process count.
+const mergePIDStride = 1000
+
+// MergePID returns the merged-trace PID for a replica's local pid.
+func MergePID(replica, pid int) int { return mergePIDStride*(replica+1) + pid }
+
+// argInt pulls an integer out of a span's args, tolerating the
+// int/float64 ambiguity of JSON round-trips.
+func argInt(ev TraceEvent, key string) (int, bool) {
+	switch n := ev.Args[key].(type) {
+	case int:
+		return n, true
+	case int64:
+		return int(n), true
+	case float64:
+		return int(n), true
+	}
+	return 0, false
+}
+
+// MergeTraces merges per-replica traces into one clock-aligned tracer.
+// Timestamps are offset-corrected and then rebased so the merged
+// timeline starts at 0; every event keeps its replica's own process
+// rows via PID remapping, with one named "replica N" process group per
+// part. Averaging spans (Cat "avg") named "submit" and "apply" are
+// linked with flow arrows: replica p's submit of round r starts one
+// arrow per remote apply of (r, p).
+func MergeTraces(parts []ReplicaTrace) *Tracer {
+	type avgSpan struct {
+		ev   TraceEvent
+		part int
+	}
+	var events []TraceEvent
+	submits := map[[2]int]avgSpan{} // (replica, round) -> submit span
+	var applies []avgSpan
+
+	// Correct clocks, remap PIDs, and find the global origin. Process
+	// rows are renamed "replica N: <name>"; merged PIDs that had no
+	// process_name metadata get a bare "replica N" row so every row is
+	// attributable.
+	origin, haveOrigin := 0.0, false
+	named := map[int]bool{}
+	seen := map[int]int{} // merged pid -> replica
+	for pi := range parts {
+		part := &parts[pi]
+		for _, ev := range part.Events {
+			ev.PID = MergePID(part.Replica, ev.PID)
+			seen[ev.PID] = part.Replica
+			if ev.Phase == "M" {
+				if ev.Name == "process_name" {
+					named[ev.PID] = true
+					if name, ok := ev.Args["name"].(string); ok {
+						ev.Args = map[string]any{"name": fmt.Sprintf("replica %d: %s", part.Replica, name)}
+					}
+				}
+			} else {
+				ev.TS += part.OffsetUS
+				if !haveOrigin || ev.TS < origin {
+					origin, haveOrigin = ev.TS, true
+				}
+			}
+			events = append(events, ev)
+		}
+	}
+	for i := range events {
+		ev := &events[i]
+		if ev.Phase == "M" {
+			continue
+		}
+		ev.TS -= origin
+	}
+
+	// Index the averaging spans for flow matching.
+	partOf := func(pid int) int { return pid/mergePIDStride - 1 }
+	for _, ev := range events {
+		if ev.Phase != "X" || ev.Cat != "avg" {
+			continue
+		}
+		round, okR := argInt(ev, "round")
+		if !okR {
+			continue
+		}
+		switch ev.Name {
+		case "submit":
+			if from, ok := argInt(ev, "replica"); ok {
+				submits[[2]int{from, round}] = avgSpan{ev: ev, part: partOf(ev.PID)}
+			}
+		case "apply":
+			applies = append(applies, avgSpan{ev: ev, part: partOf(ev.PID)})
+		}
+	}
+
+	out := NewTracer("merged")
+	out.SetMeta("clock_alignment", "round-trip midpoint offsets, rebased to earliest event")
+	for _, part := range parts {
+		out.SetMeta(fmt.Sprintf("replica_%d_offset_us", part.Replica), part.OffsetUS)
+	}
+	unnamed := make([]int, 0, len(seen))
+	for pid := range seen {
+		if !named[pid] {
+			unnamed = append(unnamed, pid)
+		}
+	}
+	sort.Ints(unnamed)
+	for _, pid := range unnamed {
+		out.Process(pid, fmt.Sprintf("replica %d", seen[pid]))
+	}
+
+	// Deterministic, time-sorted body (stable: emission order on ties).
+	sort.SliceStable(events, func(i, j int) bool {
+		mi, mj := events[i].Phase == "M", events[j].Phase == "M"
+		if mi != mj {
+			return mi
+		}
+		return events[i].TS < events[j].TS
+	})
+	out.Add(events...)
+
+	// One arrow per cross-replica submit→apply pair.
+	for _, ap := range applies {
+		round, _ := argInt(ap.ev, "round")
+		from, ok := argInt(ap.ev, "from")
+		if !ok {
+			continue
+		}
+		sub, found := submits[[2]int{from, round}]
+		if !found || sub.part == ap.part {
+			continue
+		}
+		id := fmt.Sprintf("delta-r%d-p%d-to-%d", round, from, partOf(ap.ev.PID))
+		out.Flow(sub.ev.PID, sub.ev.TID, "delta", id, sub.ev.TS+sub.ev.Dur/2, FlowStart)
+		out.Flow(ap.ev.PID, ap.ev.TID, "delta", id, ap.ev.TS+ap.ev.Dur/2, FlowEnd)
+	}
+	return out
+}

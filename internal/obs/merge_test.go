@@ -1,0 +1,143 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+// replicaPart fabricates one replica's averaging trace: a process_name
+// row plus submit/apply spans at the given (uncorrected) timestamps.
+func replicaPart(replica int, offsetUS float64, spans ...TraceEvent) ReplicaTrace {
+	events := []TraceEvent{{
+		Phase: "M", Name: "process_name", PID: 2,
+		Args: map[string]any{"name": "averaging"},
+	}}
+	events = append(events, spans...)
+	return ReplicaTrace{Replica: replica, OffsetUS: offsetUS, Events: events}
+}
+
+func span(name string, ts, dur float64, args map[string]any) TraceEvent {
+	return TraceEvent{Phase: "X", Cat: "avg", Name: name, PID: 2, TID: 1, TS: ts, Dur: dur, Args: args}
+}
+
+func TestMergeTracesAlignsAndLinks(t *testing.T) {
+	// Replica 0's clock is the reference; replica 1's clock is 500µs
+	// behind (offset +500 corrects it). Replica 0 submits round 3 at
+	// t=1000; replica 1 applies it at local t=700 = corrected t=1200.
+	parts := []ReplicaTrace{
+		replicaPart(0, 0,
+			span("submit", 1000, 50, map[string]any{"round": 3, "replica": 0})),
+		replicaPart(1, 500,
+			span("apply", 700, 40, map[string]any{"round": 3, "from": 0})),
+	}
+	merged := MergeTraces(parts)
+	events := merged.Events()
+
+	var submit, apply *TraceEvent
+	flows := 0
+	for i := range events {
+		ev := &events[i]
+		switch {
+		case ev.Name == "submit":
+			submit = ev
+		case ev.Name == "apply":
+			apply = ev
+		case ev.Phase == string(FlowStart) || ev.Phase == string(FlowEnd):
+			flows++
+		}
+	}
+	if submit == nil || apply == nil {
+		t.Fatal("merged trace lost the averaging spans")
+	}
+
+	// Rebase: earliest event at 0; clock alignment: the corrected gap
+	// (1200-1000 = 200µs) survives, the raw gap (700-1000) does not.
+	if submit.TS != 0 {
+		t.Fatalf("submit at %v, want rebased 0", submit.TS)
+	}
+	if apply.TS != 200 {
+		t.Fatalf("apply at %v, want clock-corrected 200", apply.TS)
+	}
+
+	// PID remapping keeps the replicas' rows apart.
+	if submit.PID != MergePID(0, 2) || apply.PID != MergePID(1, 2) {
+		t.Fatalf("pids (%d, %d), want (%d, %d)", submit.PID, apply.PID, MergePID(0, 2), MergePID(1, 2))
+	}
+
+	// The cross-replica delta journey gets a start+end flow pair.
+	if flows != 2 {
+		t.Fatalf("%d flow events, want 2", flows)
+	}
+
+	// The merged document is loadable Chrome-trace JSON with renamed
+	// per-replica process rows.
+	var buf bytes.Buffer
+	if err := merged.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []TraceEvent `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("merged trace is not valid JSON: %v", err)
+	}
+	names := map[string]bool{}
+	for _, ev := range doc.TraceEvents {
+		if ev.Phase == "M" && ev.Name == "process_name" {
+			if n, ok := ev.Args["name"].(string); ok {
+				names[n] = true
+			}
+		}
+	}
+	if !names["replica 0: averaging"] || !names["replica 1: averaging"] {
+		t.Fatalf("process rows not renamed per replica: %v", names)
+	}
+}
+
+// TestMergeTracesMonotonicRows: after offset correction the merged
+// body is globally time-sorted, so each replica's row is monotonic.
+func TestMergeTracesMonotonicRows(t *testing.T) {
+	parts := []ReplicaTrace{
+		replicaPart(0, 0,
+			span("submit", 100, 10, map[string]any{"round": 1, "replica": 0}),
+			span("submit", 300, 10, map[string]any{"round": 2, "replica": 0})),
+		replicaPart(1, -50,
+			span("submit", 260, 10, map[string]any{"round": 1, "replica": 1}),
+			span("submit", 460, 10, map[string]any{"round": 2, "replica": 1})),
+	}
+	events := MergeTraces(parts).Events()
+	last := -1.0
+	sawBody := false
+	for _, ev := range events {
+		if ev.Phase != "X" {
+			continue
+		}
+		sawBody = true
+		if ev.TS < last {
+			t.Fatalf("merged body not time-sorted: %v after %v", ev.TS, last)
+		}
+		if ev.TS < 0 {
+			t.Fatalf("negative timestamp %v after rebase", ev.TS)
+		}
+		last = ev.TS
+	}
+	if !sawBody {
+		t.Fatal("no body events merged")
+	}
+}
+
+// TestMergeTracesNoArrowWithinReplica: a replica applying its own delta
+// (same process) draws no arrow — flows mark cross-replica journeys.
+func TestMergeTracesNoArrowWithinReplica(t *testing.T) {
+	parts := []ReplicaTrace{
+		replicaPart(0, 0,
+			span("submit", 100, 10, map[string]any{"round": 1, "replica": 0}),
+			span("apply", 150, 10, map[string]any{"round": 1, "from": 0})),
+	}
+	for _, ev := range MergeTraces(parts).Events() {
+		if ev.Phase == string(FlowStart) || ev.Phase == string(FlowEnd) {
+			t.Fatalf("intra-replica flow arrow emitted: %+v", ev)
+		}
+	}
+}

@@ -135,6 +135,7 @@ type family struct {
 type Registry struct {
 	mu       sync.Mutex
 	families map[string]*family
+	events   *EventLog
 	off      bool
 }
 
@@ -149,6 +150,19 @@ func Discard() *Registry {
 	r := NewRegistry()
 	r.off = true
 	return r
+}
+
+// Events returns the registry's health-event log, creating it on first
+// use (capacity DefaultEventCapacity). On a Discard registry the log
+// drops every event, matching the metric behavior.
+func (r *Registry) Events() *EventLog {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.events == nil {
+		r.events = NewEventLog(DefaultEventCapacity)
+		r.events.off = r.off
+	}
+	return r.events
 }
 
 var defaultRegistry = NewRegistry()
@@ -265,7 +279,9 @@ func (r *Registry) Histogram(name, help string, buckets []float64, labels ...str
 // Snapshot returns every series as renderedName -> value, where
 // histograms contribute their _count, _sum, and per-quantile pseudo
 // series. Used by the expvar bridge and tests; the Prometheus text
-// exposition is WritePrometheus.
+// exposition is WritePrometheus. Values are finite: NaN/Inf (e.g. a
+// gauge set to a division by zero) are reported as 0 so the map always
+// survives json.Marshal, which rejects NaN.
 func (r *Registry) Snapshot() map[string]float64 {
 	out := make(map[string]float64)
 	r.mu.Lock()
@@ -278,18 +294,27 @@ func (r *Registry) Snapshot() map[string]float64 {
 			}
 			switch v := m.(type) {
 			case *Counter:
-				out[full] = v.Value()
+				out[full] = finite(v.Value())
 			case *Gauge:
-				out[full] = v.Value()
+				out[full] = finite(v.Value())
 			case *Histogram:
 				out[full+"_count"] = float64(v.Count())
-				out[full+"_sum"] = v.Sum()
-				out[full+"_p50"] = v.Quantile(0.5)
-				out[full+"_p99"] = v.Quantile(0.99)
+				out[full+"_sum"] = finite(v.Sum())
+				out[full+"_p50"] = finite(v.Quantile(0.5))
+				out[full+"_p99"] = finite(v.Quantile(0.99))
 			}
 		}
 	}
 	return out
+}
+
+// finite maps NaN and ±Inf to 0, the defined value for series that have
+// no meaningful sample yet.
+func finite(v float64) float64 {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return 0
+	}
+	return v
 }
 
 // familyView is a stable copy of one family's structure for exposition:

@@ -2,8 +2,10 @@ package obs
 
 import (
 	"bytes"
+	"encoding/json"
 	"math"
 	"math/rand"
+	"strconv"
 	"strings"
 	"sync"
 	"testing"
@@ -63,8 +65,8 @@ func TestNilMetricsAreNoOps(t *testing.T) {
 	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 || h.Sum() != 0 {
 		t.Fatal("nil metrics must read as zero")
 	}
-	if !math.IsNaN(h.Quantile(0.5)) {
-		t.Fatal("nil histogram quantile must be NaN")
+	if h.Quantile(0.5) != 0 {
+		t.Fatal("nil histogram quantile must be 0")
 	}
 }
 
@@ -159,8 +161,8 @@ func TestHistogramQuantileAccuracy(t *testing.T) {
 			t.Errorf("Quantile(%v) = %v, want %v ± %v", q, got, want, 2*width)
 		}
 	}
-	if !math.IsNaN(newHistogram(nil).Quantile(0.5)) {
-		t.Fatal("empty histogram quantile must be NaN")
+	if newHistogram(nil).Quantile(0.5) != 0 {
+		t.Fatal("empty histogram quantile must be 0, never NaN")
 	}
 	// Overflow samples report the largest finite bound.
 	h2 := newHistogram([]float64{1, 2})
@@ -255,5 +257,56 @@ func TestSnapshot(t *testing.T) {
 	}
 	if s["h_count"] != 2 || s["h_sum"] != 5.5 {
 		t.Fatalf("histogram snapshot count=%v sum=%v", s["h_count"], s["h_sum"])
+	}
+}
+
+// TestEmptyHistogramStaysFinite is the regression gate for the NaN
+// leak: an empty (or single-sample) histogram must never put NaN/Inf
+// into quantiles, the expvar snapshot (which json.Marshal rejects), or
+// the Prometheus exposition.
+func TestEmptyHistogramStaysFinite(t *testing.T) {
+	r := NewRegistry()
+	empty := r.Histogram("empty_seconds", "Never observed.", []float64{1, 10})
+	single := r.Histogram("single_seconds", "Observed once.", []float64{1, 10})
+	single.Observe(0.5)
+
+	for _, q := range []float64{0, 0.5, 0.99, 1} {
+		if v := empty.Quantile(q); math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Fatalf("empty histogram q%v = %v", q, v)
+		}
+		if v := single.Quantile(q); math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Fatalf("single-sample histogram q%v = %v", q, v)
+		}
+	}
+
+	// The expvar bridge feeds json.Marshal, which errors on NaN/Inf.
+	if _, err := json.Marshal(r.Snapshot()); err != nil {
+		t.Fatalf("snapshot with empty histogram does not marshal: %v", err)
+	}
+	for k, v := range r.Snapshot() {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Fatalf("snapshot key %s = %v", k, v)
+		}
+	}
+
+	// The exposition and the structured export stay parseable too.
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ParsePrometheus(strings.NewReader(buf.String())); err != nil {
+		t.Fatalf("exposition does not parse: %v", err)
+	}
+	for _, line := range strings.Split(buf.String(), "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		val := line[strings.LastIndexByte(line, ' ')+1:]
+		if v, err := strconv.ParseFloat(val, 64); err != nil || math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Fatalf("exposition value %q in line %q (err %v)", val, line, err)
+		}
+	}
+	if _, err := json.Marshal(r.Export()); err != nil {
+		t.Fatalf("export with empty histogram does not marshal: %v", err)
 	}
 }
