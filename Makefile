@@ -1,14 +1,14 @@
 GO ?= go
 
-.PHONY: ci fmt vet vet-obs build test race faults fuzz-smoke bench-smoke bench-gate bench-baseline bench-graph-gate bench-graph-baseline cover
+.PHONY: ci fmt vet vet-obs build test race faults faults-soak fuzz-smoke bench-smoke bench-gate bench-baseline bench-graph-gate bench-graph-baseline cover
 
 # ci is the full verification tier: formatting, static checks (including
 # the obs build tag, which turns on strict metric-name validation), build,
 # tests, the race-detector pass over the concurrent packages, the seeded
-# chaos matrix, the wire-codec fuzz smoke, the metrics-exposition and
-# collector-overhead smoke, and the kernel and compiled op-graph
-# benchmark-regression gates.
-ci: fmt vet vet-obs build test race faults fuzz-smoke bench-smoke bench-gate bench-graph-gate
+# chaos matrix, the self-healing chaos soak, the wire-codec fuzz smoke,
+# the metrics-exposition and collector-overhead smoke, and the kernel and
+# compiled op-graph benchmark-regression gates.
+ci: fmt vet vet-obs build test race faults faults-soak fuzz-smoke bench-smoke bench-gate bench-graph-gate
 
 fmt:
 	@out="$$(gofmt -l .)"; \
@@ -29,7 +29,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/core/... ./internal/comm/... ./internal/net/... ./internal/obs/... ./internal/tensor/... ./internal/compiled/...
+	$(GO) test -race ./internal/core/... ./internal/comm/... ./internal/heal/... ./internal/net/... ./internal/obs/... ./internal/tensor/... ./internal/compiled/...
 
 # fuzz-smoke runs the wire-codec fuzz target for 30 seconds on top of
 # its checked-in regression corpus (internal/net/testdata/fuzz): decode
@@ -52,6 +52,15 @@ faults:
 			-run 'TestTrainerChaosRecovery|TestWatchdogKillsWedgedSchedule|TestAveragerRoundDeadlineExpiresPartialRound|TestCheckpointBitExact' \
 			|| exit 1; \
 	done
+
+# faults-soak is the self-healing recovery gate: a 2-process TCP job
+# under seeded drops and stragglers has one replica killed hard and
+# restarted on the same address. The mesh must re-knit itself, the
+# supervisor must auto-detach and re-admit the replica, and the
+# recovered job must reach >=90% of its fault-free throughput (see
+# internal/heal and the Self-healing section of DESIGN.md).
+faults-soak:
+	AVGPIPE_SOAK=1 $(GO) test ./internal/heal/ -run '^TestChaosSoakRecovery$$' -count=1 -v
 
 # bench-smoke runs one cheap figure with the metrics dump enabled, then
 # the cluster-telemetry overhead gate. avgpipe-bench validates the

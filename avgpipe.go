@@ -35,6 +35,7 @@ import (
 	"avgpipe/internal/data"
 	"avgpipe/internal/device"
 	"avgpipe/internal/fault"
+	"avgpipe/internal/heal"
 	netx "avgpipe/internal/net"
 	"avgpipe/internal/nn"
 	"avgpipe/internal/obs"
@@ -289,6 +290,91 @@ func DialTCPMesh(ctx context.Context, self int, listenAddr string, peers map[int
 		return nil, err
 	}
 	return m, nil
+}
+
+// SelfHealConfig configures Mesh.EnableSelfHeal: reconnecting
+// connections with exponential backoff + jitter and session epochs, so
+// a transient network fault no longer permanently poisons a peer link.
+type SelfHealConfig = netx.SelfHealConfig
+
+// Backoff is the shared exponential-backoff-with-jitter retry pacer the
+// transports and the self-healing connections use.
+type Backoff = netx.Backoff
+
+// DialSelfHealingTCPMesh forms the TCP mesh like DialTCPMesh and then
+// arms self-healing on it: broken connections re-dial in the background
+// under bumped session epochs, and the formation listener keeps
+// admitting reconnecting (or fully restarted) peers. Connection
+// lifecycle health events go to reg's event log.
+func DialSelfHealingTCPMesh(ctx context.Context, self int, listenAddr string, peers map[int]string, reg *MetricsRegistry) (*Mesh, error) {
+	if reg == nil {
+		reg = DefaultMetrics()
+	}
+	tp := netx.NewTCP(reg)
+	m, err := netx.FormMesh(ctx, tp, self, listenAddr, peers)
+	if err != nil {
+		return nil, err
+	}
+	if err := m.SyncClocks(ctx); err != nil {
+		m.Close()
+		return nil, err
+	}
+	if err := m.EnableSelfHeal(netx.SelfHealConfig{
+		Transport: tp, Peers: peers, Events: reg.Events(),
+	}); err != nil {
+		m.Close()
+		return nil, err
+	}
+	return m, nil
+}
+
+// DialRejoiningTCPMesh re-forms the mesh of a restarted replica whose
+// peers are mid-training, arming self-healing like
+// DialSelfHealingTCPMesh but skipping the symmetric formation-time
+// clock sync: the peers' averaging loops are already streaming updates,
+// so a quiescent ping/pong exchange is impossible. Clock offsets are
+// re-measured per peer by Trainer.RejoinMesh once the averager is
+// attached and answering pings.
+func DialRejoiningTCPMesh(ctx context.Context, self int, listenAddr string, peers map[int]string, reg *MetricsRegistry) (*Mesh, error) {
+	if reg == nil {
+		reg = DefaultMetrics()
+	}
+	tp := netx.NewTCP(reg)
+	m, err := netx.FormMesh(ctx, tp, self, listenAddr, peers)
+	if err != nil {
+		return nil, err
+	}
+	if err := m.EnableSelfHeal(netx.SelfHealConfig{
+		Transport: tp, Peers: peers, Events: reg.Events(),
+	}); err != nil {
+		m.Close()
+		return nil, err
+	}
+	return m, nil
+}
+
+// --- self-healing (supervision and automatic recovery) --------------------
+
+// HealConfig tunes the recovery supervisor: detach thresholds and the
+// adaptive round-deadline controller (see DESIGN.md, Self-healing).
+type HealConfig = heal.Config
+
+// HealSupervisor closes the loop from health events to recovery
+// actions: it subscribes to a registry's event log and auto-detaches
+// stalled, disconnected, or lagging replicas, and retunes the averaging
+// round deadline from the observed round-latency tail.
+type HealSupervisor = heal.Supervisor
+
+// NewHealSupervisor builds a supervisor for an averager, watching reg's
+// health events. Call Start to begin supervision and Stop to end it.
+func NewHealSupervisor(a *Averager, reg *MetricsRegistry, cfg HealConfig) *HealSupervisor {
+	if reg == nil {
+		reg = DefaultMetrics()
+	}
+	if cfg.Registry == nil {
+		cfg.Registry = reg
+	}
+	return heal.New(a, reg.Events(), cfg)
 }
 
 // --- simulation (cost models, clusters, schedules) ------------------------

@@ -23,6 +23,16 @@
 //
 //	avgpipe-train -replica-id 0 -listen 127.0.0.1:7070 -peers 1=127.0.0.1:7071 -pipelines 2 &
 //	avgpipe-train -replica-id 1 -listen 127.0.0.1:7071 -peers 0=127.0.0.1:7070 -pipelines 2
+//
+// With -heal the job becomes self-healing: broken mesh links re-dial
+// with backoff under fresh session epochs, a recovery supervisor
+// auto-detaches stalled or unreachable replicas, and the averaging
+// round deadline retunes itself from the observed round-latency tail.
+// A replica that died can restart with -rejoin to re-enter the running
+// job without operator coordination: it reseeds from the peers'
+// reference model and rejoins the averaging set at the current round
+// (see the Self-healing section of DESIGN.md and the chaos quick-start
+// in README.md).
 package main
 
 import (
@@ -81,6 +91,9 @@ func main() {
 		resume          = flag.Bool("resume", false, "resume from the checkpoint in -checkpoint-dir")
 		watchdog        = flag.Duration("watchdog", 0, "kill a batch whose pipeline makes no progress for this long (0 = off)")
 		roundDeadline   = flag.Duration("round-deadline", 0, "expire averaging rounds open longer than this (0 = off)")
+
+		healFlag   = flag.Bool("heal", false, "self-heal: reconnecting mesh links, auto-detach of failed replicas, adaptive round deadline")
+		rejoinFlag = flag.Bool("rejoin", false, "re-enter a running multi-process job after a restart: reseed from the peers' reference and rejoin at the current round (needs -heal)")
 
 		listenAddr  = flag.String("listen", "", "TCP address this replica's transport listens on (multi-process mode)")
 		peersFlag   = flag.String("peers", "", "remote replicas as id=host:port pairs, comma-separated (multi-process mode)")
@@ -165,9 +178,6 @@ func main() {
 		if *listenAddr == "" {
 			log.Fatal("-replica-id needs -listen")
 		}
-		if *checkpointDir != "" || *resume {
-			log.Fatal("checkpointing is not supported in multi-process mode")
-		}
 		peers, err := avgpipe.ParseReplicaPeers(*peersFlag)
 		if err != nil {
 			log.Fatal(err)
@@ -176,13 +186,26 @@ func main() {
 			log.Fatalf("-pipelines says %d replicas, but %d peers + self = %d", *pipelines, len(peers), len(peers)+1)
 		}
 		ctx, cancel := context.WithTimeout(context.Background(), *meshTimeout)
-		mesh, err := avgpipe.DialTCPMesh(ctx, *replicaID, *listenAddr, peers, reg)
+		var mesh *avgpipe.Mesh
+		switch {
+		case *rejoinFlag:
+			// The peers are mid-training: skip the quiescent formation-time
+			// clock sync; RejoinMesh re-measures offsets once attached.
+			mesh, err = avgpipe.DialRejoiningTCPMesh(ctx, *replicaID, *listenAddr, peers, reg)
+		case *healFlag:
+			mesh, err = avgpipe.DialSelfHealingTCPMesh(ctx, *replicaID, *listenAddr, peers, reg)
+		default:
+			mesh, err = avgpipe.DialTCPMesh(ctx, *replicaID, *listenAddr, peers, reg)
+		}
 		cancel()
 		if err != nil {
 			log.Fatalf("mesh: %v", err)
 		}
 		fmt.Printf("replica %d of %d: mesh formed, listening on %s\n", *replicaID, *pipelines, mesh.Addr())
 		dist = &avgpipe.DistConfig{ReplicaID: *replicaID, Mesh: mesh}
+	}
+	if *rejoinFlag && (dist == nil || !*healFlag) {
+		log.Fatal("-rejoin needs multi-process mode (-replica-id/-listen) with -heal")
 	}
 
 	execPath := "interpreted"
@@ -204,6 +227,19 @@ func main() {
 	}
 	defer trainer.Close()
 	health.SetReady() // mesh formed (if dist) and pipelines built: the run can serve traffic
+
+	if *healFlag {
+		rid := 0
+		if dist != nil {
+			rid = dist.ReplicaID
+		}
+		sup := avgpipe.NewHealSupervisor(trainer.Averager(), reg, avgpipe.HealConfig{
+			Self: rid, Deadline: *roundDeadline,
+		})
+		sup.Start()
+		defer sup.Stop()
+		fmt.Println("self-healing: recovery supervisor armed (auto-detach + adaptive round deadline)")
+	}
 
 	if *telemetryAddr != "" {
 		tracer := avgpipe.NewTracer("avgpipe-train")
@@ -241,6 +277,16 @@ func main() {
 		}
 		startRound = trainer.Round()
 		fmt.Printf("resumed from %s at round %d\n", *checkpointDir, startRound)
+	}
+	if *rejoinFlag {
+		rctx, rcancel := context.WithTimeout(context.Background(), *meshTimeout)
+		join, err := trainer.RejoinMesh(rctx)
+		rcancel()
+		if err != nil {
+			log.Fatalf("rejoin: %v", err)
+		}
+		startRound = join
+		fmt.Printf("rejoined the job at round %d (reference reseeded from peers)\n", join)
 	}
 
 	if *statsJSONL != "" {
@@ -298,6 +344,10 @@ func main() {
 		if _, err := trainer.StepContext(context.Background()); err != nil {
 			var stall *avgpipe.StallError
 			if errors.As(err, &stall) {
+				if *healFlag && dist != nil {
+					log.Fatalf("watchdog killed a wedged round; peers auto-detach this replica"+
+						" — restart with -rejoin to re-enter the job:\n%v", err)
+				}
 				log.Fatalf("watchdog killed a wedged round:\n%v", err)
 			}
 			log.Fatalf("round %d: %v", round, err)

@@ -35,6 +35,11 @@ type checkpointMeta struct {
 	Seed      int64  `json:"seed"`
 	Optimizer string `json:"optimizer"`
 	Detached  []bool `json:"detached,omitempty"`
+	// Dist marks a per-replica checkpoint of a multi-process job: it
+	// holds the reference copy plus ReplicaID's pipeline and optimizer
+	// state only, and must be restored by the same replica.
+	Dist      bool `json:"dist,omitempty"`
+	ReplicaID int  `json:"replica_id,omitempty"`
 }
 
 // IsCheckpoint reports whether dir holds a complete checkpoint (its
@@ -50,10 +55,13 @@ func IsCheckpoint(dir string) bool {
 // saved reference includes every submitted update. meta.json is written
 // last as the commit marker: a crash mid-save leaves a directory that
 // IsCheckpoint rejects rather than a corrupt resume point.
+//
+// In dist mode each process writes a per-replica checkpoint: its
+// reference copy plus the local pipeline's weights and optimizer state.
+// A whole-job resume restores every replica from its own directory at
+// the same round; checkpoint at a round boundary (after WaitRound has
+// closed the round on every process) so the N reference copies agree.
 func (t *Trainer) SaveCheckpoint(dir string) error {
-	if t.cfg.Dist != nil {
-		return fmt.Errorf("core: checkpointing a multi-process job is not supported (replica %d holds only its own state)", t.cfg.Dist.ReplicaID)
-	}
 	t.avg.Drain()
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return fmt.Errorf("core: checkpoint dir: %w", err)
@@ -63,6 +71,9 @@ func (t *Trainer) SaveCheckpoint(dir string) error {
 		return err
 	}
 	for p, pl := range t.pipelines {
+		if !t.local(p) {
+			continue // a peer process checkpoints this replica
+		}
 		if err := saveParamsFile(filepath.Join(dir, fmt.Sprintf("replica-%d.bin", p)), pl.Params()); err != nil {
 			return err
 		}
@@ -72,12 +83,18 @@ func (t *Trainer) SaveCheckpoint(dir string) error {
 			}
 		}
 	}
+	self := 0
+	if t.cfg.Dist != nil {
+		self = t.cfg.Dist.ReplicaID
+	}
 	meta := checkpointMeta{
 		Round:     t.round,
 		Pipelines: t.cfg.Pipelines,
 		Seed:      t.cfg.Seed,
-		Optimizer: t.opts[0].Name(),
+		Optimizer: t.opts[self].Name(),
 		Detached:  append([]bool(nil), t.detached...),
+		Dist:      t.cfg.Dist != nil,
+		ReplicaID: self,
 	}
 	buf, err := json.MarshalIndent(meta, "", "  ")
 	if err != nil {
@@ -96,10 +113,11 @@ func (t *Trainer) SaveCheckpoint(dir string) error {
 // reference model, the averager's delta baselines, and the data streams
 // fast-forwarded to where the saved run left them. Call before training
 // starts, not mid-round.
+// In dist mode each process restores its own per-replica checkpoint
+// (written by the same replica id); the whole job resumes at the saved
+// round with every process restored to the same boundary, so rounds
+// after the resume reproduce an uninterrupted run.
 func (t *Trainer) Restore(dir string) error {
-	if t.cfg.Dist != nil {
-		return fmt.Errorf("core: restoring a multi-process job is not supported (replica %d holds only its own state)", t.cfg.Dist.ReplicaID)
-	}
 	buf, err := os.ReadFile(filepath.Join(dir, checkpointMetaName))
 	if err != nil {
 		return fmt.Errorf("core: not a complete checkpoint (missing %s): %w", checkpointMetaName, err)
@@ -114,8 +132,18 @@ func (t *Trainer) Restore(dir string) error {
 	if meta.Seed != t.cfg.Seed {
 		return fmt.Errorf("core: checkpoint seed %d, trainer seed %d — data streams would diverge", meta.Seed, t.cfg.Seed)
 	}
-	if meta.Optimizer != t.opts[0].Name() {
-		return fmt.Errorf("core: checkpoint optimizer %q, trainer uses %q", meta.Optimizer, t.opts[0].Name())
+	self := 0
+	if t.cfg.Dist != nil {
+		self = t.cfg.Dist.ReplicaID
+	}
+	if meta.Dist != (t.cfg.Dist != nil) {
+		return fmt.Errorf("core: checkpoint dist=%v, trainer dist=%v", meta.Dist, t.cfg.Dist != nil)
+	}
+	if meta.Dist && meta.ReplicaID != self {
+		return fmt.Errorf("core: checkpoint belongs to replica %d, this process is replica %d", meta.ReplicaID, self)
+	}
+	if meta.Optimizer != t.opts[self].Name() {
+		return fmt.Errorf("core: checkpoint optimizer %q, trainer uses %q", meta.Optimizer, t.opts[self].Name())
 	}
 	if err := loadParamsFile(filepath.Join(dir, "reference.bin"), t.evalModel.Params()); err != nil {
 		return err
@@ -125,6 +153,9 @@ func (t *Trainer) Restore(dir string) error {
 	// replica's true post-dilution weights.
 	t.avg.SetReference(t.evalModel.Params())
 	for p, pl := range t.pipelines {
+		if !t.local(p) {
+			continue
+		}
 		if err := loadParamsFile(filepath.Join(dir, fmt.Sprintf("replica-%d.bin", p)), pl.Params()); err != nil {
 			return err
 		}
@@ -135,10 +166,15 @@ func (t *Trainer) Restore(dir string) error {
 			}
 		}
 	}
-	for p, det := range meta.Detached {
-		if det {
-			t.avg.Detach(p)
-			t.detached[p] = true
+	// Replaying the detached set only makes sense when this process owns
+	// every replica; in dist mode peer liveness is discovered live (the
+	// heal supervisor detaches peers that stay silent).
+	if t.cfg.Dist == nil {
+		for p, det := range meta.Detached {
+			if det {
+				t.avg.Detach(p)
+				t.detached[p] = true
+			}
 		}
 	}
 	t.round = meta.Round
@@ -146,6 +182,9 @@ func (t *Trainer) Restore(dir string) error {
 	// function of how many batches it has drawn, which is one per round
 	// (drawn-and-discarded for detached replicas).
 	for p := range t.gens {
+		if !t.local(p) {
+			continue
+		}
 		t.gens[p] = t.cfg.Task.NewGen(t.cfg.Seed + 100 + int64(p))
 		for r := 0; r < meta.Round; r++ {
 			t.gens[p].NextBatch(t.cfg.Task.BatchSize)

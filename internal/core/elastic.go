@@ -73,10 +73,19 @@ type Averager struct {
 	// used to derive local update deltas.
 	snapshots [][]*tensor.Tensor
 	// live[p] marks replicas currently participating in rounds; liveN
-	// counts them. Detach/Rejoin flip these.
+	// counts them. Detach/Rejoin flip these. liveFrom[p] is the first
+	// round replica p counts toward: a rejoining replica is admitted
+	// from the round after every round already open or closed, so its
+	// return never inflates the quorum of a round it will not submit to.
 	live       []bool
 	liveN      int
+	liveFrom   []int
 	detachedAt []time.Time
+	// lastRound[p] is the newest round replica p has submitted an update
+	// for (-1 before its first); latestRound is the max across replicas.
+	// The heal supervisor reads these to spot replicas falling behind.
+	lastRound   []int
+	latestRound int
 	// doneRounds/doneFloor record closed rounds so a straggler update
 	// arriving after its round was applied (or expired) is discarded
 	// instead of re-opening the round: every round below doneFloor is
@@ -98,6 +107,10 @@ type Averager struct {
 	drainCond *sync.Cond
 	sent      int64
 	applied   int64
+
+	// refState hands a peer's FrameRefState reply from the inbound loop
+	// to a waiting ResumeReplica.
+	refState chan *netx.Frame
 
 	done   chan struct{}
 	closed sync.Once
@@ -158,8 +171,11 @@ func NewAveragerObs(n int, init []*nn.Param, reg *obs.Registry) *Averager {
 		snapshots:  make([][]*tensor.Tensor, n),
 		live:       make([]bool, n),
 		liveN:      n,
+		liveFrom:   make([]int, n),
 		detachedAt: make([]time.Time, n),
+		lastRound:  make([]int, n),
 		doneRounds: make(map[int]bool),
+		refState:   make(chan *netx.Frame, 1),
 		done:       make(chan struct{}),
 		roundSec: reg.Histogram("avgpipe_avg_round_seconds",
 			"Elastic-averaging round latency: first update arriving to round applied.", nil),
@@ -186,7 +202,9 @@ func NewAveragerObs(n int, init []*nn.Param, reg *obs.Registry) *Averager {
 	}
 	for p := 0; p < n; p++ {
 		a.live[p] = true
+		a.lastRound[p] = -1
 	}
+	a.latestRound = -1
 	// The loopback pipe is the refactored §3.2 update queue: unbounded
 	// (capacity 0), so Submit never blocks a pipeline, and instrumented
 	// under the historical queue name.
@@ -294,6 +312,12 @@ func (a *Averager) AttachMesh(m *netx.Mesh) {
 	for _, id := range m.Peers() {
 		go a.inboundLoop(m.Recv(id))
 	}
+	// Under mesh self-healing, a peer that re-dials gets a fresh inbound
+	// connection; spawn a receive loop for it (the old loop exits when
+	// the mesh closes the replaced connection).
+	m.SetInboundHandler(func(id int, c netx.Conn) {
+		go a.inboundLoop(c)
+	})
 }
 
 // inboundLoop forwards one peer's frames into the local reference
@@ -313,8 +337,18 @@ func (a *Averager) inboundLoop(c netx.Conn) {
 			a.Detach(int(f.Replica))
 		case netx.FrameRejoin:
 			// The rejoining process reseeds its own weights from its
-			// reference copy; peers only mark it live again.
-			a.Rejoin(int(f.Replica), nil)
+			// reference copy; peers only mark it live again, admitted no
+			// earlier than the join round the announcement carries.
+			a.rejoin(int(f.Replica), nil, int(f.Round))
+		case netx.FrameRefRequest:
+			// A restarted peer asking to reseed: reply with our current
+			// reference state and the round it should join from.
+			a.sendRefState(int(f.Replica))
+		case netx.FrameRefState:
+			select {
+			case a.refState <- f:
+			default: // no ResumeReplica waiting (duplicate reply): drop
+			}
 		case netx.FrameClockPing:
 			// A peer re-measuring its clock offset mid-run (see
 			// Mesh.ResyncClock); answer on the same connection.
@@ -443,6 +477,20 @@ func (a *Averager) roundClosedLocked(round int) bool {
 	return round < a.doneFloor || a.doneRounds[round]
 }
 
+// neededLocked is the round's quorum: the live replicas admitted to it.
+// A replica that rejoined mid-round is admitted only from its liveFrom
+// round onward, so an already-open round still closes over the set that
+// was live when it opened. Caller holds a.mu.
+func (a *Averager) neededLocked(round int) int {
+	n := 0
+	for p := 0; p < a.N; p++ {
+		if a.live[p] && a.liveFrom[p] <= round {
+			n++
+		}
+	}
+	return n
+}
+
 // referenceLoop is the separate reference-model process of §3.2: it
 // drains the update stream — local submits and, in a multi-process job,
 // peer updates forwarded from the mesh — accumulates per round, and
@@ -483,7 +531,14 @@ func (a *Averager) ingest(u Update) {
 		acc.deltas[u.Pipeline] = u.Deltas
 		acc.got++
 	}
-	roundDone := a.liveN > 0 && acc.got >= a.liveN
+	if u.Pipeline >= 0 && u.Pipeline < a.N && u.Round > a.lastRound[u.Pipeline] {
+		a.lastRound[u.Pipeline] = u.Round
+	}
+	if u.Round > a.latestRound {
+		a.latestRound = u.Round
+	}
+	needed := a.neededLocked(u.Round)
+	roundDone := needed > 0 && acc.got >= needed
 	first := acc.first
 	if roundDone {
 		a.applyRoundLocked(u.Round, acc)
@@ -576,12 +631,10 @@ func (a *Averager) Detach(p int) {
 	a.detachedAt[p] = time.Now()
 	// Close any round that was waiting only on the departed replica.
 	completed := 0
-	if a.liveN > 0 {
-		for r, acc := range a.pending {
-			if acc.got >= a.liveN {
-				a.applyRoundLocked(r, acc)
-				completed++
-			}
+	for r, acc := range a.pending {
+		if n := a.neededLocked(r); n > 0 && acc.got >= n {
+			a.applyRoundLocked(r, acc)
+			completed++
 		}
 	}
 	degraded := a.N - a.liveN
@@ -595,14 +648,18 @@ func (a *Averager) Detach(p int) {
 		a.openRounds.Set(float64(open))
 		a.notifyRounds()
 	}
-	a.announce(netx.FrameDetach, p)
+	a.announce(netx.FrameDetach, p, 0)
 }
 
 // Rejoin returns a detached pipeline p to elastic averaging: its weights
 // are reseeded from the current reference model (the elastic pull that
 // re-centres a returning replica) and its delta baseline reset to match,
 // so its first update after recovery is measured from the right point.
-func (a *Averager) Rejoin(p int, params []*nn.Param) {
+func (a *Averager) Rejoin(p int, params []*nn.Param) { a.rejoin(p, params, 0) }
+
+// rejoin is Rejoin with a floor on the admission round, used when a
+// peer's rejoin announcement carries the round it joins from.
+func (a *Averager) rejoin(p int, params []*nn.Param, minJoin int) {
 	a.mu.Lock()
 	if p < 0 || p >= a.N || a.live[p] {
 		a.mu.Unlock()
@@ -614,29 +671,133 @@ func (a *Averager) Rejoin(p int, params []*nn.Param) {
 	}
 	a.live[p] = true
 	a.liveN++
+	// Admit the returning replica from the round after everything
+	// already open or closed: it will not submit to an in-flight round,
+	// so counting it toward one would leave that round one update short
+	// of its (inflated) quorum forever.
+	join := a.joinRoundLocked()
+	if minJoin > join {
+		join = minJoin
+	}
+	a.liveFrom[p] = join
 	det := a.detachedAt[p]
 	degraded := a.N - a.liveN
 	a.mu.Unlock()
 	a.rejoins.Inc()
 	a.degraded.Set(float64(degraded))
-	a.events.Emit(obs.Event{Type: obs.EventReplicaRejoin, Replica: p, Round: -1,
+	a.events.Emit(obs.Event{Type: obs.EventReplicaRejoin, Replica: p, Round: join,
 		Value: float64(degraded)})
 	if !det.IsZero() {
 		a.recoverySec.Observe(time.Since(det).Seconds())
 	}
-	a.announce(netx.FrameRejoin, p)
+	a.announce(netx.FrameRejoin, p, join)
+}
+
+// joinRoundLocked is the first round a replica (re)joining now may
+// count toward: one past every round already open or closed. Caller
+// holds a.mu.
+func (a *Averager) joinRoundLocked() int {
+	join := a.doneFloor
+	for r := range a.doneRounds {
+		if r+1 > join {
+			join = r + 1
+		}
+	}
+	for r := range a.pending {
+		if r+1 > join {
+			join = r + 1
+		}
+	}
+	if a.latestRound+1 > join {
+		join = a.latestRound + 1
+	}
+	return join
 }
 
 // announce broadcasts a membership change for the LOCAL replica to the
 // mesh peers. Remote membership changes (applied via inboundLoop) are
 // not re-broadcast — each process announces only itself, which is what
 // keeps the coordinator-free protocol loop-free.
-func (a *Averager) announce(t netx.FrameType, p int) {
+func (a *Averager) announce(t netx.FrameType, p, round int) {
 	if a.mesh == nil || p != a.mesh.Self {
 		return
 	}
 	// Best effort: a peer that is itself gone cannot be told.
-	_ = a.mesh.Broadcast(context.Background(), &netx.Frame{Type: t, Replica: uint32(p)})
+	_ = a.mesh.Broadcast(context.Background(), &netx.Frame{Type: t, Replica: uint32(p), Round: uint32(round)})
+}
+
+// sendRefState answers a restarted peer's FrameRefRequest with a copy
+// of the current reference weights and the round the requester should
+// join from.
+func (a *Averager) sendRefState(to int) {
+	if a.mesh == nil || to == a.mesh.Self {
+		return
+	}
+	a.mu.RLock()
+	tensors := cloneTensors(a.ref)
+	join := a.joinRoundLocked()
+	a.mu.RUnlock()
+	_ = a.mesh.Send(context.Background(), to, &netx.Frame{
+		Type: netx.FrameRefState, Replica: uint32(a.mesh.Self),
+		Round: uint32(join), Tensors: tensors,
+	})
+}
+
+// ResumeReplica re-enters a fully restarted process into a running
+// elastic-averaging job: it asks the mesh peers for the current
+// reference state, installs the first reply as this process's
+// reference copy (reseeding every delta baseline), and announces the
+// rejoin so peers re-admit this replica from the returned join round.
+// It returns that round — the round the caller should resume training
+// at. Call after AttachMesh and before training starts.
+func (a *Averager) ResumeReplica(ctx context.Context) (int, error) {
+	if a.mesh == nil {
+		return 0, errors.New("core: ResumeReplica needs an attached mesh")
+	}
+	self := a.mesh.Self
+	req := &netx.Frame{Type: netx.FrameRefRequest, Replica: uint32(self)}
+	if err := a.mesh.Broadcast(ctx, req); err != nil {
+		return 0, fmt.Errorf("core: requesting reference state: %w", err)
+	}
+	// Re-ask periodically: the request or the reply may be lost while a
+	// peer's self-healing connection back to us is still re-dialing.
+	var f *netx.Frame
+	for f == nil {
+		select {
+		case f = <-a.refState:
+		case <-time.After(refRequestRetry):
+			_ = a.mesh.Broadcast(ctx, req)
+		case <-ctx.Done():
+			return 0, fmt.Errorf("core: waiting for reference state: %w", ctx.Err())
+		case <-a.done:
+			return 0, errors.New("core: averager closed while waiting for reference state")
+		}
+	}
+	a.mu.Lock()
+	if len(f.Tensors) != len(a.ref) {
+		a.mu.Unlock()
+		return 0, fmt.Errorf("core: peer reference has %d tensors, model has %d", len(f.Tensors), len(a.ref))
+	}
+	for i := range a.ref {
+		a.ref[i].CopyFrom(f.Tensors[i])
+	}
+	for p := range a.snapshots {
+		for i := range a.snapshots[p] {
+			a.snapshots[p][i].CopyFrom(a.ref[i])
+		}
+	}
+	join := int(f.Round)
+	if local := a.joinRoundLocked(); local > join {
+		join = local
+	}
+	// Updates from rounds older than join were in flight when this
+	// process died; they belong to quorums this replica is not part of.
+	a.liveFrom[self] = join
+	a.mu.Unlock()
+	a.events.Emit(obs.Event{Type: obs.EventReplicaRejoin, Replica: self, Round: join,
+		Detail: fmt.Sprintf("reseeded from replica %d's reference", int(f.Replica))})
+	a.announce(netx.FrameRejoin, self, join)
+	return join, nil
 }
 
 // LiveReplicas reports how many pipelines currently participate in
@@ -654,12 +815,35 @@ func (a *Averager) Live(p int) bool {
 	return p >= 0 && p < a.N && a.live[p]
 }
 
-// submitRetries bounds SubmitContext's retry loop; the backoff doubles
-// from submitBackoff between attempts.
+// RoundProgress reports the newest round any replica has submitted an
+// update for, and per replica the newest round it submitted (-1 before
+// its first). The heal supervisor compares the two to spot a replica
+// falling a streak of rounds behind the pack.
+func (a *Averager) RoundProgress() (latest int, last []int) {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	last = make([]int, a.N)
+	copy(last, a.lastRound)
+	return a.latestRound, last
+}
+
+// RoundLatencyQuantile reports the q-quantile (0..1) of observed
+// elastic-round latency in seconds, or 0 before any round closed — the
+// signal the heal supervisor derives adaptive round deadlines from.
+func (a *Averager) RoundLatencyQuantile(q float64) float64 {
+	return a.roundSec.Quantile(q)
+}
+
+// submitRetries bounds SubmitContext's retry loop; the delays between
+// attempts follow the shared transport backoff (exponential with
+// jitter) starting from submitBackoff.
 const (
 	submitRetries = 3
 	submitBackoff = time.Millisecond
 )
+
+// refRequestRetry paces ResumeReplica's re-asks for reference state.
+const refRequestRetry = 250 * time.Millisecond
 
 // Submit performs step ❸ for pipeline p after its optimizer has applied
 // a local update for the given round. It panics on misuse (pipeline out
@@ -693,7 +877,7 @@ func (a *Averager) SubmitContext(ctx context.Context, p, round int, params []*nn
 	f := &netx.Frame{Type: netx.FrameUpdate, Replica: uint32(p), Round: uint32(round), Tensors: deltas}
 	a.addSent(1)
 	start := time.Now()
-	backoff := submitBackoff
+	retry := netx.Backoff{Base: submitBackoff}
 	for attempt := 0; ; attempt++ {
 		err := a.tx.Send(ctx, f)
 		if err == nil {
@@ -715,13 +899,10 @@ func (a *Averager) SubmitContext(ctx context.Context, p, round int, params []*nn
 			a.addSent(-1)
 			return fmt.Errorf("after %d attempts: %w", attempt+1, err)
 		}
-		select {
-		case <-ctx.Done():
+		if err := retry.Sleep(ctx); err != nil {
 			a.addSent(-1)
-			return ctx.Err()
-		case <-time.After(backoff):
+			return err
 		}
-		backoff *= 2
 	}
 }
 

@@ -141,6 +141,56 @@ func TestAveragerRejoinReseedsFromReference(t *testing.T) {
 	}
 }
 
+// A replica rejoining while a round is open must not count toward that
+// round's quorum: it will never submit to it, so admitting it would
+// leave the round one update short forever (regression test for the
+// inflated-quorum wedge).
+func TestAveragerRejoinDoesNotInflateOpenRoundQuorum(t *testing.T) {
+	a := NewAverager(3, paramsOf(0))
+	defer a.Close()
+	a.Detach(2)
+	// Round 0 opens with quorum {0, 1}.
+	r0, r1 := paramsOf(4), paramsOf(8)
+	a.Submit(0, 0, r0)
+	a.Drain() // ensure the round is open before the rejoin
+	if a.PendingRounds() != 1 {
+		t.Fatalf("round 0 not open: %d pending", a.PendingRounds())
+	}
+	r2 := paramsOf(0)
+	a.Rejoin(2, r2)
+	// Replica 1's update is the second of two — the round must close
+	// even though three replicas are now live.
+	a.Submit(1, 0, r1)
+	a.Drain()
+	if a.PendingRounds() != 0 {
+		t.Fatal("round 0 wedged: rejoined replica counted toward an open round's quorum")
+	}
+	if got := a.Reference()[0].At(0); got != 6 {
+		t.Fatalf("round 0 reference = %v, want 6 (mean of the two admitted deltas)", got)
+	}
+	// From the next round on, the rejoined replica is a full member:
+	// round 1 must wait for all three.
+	a.Dilute(0, r0)
+	a.Dilute(1, r1)
+	addAll(r0, 3)
+	addAll(r1, 3)
+	addAll(r2, 3)
+	a.Submit(0, 1, r0)
+	a.Submit(1, 1, r1)
+	a.Drain()
+	if a.PendingRounds() != 1 {
+		t.Fatalf("round 1 closed without the rejoined replica: %d pending", a.PendingRounds())
+	}
+	a.Submit(2, 1, r2)
+	a.Drain()
+	if a.PendingRounds() != 0 {
+		t.Fatal("round 1 did not close after every live replica reported")
+	}
+	if got := a.Reference()[0].At(0); got != 9 {
+		t.Fatalf("round 1 reference = %v, want 9", got)
+	}
+}
+
 func TestAveragerRoundDeadlineExpiresPartialRound(t *testing.T) {
 	reg := obs.NewRegistry()
 	a := NewAveragerObs(2, paramsOf(0), reg)

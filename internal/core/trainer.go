@@ -474,6 +474,42 @@ func (t *Trainer) stepDist(ctx context.Context) (float64, error) {
 	return loss, nil
 }
 
+// RejoinMesh re-enters a restarted dist-mode process into a running
+// job without operator input: the averager pulls the current reference
+// state from a peer, the local pipeline reseeds from it with fresh
+// optimizer state (a rebooted replica, not a resumed one), the data
+// stream fast-forwards to the join round, and the rejoin is announced
+// so peers re-admit this replica. It returns the round training should
+// resume at. Call after NewTrainer and before the first StepContext.
+func (t *Trainer) RejoinMesh(ctx context.Context) (int, error) {
+	if t.cfg.Dist == nil {
+		return 0, errors.New("core: RejoinMesh requires dist mode")
+	}
+	join, err := t.avg.ResumeReplica(ctx)
+	if err != nil {
+		return 0, err
+	}
+	p := t.cfg.Dist.ReplicaID
+	pl := t.pipelines[p]
+	t.avg.WriteReference(pl.Params())
+	t.avg.SeedReplica(p, pl.Params())
+	t.opts[p] = newOptimizer(t.cfg.Task)
+	t.gens[p] = t.cfg.Task.NewGen(t.cfg.Seed + 100 + int64(p))
+	for r := 0; r < join; r++ {
+		t.gens[p].NextBatch(t.cfg.Task.BatchSize)
+	}
+	t.round = join
+	// Re-measure peer clock offsets now that our inbound loops answer
+	// pings: a rejoiner skips the quiescent formation-time sync (its
+	// peers are mid-training). Best effort — offsets only align traces.
+	if m := t.cfg.Dist.Mesh; m != nil {
+		for _, id := range m.Peers() {
+			_, _ = m.ResyncClock(ctx, id)
+		}
+	}
+	return join, nil
+}
+
 // SetStepLog streams one StepRecord JSON line per Step to w (nil stops
 // logging). Call before training, not concurrently with Step.
 func (t *Trainer) SetStepLog(w io.Writer) {

@@ -1,0 +1,66 @@
+package heal
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"avgpipe/internal/core"
+	"avgpipe/internal/nn"
+	"avgpipe/internal/obs"
+	"avgpipe/internal/tensor"
+)
+
+func smallParams() []*nn.Param {
+	return []*nn.Param{nn.NewParam("w", tensor.New(4))}
+}
+
+// The supervisor races against live Submit/Detach/Rejoin traffic on a
+// real averager: detaches triggered by injected health events must
+// interleave safely with rounds closing, replicas rejoining, and the
+// adaptive deadline moving. Run under -race (the Makefile race tier).
+func TestSupervisorRacesWithAveragerTraffic(t *testing.T) {
+	reg := obs.NewRegistry()
+	a := core.NewAveragerObs(3, smallParams(), reg)
+	defer a.Close()
+	a.SetRoundDeadline(5 * time.Millisecond)
+
+	s := New(a, reg.Events(), Config{
+		Self: 0, Interval: time.Millisecond,
+		MissedRounds: 50, // high: detaches in this test come from events
+		MinDeadline:  time.Millisecond, MaxDeadline: 50 * time.Millisecond,
+	})
+	s.Start()
+	defer s.Stop()
+
+	const rounds = 200
+	var wg sync.WaitGroup
+	// Replicas 0 and 1 submit every round.
+	for p := 0; p < 2; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			ps := smallParams()
+			for r := 0; r < rounds; r++ {
+				ps[0].W.Data()[0] += 1
+				a.Submit(p, r, ps)
+			}
+		}(p)
+	}
+	// Replica 2 flaps: the supervisor detaches it on stall events, the
+	// flapper rejoins it, concurrently with the submitters.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		ps := smallParams()
+		for i := 0; i < 50; i++ {
+			reg.Events().Emit(obs.Event{Type: obs.EventWatchdogStall, Replica: 2})
+			a.Rejoin(2, ps)
+		}
+		// Leave it detached so pending rounds can close without it.
+		a.Detach(2)
+	}()
+	wg.Wait()
+	a.Drain()
+	waitFor(t, "all rounds closed", func() bool { return a.PendingRounds() == 0 })
+}

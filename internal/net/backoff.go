@@ -1,0 +1,139 @@
+package net
+
+import (
+	"context"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// Backoff paces retry loops: the delay grows exponentially from Base to
+// Max, with a uniform jitter fraction subtracted so a cohort of
+// replicas retrying the same dead peer does not re-dial in lockstep
+// (the thundering-herd failure the averaging mesh is otherwise prone to
+// after a partition heals). The zero value is usable and picks the
+// package defaults; every retry loop in the runtime — SubmitContext's
+// send retries, mesh formation dials, and the self-healing re-dial —
+// shares this one policy type.
+type Backoff struct {
+	// Base is the first delay (default 1ms); Max caps the growth
+	// (default 500ms); Factor is the per-attempt multiplier (default 2).
+	Base   time.Duration
+	Max    time.Duration
+	Factor float64
+	// Jitter is the fraction of each delay randomized away, in [0, 1]
+	// (default 0.2): the actual sleep is uniform in
+	// [(1-Jitter)·d, d]. 0 after explicit Set* fields means "no jitter"
+	// only when some other field was set; use NoJitter for fully
+	// deterministic pacing.
+	Jitter float64
+	// NoJitter disables jitter entirely, for tests that need exact
+	// delays.
+	NoJitter bool
+	// Seed, when non-zero, makes the jitter sequence deterministic.
+	Seed int64
+
+	mu      sync.Mutex
+	attempt int
+	rng     *rand.Rand
+}
+
+// Backoff defaults, shared by every retry loop in the transport layer.
+const (
+	defaultBackoffBase   = time.Millisecond
+	defaultBackoffMax    = 500 * time.Millisecond
+	defaultBackoffFactor = 2.0
+	defaultBackoffJitter = 0.2
+)
+
+func (b *Backoff) base() time.Duration {
+	if b.Base > 0 {
+		return b.Base
+	}
+	return defaultBackoffBase
+}
+
+func (b *Backoff) max() time.Duration {
+	if b.Max > 0 {
+		return b.Max
+	}
+	return defaultBackoffMax
+}
+
+func (b *Backoff) factor() float64 {
+	if b.Factor > 1 {
+		return b.Factor
+	}
+	return defaultBackoffFactor
+}
+
+func (b *Backoff) jitter() float64 {
+	if b.NoJitter {
+		return 0
+	}
+	if b.Jitter > 0 {
+		if b.Jitter > 1 {
+			return 1
+		}
+		return b.Jitter
+	}
+	return defaultBackoffJitter
+}
+
+// Next returns the delay before the upcoming attempt and advances the
+// schedule: Base·Factor^attempt clamped to Max, minus up to Jitter of
+// itself. Safe for concurrent use (one shared schedule).
+func (b *Backoff) Next() time.Duration {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	d := float64(b.base())
+	f, maxd := b.factor(), float64(b.max())
+	for i := 0; i < b.attempt && d < maxd; i++ {
+		d *= f
+	}
+	if d > maxd {
+		d = maxd
+	}
+	b.attempt++
+	if j := b.jitter(); j > 0 {
+		if b.rng == nil {
+			seed := b.Seed
+			if seed == 0 {
+				seed = time.Now().UnixNano()
+			}
+			b.rng = rand.New(rand.NewSource(seed))
+		}
+		d -= d * j * b.rng.Float64()
+	}
+	return time.Duration(d)
+}
+
+// Attempt reports how many delays have been handed out since the last
+// Reset — the retry count of the loop this backoff paces.
+func (b *Backoff) Attempt() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.attempt
+}
+
+// Reset rewinds the schedule to Base, for a retry loop that succeeded
+// and later needs to back off again from scratch.
+func (b *Backoff) Reset() {
+	b.mu.Lock()
+	b.attempt = 0
+	b.mu.Unlock()
+}
+
+// Sleep waits out the next delay, returning early with ctx.Err() when
+// the context fires first — the context-aware retry pause every
+// transport retry loop shares.
+func (b *Backoff) Sleep(ctx context.Context) error {
+	t := time.NewTimer(b.Next())
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}

@@ -1,0 +1,73 @@
+package net
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+func TestBackoffGrowsAndClamps(t *testing.T) {
+	b := &Backoff{Base: time.Millisecond, Max: 8 * time.Millisecond, Factor: 2, NoJitter: true}
+	want := []time.Duration{1, 2, 4, 8, 8, 8}
+	for i, w := range want {
+		if got := b.Next(); got != w*time.Millisecond {
+			t.Fatalf("attempt %d: want %v, got %v", i, w*time.Millisecond, got)
+		}
+	}
+	if b.Attempt() != len(want) {
+		t.Fatalf("want %d attempts recorded, got %d", len(want), b.Attempt())
+	}
+	b.Reset()
+	if got := b.Next(); got != time.Millisecond {
+		t.Fatalf("after reset: want %v, got %v", time.Millisecond, got)
+	}
+}
+
+func TestBackoffJitterBoundedAndDeterministic(t *testing.T) {
+	mk := func() *Backoff {
+		return &Backoff{Base: 10 * time.Millisecond, Max: 80 * time.Millisecond, Jitter: 0.5, Seed: 42}
+	}
+	a, b := mk(), mk()
+	for i := 0; i < 10; i++ {
+		da, db := a.Next(), b.Next()
+		if da != db {
+			t.Fatalf("attempt %d: same seed diverged: %v vs %v", i, da, db)
+		}
+		full := float64(10 * time.Millisecond)
+		for j := 0; j < i && full < float64(80*time.Millisecond); j++ {
+			full *= 2
+		}
+		if full > float64(80*time.Millisecond) {
+			full = float64(80 * time.Millisecond)
+		}
+		if float64(da) > full || float64(da) < full/2 {
+			t.Fatalf("attempt %d: delay %v outside [%v/2, %v]", i, da, time.Duration(full), time.Duration(full))
+		}
+	}
+}
+
+func TestBackoffZeroValueDefaults(t *testing.T) {
+	var b Backoff
+	d := b.Next()
+	if d <= 0 || d > defaultBackoffBase {
+		t.Fatalf("zero-value first delay %v outside (0, %v]", d, defaultBackoffBase)
+	}
+	for i := 0; i < 20; i++ {
+		if d := b.Next(); d > defaultBackoffMax {
+			t.Fatalf("delay %v exceeds default max %v", d, defaultBackoffMax)
+		}
+	}
+}
+
+func TestBackoffSleepHonorsContext(t *testing.T) {
+	b := &Backoff{Base: 10 * time.Second, NoJitter: true}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	if err := b.Sleep(ctx); err != context.DeadlineExceeded {
+		t.Fatalf("want DeadlineExceeded, got %v", err)
+	}
+	if el := time.Since(start); el > time.Second {
+		t.Fatalf("Sleep ignored its context: took %v", el)
+	}
+}

@@ -43,6 +43,15 @@ const (
 	// FrameTrace carries a batch of Chrome-trace events (JSON array of
 	// obs.TraceEvent) to a telemetry collector for cross-replica merge.
 	FrameTrace
+	// FrameRefRequest asks a peer for its current reference-model state
+	// so a restarted replica can rejoin round-aligned: Replica names the
+	// requester. Answered with a FrameRefState on the reverse direction
+	// of the pair.
+	FrameRefRequest
+	// FrameRefState answers a ref request: Tensors carry the responder's
+	// reference weights and Round the next averaging round the responder
+	// expects to close, which becomes the rejoiner's resume round.
+	FrameRefState
 	frameTypeEnd
 )
 
@@ -74,6 +83,10 @@ func (t FrameType) String() string {
 		return "event"
 	case FrameTrace:
 		return "trace"
+	case FrameRefRequest:
+		return "ref-request"
+	case FrameRefState:
+		return "ref-state"
 	default:
 		return fmt.Sprintf("frametype(%d)", uint8(t))
 	}
@@ -100,16 +113,16 @@ type Frame struct {
 //	offset size field
 //	0      4    magic "AVPW"
 //	4      1    version (1)
-//	5      1    frame type (1..4)
+//	5      1    frame type
 //	6      2    reserved, must be zero
 //	8      4    replica
 //	12     4    round
 //	16     4    meta
 //	20     4    payload length P
-//	24     P    payload — tensor frames (types 1..4): u32 tensor count,
-//	            then per tensor u8 ndims, ndims×u32 dims, prod(dims)×f32
-//	            data (IEEE bits); blob frames (types 5..9): P raw bytes,
-//	            verbatim
+//	24     P    payload — tensor frames (types 1..4, 10..11): u32 tensor
+//	            count, then per tensor u8 ndims, ndims×u32 dims,
+//	            prod(dims)×f32 data (IEEE bits); blob frames (types
+//	            5..9): P raw bytes, verbatim
 //
 // The encoding is canonical: for every byte string that decodes, re-
 // encoding the decoded frame reproduces the bytes exactly (the fuzz

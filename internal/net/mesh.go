@@ -28,6 +28,14 @@ type Mesh struct {
 	mu      sync.Mutex
 	offsets map[int]time.Duration // peer clock − local clock, from SyncClocks
 
+	// Self-healing state (EnableSelfHeal). epochs tracks the inbound
+	// session epoch accepted from each peer; onInbound is told about
+	// every replacement inbound connection so the averager can spawn a
+	// fresh receive loop for it.
+	epochs     map[int]uint32
+	onInbound  func(id int, c Conn)
+	healCancel context.CancelFunc
+
 	closed sync.Once
 }
 
@@ -152,21 +160,17 @@ func FormMeshOn(ctx context.Context, tr Transport, ln Listener, self int, peers 
 	return m, nil
 }
 
-// dialRetry redials until the peer's listener is up or ctx expires.
+// dialRetry redials until the peer's listener is up or ctx expires,
+// paced by the shared transport backoff.
 func dialRetry(ctx context.Context, tr Transport, addr string) (Conn, error) {
-	backoff := dialRetryBase
+	backoff := Backoff{Base: dialRetryBase, Max: dialRetryMax}
 	for {
 		c, err := tr.Dial(ctx, addr)
 		if err == nil {
 			return c, nil
 		}
-		select {
-		case <-ctx.Done():
-			return nil, ctx.Err()
-		case <-time.After(backoff):
-		}
-		if backoff *= 2; backoff > dialRetryMax {
-			backoff = dialRetryMax
+		if err := backoff.Sleep(ctx); err != nil {
+			return nil, err
 		}
 	}
 }
@@ -199,9 +203,10 @@ func (m *Mesh) SyncClocks(ctx context.Context) error {
 		}(id)
 		go func(id int) {
 			defer wg.Done()
-			f, err := m.recvs[id].Recv(ctx)
+			in := m.Recv(id)
+			f, err := in.Recv(ctx)
 			if err == nil {
-				err = AnswerClockPing(ctx, m.recvs[id], m.Self, f)
+				err = AnswerClockPing(ctx, in, m.Self, f)
 			}
 			if err != nil {
 				mu.Lock()
@@ -272,15 +277,43 @@ func (m *Mesh) Peers() []int {
 }
 
 // Recv returns the inbound connection from peer id (frames that peer
-// sent us).
-func (m *Mesh) Recv(id int) Conn { return m.recvs[id] }
+// sent us). Under self-healing this is the connection of the latest
+// accepted session; the averager is told about replacements through
+// SetInboundHandler instead of re-calling Recv.
+func (m *Mesh) Recv(id int) Conn {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.recvs[id]
+}
+
+// SetInboundHandler installs fn to be called with every replacement
+// inbound connection the self-healing accept loop installs (peer id +
+// the fresh connection). The handler typically spawns a receive loop.
+func (m *Mesh) SetInboundHandler(fn func(id int, c Conn)) {
+	m.mu.Lock()
+	m.onInbound = fn
+	m.mu.Unlock()
+}
+
+// Send transmits f on the outbound connection to peer id.
+func (m *Mesh) Send(ctx context.Context, id int, f *Frame) error {
+	c, ok := m.sends[id]
+	if !ok {
+		return fmt.Errorf("net: no connection to replica %d", id)
+	}
+	return c.Send(ctx, f)
+}
 
 // Broadcast sends f to every peer in ascending id order, returning the
-// joined errors (nil if every send succeeded).
+// joined errors (nil if every send succeeded). A peer whose connection
+// reports the frame dropped — a faulty link eating the update, or a
+// self-healing connection mid-outage — is not an error: elastic
+// averaging tolerates lost updates, and the round deadline closes
+// rounds over whatever arrived.
 func (m *Mesh) Broadcast(ctx context.Context, f *Frame) error {
 	var errs []error
 	for _, id := range m.Peers() {
-		if err := m.sends[id].Send(ctx, f); err != nil {
+		if err := m.sends[id].Send(ctx, f); err != nil && !errors.Is(err, ErrDropped) {
 			errs = append(errs, fmt.Errorf("net: broadcast to replica %d: %w", id, err))
 		}
 	}
@@ -298,10 +331,20 @@ func (m *Mesh) Addr() string {
 // Close tears down every connection and the listener. Idempotent.
 func (m *Mesh) Close() {
 	m.closed.Do(func() {
+		m.mu.Lock()
+		cancel := m.healCancel
+		recvs := make([]Conn, 0, len(m.recvs))
+		for _, c := range m.recvs {
+			recvs = append(recvs, c)
+		}
+		m.mu.Unlock()
+		if cancel != nil {
+			cancel()
+		}
 		for _, c := range m.sends {
 			c.Close()
 		}
-		for _, c := range m.recvs {
+		for _, c := range recvs {
 			c.Close()
 		}
 		if m.ln != nil {

@@ -1,0 +1,367 @@
+package net
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"avgpipe/internal/obs"
+)
+
+// The reconnect conformance suite runs the Reconn contract against both
+// transports: a broken connection is re-dialed in the background under
+// a bumped session epoch, frames sent during the outage are dropped
+// (never queued), Recv resumes on the replacement connection, and an
+// exhausted redial budget leaves the connection permanently dead.
+
+// reconnEnv is a redialable server endpoint: it keeps accepting
+// connections on one address and hands each accepted conn to the test.
+type reconnEnv struct {
+	tr       Transport
+	addr     string
+	accepted chan Conn
+}
+
+func newReconnEnv(t *testing.T, transport string) *reconnEnv {
+	t.Helper()
+	var tr Transport
+	var listenAddr string
+	switch transport {
+	case "inproc":
+		tr, listenAddr = NewInProc(8), "srv-"+t.Name()
+	case "tcp":
+		tr, listenAddr = NewTCP(obs.NewRegistry()), "127.0.0.1:0"
+	default:
+		t.Fatalf("unknown transport %q", transport)
+	}
+	ln, err := tr.Listen(listenAddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	env := &reconnEnv{tr: tr, addr: ln.Addr(), accepted: make(chan Conn, 8)}
+	go func() {
+		for {
+			c, err := ln.Accept(context.Background())
+			if err != nil {
+				return
+			}
+			env.accepted <- c
+		}
+	}()
+	return env
+}
+
+// connect establishes the initial client/server pair.
+func (env *reconnEnv) connect(t *testing.T) (client, server Conn) {
+	t.Helper()
+	c, err := env.tr.Dial(context.Background(), env.addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case s := <-env.accepted:
+		return c, s
+	case <-time.After(5 * time.Second):
+		t.Fatal("server never accepted the initial connection")
+		return nil, nil
+	}
+}
+
+func (env *reconnEnv) acceptNext(t *testing.T) Conn {
+	t.Helper()
+	select {
+	case c := <-env.accepted:
+		return c
+	case <-time.After(5 * time.Second):
+		t.Fatal("server never accepted the reconnect")
+		return nil
+	}
+}
+
+func fastBackoff() *Backoff {
+	return &Backoff{Base: time.Millisecond, Max: 2 * time.Millisecond, NoJitter: true}
+}
+
+func reconnWaitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+// driveUntilEpoch sends probe frames until the break has been detected,
+// healed, and the session reaches epoch want.
+func driveUntilEpoch(t *testing.T, r *Reconn, want uint32) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for i := 0; ; i++ {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out driving reconnect to epoch %d (at %d)", want, r.Epoch())
+		}
+		err := r.Send(context.Background(), testFrame(i))
+		if err == nil && r.Epoch() == want {
+			return
+		}
+		if err != nil && !errors.Is(err, ErrDropped) {
+			t.Fatalf("probe send: %v", err)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestReconnectConformance(t *testing.T) {
+	cases := []struct {
+		name string
+		run  func(t *testing.T, transport string)
+	}{
+		{"DialAfterBreakBumpsEpoch", reconnAfterBreak},
+		{"EpochBumpsPerOutage", reconnEpochPerOutage},
+		{"OutageDropsFramesInFlight", reconnOutageDrops},
+		{"RecvResumesOnReplacement", reconnRecvResumes},
+		{"CloseDuringOutageUnblocks", reconnCloseDuringOutage},
+		{"ExhaustedBudgetGoesDead", reconnBudgetDead},
+	}
+	for _, transport := range []string{"inproc", "tcp"} {
+		for _, tc := range cases {
+			t.Run(transport+"/"+tc.name, func(t *testing.T) {
+				t.Parallel()
+				tc.run(t, transport)
+			})
+		}
+	}
+}
+
+// reconnAfterBreak: a broken (poisoned) connection heals by background
+// redial; traffic resumes on the replacement under session epoch 1, and
+// the lifecycle events land in the log.
+func reconnAfterBreak(t *testing.T, transport string) {
+	env := newReconnEnv(t, transport)
+	client, server := env.connect(t)
+	reg := obs.NewRegistry()
+	r := NewReconn(client, func(ctx context.Context, epoch uint32) (Conn, error) {
+		return env.tr.Dial(ctx, env.addr)
+	}, ReconnConfig{Peer: 1, Backoff: fastBackoff, Events: reg.Events()})
+	defer r.Close()
+
+	server.Close() // poison the stream from the far side
+	driveUntilEpoch(t, r, 1)
+	replacement := env.acceptNext(t)
+	defer replacement.Close()
+
+	// Traffic flows on the replacement connection.
+	marker := testFrame(999)
+	if err := r.Send(context.Background(), marker); err != nil {
+		t.Fatalf("post-reconnect send: %v", err)
+	}
+	for {
+		f, err := replacement.Recv(context.Background())
+		if err != nil {
+			t.Fatalf("replacement recv: %v", err)
+		}
+		if f.Round == 999 {
+			break
+		}
+	}
+
+	broken, success := 0, 0
+	for _, e := range reg.Events().Peek() {
+		switch e.Type {
+		case obs.EventConnBroken:
+			broken++
+		case obs.EventReconnectSuccess:
+			success++
+		}
+	}
+	if broken < 1 || success < 1 {
+		t.Fatalf("events: %d conn_broken, %d reconnect_success; want >=1 of each", broken, success)
+	}
+}
+
+// reconnEpochPerOutage: each outage bumps the session epoch once.
+func reconnEpochPerOutage(t *testing.T, transport string) {
+	env := newReconnEnv(t, transport)
+	client, server := env.connect(t)
+	r := NewReconn(client, func(ctx context.Context, epoch uint32) (Conn, error) {
+		return env.tr.Dial(ctx, env.addr)
+	}, ReconnConfig{Peer: 1, Backoff: fastBackoff})
+	defer r.Close()
+
+	server.Close()
+	driveUntilEpoch(t, r, 1)
+	s1 := env.acceptNext(t)
+	s1.Close()
+	driveUntilEpoch(t, r, 2)
+	s2 := env.acceptNext(t)
+	defer s2.Close()
+	if got := r.Epoch(); got != 2 {
+		t.Fatalf("epoch after two outages = %d, want 2", got)
+	}
+}
+
+// reconnOutageDrops: while the connection is down, Send reports the
+// frame dropped immediately — frames are never queued across an outage
+// — and the first frame the replacement connection delivers is the
+// first post-reconnect send.
+func reconnOutageDrops(t *testing.T, transport string) {
+	env := newReconnEnv(t, transport)
+	client, server := env.connect(t)
+	gate := make(chan struct{})
+	r := NewReconn(client, func(ctx context.Context, epoch uint32) (Conn, error) {
+		select {
+		case <-gate:
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+		return env.tr.Dial(ctx, env.addr)
+	}, ReconnConfig{Peer: 1, Backoff: fastBackoff})
+	defer r.Close()
+
+	server.Close()
+	// Probe until the break is detected (the detecting send itself is
+	// reported dropped).
+	reconnWaitFor(t, "break detection", func() bool {
+		return errors.Is(r.Send(context.Background(), testFrame(0)), ErrDropped)
+	})
+	// Down and the redial gated: every send drops, without blocking.
+	for i := 0; i < 5; i++ {
+		if err := r.Send(context.Background(), testFrame(i)); !errors.Is(err, ErrDropped) {
+			t.Fatalf("send during outage: %v, want ErrDropped", err)
+		}
+	}
+	close(gate)
+	reconnWaitFor(t, "connection back up", r.Up)
+	if err := r.Send(context.Background(), testFrame(777)); err != nil {
+		t.Fatalf("post-heal send: %v", err)
+	}
+	replacement := env.acceptNext(t)
+	defer replacement.Close()
+	f, err := replacement.Recv(context.Background())
+	if err != nil {
+		t.Fatalf("replacement recv: %v", err)
+	}
+	if f.Round != 777 {
+		t.Fatalf("first frame after heal has round %d, want 777 — an outage frame leaked through", f.Round)
+	}
+}
+
+// reconnRecvResumes: a Recv blocked across the outage resumes on the
+// replacement connection.
+func reconnRecvResumes(t *testing.T, transport string) {
+	env := newReconnEnv(t, transport)
+	client, server := env.connect(t)
+	r := NewReconn(client, func(ctx context.Context, epoch uint32) (Conn, error) {
+		return env.tr.Dial(ctx, env.addr)
+	}, ReconnConfig{Peer: 1, Backoff: fastBackoff})
+	defer r.Close()
+
+	type recvResult struct {
+		f   *Frame
+		err error
+	}
+	got := make(chan recvResult, 1)
+	go func() {
+		f, err := r.Recv(context.Background())
+		got <- recvResult{f, err}
+	}()
+	server.Close()
+	replacement := env.acceptNext(t)
+	defer replacement.Close()
+	if err := replacement.Send(context.Background(), testFrame(42)); err != nil {
+		t.Fatalf("send on replacement: %v", err)
+	}
+	select {
+	case res := <-got:
+		if res.err != nil {
+			t.Fatalf("recv across outage: %v", res.err)
+		}
+		if res.f.Round != 42 {
+			t.Fatalf("recv across outage got round %d, want 42", res.f.Round)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Recv did not resume on the replacement connection")
+	}
+}
+
+// reconnCloseDuringOutage: Close during an outage stops the redial and
+// unblocks every caller with ErrClosed.
+func reconnCloseDuringOutage(t *testing.T, transport string) {
+	env := newReconnEnv(t, transport)
+	client, server := env.connect(t)
+	gate := make(chan struct{}) // never released: the outage lasts forever
+	r := NewReconn(client, func(ctx context.Context, epoch uint32) (Conn, error) {
+		select {
+		case <-gate:
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+		return nil, fmt.Errorf("unreachable")
+	}, ReconnConfig{Peer: 1, Backoff: fastBackoff})
+
+	server.Close()
+	reconnWaitFor(t, "break detection", func() bool {
+		r.Send(context.Background(), testFrame(0))
+		return !r.Up()
+	})
+	recvErr := make(chan error, 1)
+	go func() {
+		_, err := r.Recv(context.Background())
+		recvErr <- err
+	}()
+	time.Sleep(5 * time.Millisecond) // let the Recv park on the outage
+	if err := r.Close(); err != nil && !errors.Is(err, ErrClosed) {
+		t.Fatalf("close during outage: %v", err)
+	}
+	select {
+	case err := <-recvErr:
+		if !errors.Is(err, ErrClosed) {
+			t.Fatalf("recv after close: %v, want ErrClosed", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Recv still blocked after Close")
+	}
+	if err := r.Send(context.Background(), testFrame(0)); !errors.Is(err, ErrClosed) {
+		t.Fatalf("send after close: %v, want ErrClosed", err)
+	}
+}
+
+// reconnBudgetDead: when MaxAttempts redials all fail the connection
+// goes permanently dead — sends drop, receives report closed, and the
+// disconnect event fires.
+func reconnBudgetDead(t *testing.T, transport string) {
+	env := newReconnEnv(t, transport)
+	client, server := env.connect(t)
+	reg := obs.NewRegistry()
+	r := NewReconn(client, func(ctx context.Context, epoch uint32) (Conn, error) {
+		return nil, fmt.Errorf("host unreachable")
+	}, ReconnConfig{Peer: 1, MaxAttempts: 2, Backoff: fastBackoff, Events: reg.Events()})
+	defer r.Close()
+
+	server.Close()
+	reconnWaitFor(t, "break detection", func() bool {
+		return errors.Is(r.Send(context.Background(), testFrame(0)), ErrDropped)
+	})
+	reconnWaitFor(t, "redial budget exhaustion", r.Dead)
+	if err := r.Send(context.Background(), testFrame(1)); !errors.Is(err, ErrDropped) {
+		t.Fatalf("send on dead conn: %v, want ErrDropped", err)
+	}
+	if _, err := r.Recv(context.Background()); !errors.Is(err, ErrClosed) {
+		t.Fatalf("recv on dead conn: %v, want ErrClosed", err)
+	}
+	gaveUp := false
+	for _, e := range reg.Events().Peek() {
+		if e.Type == obs.EventReplicaDisconnect {
+			gaveUp = true
+		}
+	}
+	if !gaveUp {
+		t.Fatal("no replica_disconnect event after the redial budget ran out")
+	}
+}

@@ -34,6 +34,21 @@ const (
 	// telemetry session with the collector opened or closed.
 	EventReplicaConnect    = "replica_connect"
 	EventReplicaDisconnect = "replica_disconnect"
+	// EventConnBroken: a mesh connection to Replica broke (poisoned TCP
+	// stream, peer reset); the self-healing layer will try to re-dial.
+	EventConnBroken = "conn_broken"
+	// EventReconnectAttempt / EventReconnectSuccess: the self-healing
+	// mesh layer re-dialing a broken peer connection (Replica = peer,
+	// Value = attempt count; success carries the new session epoch).
+	EventReconnectAttempt = "reconnect_attempt"
+	EventReconnectSuccess = "reconnect_success"
+	// EventDeadlineRetuned: the heal supervisor moved the averaging
+	// round deadline (Value = new deadline seconds).
+	EventDeadlineRetuned = "deadline_retuned"
+	// EventHealAction: the heal supervisor took a recovery action
+	// (Detail names it: auto_detach, deadline_retune, ...), the
+	// machine-readable healing timeline avgpipe-obs renders.
+	EventHealAction = "heal_action"
 )
 
 // Event is one structured health event. Replica is the pipeline /
@@ -64,7 +79,7 @@ type EventLog struct {
 	start   int // index of oldest event
 	n       int // events currently buffered
 	dropped uint64
-	sink    func(Event)
+	sinks   []func(Event)
 	off     bool
 }
 
@@ -94,9 +109,9 @@ func (l *EventLog) Emit(e Event) {
 	}
 	l.buf[(l.start+l.n)%len(l.buf)] = e
 	l.n++
-	sink := l.sink
+	sinks := l.sinks
 	l.mu.Unlock()
-	if sink != nil {
+	for _, sink := range sinks {
 		sink(e)
 	}
 }
@@ -158,14 +173,37 @@ func (l *EventLog) Dropped() uint64 {
 	return l.dropped
 }
 
-// SetSink installs fn to be called synchronously on every Emit (nil
-// uninstalls). The sink must be fast and must not call back into the
-// log.
+// SetSink installs fn to be called synchronously on every Emit,
+// replacing every previously installed sink (nil uninstalls all). The
+// sink must be fast and must not call back into the log.
 func (l *EventLog) SetSink(fn func(Event)) {
 	if l == nil {
 		return
 	}
 	l.mu.Lock()
-	l.sink = fn
+	if fn == nil {
+		l.sinks = nil
+	} else {
+		l.sinks = []func(Event){fn}
+	}
+	l.mu.Unlock()
+}
+
+// AddSink installs fn alongside the existing sinks, so independent
+// observers — the telemetry publisher and the heal supervisor — can
+// each watch the same event stream without stealing it from the other.
+// Sinks run synchronously on Emit in installation order.
+func (l *EventLog) AddSink(fn func(Event)) {
+	if l == nil || fn == nil {
+		return
+	}
+	l.mu.Lock()
+	// Copy-on-write: Emit reads l.sinks outside the lock after
+	// snapshotting, so the slice it holds must never be appended to in
+	// place.
+	sinks := make([]func(Event), len(l.sinks)+1)
+	copy(sinks, l.sinks)
+	sinks[len(sinks)-1] = fn
+	l.sinks = sinks
 	l.mu.Unlock()
 }

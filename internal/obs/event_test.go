@@ -86,3 +86,26 @@ func TestEventLogConcurrent(t *testing.T) {
 		t.Fatalf("buffered %d + dropped %d != 800", l.Len(), l.Dropped())
 	}
 }
+
+func TestEventLogAddSinkFansOut(t *testing.T) {
+	l := NewEventLog(4)
+	var a, b []string
+	l.AddSink(func(e Event) { a = append(a, e.Type) })
+	l.Emit(Event{Type: "first"})
+	l.AddSink(func(e Event) { b = append(b, e.Type) })
+	l.Emit(Event{Type: "second"})
+	if len(a) != 2 || a[0] != "first" || a[1] != "second" {
+		t.Fatalf("first sink saw %v", a)
+	}
+	if len(b) != 1 || b[0] != "second" {
+		t.Fatalf("second sink saw %v", b)
+	}
+	// SetSink replaces every sink; SetSink(nil) uninstalls all.
+	l.SetSink(func(e Event) { a = append(a, "only-"+e.Type) })
+	l.Emit(Event{Type: "third"})
+	l.SetSink(nil)
+	l.Emit(Event{Type: "fourth"})
+	if a[len(a)-1] != "only-third" || len(b) != 1 {
+		t.Fatalf("SetSink did not replace: a=%v b=%v", a, b)
+	}
+}
