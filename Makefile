@@ -1,14 +1,16 @@
 GO ?= go
 
-.PHONY: ci fmt vet vet-obs build test race faults faults-soak fuzz-smoke bench-smoke bench-gate bench-baseline bench-graph-gate bench-graph-baseline cover
+.PHONY: ci fmt vet vet-obs build test race faults faults-soak fuzz-smoke bench-smoke bench-gate bench-baseline bench-graph-gate bench-graph-baseline bench-serve-gate bench-serve-baseline cover
 
 # ci is the full verification tier: formatting, static checks (including
 # the obs build tag, which turns on strict metric-name validation), build,
 # tests, the race-detector pass over the concurrent packages, the seeded
 # chaos matrix, the self-healing chaos soak, the wire-codec fuzz smoke,
-# the metrics-exposition and collector-overhead smoke, and the kernel and
-# compiled op-graph benchmark-regression gates.
-ci: fmt vet vet-obs build test race faults faults-soak fuzz-smoke bench-smoke bench-gate bench-graph-gate
+# the metrics-exposition and collector-overhead smoke, the kernel,
+# compiled op-graph, and inference-serving benchmark-regression gates,
+# and the coverage floors. The GitHub workflow (.github/workflows/ci.yml)
+# runs exactly these targets, split across its ci and bench jobs.
+ci: fmt vet vet-obs build test race faults faults-soak fuzz-smoke bench-smoke bench-gate bench-graph-gate bench-serve-gate cover
 
 fmt:
 	@out="$$(gofmt -l .)"; \
@@ -29,7 +31,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/core/... ./internal/comm/... ./internal/heal/... ./internal/net/... ./internal/obs/... ./internal/tensor/... ./internal/compiled/...
+	$(GO) test -race ./internal/core/... ./internal/comm/... ./internal/heal/... ./internal/net/... ./internal/obs/... ./internal/tensor/... ./internal/compiled/... ./internal/serve/...
 
 # fuzz-smoke runs the wire-codec fuzz target for 30 seconds on top of
 # its checked-in regression corpus (internal/net/testdata/fuzz): decode
@@ -123,13 +125,36 @@ bench-graph-gate:
 bench-graph-baseline:
 	$(GO) test $(GRAPH_BENCH_FLAGS) | $(GO) run ./cmd/benchgate -baseline BENCH_graph.json -update
 
+# SERVE_BENCH_FLAGS drives the inference-serving gate: a deterministic
+# full-batch forward through the worker path, the closed-loop saturation
+# number (1/ns_per_op = sustained req/s through the real dispatcher),
+# and the p99 latency at a fixed offered load (reported as that
+# benchmark's ns/op).
+SERVE_BENCH_FLAGS = -run '^$$' -bench Serve -benchmem -benchtime 300ms -count 5 ./internal/serve/
+
+# bench-serve-gate fails on serving regressions against BENCH_serve.json.
+# The baseline carries an elevated time_regression_limit (tail latency is
+# noisier than kernel time) and a small alloc_regression_limit (batch
+# composition under load varies run to run); the deterministic batch
+# benchmark still gets tight allocation tracking through the same file.
+bench-serve-gate:
+	@out="$$(mktemp -t avgpipe-servebench.XXXXXX.txt)"; \
+	trap 'rm -f "$$out"' EXIT; \
+	$(GO) test $(SERVE_BENCH_FLAGS) > "$$out" 2>&1 || { cat "$$out"; exit 1; }; \
+	$(GO) run ./cmd/benchgate -baseline BENCH_serve.json < "$$out"
+
+# bench-serve-baseline rewrites BENCH_serve.json from a fresh run (after
+# an intentional serving-path change or on a new machine class).
+bench-serve-baseline:
+	$(GO) test $(SERVE_BENCH_FLAGS) | $(GO) run ./cmd/benchgate -baseline BENCH_serve.json -update
+
 # cover reports per-package coverage and enforces a 70% floor on the
-# kernel hot path (internal/tensor) and the op-graph compiler
-# (internal/compiled), whose correctness claims lean on exhaustive tests
-# rather than review.
+# kernel hot path (internal/tensor), the op-graph compiler
+# (internal/compiled), and the inference server (internal/serve), whose
+# correctness claims lean on exhaustive tests rather than review.
 cover:
 	@$(GO) test -cover ./... | grep -v '\[no test files\]'
-	@for pkg in ./internal/tensor/ ./internal/compiled/; do \
+	@for pkg in ./internal/tensor/ ./internal/compiled/ ./internal/serve/; do \
 		pct="$$($(GO) test -cover $$pkg | grep -o 'coverage: [0-9.]*' | grep -o '[0-9.]*')"; \
 		ok="$$(echo "$$pct 70" | awk '{print ($$1 >= $$2) ? 1 : 0}')"; \
 		if [ "$$ok" != 1 ]; then \

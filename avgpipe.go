@@ -43,6 +43,7 @@ import (
 	"avgpipe/internal/optim"
 	"avgpipe/internal/pipesim"
 	"avgpipe/internal/sched"
+	"avgpipe/internal/serve"
 	"avgpipe/internal/tensor"
 	"avgpipe/internal/workload"
 )
@@ -517,6 +518,43 @@ type AFPConfig = core.AFPConfig
 
 // DecideAdvance implements Algorithm 1.
 func DecideAdvance(cfg AFPConfig) ([]int, *SimResult, error) { return core.DecideAdvance(cfg) }
+
+// --- serving (batched inference on the averaged model) --------------------
+
+// InferenceServer serves the elastic averager's reference model — the
+// statistically meaningful copy — behind a dynamic batcher with
+// zero-downtime model hot-swap (see internal/serve and DESIGN.md §14).
+type (
+	InferenceServer = serve.Server
+	ServeConfig     = serve.Config
+	ServeResult     = serve.Result
+)
+
+// NewInferenceServer builds a Server and starts its batcher and
+// workers; install a model via InstallCheckpoint, InstallSnapshot, or a
+// watcher before the first Predict.
+func NewInferenceServer(cfg ServeConfig) (*InferenceServer, error) { return serve.New(cfg) }
+
+// ReferenceSnapshotPublisher is the training-side push path: it streams
+// reference-model snapshots to a serving tier over the wire codec's
+// snapshot frames.
+type ReferenceSnapshotPublisher = serve.SnapshotPublisher
+
+// NewReferenceSnapshotPublisher targets a serving tier's snapshot
+// listener at addr on tr; the connection is dialed lazily.
+func NewReferenceSnapshotPublisher(tr netx.Transport, addr string) *ReferenceSnapshotPublisher {
+	return serve.NewSnapshotPublisher(tr, addr)
+}
+
+// CheckpointInfo is a checkpoint directory's commit-marker metadata.
+type CheckpointInfo = core.CheckpointInfo
+
+// ReadCheckpointInfo reads a checkpoint directory's commit marker;
+// LoadReference loads the checkpointed reference model into ps.
+var (
+	ReadCheckpointInfo = core.ReadCheckpointInfo
+	LoadReference      = core.LoadReference
+)
 
 // --- observability ---------------------------------------------------------
 

@@ -16,6 +16,11 @@
 // additionally pushes metric snapshots, health events, and averaging
 // trace spans to a running avgpipe-obs collector.
 //
+// With -publish the run streams reference-model snapshots to a running
+// avgpipe-serve instance every -publish-every rounds, so the serving
+// tier hot-swaps to fresh averaged weights with zero downtime (see the
+// Serving section of README.md).
+//
 // With -listen/-peers/-replica-id the run becomes ONE replica of a
 // multi-process job: N processes, each owning one pipeline, exchange
 // elastic-averaging updates over a coordinator-free TCP mesh (see the
@@ -85,6 +90,9 @@ func main() {
 
 		telemetryAddr     = flag.String("telemetry-addr", "", "ship metric snapshots, health events, and averaging traces to the avgpipe-obs collector at this address")
 		telemetryInterval = flag.Duration("telemetry-interval", time.Second, "how often the telemetry publisher snapshots the registry")
+
+		publishAddr  = flag.String("publish", "", "stream reference-model snapshots to the avgpipe-serve instance at this address")
+		publishEvery = flag.Int("publish-every", 20, "publish a snapshot every this many rounds (needs -publish)")
 
 		checkpointDir   = flag.String("checkpoint-dir", "", "directory for training checkpoints")
 		checkpointEvery = flag.Int("checkpoint-every", 50, "save a checkpoint every this many rounds (needs -checkpoint-dir)")
@@ -316,6 +324,26 @@ func main() {
 		fmt.Printf("wrote Chrome trace of pipeline %d's last batch to %s\n", tracePipe, *traceOut)
 	}()
 
+	var publisher *avgpipe.ReferenceSnapshotPublisher
+	if *publishAddr != "" {
+		publisher = avgpipe.NewReferenceSnapshotPublisher(avgpipe.NewTCPTransport(reg), *publishAddr)
+		defer publisher.Close()
+		fmt.Printf("serving: publishing reference snapshots to %s every %d rounds\n", *publishAddr, *publishEvery)
+	}
+	publish := func(round int) {
+		if publisher == nil || *publishEvery <= 0 || round%*publishEvery != 0 {
+			return
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		err := publisher.Publish(ctx, round, trainer.ReferenceSnapshot())
+		cancel()
+		if err != nil {
+			// Serving-tier outage must not kill training; the next publish
+			// re-dials.
+			fmt.Printf("snapshot publish failed at round %d: %v\n", round, err)
+		}
+	}
+
 	checkpoint := func(round int) {
 		if *checkpointDir == "" || *checkpointEvery <= 0 {
 			return
@@ -340,6 +368,9 @@ func main() {
 		}
 		if round > startRound && *checkpointEvery > 0 && round%*checkpointEvery == 0 {
 			checkpoint(round)
+		}
+		if round > startRound {
+			publish(round)
 		}
 		if _, err := trainer.StepContext(context.Background()); err != nil {
 			var stall *avgpipe.StallError

@@ -8,10 +8,14 @@
 // The minimum across -count repetitions is used for both sides, which
 // suppresses scheduler noise; a benchmark fails the gate when its best
 // ns/op exceeds baseline*time_regression_limit (default 1.15) or its
-// allocs/op increase at all (buffer-arena regressions show up here first,
-// long before they are visible in wall time). Every benchmark recorded in
-// the baseline must be present in the input, so silently deleting a
-// benchmark cannot pass the gate.
+// allocs/op exceed baseline*alloc_regression_limit (default 1.0 — any
+// increase fails; buffer-arena regressions show up here first, long
+// before they are visible in wall time). Baselines whose benchmarks
+// have timing-dependent allocation counts — the serve saturation
+// benches, where batch composition varies run to run — set a small
+// alloc_regression_limit headroom instead of giving up the check.
+// Every benchmark recorded in the baseline must be present in the
+// input, so silently deleting a benchmark cannot pass the gate.
 //
 // Re-baselining (after an intentional kernel change, or on a new CI
 // machine class): run the same bench command into
@@ -47,14 +51,15 @@ type entry struct {
 }
 
 type baseline struct {
-	Description         string           `json:"description"`
-	Method              string           `json:"method"`
-	CPU                 string           `json:"cpu"`
-	Go                  string           `json:"go"`
-	Date                string           `json:"date"`
-	TimeRegressionLimit float64          `json:"time_regression_limit"`
-	Benchmarks          map[string]entry `json:"benchmarks"`
-	Notes               string           `json:"notes"`
+	Description          string           `json:"description"`
+	Method               string           `json:"method"`
+	CPU                  string           `json:"cpu"`
+	Go                   string           `json:"go"`
+	Date                 string           `json:"date"`
+	TimeRegressionLimit  float64          `json:"time_regression_limit"`
+	AllocRegressionLimit float64          `json:"alloc_regression_limit,omitempty"`
+	Benchmarks           map[string]entry `json:"benchmarks"`
+	Notes                string           `json:"notes"`
 }
 
 // benchLine matches one `go test -bench -benchmem` result row, e.g.
@@ -127,6 +132,9 @@ func main() {
 	if base.TimeRegressionLimit == 0 {
 		base.TimeRegressionLimit = 1.15
 	}
+	if base.AllocRegressionLimit == 0 {
+		base.AllocRegressionLimit = 1.0
+	}
 
 	if *update {
 		writeBaseline(*baselinePath, &base, got, cpu)
@@ -152,14 +160,15 @@ func gate(base *baseline, got map[string]entry) {
 			continue
 		}
 		limit := want.NsPerOp * base.TimeRegressionLimit
+		allocLimit := want.AllocsPerOp * base.AllocRegressionLimit
 		switch {
 		case have.NsPerOp > limit:
 			fmt.Printf("FAIL %s: %.0f ns/op exceeds %.0f (baseline %.0f * limit %.2f)\n",
 				name, have.NsPerOp, limit, want.NsPerOp, base.TimeRegressionLimit)
 			failed = true
-		case have.AllocsPerOp > want.AllocsPerOp:
-			fmt.Printf("FAIL %s: %.0f allocs/op, baseline %.0f (any allocation increase fails the gate)\n",
-				name, have.AllocsPerOp, want.AllocsPerOp)
+		case have.AllocsPerOp > allocLimit:
+			fmt.Printf("FAIL %s: %.0f allocs/op exceeds %.0f (baseline %.0f * alloc limit %.2f)\n",
+				name, have.AllocsPerOp, allocLimit, want.AllocsPerOp, base.AllocRegressionLimit)
 			failed = true
 		default:
 			fmt.Printf("ok   %s: %.0f ns/op (baseline %.0f), %.0f allocs/op (baseline %.0f)\n",

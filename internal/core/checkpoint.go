@@ -49,6 +49,62 @@ func IsCheckpoint(dir string) bool {
 	return err == nil
 }
 
+// CheckpointInfo is the commit-marker metadata of a completed
+// checkpoint — what a reader (resume, serving tier) needs to decide
+// whether and how to load it.
+type CheckpointInfo struct {
+	Round     int
+	Pipelines int
+	Seed      int64
+	Optimizer string
+	Dist      bool
+	ReplicaID int
+}
+
+// ReadCheckpointInfo reads dir's commit marker. A directory without one
+// is not a complete checkpoint and returns an error, which is what
+// makes polling a directory a live training job writes into safe: a
+// crash mid-save never yields a readable marker.
+func ReadCheckpointInfo(dir string) (*CheckpointInfo, error) {
+	meta, err := readCheckpointMeta(dir)
+	if err != nil {
+		return nil, err
+	}
+	return &CheckpointInfo{
+		Round: meta.Round, Pipelines: meta.Pipelines, Seed: meta.Seed,
+		Optimizer: meta.Optimizer, Dist: meta.Dist, ReplicaID: meta.ReplicaID,
+	}, nil
+}
+
+// LoadReference loads the shared reference model — the elastic
+// averager's statistically meaningful copy, the one an inference tier
+// serves — from a completed checkpoint into ps, returning the commit
+// marker. The parameter layout (count, names, shapes) must match the
+// checkpointed model exactly; mismatches error without partially
+// applying.
+func LoadReference(dir string, ps []*nn.Param) (*CheckpointInfo, error) {
+	info, err := ReadCheckpointInfo(dir)
+	if err != nil {
+		return nil, err
+	}
+	if err := loadParamsFile(filepath.Join(dir, "reference.bin"), ps); err != nil {
+		return nil, err
+	}
+	return info, nil
+}
+
+func readCheckpointMeta(dir string) (*checkpointMeta, error) {
+	buf, err := os.ReadFile(filepath.Join(dir, checkpointMetaName))
+	if err != nil {
+		return nil, fmt.Errorf("core: not a complete checkpoint (missing %s): %w", checkpointMetaName, err)
+	}
+	var meta checkpointMeta
+	if err := json.Unmarshal(buf, &meta); err != nil {
+		return nil, fmt.Errorf("core: checkpoint meta: %w", err)
+	}
+	return &meta, nil
+}
+
 // SaveCheckpoint serializes the full training state — reference model,
 // every replica's weights and optimizer state, and the round counter —
 // into dir (created if needed). The averager is drained first so the
@@ -118,13 +174,9 @@ func (t *Trainer) SaveCheckpoint(dir string) error {
 // round with every process restored to the same boundary, so rounds
 // after the resume reproduce an uninterrupted run.
 func (t *Trainer) Restore(dir string) error {
-	buf, err := os.ReadFile(filepath.Join(dir, checkpointMetaName))
+	meta, err := readCheckpointMeta(dir)
 	if err != nil {
-		return fmt.Errorf("core: not a complete checkpoint (missing %s): %w", checkpointMetaName, err)
-	}
-	var meta checkpointMeta
-	if err := json.Unmarshal(buf, &meta); err != nil {
-		return fmt.Errorf("core: checkpoint meta: %w", err)
+		return err
 	}
 	if meta.Pipelines != t.cfg.Pipelines {
 		return fmt.Errorf("core: checkpoint has %d pipelines, trainer has %d", meta.Pipelines, t.cfg.Pipelines)

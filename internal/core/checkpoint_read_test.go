@@ -1,0 +1,66 @@
+package core
+
+import (
+	"testing"
+
+	"avgpipe/internal/workload"
+)
+
+// TestReadCheckpointSeam pins the reader-side API a serving tier uses:
+// ReadCheckpointInfo surfaces the commit marker without touching
+// weights, and LoadReference reproduces the trainer's reference model
+// bit-exactly in a model the reader built itself.
+func TestReadCheckpointSeam(t *testing.T) {
+	task := workload.TranslationTask()
+	cfg := TrainerConfig{Task: task, Pipelines: 2, Micro: 2, StageCount: 2,
+		Seed: 5, ClipNorm: 5}
+	dir := t.TempDir()
+
+	tr, err := NewTrainer(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+	for r := 0; r < 3; r++ {
+		tr.Step()
+	}
+	if err := tr.SaveCheckpoint(dir); err != nil {
+		t.Fatal(err)
+	}
+
+	info, err := ReadCheckpointInfo(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Round != 3 || info.Pipelines != 2 || info.Seed != 5 {
+		t.Fatalf("info = %+v, want round 3, pipelines 2, seed 5", info)
+	}
+
+	// A reader builds its own model (any init seed — weights are about
+	// to be overwritten) and loads the reference into it.
+	m := task.NewModel(99)
+	got, err := LoadReference(dir, m.Params())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Round != info.Round {
+		t.Fatalf("LoadReference round %d, want %d", got.Round, info.Round)
+	}
+	want := tr.ReferenceSnapshot()
+	if len(want) != len(m.Params()) {
+		t.Fatalf("param count %d vs %d", len(want), len(m.Params()))
+	}
+	for i, p := range m.Params() {
+		if !equalFloat32s(p.W.Data(), want[i].W.Data()) {
+			t.Fatalf("reference param %d (%s) not bit-exact after load", i, p.Name)
+		}
+	}
+
+	// An incomplete directory (no commit marker) must be rejected.
+	if _, err := ReadCheckpointInfo(t.TempDir()); err == nil {
+		t.Fatal("ReadCheckpointInfo accepted a directory with no commit marker")
+	}
+	if _, err := LoadReference(t.TempDir(), m.Params()); err == nil {
+		t.Fatal("LoadReference accepted a directory with no commit marker")
+	}
+}

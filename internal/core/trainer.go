@@ -531,6 +531,17 @@ func (t *Trainer) Eval() (loss, acc float64) {
 	return workload.Evaluate(t.evalModel, t.evalGen.EvalBatch(), t.cfg.Task.PerPosition)
 }
 
+// ReferenceSnapshot drains the averager and returns the up-to-date
+// reference parameters — the averaged model a serving tier publishes.
+// The returned slice aliases the trainer's eval model; callers that
+// ship it elsewhere (e.g. a snapshot frame) should copy the data before
+// the next round mutates it.
+func (t *Trainer) ReferenceSnapshot() []*nn.Param {
+	t.avg.Drain()
+	t.avg.WriteReference(t.evalModel.Params())
+	return t.evalModel.Params()
+}
+
 // Close releases the reference-model goroutine.
 func (t *Trainer) Close() { t.avg.Close() }
 

@@ -52,6 +52,12 @@ const (
 	// reference weights and Round the next averaging round the responder
 	// expects to close, which becomes the rejoiner's resume round.
 	FrameRefState
+	// FrameSnapshot publishes the reference model to an inference tier
+	// (internal/serve): Tensors carry the full reference weights, Round
+	// the training round they were averaged at, and Meta the tensor
+	// count the sender believes the model has — a cheap geometry
+	// cross-check before the receiver walks the payload.
+	FrameSnapshot
 	frameTypeEnd
 )
 
@@ -87,6 +93,8 @@ func (t FrameType) String() string {
 		return "ref-request"
 	case FrameRefState:
 		return "ref-state"
+	case FrameSnapshot:
+		return "snapshot"
 	default:
 		return fmt.Sprintf("frametype(%d)", uint8(t))
 	}
@@ -119,7 +127,7 @@ type Frame struct {
 //	12     4    round
 //	16     4    meta
 //	20     4    payload length P
-//	24     P    payload — tensor frames (types 1..4, 10..11): u32 tensor
+//	24     P    payload — tensor frames (types 1..4, 10..12): u32 tensor
 //	            count, then per tensor u8 ndims, ndims×u32 dims,
 //	            prod(dims)×f32 data (IEEE bits); blob frames (types
 //	            5..9): P raw bytes, verbatim

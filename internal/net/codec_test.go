@@ -34,6 +34,13 @@ func sampleFrames() []*Frame {
 		{Type: FrameTelemetry, Replica: 0, Blob: []byte(`{"replica":0,"families":[]}`)},
 		{Type: FrameEvent, Replica: 3, Round: 11, Blob: []byte(`[{"type":"straggler_detected"}]`)},
 		{Type: FrameTrace, Replica: 4},
+		// Snapshot frames (the serving plane): full reference weights with
+		// the tensor-count cross-check in Meta.
+		{Type: FrameSnapshot, Replica: 0, Round: 150, Meta: 2, Tensors: []*tensor.Tensor{
+			tensor.FromSlice([]float32{0.5, -0.5, 1.25, 2}, 2, 2),
+			tensor.FromSlice([]float32{-1e-8}, 1),
+		}},
+		{Type: FrameSnapshot, Round: 1, Meta: 0},
 	}
 }
 

@@ -24,8 +24,23 @@ type Compiler interface {
 // matmul and activation passes by the tensor package's fused-kernel
 // contract). Nested Sequentials are flattened.
 func CompileStage(stage *Sequential, opts compiled.Options) (*compiled.Program, error) {
+	return compileStage(stage, opts, false)
+}
+
+// CompileStageInference lowers a stage for eval-mode forward replay:
+// dropout layers compile to identities (no ops, no RNG draws) and
+// fallback-wrapped modules run their reference Forward with train=false
+// — so the compiled forward is bit-identical to the interpreter's eval
+// path (workload.Evaluate). Training compiles must keep using
+// CompileStage; the two modes draw RNG differently and are not
+// interchangeable mid-run.
+func CompileStageInference(stage *Sequential, opts compiled.Options) (*compiled.Program, error) {
+	return compileStage(stage, opts, true)
+}
+
+func compileStage(stage *Sequential, opts compiled.Options, inference bool) (*compiled.Program, error) {
 	b := compiled.NewBuilder()
-	compileLayers(b, flattenLayers(stage.Layers))
+	compileLayers(b, flattenLayers(stage.Layers), inference)
 	return b.Finish(opts)
 }
 
@@ -41,8 +56,14 @@ func flattenLayers(layers []Module) []Module {
 	return out
 }
 
-func compileLayers(b *compiled.Builder, layers []Module) {
+func compileLayers(b *compiled.Builder, layers []Module, inference bool) {
 	for i := 0; i < len(layers); i++ {
+		// Eval mode: dropout is an identity, same as the interpreter's
+		// train=false path — and crucially it draws no RNG.
+		if _, ok := layers[i].(*Dropout); ok && inference {
+			b.OnBackward(func(dy compiled.Reg) compiled.Reg { return dy })
+			continue
+		}
 		// A lowering needs the static shape of its input; if the cursor
 		// flows out of a module with no shape function, degrade to
 		// fallback until shapes are known again.
@@ -58,7 +79,7 @@ func compileLayers(b *compiled.Builder, layers []Module) {
 			c.Compile(b)
 			continue
 		}
-		compileFallback(b, layers[i])
+		compileFallback(b, layers[i], !inference)
 	}
 }
 
@@ -370,7 +391,7 @@ func (m *MeanPoolTime) Compile(b *compiled.Builder) {
 // only coarsens the schedule's overlap, never the values). Lifetimes
 // are conservative: the module may stash views of its input or output,
 // so both are declared read by the backward op.
-func compileFallback(b *compiled.Builder, m Module) {
+func compileFallback(b *compiled.Builder, m Module, train bool) {
 	x := b.Cur()
 	var yShape compiled.Shape
 	if so, ok := m.(StaticOutShape); ok {
@@ -384,7 +405,7 @@ func compileFallback(b *compiled.Builder, m Module) {
 	b.EmitFwd(name, []compiled.Reg{x}, []compiled.Reg{y}, func(e *compiled.Env) {
 		c := NewContext()
 		e.SetAux(ctxAux, c)
-		e.SetReg(y, m.Forward(c, e.Reg(x), true))
+		e.SetReg(y, m.Forward(c, e.Reg(x), train))
 	})
 	b.SetCur(y)
 	b.OnBackward(func(dy compiled.Reg) compiled.Reg {

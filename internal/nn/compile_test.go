@@ -162,6 +162,69 @@ func TestCompileFallbackLSTMBitExact(t *testing.T) {
 	checkEquivalence(t, "lstm", mk, x, 2)
 }
 
+// TestCompileInferenceBitExact pins the serving-path contract: a
+// program from CompileStageInference replays the interpreter's
+// *eval-mode* forward (train=false) bit-exactly — dropout is an
+// identity and draws no RNG, and fallback modules (here an LSTM with
+// recurrent DropConnect) run with train=false. Repeated forwards of the
+// same input must also be identical to each other: inference is
+// stateless.
+func TestCompileInferenceBitExact(t *testing.T) {
+	const seqLen, batch, dim = 3, 2, 5
+	mk := func(g *tensor.RNG) *Sequential {
+		l := NewLSTM(g, dim, dim, seqLen)
+		l.RecurrentDropP = 0.4
+		return NewSequential(
+			NewLinear(g, 4, dim),
+			NewDropout(tensor.NewRNG(99), 0.5),
+			l,
+			NewLinear(g, dim, 3),
+		)
+	}
+	ref, cmp := buildPair(mk)
+	prog, err := CompileStageInference(cmp, compiled.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := tensor.NewRNG(21).Normal(0, 1, seqLen*batch, 4)
+	if err := prog.CheckPlan(x.Shape()); err != nil {
+		t.Fatal(err)
+	}
+	refY := ref.Forward(NewContext(), x, false)
+	env := prog.NewEnv(x.Shape())
+	var first *tensor.Tensor
+	for m := 0; m < 3; m++ {
+		env.BindInput(x)
+		env.Forward()
+		y := env.Output().Clone()
+		env.EndMicro()
+		if !bitEqual(refY, y) {
+			t.Fatalf("micro %d: inference output differs from interpreter eval forward", m)
+		}
+		if first == nil {
+			first = y
+		} else if !bitEqual(first, y) {
+			t.Fatalf("micro %d: repeated inference forward not deterministic", m)
+		}
+	}
+	// Sanity: the training compile of the same model is NOT the eval
+	// forward (dropout actually drops), so the two modes are really
+	// distinct programs.
+	_, cmp2 := buildPair(mk)
+	trainProg, err := CompileStage(cmp2, compiled.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tenv := trainProg.NewEnv(x.Shape())
+	tenv.BindInput(x)
+	tenv.Forward()
+	ty := tenv.Output().Clone()
+	tenv.EndMicro()
+	if bitEqual(refY, ty) {
+		t.Fatal("train-mode compile reproduced the eval forward — dropout not applied?")
+	}
+}
+
 // TestCompiledReentrancy runs two in-flight micro-batches interleaved
 // (F0, F1, Bi1, Bw1, Bi0, Bw0) through stochastic and stash-heavy
 // layers and checks each against a sequential interpreter reference —

@@ -1,0 +1,176 @@
+package serve
+
+import (
+	"context"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+
+	"avgpipe/internal/obs"
+	"avgpipe/internal/workload"
+)
+
+// The Serve* benchmarks back `make bench-serve-gate` (baseline:
+// BENCH_serve.json). Three angles on the serving hot path:
+//
+//   - ServeBatchForward8 drives runBatch directly with a full batch —
+//     deterministic work, no scheduler in the loop. This is the number
+//     that moves when the compiled forward path or the per-request
+//     copy-out regresses.
+//   - ServeSaturatedPredict is the closed-loop saturation number:
+//     parallel clients fire back-to-back through the real dispatcher,
+//     so 1/ns_per_op is the sustained throughput the gate records.
+//   - ServeOfferedLoadP99 paces requests at a fixed offered load and
+//     reports the p99 latency as its ns/op — the tail-latency contract
+//     at a load the server can comfortably sustain.
+
+// benchServer builds a ready-to-serve instance with an installed model
+// and all batch sizes pre-bound, so first-use Env construction does not
+// leak into the measured region.
+func benchServer(b *testing.B, maxBatch, workers int) *Server {
+	b.Helper()
+	task := workload.TranslationTask()
+	s, err := New(Config{
+		Task:      task,
+		MaxBatch:  maxBatch,
+		MaxLinger: time.Millisecond,
+		Workers:   workers,
+		Obs:       obs.NewRegistry(),
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(s.Close)
+	if err := s.InstallSnapshot(snapFrame(task.NewModel(11).Params(), 1)); err != nil {
+		b.Fatal(err)
+	}
+	// Warm every (worker, batch-size) Env: repeated concurrent bursts of
+	// each size make it overwhelmingly likely both workers have bound
+	// every plan before the timer starts.
+	ctx := context.Background()
+	toks := benchTokens(s)
+	for rep := 0; rep < 4*workers; rep++ {
+		for size := 1; size <= maxBatch; size++ {
+			var wg sync.WaitGroup
+			for i := 0; i < size; i++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					if _, err := s.Predict(ctx, toks); err != nil {
+						b.Error(err)
+					}
+				}()
+			}
+			wg.Wait()
+		}
+	}
+	return s
+}
+
+func benchTokens(s *Server) []int {
+	toks := make([]int, s.SeqLen())
+	for i := range toks {
+		toks[i] = (31*i + 7) % s.Vocab()
+	}
+	return toks
+}
+
+// BenchmarkServeBatchForward8 measures one full dynamic batch through
+// the worker path — bind, time-major fill, compiled forward, logits
+// copy-out, reply — with no dispatcher or client goroutines in the
+// loop. ns/op is per batch of 8, not per request.
+func BenchmarkServeBatchForward8(b *testing.B) {
+	const n = 8
+	s := benchServer(b, n, 1)
+	toks := benchTokens(s)
+	batch := make([]*request, n)
+	for i := range batch {
+		batch[i] = &request{
+			tokens: toks,
+			resp:   make(chan *Result, 1),
+			errc:   make(chan error, 1),
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, r := range batch {
+			r.start = time.Now()
+		}
+		s.runBatch(0, batch)
+		for _, r := range batch {
+			select {
+			case <-r.resp:
+			case err := <-r.errc:
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkServeSaturatedPredict is the closed-loop saturation
+// benchmark: parallel clients issue back-to-back Predict calls through
+// the real dispatcher and batcher. ns/op is wall time per completed
+// request, so sustained throughput = 1e9 / ns_per_op req/s — the
+// "sustained throughput" number BENCH_serve.json commits to.
+func BenchmarkServeSaturatedPredict(b *testing.B) {
+	s := benchServer(b, 8, 2)
+	toks := benchTokens(s)
+	ctx := context.Background()
+	b.SetParallelism(4)
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			if _, err := s.Predict(ctx, toks); err != nil {
+				b.Error(err)
+				return
+			}
+		}
+	})
+}
+
+// BenchmarkServeOfferedLoadP99 drives a fixed offered load (open loop:
+// admission is paced by the clock, not by completions) and reports the
+// p99 request latency as the benchmark's ns/op via ReportMetric. The
+// rate is chosen well under saturation so the number is the batching +
+// forward tail, not a queueing blow-up; the gate's elevated
+// time_regression_limit absorbs tail noise.
+func BenchmarkServeOfferedLoadP99(b *testing.B) {
+	const rate = 1500 // req/s offered
+	s := benchServer(b, 8, 2)
+	toks := benchTokens(s)
+	ctx := context.Background()
+	interval := time.Second / rate
+
+	lats := make([]time.Duration, b.N)
+	sem := make(chan struct{}, 64)
+	var wg sync.WaitGroup
+	b.ReportAllocs()
+	b.ResetTimer()
+	next := time.Now()
+	for i := 0; i < b.N; i++ {
+		if d := time.Until(next); d > 0 {
+			time.Sleep(d)
+		}
+		next = next.Add(interval)
+		sem <- struct{}{}
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			start := time.Now()
+			if _, err := s.Predict(ctx, toks); err != nil {
+				b.Error(err)
+				return
+			}
+			lats[i] = time.Since(start)
+		}(i)
+	}
+	wg.Wait()
+	b.StopTimer()
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	p99 := lats[int(0.99*float64(len(lats)-1))]
+	b.ReportMetric(float64(p99.Nanoseconds()), "ns/op")
+}

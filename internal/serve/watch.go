@@ -1,0 +1,175 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"avgpipe/internal/core"
+	"avgpipe/internal/net"
+	"avgpipe/internal/nn"
+)
+
+// InstallCheckpoint loads the reference model from a completed
+// checkpoint directory and hot-swaps it in.
+func (s *Server) InstallCheckpoint(dir string) error {
+	master := s.cfg.Task.NewModel(1)
+	info, err := core.LoadReference(dir, master.Params())
+	if err != nil {
+		return err
+	}
+	return s.installParams(master.Params(), info.Round, "checkpoint")
+}
+
+// WatchCheckpoints polls dir every interval and hot-swaps whenever the
+// commit marker's round changes. A directory that is not (yet) a
+// complete checkpoint is simply not ready — SaveCheckpoint writes
+// meta.json last, so a crash or an in-progress save never yields a
+// marker. A training job re-checkpointing into the same directory can
+// still overwrite reference.bin under the reader; the marker is
+// re-read after the load and the install is skipped unless the round
+// held still across it (the next tick retries). Returns when ctx fires.
+func (s *Server) WatchCheckpoints(ctx context.Context, dir string, interval time.Duration) error {
+	if interval <= 0 {
+		interval = 200 * time.Millisecond
+	}
+	tick := time.NewTicker(interval)
+	defer tick.Stop()
+	for {
+		s.tryCheckpoint(dir)
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-tick.C:
+		}
+	}
+}
+
+func (s *Server) tryCheckpoint(dir string) {
+	before, err := core.ReadCheckpointInfo(dir)
+	if err != nil {
+		return // not a complete checkpoint yet
+	}
+	if v := s.cur.Load(); v != nil && v.round >= before.Round {
+		return // already serving this round or newer (e.g. via push)
+	}
+	master := s.cfg.Task.NewModel(1)
+	if _, err := core.LoadReference(dir, master.Params()); err != nil {
+		return
+	}
+	after, err := core.ReadCheckpointInfo(dir)
+	if err != nil || after.Round != before.Round {
+		return // overwritten mid-read; the next tick sees the new marker
+	}
+	s.installParams(master.Params(), before.Round, "checkpoint")
+}
+
+// InstallSnapshot validates a FrameSnapshot — type, the Meta
+// tensor-count cross-check, and per-tensor shapes against a freshly
+// built model — and hot-swaps its weights in. Stale pushes (a round not
+// newer than the serving version) are ignored so a checkpoint watcher
+// and a push stream can race without regressing the model.
+func (s *Server) InstallSnapshot(f *net.Frame) error {
+	if f.Type != net.FrameSnapshot {
+		return fmt.Errorf("serve: frame type %v is not a snapshot", f.Type)
+	}
+	if int(f.Meta) != len(f.Tensors) {
+		return fmt.Errorf("serve: snapshot claims %d tensors, carries %d", f.Meta, len(f.Tensors))
+	}
+	if v := s.cur.Load(); v != nil && int(f.Round) <= v.round {
+		return nil
+	}
+	master := s.cfg.Task.NewModel(1)
+	ps := master.Params()
+	if len(f.Tensors) != len(ps) {
+		return fmt.Errorf("serve: snapshot has %d tensors, model wants %d", len(f.Tensors), len(ps))
+	}
+	for i, p := range ps {
+		if !sameShape(p.W.Shape(), f.Tensors[i].Shape()) {
+			return fmt.Errorf("serve: tensor %d (%s): snapshot shape %v, model shape %v",
+				i, p.Name, f.Tensors[i].Shape(), p.W.Shape())
+		}
+		p.W.CopyFrom(f.Tensors[i])
+	}
+	return s.installParams(ps, int(f.Round), "snapshot")
+}
+
+// ServeSnapshots accepts push connections on l and installs every valid
+// snapshot frame received. Malformed frames fail only their connection;
+// the accept loop runs until ctx fires or the listener closes.
+func (s *Server) ServeSnapshots(ctx context.Context, l net.Listener) error {
+	for {
+		conn, err := l.Accept(ctx)
+		if err != nil {
+			return err
+		}
+		go func() {
+			defer conn.Close()
+			for {
+				f, err := conn.Recv(ctx)
+				if err != nil {
+					return
+				}
+				if err := s.InstallSnapshot(f); err != nil {
+					return
+				}
+			}
+		}()
+	}
+}
+
+// SnapshotPublisher is the training-side half of the push path: it
+// ships reference-model snapshots to a serving tier over any transport.
+// The connection is dialed lazily and re-dialed once per Publish after
+// a send failure, so a serving tier that restarts mid-run only costs
+// the snapshots sent while it was down.
+type SnapshotPublisher struct {
+	tr   net.Transport
+	addr string
+	conn net.Conn
+}
+
+// NewSnapshotPublisher targets addr on tr; no connection is made yet.
+func NewSnapshotPublisher(tr net.Transport, addr string) *SnapshotPublisher {
+	return &SnapshotPublisher{tr: tr, addr: addr}
+}
+
+// Publish sends one snapshot of ps at the given round. The tensors are
+// deep-copied before any network wait, so the caller may resume
+// training (mutating ps) as soon as Publish returns — and must not
+// mutate ps during the call.
+func (p *SnapshotPublisher) Publish(ctx context.Context, round int, ps []*nn.Param) error {
+	f := &net.Frame{Type: net.FrameSnapshot, Round: uint32(round), Meta: uint32(len(ps))}
+	for _, param := range ps {
+		f.Tensors = append(f.Tensors, param.W.Clone())
+	}
+	if p.conn == nil {
+		conn, err := p.tr.Dial(ctx, p.addr)
+		if err != nil {
+			return fmt.Errorf("serve: publish dial %s: %w", p.addr, err)
+		}
+		p.conn = conn
+	}
+	if err := p.conn.Send(ctx, f); err != nil {
+		// One redial: the peer may have restarted since the last round.
+		p.conn.Close()
+		p.conn = nil
+		conn, derr := p.tr.Dial(ctx, p.addr)
+		if derr != nil {
+			return fmt.Errorf("serve: publish redial %s: %w", p.addr, derr)
+		}
+		p.conn = conn
+		if err := p.conn.Send(ctx, f); err != nil {
+			return fmt.Errorf("serve: publish send: %w", err)
+		}
+	}
+	return nil
+}
+
+// Close tears down the publisher's connection, if any.
+func (p *SnapshotPublisher) Close() {
+	if p.conn != nil {
+		p.conn.Close()
+		p.conn = nil
+	}
+}
