@@ -60,9 +60,11 @@ faults:
 # restarted on the same address. The mesh must re-knit itself, the
 # supervisor must auto-detach and re-admit the replica, and the
 # recovered job must reach >=90% of its fault-free throughput (see
-# internal/heal and the Self-healing section of DESIGN.md).
+# internal/heal and the Self-healing section of DESIGN.md). Runs once
+# on the default full mesh and once on the ring fabric, whose restarted
+# sessions must also re-negotiate the topology group hello (§15).
 faults-soak:
-	AVGPIPE_SOAK=1 $(GO) test ./internal/heal/ -run '^TestChaosSoakRecovery$$' -count=1 -v
+	AVGPIPE_SOAK=1 $(GO) test ./internal/heal/ -run '^TestChaosSoakRecovery(Ring)?$$' -count=1 -v
 
 # bench-smoke runs one cheap figure with the metrics dump enabled, then
 # the cluster-telemetry overhead gate. avgpipe-bench validates the
@@ -150,11 +152,12 @@ bench-serve-baseline:
 
 # cover reports per-package coverage and enforces a 70% floor on the
 # kernel hot path (internal/tensor), the op-graph compiler
-# (internal/compiled), and the inference server (internal/serve), whose
-# correctness claims lean on exhaustive tests rather than review.
+# (internal/compiled), the inference server (internal/serve), and the
+# wire/topology/compression layer (internal/net), whose correctness
+# claims lean on exhaustive tests rather than review.
 cover:
 	@$(GO) test -cover ./... | grep -v '\[no test files\]'
-	@for pkg in ./internal/tensor/ ./internal/compiled/ ./internal/serve/; do \
+	@for pkg in ./internal/tensor/ ./internal/compiled/ ./internal/serve/ ./internal/net/; do \
 		pct="$$($(GO) test -cover $$pkg | grep -o 'coverage: [0-9.]*' | grep -o '[0-9.]*')"; \
 		ok="$$(echo "$$pct 70" | awk '{print ($$1 >= $$2) ? 1 : 0}')"; \
 		if [ "$$ok" != 1 ]; then \

@@ -293,6 +293,67 @@ func DialTCPMesh(ctx context.Context, self int, listenAddr string, peers map[int
 	return m, nil
 }
 
+// Topology shapes the averaging fabric behind the transport seam: which
+// replica pairs hold connections and how update frames are relayed so
+// every broadcast still reaches all N reference copies exactly once.
+// Deltas keep their origin identity end to end, so the deterministic
+// reduction — and bitwise reproducibility — is untouched by the choice.
+type Topology = netx.Topology
+
+// FullMesh is the reference topology (the seed behavior): O(N²)
+// connections, every broadcast one direct hop.
+type FullMesh = netx.FullMesh
+
+// RingTopology connects each replica to its successor only: O(N)
+// connections, frames relayed around the ring.
+type RingTopology = netx.Ring
+
+// HierarchicalTopology is two-level averaging: contiguous groups with
+// the lowest id as leader, members connected to their leader and
+// leaders to each other. O(N) connections at the default group size
+// ceil(sqrt(N)).
+type HierarchicalTopology = netx.Hierarchical
+
+// TopologyByName resolves a -topology flag value ("mesh", "ring",
+// "hier"); group is the hierarchical group size (0 = ceil(sqrt(N))).
+var TopologyByName = netx.TopologyByName
+
+// UpdateCodec selects how update deltas are encoded on the wire:
+// CodecNone (exact f32), CodecQ8/CodecQ16 (linear quantization), or
+// CodecTopK (sparsification). The compressed codecs accumulate their
+// per-round error into a residual that is folded into the next update,
+// so the averaged model still converges to the exact trajectory.
+type UpdateCodec = netx.Codec
+
+// Update wire codecs, resolvable by UpdateCodecByName.
+const (
+	CodecNone = netx.CodecNone
+	CodecQ8   = netx.CodecQ8
+	CodecQ16  = netx.CodecQ16
+	CodecTopK = netx.CodecTopK
+)
+
+// UpdateCodecByName resolves a -compress flag value ("none", "q8",
+// "q16", "topk").
+var UpdateCodecByName = netx.CodecByName
+
+// DialTCPTopology forms the TCP averaging fabric for replica self of an
+// N-replica job under an arbitrary topology, like DialTCPMesh but
+// dialing only the topology's neighbor set. Non-mesh topologies append
+// a group hello to the handshake so every link cross-checks topology
+// name, group size, and job size before training starts.
+func DialTCPTopology(ctx context.Context, topo Topology, self int, listenAddr string, peers map[int]string, reg *MetricsRegistry) (*Mesh, error) {
+	m, err := netx.FormTopology(ctx, netx.NewTCP(reg), topo, self, listenAddr, peers)
+	if err != nil {
+		return nil, err
+	}
+	if err := m.SyncClocks(ctx); err != nil {
+		m.Close()
+		return nil, err
+	}
+	return m, nil
+}
+
 // SelfHealConfig configures Mesh.EnableSelfHeal: reconnecting
 // connections with exponential backoff + jitter and session epochs, so
 // a transient network fault no longer permanently poisons a peer link.

@@ -85,7 +85,7 @@ func dumpMetrics(path string) {
 
 func main() {
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: %s [-csv dir] [figNN|ablations ...]\n", os.Args[0])
+		fmt.Fprintf(os.Stderr, "usage: %s [-csv dir] [figNN|ablations|topology ...]\n", os.Args[0])
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -146,6 +146,9 @@ func main() {
 				emit(exp.Fig19(w))
 			}
 		}
+	}
+	if sel("topology") {
+		emit(exp.TopologyAB())
 	}
 	if sel("ablations") {
 		emit(exp.AblationAdvance())

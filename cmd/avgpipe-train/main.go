@@ -107,6 +107,10 @@ func main() {
 		peersFlag   = flag.String("peers", "", "remote replicas as id=host:port pairs, comma-separated (multi-process mode)")
 		replicaID   = flag.Int("replica-id", -1, "this process's pipeline index in a multi-process job (-1 = single-process)")
 		meshTimeout = flag.Duration("mesh-timeout", 30*time.Second, "how long to wait for all peers while forming the mesh")
+		topoFlag    = flag.String("topology", "mesh", "averaging topology: mesh (O(N²) connections), ring, or hier (both O(N))")
+		groupFlag   = flag.Int("group", 0, "hierarchical group size (0 = ceil(sqrt(N)); needs -topology hier)")
+		compressF   = flag.String("compress", "none", "update wire codec: none (exact f32), q8, q16, or topk (error-feedback compressed)")
+		topkFlag    = flag.Float64("topk", 0, "kept-coefficient fraction for -compress topk in (0,1] (0 = default 0.05)")
 
 		faultSeed       = flag.Int64("fault-seed", 0, "fault-injection seed (0 = faults off)")
 		faultDelayProb  = flag.Float64("fault-delay-prob", 0, "probability an averaging update is delayed")
@@ -181,6 +185,19 @@ func main() {
 		}
 	}
 
+	topo, err := avgpipe.TopologyByName(*topoFlag, *groupFlag)
+	if err != nil {
+		log.Fatal(err)
+	}
+	codec, err := avgpipe.UpdateCodecByName(*compressF)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	if (*healFlag || *rejoinFlag) && topo.Name() != "mesh" {
+		log.Fatal("-heal/-rejoin currently re-dial the full mesh; use -topology mesh with them")
+	}
+
 	var dist *avgpipe.DistConfig
 	if *replicaID >= 0 {
 		if *listenAddr == "" {
@@ -203,14 +220,16 @@ func main() {
 		case *healFlag:
 			mesh, err = avgpipe.DialSelfHealingTCPMesh(ctx, *replicaID, *listenAddr, peers, reg)
 		default:
-			mesh, err = avgpipe.DialTCPMesh(ctx, *replicaID, *listenAddr, peers, reg)
+			mesh, err = avgpipe.DialTCPTopology(ctx, topo, *replicaID, *listenAddr, peers, reg)
 		}
 		cancel()
 		if err != nil {
 			log.Fatalf("mesh: %v", err)
 		}
-		fmt.Printf("replica %d of %d: mesh formed, listening on %s\n", *replicaID, *pipelines, mesh.Addr())
+		fmt.Printf("replica %d of %d: %s topology formed, listening on %s\n", *replicaID, *pipelines, topo.Name(), mesh.Addr())
 		dist = &avgpipe.DistConfig{ReplicaID: *replicaID, Mesh: mesh}
+	} else if topo.Name() != "mesh" {
+		log.Fatal("-topology needs multi-process mode (-replica-id/-listen); single-process averaging is in-memory")
 	}
 	if *rejoinFlag && (dist == nil || !*healFlag) {
 		log.Fatal("-rejoin needs multi-process mode (-replica-id/-listen) with -heal")
@@ -229,6 +248,7 @@ func main() {
 		Trace: *traceOut != "", Obs: reg,
 		Faults: faults, RoundDeadline: *roundDeadline, Watchdog: *watchdog,
 		Dist: dist, Compiled: *compiled,
+		Compress: codec, TopK: *topkFlag,
 	})
 	if err != nil {
 		log.Fatalf("trainer: %v", err)

@@ -1,0 +1,52 @@
+package cluster
+
+import "math"
+
+// Group/leader addressing for hierarchical two-level averaging: replicas
+// are split into contiguous groups of at most GroupSize members, the
+// lowest id of each group is its leader, and only leaders talk across
+// groups. The assignment is a pure function of (replica id, group size,
+// job size), so every process derives the same roles without a
+// coordinator — the same property that makes the full mesh leaderless.
+
+// DefaultGroupSize is the group size used when the operator passes 0:
+// ceil(sqrt(n)) balances the leader's two fan-outs (members below,
+// leaders across), which is what minimizes the per-leader connection
+// count for a two-level hierarchy.
+func DefaultGroupSize(n int) int {
+	if n <= 1 {
+		return 1
+	}
+	return int(math.Ceil(math.Sqrt(float64(n))))
+}
+
+// GroupOf returns the group index replica r belongs to under group size
+// g (groups are contiguous id ranges: [0,g), [g,2g), ...).
+func GroupOf(r, g int) int { return r / g }
+
+// LeaderOf returns the leader of replica r's group: the lowest id in
+// the group.
+func LeaderOf(r, g int) int { return r - r%g }
+
+// IsLeader reports whether replica r leads its group.
+func IsLeader(r, g int) bool { return r%g == 0 }
+
+// Leaders returns the leader ids of an n-replica job in ascending
+// order, one per (possibly partial) group.
+func Leaders(n, g int) []int {
+	var ids []int
+	for r := 0; r < n; r += g {
+		ids = append(ids, r)
+	}
+	return ids
+}
+
+// Members returns the non-leader ids of leader's group in ascending
+// order. The last group may be partial, so the range is clipped to n.
+func Members(leader, n, g int) []int {
+	var ids []int
+	for r := leader + 1; r < leader+g && r < n; r++ {
+		ids = append(ids, r)
+	}
+	return ids
+}

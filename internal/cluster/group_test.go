@@ -1,0 +1,70 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestDefaultGroupSize(t *testing.T) {
+	for n, want := range map[int]int{0: 1, 1: 1, 2: 2, 4: 2, 5: 3, 8: 3, 9: 3, 10: 4, 16: 4, 17: 5} {
+		if got := DefaultGroupSize(n); got != want {
+			t.Errorf("DefaultGroupSize(%d) = %d, want %d", n, got, want)
+		}
+	}
+}
+
+func TestGroupAddressing(t *testing.T) {
+	// The worked example: n=8, g=3 → groups [0,1,2] [3,4,5] [6,7].
+	for r, wantGroup := range []int{0, 0, 0, 1, 1, 1, 2, 2} {
+		if got := GroupOf(r, 3); got != wantGroup {
+			t.Errorf("GroupOf(%d, 3) = %d, want %d", r, got, wantGroup)
+		}
+	}
+	for r, wantLeader := range []int{0, 0, 0, 3, 3, 3, 6, 6} {
+		if got := LeaderOf(r, 3); got != wantLeader {
+			t.Errorf("LeaderOf(%d, 3) = %d, want %d", r, got, wantLeader)
+		}
+		if got := IsLeader(r, 3); got != (r == wantLeader) {
+			t.Errorf("IsLeader(%d, 3) = %v, want %v", r, got, r == wantLeader)
+		}
+	}
+	if got := fmt.Sprint(Leaders(8, 3)); got != "[0 3 6]" {
+		t.Errorf("Leaders(8, 3) = %v", got)
+	}
+	if got := fmt.Sprint(Members(3, 8, 3)); got != "[4 5]" {
+		t.Errorf("Members(3, 8, 3) = %v", got)
+	}
+	if got := fmt.Sprint(Members(6, 8, 3)); got != "[7]" { // partial last group
+		t.Errorf("Members(6, 8, 3) = %v", got)
+	}
+}
+
+// TestGroupPartition checks the structural invariants for every (n, g):
+// leaders plus their members partition [0, n) with no overlap, every
+// replica's derived leader is a leader, and roles are consistent across
+// the whole job — the property that lets each process derive the same
+// hierarchy without a coordinator.
+func TestGroupPartition(t *testing.T) {
+	for n := 1; n <= 20; n++ {
+		for g := 1; g <= n; g++ {
+			seen := make([]int, n)
+			for _, l := range Leaders(n, g) {
+				if !IsLeader(l, g) || LeaderOf(l, g) != l {
+					t.Fatalf("n=%d g=%d: leader %d is not its own leader", n, g, l)
+				}
+				seen[l]++
+				for _, m := range Members(l, n, g) {
+					if IsLeader(m, g) || LeaderOf(m, g) != l || GroupOf(m, g) != GroupOf(l, g) {
+						t.Fatalf("n=%d g=%d: member %d of leader %d misaddressed", n, g, m, l)
+					}
+					seen[m]++
+				}
+			}
+			for r, c := range seen {
+				if c != 1 {
+					t.Fatalf("n=%d g=%d: replica %d covered %d times, want exactly once", n, g, r, c)
+				}
+			}
+		}
+	}
+}

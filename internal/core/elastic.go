@@ -101,6 +101,13 @@ type Averager struct {
 	// faults, when set, decides the fate of each submitted update.
 	faults *fault.Injector
 
+	// codec selects the update wire encoding (CodecNone = exact f32);
+	// comps holds one error-feedback compressor per submitting pipeline
+	// — residuals are sender state, so they are never shared.
+	codec netx.Codec
+	topk  float64
+	comps []*netx.Compressor
+
 	// drainMu guards the sent/applied counters; drainCond wakes Drain
 	// waiters whenever the reference loop processes an update.
 	drainMu   sync.Mutex
@@ -129,6 +136,8 @@ type Averager struct {
 	degraded    *obs.Gauge
 	expired     *obs.Counter
 	lateUpdates *obs.Counter
+	updateBytes *obs.Counter
+	decodeErrs  *obs.Counter
 	// events receives membership and round-health events (the registry's
 	// event log); tracer, when set, records submit/apply spans on wall-
 	// clock timestamps for cross-replica trace merging.
@@ -198,6 +207,10 @@ func NewAveragerObs(n int, init []*nn.Param, reg *obs.Registry) *Averager {
 			"Rounds closed at the deadline over a partial update set."),
 		lateUpdates: reg.Counter("avgpipe_avg_late_updates_total",
 			"Updates discarded because their round had already closed."),
+		updateBytes: reg.Counter("avgpipe_avg_update_bytes_total",
+			"Wire bytes of update payloads this process submitted (one delivery each); divide by rounds for bytes-on-wire per round."),
+		decodeErrs: reg.Counter("avgpipe_avg_decode_errors_total",
+			"Compressed update frames dropped because their payload failed to decode."),
 		events: reg.Events(),
 	}
 	for p := 0; p < n; p++ {
@@ -298,53 +311,68 @@ func (a *Averager) recomposeTx() {
 }
 
 // AttachMesh joins this averager to a multi-process elastic-averaging
-// job: Submits fan out to every peer replica, and peer updates plus
+// job: Submits fan out along the mesh's topology, and peer updates plus
 // detach/rejoin control frames are ingested from the mesh's inbound
-// connections. Every process applies the same deterministic reduction
-// to its own reference copy, so the N copies stay bit-identical without
-// a coordinator. Call before training starts.
+// connections — relayed onward first on sparse topologies, so every
+// frame still reaches all N replicas. Every process applies the same
+// deterministic reduction to its own reference copy, so the N copies
+// stay bit-identical without a coordinator. Call before training
+// starts.
 func (a *Averager) AttachMesh(m *netx.Mesh) {
 	if m.N != a.N {
 		panic(fmt.Sprintf("core: mesh has %d replicas, averager has %d", m.N, a.N))
 	}
 	a.mesh = m
 	a.recomposeTx()
-	for _, id := range m.Peers() {
-		go a.inboundLoop(m.Recv(id))
+	for _, id := range m.Inbound() {
+		go a.inboundLoop(id, m.Recv(id))
 	}
 	// Under mesh self-healing, a peer that re-dials gets a fresh inbound
 	// connection; spawn a receive loop for it (the old loop exits when
 	// the mesh closes the replaced connection).
 	m.SetInboundHandler(func(id int, c netx.Conn) {
-		go a.inboundLoop(c)
+		go a.inboundLoop(id, c)
 	})
 }
 
-// inboundLoop forwards one peer's frames into the local reference
-// stream until the connection closes.
-func (a *Averager) inboundLoop(c netx.Conn) {
+// inboundLoop ingests the frames one peer sends us until the connection
+// closes. from is the peer the connection belongs to — on a sparse
+// topology, frames that every replica must see (updates, membership
+// announcements, reference requests) are relayed to the topology's next
+// hops before local processing, and a reference-state reply addressed
+// to someone else is routed onward instead of being consumed.
+func (a *Averager) inboundLoop(from int, c netx.Conn) {
 	for {
 		f, err := c.Recv(context.Background())
 		if err != nil {
 			return
 		}
 		switch f.Type {
-		case netx.FrameUpdate:
+		case netx.FrameUpdate, netx.FrameUpdateQ8, netx.FrameUpdateQ16, netx.FrameUpdateTopK:
+			a.relay(from, f)
 			if a.loopTx.Send(context.Background(), f) != nil {
 				return // shutting down; the round deadline absorbs the loss
 			}
 		case netx.FrameDetach:
+			a.relay(from, f)
 			a.Detach(int(f.Replica))
 		case netx.FrameRejoin:
 			// The rejoining process reseeds its own weights from its
 			// reference copy; peers only mark it live again, admitted no
 			// earlier than the join round the announcement carries.
+			a.relay(from, f)
 			a.rejoin(int(f.Replica), nil, int(f.Round))
 		case netx.FrameRefRequest:
 			// A restarted peer asking to reseed: reply with our current
 			// reference state and the round it should join from.
+			a.relay(from, f)
 			a.sendRefState(int(f.Replica))
 		case netx.FrameRefState:
+			if to := int(f.Meta); a.mesh != nil && to != a.mesh.Self {
+				// Addressed to another replica: a routed hop, not ours.
+				_ = a.mesh.Route(context.Background(), to, f)
+				continue
+			}
 			select {
 			case a.refState <- f:
 			default: // no ResumeReplica waiting (duplicate reply): drop
@@ -357,6 +385,42 @@ func (a *Averager) inboundLoop(c netx.Conn) {
 			}
 		}
 	}
+}
+
+// relay forwards a peer-originated frame along the mesh topology (a
+// no-op on the full mesh). Best effort: a relay lost to a dead link is
+// absorbed by the round deadline, like any lost update.
+func (a *Averager) relay(from int, f *netx.Frame) {
+	if a.mesh != nil {
+		_ = a.mesh.Forward(context.Background(), from, f)
+	}
+}
+
+// SetCompression selects the wire encoding for submitted updates:
+// CodecNone restores exact f32 deltas (the default), any other codec
+// packs each pipeline's deltas through its own error-feedback
+// compressor (net.Compressor), so what compression drops in one round
+// is re-submitted in the next and the update stream still sums to the
+// exact deltas. Every reference copy — including the local one —
+// applies the same dequantized values, so dist-mode copies stay
+// bit-identical to each other. topkFrac is the kept fraction for
+// CodecTopK (0 = net.DefaultTopKFraction). Call before training
+// starts, not concurrently with Submit.
+func (a *Averager) SetCompression(c netx.Codec, topkFrac float64) error {
+	if c == netx.CodecNone {
+		a.codec, a.comps = c, nil
+		return nil
+	}
+	comps := make([]*netx.Compressor, a.N)
+	for p := range comps {
+		comp, err := netx.NewCompressor(c, topkFrac)
+		if err != nil {
+			return err
+		}
+		comps[p] = comp
+	}
+	a.codec, a.topk, a.comps = c, topkFrac, comps
+	return nil
 }
 
 // SetRoundDeadline bounds how long an incomplete averaging round may
@@ -502,7 +566,20 @@ func (a *Averager) referenceLoop() {
 		if err != nil {
 			return // closed and drained
 		}
-		a.ingest(Update{Pipeline: int(f.Replica), Round: int(f.Round), Deltas: f.Tensors})
+		deltas := f.Tensors
+		if c, ok := netx.UpdateCodec(f.Type); ok && c != netx.CodecNone {
+			// A compressed update: every reference copy dequantizes the
+			// same packed payload, so the applied deltas stay identical
+			// across processes even though they are lossy.
+			ds, derr := netx.UnpackUpdateFrame(f)
+			if derr != nil {
+				a.decodeErrs.Inc()
+				a.bumpApplied() // the frame is accounted for, not applied
+				continue
+			}
+			deltas = ds
+		}
+		a.ingest(Update{Pipeline: int(f.Replica), Round: int(f.Round), Deltas: deltas})
 	}
 }
 
@@ -715,9 +792,10 @@ func (a *Averager) joinRoundLocked() int {
 }
 
 // announce broadcasts a membership change for the LOCAL replica to the
-// mesh peers. Remote membership changes (applied via inboundLoop) are
-// not re-broadcast — each process announces only itself, which is what
-// keeps the coordinator-free protocol loop-free.
+// mesh. Remote membership changes (applied via inboundLoop) are never
+// re-announced — they are only relayed along the topology, whose relay
+// rule is loop-free by construction — so the coordinator-free protocol
+// cannot echo.
 func (a *Averager) announce(t netx.FrameType, p, round int) {
 	if a.mesh == nil || p != a.mesh.Self {
 		return
@@ -728,7 +806,8 @@ func (a *Averager) announce(t netx.FrameType, p, round int) {
 
 // sendRefState answers a restarted peer's FrameRefRequest with a copy
 // of the current reference weights and the round the requester should
-// join from.
+// join from. Meta carries the destination so intermediate replicas on a
+// sparse topology can route the reply hop-by-hop (see inboundLoop).
 func (a *Averager) sendRefState(to int) {
 	if a.mesh == nil || to == a.mesh.Self {
 		return
@@ -737,9 +816,9 @@ func (a *Averager) sendRefState(to int) {
 	tensors := cloneTensors(a.ref)
 	join := a.joinRoundLocked()
 	a.mu.RUnlock()
-	_ = a.mesh.Send(context.Background(), to, &netx.Frame{
+	_ = a.mesh.Route(context.Background(), to, &netx.Frame{
 		Type: netx.FrameRefState, Replica: uint32(a.mesh.Self),
-		Round: uint32(join), Tensors: tensors,
+		Round: uint32(join), Meta: uint32(to), Tensors: tensors,
 	})
 }
 
@@ -875,6 +954,16 @@ func (a *Averager) SubmitContext(ctx context.Context, p, round int, params []*nn
 		deltas[i] = tensor.Sub(pr.W, a.snapshots[p][i])
 	}
 	f := &netx.Frame{Type: netx.FrameUpdate, Replica: uint32(p), Round: uint32(round), Tensors: deltas}
+	if a.codec != netx.CodecNone {
+		blob, err := a.comps[p].Pack(deltas)
+		if err != nil {
+			return fmt.Errorf("compressing update: %w", err)
+		}
+		f = &netx.Frame{Type: a.codec.UpdateFrameType(), Replica: uint32(p), Round: uint32(round), Blob: blob}
+	}
+	if size, err := netx.FrameWireSize(f); err == nil {
+		a.updateBytes.Add(float64(size))
+	}
 	a.addSent(1)
 	start := time.Now()
 	retry := netx.Backoff{Base: submitBackoff}

@@ -77,16 +77,25 @@ type TrainerConfig struct {
 	// round ends with the distributed round barrier instead of a local
 	// drain. Pipelines is still the job's TOTAL replica count N.
 	Dist *DistConfig
+	// Compress selects the update wire codec (net.CodecNone = exact f32
+	// deltas, the default; q8/q16/topk compress each update with error
+	// feedback — see Averager.SetCompression). In dist mode every
+	// connected peer must advertise support for the codec.
+	Compress netx.Codec
+	// TopK is the kept-coefficient fraction for net.CodecTopK in (0, 1]
+	// (0 = net.DefaultTopKFraction); other codecs ignore it.
+	TopK float64
 }
 
 // DistConfig identifies this process within a multi-process job.
 type DistConfig struct {
 	// ReplicaID is this process's pipeline index in [0, Pipelines).
 	ReplicaID int
-	// Mesh is the formed full mesh connecting the job's replicas
-	// (net.FormMesh). Its Self must equal ReplicaID and its N must equal
-	// Pipelines. The trainer attaches it to its averager and closes it
-	// with the trainer.
+	// Mesh is the formed averaging fabric connecting the job's replicas
+	// (net.FormMesh, or net.FormTopology for ring/hierarchical). Its
+	// Self must equal ReplicaID and its N must equal Pipelines. The
+	// trainer attaches it to its averager and closes it with the
+	// trainer.
 	Mesh *netx.Mesh
 }
 
@@ -231,6 +240,14 @@ func NewTrainer(cfg TrainerConfig) (*Trainer, error) {
 	t.avg.SetFaults(t.faults)
 	if cfg.Dist != nil {
 		t.avg.AttachMesh(cfg.Dist.Mesh)
+	}
+	if cfg.Compress != netx.CodecNone {
+		if d := cfg.Dist; d != nil && !d.Mesh.SupportsCodec(cfg.Compress) {
+			return nil, fmt.Errorf("core: a mesh peer does not support update codec %v", cfg.Compress)
+		}
+		if err := t.avg.SetCompression(cfg.Compress, cfg.TopK); err != nil {
+			return nil, err
+		}
 	}
 	if cfg.RoundDeadline > 0 {
 		t.avg.SetRoundDeadline(cfg.RoundDeadline)

@@ -1,0 +1,54 @@
+package exp
+
+import (
+	"math"
+	"testing"
+
+	netx "avgpipe/internal/net"
+)
+
+// TestTopologyABConvergence is the acceptance gate for the averaging
+// fabrics: the same seeded job trained over ring and hierarchical
+// fabrics — exact and compressed — must land within 2% of the exact
+// full-mesh converged loss, and exact runs must match it bitwise (the
+// relay overlays deliver the identical per-origin frames the mesh
+// does, so the deterministic reduction cannot diverge).
+func TestTopologyABConvergence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains 5 dist jobs; skipped in -short")
+	}
+	vs := RunTopologyAB(4)
+	base := vs[0]
+	if base.Fabric != "mesh" || base.Codec != netx.CodecNone {
+		t.Fatalf("variant 0 must be the exact full mesh, got %s/%v", base.Fabric, base.Codec)
+	}
+	if base.Conns != 4*3 {
+		t.Fatalf("full mesh at N=4: want 12 directed connections, got %d", base.Conns)
+	}
+	for _, v := range vs[1:] {
+		if v.Codec == netx.CodecNone {
+			if math.Float64bits(v.Loss) != math.Float64bits(base.Loss) {
+				t.Errorf("%s/exact: loss %.17g not bit-identical to mesh/exact %.17g",
+					v.Fabric, v.Loss, base.Loss)
+			}
+		} else if diff := math.Abs(v.Loss-base.Loss) / base.Loss; diff > 0.02 {
+			t.Errorf("%s/%v: loss %.6g is %.2f%% from exact %.6g (cap 2%%)",
+				v.Fabric, v.Codec, v.Loss, 100*diff, base.Loss)
+		}
+		// Sparse fabrics form O(N) connections against the mesh's N(N-1).
+		if v.Fabric != "mesh" && v.Conns >= base.Conns {
+			t.Errorf("%s: %d connections, not fewer than the mesh's %d", v.Fabric, v.Conns, base.Conns)
+		}
+		// Compressed updates put ≥4x fewer bytes on the wire (q8 is 1 byte
+		// per coefficient against 4, so its ratio approaches 4x from below
+		// by the per-tensor scale overhead: gate it at 3.9x).
+		floor := 4.0
+		if v.Codec == netx.CodecQ8 {
+			floor = 3.9
+		}
+		if v.Codec != netx.CodecNone && base.UpdateBytes < floor*v.UpdateBytes {
+			t.Errorf("%s/%v: %.0f update bytes/round, want ≥%.1fx under exact's %.0f",
+				v.Fabric, v.Codec, v.UpdateBytes, floor, base.UpdateBytes)
+		}
+	}
+}

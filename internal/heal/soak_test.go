@@ -52,8 +52,9 @@ func soakBind(t *testing.T, n int) (tps []*netx.TCP, lns []netx.Listener, addrs 
 	return tps, lns, addrs
 }
 
-// soakForm forms every replica's mesh concurrently.
-func soakForm(t *testing.T, tps []*netx.TCP, lns []netx.Listener, addrs []string) []*netx.Mesh {
+// soakForm forms every replica's mesh concurrently on the given
+// averaging topology (nil = the full mesh).
+func soakForm(t *testing.T, topo netx.Topology, tps []*netx.TCP, lns []netx.Listener, addrs []string) []*netx.Mesh {
 	t.Helper()
 	n := len(tps)
 	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
@@ -71,7 +72,7 @@ func soakForm(t *testing.T, tps []*netx.TCP, lns []netx.Listener, addrs []string
 		wg.Add(1)
 		go func(i int, peers map[int]string) {
 			defer wg.Done()
-			meshes[i], errs[i] = netx.FormMeshOn(ctx, tps[i], lns[i], i, peers)
+			meshes[i], errs[i] = netx.FormTopologyOn(ctx, tps[i], lns[i], topo, i, peers)
 		}(i, peers)
 	}
 	wg.Wait()
@@ -132,10 +133,10 @@ func (n *soakNode) steps(ctx context.Context, count int) error {
 }
 
 // soakBaseline measures the fault-free round rate of a fresh job.
-func soakBaseline(t *testing.T, rounds int) float64 {
+func soakBaseline(t *testing.T, topo netx.Topology, rounds int) float64 {
 	t.Helper()
 	tps, lns, addrs := soakBind(t, 2)
-	meshes := soakForm(t, tps, lns, addrs)
+	meshes := soakForm(t, topo, tps, lns, addrs)
 	nodes := make([]*soakNode, 2)
 	for p := 0; p < 2; p++ {
 		nodes[p] = soakUp(t, p, obs.NewRegistry(), tps[p], meshes[p], addrs, fault.Config{}, false)
@@ -172,10 +173,10 @@ func soakBaseline(t *testing.T, rounds int) float64 {
 // runChaosRecovery kills replica 1 hard mid-run, restarts it on the
 // same address, rejoins it, and returns the post-recovery round rate
 // measured over measured rounds (0 when measured == 0).
-func runChaosRecovery(t *testing.T, faults fault.Config, preCrash, sync, measured int) float64 {
+func runChaosRecovery(t *testing.T, topo netx.Topology, faults fault.Config, preCrash, sync, measured int) float64 {
 	t.Helper()
 	tps, lns, addrs := soakBind(t, 2)
-	meshes := soakForm(t, tps, lns, addrs)
+	meshes := soakForm(t, topo, tps, lns, addrs)
 	n0 := soakUp(t, 0, obs.NewRegistry(), tps[0], meshes[0], addrs, faults, true)
 	n1 := soakUp(t, 1, obs.NewRegistry(), tps[1], meshes[1], addrs, faults, true)
 	defer n0.sup.Stop()
@@ -230,7 +231,7 @@ func runChaosRecovery(t *testing.T, faults fault.Config, preCrash, sync, measure
 		return err == nil
 	})
 	fctx, fcancel := context.WithTimeout(ctx, time.Minute)
-	mesh1, err := netx.FormMeshOn(fctx, tp1, ln1, 1, map[int]string{0: addrs[0]})
+	mesh1, err := netx.FormTopologyOn(fctx, tp1, ln1, topo, 1, map[int]string{0: addrs[0]})
 	fcancel()
 	if err != nil {
 		t.Fatalf("re-forming mesh after restart: %v", err)
@@ -275,25 +276,43 @@ func TestSelfHealRejoinAfterHardRestart(t *testing.T) {
 	if testing.Short() {
 		t.Skip("multi-second TCP integration test")
 	}
-	runChaosRecovery(t, fault.Config{}, 5, 5, 0)
+	runChaosRecovery(t, nil, fault.Config{}, 5, 5, 0)
 }
 
-// TestChaosSoakRecovery is the full recovery gate (make faults-soak):
-// under seeded drops and stragglers, a hard kill + restart must recover
-// to >=90% of the job's fault-free throughput.
-func TestChaosSoakRecovery(t *testing.T) {
-	if os.Getenv("AVGPIPE_SOAK") == "" {
-		t.Skip("chaos soak: set AVGPIPE_SOAK=1 (or run `make faults-soak`)")
-	}
-	base := soakBaseline(t, 40)
+// soakGate runs the full recovery gate on one averaging topology: under
+// seeded drops and stragglers, a hard kill + restart must recover to
+// >=90% of the job's fault-free throughput.
+func soakGate(t *testing.T, topo netx.Topology) {
+	t.Helper()
+	base := soakBaseline(t, topo, 40)
 	chaos := fault.Config{
 		Seed:          13,
 		MsgDropProb:   0.02,
 		StragglerProb: 0.01, StragglerDelay: time.Millisecond,
 	}
-	rate := runChaosRecovery(t, chaos, 10, 10, 40)
+	rate := runChaosRecovery(t, topo, chaos, 10, 10, 40)
 	t.Logf("fault-free %.1f rounds/s, recovered %.1f rounds/s (%.0f%%)", base, rate, 100*rate/base)
 	if rate < 0.9*base {
 		t.Fatalf("recovered throughput %.1f rounds/s is below 90%% of the fault-free %.1f rounds/s", rate, base)
 	}
+}
+
+// TestChaosSoakRecovery is the full recovery gate (make faults-soak) on
+// the default full mesh.
+func TestChaosSoakRecovery(t *testing.T) {
+	if os.Getenv("AVGPIPE_SOAK") == "" {
+		t.Skip("chaos soak: set AVGPIPE_SOAK=1 (or run `make faults-soak`)")
+	}
+	soakGate(t, nil)
+}
+
+// TestChaosSoakRecoveryRing runs the same gate on the ring fabric: the
+// restarted replica re-forms with FormTopology, so every new session —
+// the survivor's re-dial and the restart's fresh dial alike — must
+// re-negotiate the ring's group-hello fingerprint before re-admission.
+func TestChaosSoakRecoveryRing(t *testing.T) {
+	if os.Getenv("AVGPIPE_SOAK") == "" {
+		t.Skip("chaos soak: set AVGPIPE_SOAK=1 (or run `make faults-soak`)")
+	}
+	soakGate(t, netx.Ring{})
 }

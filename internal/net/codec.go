@@ -58,6 +58,23 @@ const (
 	// count the sender believes the model has — a cheap geometry
 	// cross-check before the receiver walks the payload.
 	FrameSnapshot
+	// FrameGroupHello follows the hello on non-mesh topologies: its blob
+	// carries the sender's topology fingerprint and supported-codec mask
+	// (see GroupHello), so a topology or compression mis-configuration
+	// fails at handshake instead of stranding frames mid-round.
+	FrameGroupHello
+	// FrameUpdateQ8 is FrameUpdate with the deltas int8-linear-quantized
+	// (see compress.go): the blob is a PackedDeltas encoding, Replica
+	// still names the originating pipeline and Round the averaging
+	// round, so compressed and exact updates mix within one round.
+	FrameUpdateQ8
+	// FrameUpdateQ16 is FrameUpdate with int16-linear-quantized deltas.
+	FrameUpdateQ16
+	// FrameUpdateTopK is FrameUpdate carrying only the k
+	// largest-magnitude delta coefficients per tensor (index/value
+	// pairs), the sender accumulating the dropped remainder as
+	// error-feedback residual.
+	FrameUpdateTopK
 	frameTypeEnd
 )
 
@@ -65,7 +82,8 @@ const (
 // than the tensor block. Blob frames skip the tensor framing entirely:
 // the payload IS the blob, so the encoding stays trivially canonical.
 func (t FrameType) blobPayload() bool {
-	return t >= FrameClockPing && t <= FrameTrace
+	return (t >= FrameClockPing && t <= FrameTrace) ||
+		(t >= FrameGroupHello && t <= FrameUpdateTopK)
 }
 
 // String names the frame type for logs and test failures.
@@ -95,6 +113,14 @@ func (t FrameType) String() string {
 		return "ref-state"
 	case FrameSnapshot:
 		return "snapshot"
+	case FrameGroupHello:
+		return "group-hello"
+	case FrameUpdateQ8:
+		return "update-q8"
+	case FrameUpdateQ16:
+		return "update-q16"
+	case FrameUpdateTopK:
+		return "update-topk"
 	default:
 		return fmt.Sprintf("frametype(%d)", uint8(t))
 	}
@@ -130,7 +156,9 @@ type Frame struct {
 //	24     P    payload — tensor frames (types 1..4, 10..12): u32 tensor
 //	            count, then per tensor u8 ndims, ndims×u32 dims,
 //	            prod(dims)×f32 data (IEEE bits); blob frames (types
-//	            5..9): P raw bytes, verbatim
+//	            5..9, 13..16): P raw bytes, verbatim (compressed-update
+//	            blobs carry their own canonical PackedDeltas layout,
+//	            validated one layer up — see compress.go)
 //
 // The encoding is canonical: for every byte string that decodes, re-
 // encoding the decoded frame reproduces the bytes exactly (the fuzz
@@ -187,6 +215,12 @@ func encodedSize(f *Frame) (int, error) {
 	}
 	return n, nil
 }
+
+// FrameWireSize reports the canonical encoded size of f in bytes — the
+// cost one delivery of f puts on the wire. The averager's bytes-on-wire
+// metric uses it, so compression savings are visible even when the
+// transport underneath is an in-process pipe.
+func FrameWireSize(f *Frame) (int, error) { return encodedSize(f) }
 
 // AppendFrame appends f's canonical encoding to dst and returns the
 // extended slice.

@@ -41,7 +41,38 @@ func sampleFrames() []*Frame {
 			tensor.FromSlice([]float32{-1e-8}, 1),
 		}},
 		{Type: FrameSnapshot, Round: 1, Meta: 0},
+		// Averaging-topology frames: the group hello and the compressed
+		// updates ride the generic blob payload, but their inner
+		// encodings have their own codecs — seed valid bytes so the
+		// fuzz corpus reaches the blob validators.
+		{Type: FrameGroupHello, Replica: 2, Blob: mustBlob(AppendGroupHello(nil,
+			GroupHello{Topology: "ring", N: 4, Codecs: AllCodecsMask()}))},
+		{Type: FrameUpdateQ8, Replica: 1, Round: 3, Blob: mustPacked(CodecQ8)},
+		{Type: FrameUpdateQ16, Replica: 2, Round: 4, Blob: mustPacked(CodecQ16)},
+		{Type: FrameUpdateTopK, Replica: 3, Round: 5, Blob: mustPacked(CodecTopK)},
 	}
+}
+
+func mustBlob(b []byte, err error) []byte {
+	if err != nil {
+		panic(err)
+	}
+	return b
+}
+
+// mustPacked builds a small deterministic compressed-delta blob for the
+// given codec.
+func mustPacked(c Codec) []byte {
+	pd := &PackedDeltas{Codec: c}
+	switch c {
+	case CodecQ8:
+		pd.Tensors = []PackedTensor{{Shape: []int{2, 2}, Scale: 0.5, Q8: []int8{-127, 0, 1, 127}}}
+	case CodecQ16:
+		pd.Tensors = []PackedTensor{{Shape: []int{3}, Scale: 0.25, Q16: []int16{-32767, 0, 32767}}}
+	case CodecTopK:
+		pd.Tensors = []PackedTensor{{Shape: []int{5}, Idx: []uint32{1, 4}, Val: []float32{2.5, -3}}}
+	}
+	return mustBlob(AppendPackedDeltas(nil, pd))
 }
 
 func TestCodecRoundTrip(t *testing.T) {

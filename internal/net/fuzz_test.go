@@ -2,6 +2,9 @@ package net
 
 import (
 	"bytes"
+	"os"
+	"path/filepath"
+	"strconv"
 	"testing"
 )
 
@@ -49,5 +52,72 @@ func FuzzDecodeFrame(f *testing.F) {
 		if !bytes.Equal(again, b[:n]) {
 			t.Fatalf("encoding not canonical:\n consumed %x\n re-encoded %x", b[:n], again)
 		}
+		// Blob payloads with structured inner encodings get the same
+		// no-panic + canonical treatment at their own codec layer: a
+		// malformed compressed-delta or group-hello blob must be an
+		// error, never a panic, and whatever decodes must re-encode to
+		// the identical bytes.
+		if fr.Type == FrameGroupHello {
+			if gh, err := ParseGroupHello(fr.Blob); err == nil {
+				re, err := AppendGroupHello(nil, gh)
+				if err != nil || !bytes.Equal(re, fr.Blob) {
+					t.Fatalf("group hello not canonical: %x (err %v)", fr.Blob, err)
+				}
+			}
+		} else if _, ok := UpdateCodec(fr.Type); ok {
+			if pd, err := DecodePackedDeltas(fr.Blob); err == nil {
+				re, err := AppendPackedDeltas(nil, pd)
+				if err != nil || !bytes.Equal(re, fr.Blob) {
+					t.Fatalf("packed deltas not canonical: %x (err %v)", fr.Blob, err)
+				}
+			}
+		}
 	})
+}
+
+// TestWriteFuzzCorpus regenerates the topology-frame regression seeds
+// under testdata/fuzz/FuzzDecodeFrame when AVGPIPE_WRITE_CORPUS=1: the
+// valid group-hello and compressed-update frames from sampleFrames plus
+// targeted corruptions (malformed k, malformed scale, bad topology id)
+// that must decode to errors, not panics. Checked-in output keeps the
+// CI fuzz smoke regression-testing these shapes without regeneration.
+func TestWriteFuzzCorpus(t *testing.T) {
+	if os.Getenv("AVGPIPE_WRITE_CORPUS") == "" {
+		t.Skip("set AVGPIPE_WRITE_CORPUS=1 to regenerate topology fuzz seeds")
+	}
+	frame := func(f *Frame) []byte {
+		buf, err := AppendFrame(nil, f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return buf
+	}
+	blobAt := func(f *Frame, off int, to byte) []byte {
+		g := *f
+		g.Blob = append([]byte(nil), f.Blob...)
+		g.Blob[off] = to
+		return frame(&g)
+	}
+	gh := &Frame{Type: FrameGroupHello, Replica: 2, Blob: mustBlob(AppendGroupHello(nil,
+		GroupHello{Topology: "ring", N: 4, Codecs: AllCodecsMask()}))}
+	q8 := &Frame{Type: FrameUpdateQ8, Replica: 1, Round: 3, Blob: mustPacked(CodecQ8)}
+	topk := &Frame{Type: FrameUpdateTopK, Replica: 3, Round: 5, Blob: mustPacked(CodecTopK)}
+	seeds := map[string][]byte{
+		"seed-gh-valid":     frame(gh),
+		"seed-gh-bad-topo":  blobAt(gh, 1, 9),
+		"seed-gh-short":     frame(&Frame{Type: FrameGroupHello, Blob: gh.Blob[:11]}),
+		"seed-q8-valid":     frame(q8),
+		"seed-q8-nan-scale": blobAt(q8, 14, 0x7f), // scale high byte → NaN-ish
+		"seed-q16-valid":    frame(&Frame{Type: FrameUpdateQ16, Replica: 2, Round: 4, Blob: mustPacked(CodecQ16)}),
+		"seed-topk-valid":   frame(topk),
+		"seed-topk-bad-k":   blobAt(topk, 11, 0xee), // k low byte → k > elems
+		"seed-topk-descend": blobAt(topk, 15, 4),    // first index 4, second 4: not ascending
+	}
+	for name, b := range seeds {
+		path := filepath.Join("testdata", "fuzz", "FuzzDecodeFrame", name)
+		body := "go test fuzz v1\n[]byte(" + strconv.Quote(string(b)) + ")\n"
+		if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
 }

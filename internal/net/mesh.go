@@ -9,21 +9,32 @@ import (
 	"time"
 )
 
-// Mesh is the coordinator-free full mesh of one replica in a
-// multi-process elastic-averaging job: a dedicated send connection to
-// every peer plus a dedicated receive connection from every peer. Each
-// ordered replica pair (p → q) owns one connection — p dials, q
-// accepts — so formation needs no leader and no tie-breaking: every
-// process dials all of its peers and accepts one connection from each.
+// Mesh is the coordinator-free averaging fabric of one replica in a
+// multi-process elastic-averaging job. Under the default FullMesh
+// topology it is the classic full mesh: a dedicated send connection to
+// every peer plus a dedicated receive connection from every peer, each
+// ordered replica pair (p → q) owning one connection — p dials, q
+// accepts — so formation needs no leader and no tie-breaking. Under a
+// sparse Topology (Ring, Hierarchical) the same machinery forms only
+// the topology's O(N) connections, Broadcast sends to the topology's
+// first hops, and Forward/Route relay frames onward so every replica
+// is still reached.
 type Mesh struct {
 	// Self is this process's replica id; N is the job's total replica
 	// count (peers + self).
 	Self int
 	N    int
 
+	topo      Topology     // connection/flow shape (nil = FullMesh)
+	acceptSet map[int]bool // peers allowed to hold an inbound connection
+
 	sends map[int]Conn // outbound, keyed by peer id (dialed by us)
 	recvs map[int]Conn // inbound, keyed by peer id (accepted by us)
 	ln    Listener
+
+	// codecMasks records each dialed-in peer's supported-compression
+	// bitmask from its group hello (sparse topologies only).
+	codecMasks map[int]uint32
 
 	mu      sync.Mutex
 	offsets map[int]time.Duration // peer clock − local clock, from SyncClocks
@@ -63,6 +74,29 @@ func FormMesh(ctx context.Context, tr Transport, self int, listenAddr string, pe
 // map can be assembled. The mesh owns the listener: Mesh.Close closes
 // it, and so does any formation failure.
 func FormMeshOn(ctx context.Context, tr Transport, ln Listener, self int, peers map[int]string) (*Mesh, error) {
+	return FormTopologyOn(ctx, tr, ln, FullMesh{}, self, peers)
+}
+
+// FormTopology is FormMesh under an explicit averaging topology: only
+// the topology's connections are dialed and accepted, so a Ring or
+// Hierarchical fabric forms with O(N) connections instead of O(N²).
+// peers still lists every other replica — the topology decides which
+// subset this replica actually talks to.
+func FormTopology(ctx context.Context, tr Transport, topo Topology, self int, listenAddr string, peers map[int]string) (*Mesh, error) {
+	ln, err := tr.Listen(listenAddr)
+	if err != nil {
+		return nil, err
+	}
+	return FormTopologyOn(ctx, tr, ln, topo, self, peers)
+}
+
+// FormTopologyOn is FormTopology over an already-bound listener. On
+// non-mesh topologies every dialed connection sends a FrameGroupHello
+// after the hello — the topology name, effective group size, job size,
+// and supported-compression mask — and the acceptor cross-checks it, so
+// two processes configured with different fabrics fail at handshake
+// instead of stranding frames mid-round.
+func FormTopologyOn(ctx context.Context, tr Transport, ln Listener, topo Topology, self int, peers map[int]string) (*Mesh, error) {
 	n := len(peers) + 1
 	if self < 0 || self >= n {
 		ln.Close()
@@ -78,7 +112,32 @@ func FormMeshOn(ctx context.Context, tr Transport, ln Listener, self int, peers 
 			return nil, fmt.Errorf("net: peer id %d outside [0, %d) — ids must be contiguous", id, n)
 		}
 	}
-	m := &Mesh{Self: self, N: n, sends: make(map[int]Conn), recvs: make(map[int]Conn), ln: ln}
+	if topo == nil {
+		topo = FullMesh{}
+	}
+	if err := topo.Validate(n); err != nil {
+		ln.Close()
+		return nil, err
+	}
+	accepts := AcceptsFrom(topo, self, n)
+	m := &Mesh{
+		Self: self, N: n, topo: topo,
+		sends: make(map[int]Conn), recvs: make(map[int]Conn), ln: ln,
+		acceptSet:  make(map[int]bool, len(accepts)),
+		codecMasks: make(map[int]uint32),
+	}
+	for _, id := range accepts {
+		m.acceptSet[id] = true
+	}
+
+	// Non-mesh fabrics exchange a group hello after the hello; the full
+	// mesh stays byte-identical to the seed handshake.
+	grouped := topo.Name() != "mesh"
+	ghBlob, err := groupHelloBlob(topo, n)
+	if err != nil {
+		ln.Close()
+		return nil, err
+	}
 
 	var wg sync.WaitGroup
 	var mu sync.Mutex
@@ -89,8 +148,14 @@ func FormMeshOn(ctx context.Context, tr Transport, ln Listener, self int, peers 
 		mu.Unlock()
 	}
 
-	// Dial every peer, announcing ourselves with a hello.
-	for id, addr := range peers {
+	// Dial the topology's outbound peers, announcing ourselves with a
+	// hello (and the topology fingerprint on sparse fabrics).
+	for _, id := range topo.Dials(self, n) {
+		addr, ok := peers[id]
+		if !ok {
+			fail(fmt.Errorf("net: topology %s requires a connection to replica %d, which has no address", topo.Name(), id))
+			continue
+		}
 		wg.Add(1)
 		go func(id int, addr string) {
 			defer wg.Done()
@@ -105,18 +170,26 @@ func FormMeshOn(ctx context.Context, tr Transport, ln Listener, self int, peers 
 				fail(fmt.Errorf("net: hello to replica %d: %w", id, err))
 				return
 			}
+			if grouped {
+				gh := &Frame{Type: FrameGroupHello, Replica: uint32(self), Blob: ghBlob}
+				if err := c.Send(ctx, gh); err != nil {
+					c.Close()
+					fail(fmt.Errorf("net: group hello to replica %d: %w", id, err))
+					return
+				}
+			}
 			mu.Lock()
 			m.sends[id] = c
 			mu.Unlock()
 		}(id, addr)
 	}
 
-	// Accept one connection from every peer; its hello tells us who it
-	// is and lets us cross-check the job geometry.
+	// Accept one connection from every inbound peer; its hello tells us
+	// who it is and lets us cross-check the job geometry.
 	wg.Add(1)
 	go func() {
 		defer wg.Done()
-		for i := 0; i < len(peers); i++ {
+		for i := 0; i < len(accepts); i++ {
 			c, err := ln.Accept(ctx)
 			if err != nil {
 				fail(fmt.Errorf("net: accept: %w", err))
@@ -129,15 +202,41 @@ func FormMeshOn(ctx context.Context, tr Transport, ln Listener, self int, peers 
 				return
 			}
 			id := int(f.Replica)
-			if _, known := peers[id]; !known {
+			if !m.acceptSet[id] {
 				c.Close()
-				fail(fmt.Errorf("net: hello from unexpected replica %d", id))
+				fail(fmt.Errorf("net: hello from replica %d, but replica %d only accepts connections from replicas %v under topology %s",
+					id, self, accepts, topo.Name()))
 				return
 			}
 			if int(f.Meta) != n {
 				c.Close()
-				fail(fmt.Errorf("net: replica %d believes the job has %d replicas, we have %d", id, f.Meta, n))
+				fail(fmt.Errorf("net: replica %d believes the job has %d replicas, replica %d has %d (peers %v)",
+					id, f.Meta, self, n, sortedIDs(peers)))
 				return
+			}
+			if grouped {
+				gf, err := c.Recv(ctx)
+				if err != nil || gf.Type != FrameGroupHello {
+					c.Close()
+					fail(fmt.Errorf("net: handshake with replica %d: want group hello, got (%v, %v)", id, gf, err))
+					return
+				}
+				gh, err := ParseGroupHello(gf.Blob)
+				if err != nil {
+					c.Close()
+					fail(fmt.Errorf("net: group hello from replica %d: %w", id, err))
+					return
+				}
+				group := groupSize(topo, n)
+				if gh.Topology != topo.Name() || gh.Group != group || gh.N != n {
+					c.Close()
+					fail(fmt.Errorf("net: replica %d runs topology %s (group %d, %d replicas), replica %d runs %s (group %d, %d replicas)",
+						id, gh.Topology, gh.Group, gh.N, self, topo.Name(), group, n))
+					return
+				}
+				mu.Lock()
+				m.codecMasks[id] = gh.Codecs
+				mu.Unlock()
 			}
 			mu.Lock()
 			dup := m.recvs[id] != nil
@@ -160,6 +259,38 @@ func FormMeshOn(ctx context.Context, tr Transport, ln Listener, self int, peers 
 	return m, nil
 }
 
+// groupSize resolves the negotiated group-size field of a topology's
+// fingerprint (0 for ungrouped fabrics).
+func groupSize(topo Topology, n int) int {
+	if h, ok := topo.(Hierarchical); ok {
+		return h.size(n)
+	}
+	return 0
+}
+
+// groupHelloBlob encodes the topology fingerprint non-mesh fabrics
+// exchange after the hello — nil for the mesh, whose handshake stays
+// byte-identical to the seed.
+func groupHelloBlob(topo Topology, n int) ([]byte, error) {
+	if topo == nil || topo.Name() == "mesh" {
+		return nil, nil
+	}
+	return AppendGroupHello(nil, GroupHello{
+		Topology: topo.Name(), Group: groupSize(topo, n), N: n, Codecs: AllCodecsMask(),
+	})
+}
+
+// sortedIDs lists a peer map's replica ids in ascending order, for
+// diagnosable geometry errors.
+func sortedIDs(peers map[int]string) []int {
+	ids := make([]int, 0, len(peers))
+	for id := range peers {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	return ids
+}
+
 // dialRetry redials until the peer's listener is up or ctx expires,
 // paced by the shared transport backoff.
 func dialRetry(ctx context.Context, tr Transport, addr string) (Conn, error) {
@@ -175,21 +306,23 @@ func dialRetry(ctx context.Context, tr Transport, addr string) (Conn, error) {
 	}
 }
 
-// SyncClocks estimates every peer's clock offset with one ping/pong
-// round trip per ordered pair (round-trip midpoint, see clock.go). Each
-// replica pings every peer on its outbound connection and answers
-// exactly one ping per peer on its inbound connection, so the exchange
-// is symmetric, deterministic in frame count, and leaves every
-// connection quiescent. Call it after mesh formation and before the
-// averager attaches (the averager's inbound loops also answer pings,
-// so later re-syncs go through ResyncClock instead).
+// SyncClocks estimates every connected peer's clock offset with one
+// ping/pong round trip per connection (round-trip midpoint, see
+// clock.go). Each replica pings every outbound peer and answers exactly
+// one ping per inbound peer — under the full mesh those are the same
+// set; under a sparse topology each replica measures its topology
+// neighbors only. The exchange is symmetric, deterministic in frame
+// count, and leaves every connection quiescent. Call it after mesh
+// formation and before the averager attaches (the averager's inbound
+// loops also answer pings, so later re-syncs go through ResyncClock
+// instead).
 func (m *Mesh) SyncClocks(ctx context.Context) error {
 	var wg sync.WaitGroup
 	var mu sync.Mutex
 	var errs []error
 	offsets := make(map[int]time.Duration, len(m.sends))
 	for _, id := range m.Peers() {
-		wg.Add(2)
+		wg.Add(1)
 		go func(id int) {
 			defer wg.Done()
 			off, _, err := MeasureClockOffset(ctx, m.sends[id], m.Self)
@@ -201,6 +334,9 @@ func (m *Mesh) SyncClocks(ctx context.Context) error {
 			}
 			offsets[id] = off
 		}(id)
+	}
+	for _, id := range m.Inbound() {
+		wg.Add(1)
 		go func(id int) {
 			defer wg.Done()
 			in := m.Recv(id)
@@ -266,7 +402,8 @@ func (m *Mesh) ClockOffsets() map[int]time.Duration {
 	return out
 }
 
-// Peers returns the peer ids in ascending order.
+// Peers returns the outbound-connected peer ids in ascending order
+// (every peer under the full mesh, the topology's dial set otherwise).
 func (m *Mesh) Peers() []int {
 	ids := make([]int, 0, len(m.sends))
 	for id := range m.sends {
@@ -274,6 +411,48 @@ func (m *Mesh) Peers() []int {
 	}
 	sort.Ints(ids)
 	return ids
+}
+
+// Inbound returns the peer ids this replica holds inbound connections
+// from, in ascending order — the mirror of Peers under the topology.
+// The averager spawns one receive loop per inbound peer.
+func (m *Mesh) Inbound() []int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	ids := make([]int, 0, len(m.recvs))
+	for id := range m.recvs {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	return ids
+}
+
+// Topology returns the fabric shape the mesh was formed under
+// (FullMesh for meshes formed by FormMesh).
+func (m *Mesh) Topology() Topology {
+	if m.topo == nil {
+		return FullMesh{}
+	}
+	return m.topo
+}
+
+// SupportsCodec reports whether every connected peer advertised support
+// for compression codec c. Full-mesh formation exchanges no codec
+// masks (the handshake predates them and stays byte-identical), so it
+// reports true — all first-party builds understand all codecs; the
+// mask exists to fail fast on sparse fabrics mixing builds.
+func (m *Mesh) SupportsCodec(c Codec) bool {
+	if c == CodecNone {
+		return true
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, mask := range m.codecMasks {
+		if mask&CodecMask(c) == 0 {
+			return false
+		}
+	}
+	return true
 }
 
 // Recv returns the inbound connection from peer id (frames that peer
@@ -304,20 +483,75 @@ func (m *Mesh) Send(ctx context.Context, id int, f *Frame) error {
 	return c.Send(ctx, f)
 }
 
-// Broadcast sends f to every peer in ascending id order, returning the
-// joined errors (nil if every send succeeded). A peer whose connection
-// reports the frame dropped — a faulty link eating the update, or a
-// self-healing connection mid-outage — is not an error: elastic
-// averaging tolerates lost updates, and the round deadline closes
-// rounds over whatever arrived.
+// Broadcast sends f to the topology's first hops in ascending id order
+// — every peer under the full mesh — returning the joined errors (nil
+// if every send succeeded). On sparse topologies the receivers relay
+// the frame onward (Forward), so one Broadcast still reaches all N
+// replicas. A peer whose connection reports the frame dropped — a
+// faulty link eating the update, or a self-healing connection
+// mid-outage — is not an error: elastic averaging tolerates lost
+// updates, and the round deadline closes rounds over whatever arrived.
 func (m *Mesh) Broadcast(ctx context.Context, f *Frame) error {
 	var errs []error
-	for _, id := range m.Peers() {
+	for _, id := range m.firstHops() {
 		if err := m.sends[id].Send(ctx, f); err != nil && !errors.Is(err, ErrDropped) {
 			errs = append(errs, fmt.Errorf("net: broadcast to replica %d: %w", id, err))
 		}
 	}
 	return errors.Join(errs...)
+}
+
+// firstHops is the ascending id list Broadcast sends to.
+func (m *Mesh) firstHops() []int {
+	if m.topo == nil {
+		return m.Peers()
+	}
+	return m.topo.FirstHops(m.Self, m.N)
+}
+
+// Forward relays a peer-originated frame onward along the topology:
+// from names the peer the frame arrived from, and the topology's relay
+// rule decides which neighbors (if any) must see it next so every
+// broadcast reaches all N replicas exactly once. A no-op under the full
+// mesh, where the origin reached everyone directly. Dropped frames are
+// tolerated for the same reason Broadcast tolerates them.
+func (m *Mesh) Forward(ctx context.Context, from int, f *Frame) error {
+	if m.topo == nil {
+		return nil
+	}
+	var errs []error
+	for _, id := range m.topo.Relays(m.Self, m.N, int(f.Replica), from) {
+		c, ok := m.sends[id]
+		if !ok {
+			errs = append(errs, fmt.Errorf("net: relay to replica %d: no connection", id))
+			continue
+		}
+		if err := c.Send(ctx, f); err != nil && !errors.Is(err, ErrDropped) {
+			errs = append(errs, fmt.Errorf("net: relay to replica %d: %w", id, err))
+		}
+	}
+	return errors.Join(errs...)
+}
+
+// Route sends a frame directed at one replica, hop-by-hop along the
+// topology when no direct connection exists (the receiver of each hop
+// forwards by the frame's destination — see the averager's ref-state
+// handling). Directly connected peers get the frame in one send.
+func (m *Mesh) Route(ctx context.Context, to int, f *Frame) error {
+	if to == m.Self {
+		return fmt.Errorf("net: replica %d cannot route to itself", to)
+	}
+	if _, ok := m.sends[to]; ok {
+		return m.Send(ctx, to, f)
+	}
+	if m.topo == nil {
+		return fmt.Errorf("net: no connection to replica %d", to)
+	}
+	hop, err := m.topo.NextHopTo(m.Self, m.N, to)
+	if err != nil {
+		return err
+	}
+	return m.Send(ctx, hop, f)
 }
 
 // Addr reports the listener's bound address (for port-0 listens).

@@ -51,6 +51,13 @@ func (m *Mesh) EnableSelfHeal(cfg SelfHealConfig) error {
 			return fmt.Errorf("net: self-heal has no dial address for replica %d", id)
 		}
 	}
+	// A sparse fabric re-runs its topology fingerprint on every new
+	// session, exactly as formation does — a restarted peer re-forms
+	// with FormTopology and expects the group hello after the hello.
+	ghBlob, err := groupHelloBlob(m.topo, m.N)
+	if err != nil {
+		return err
+	}
 	ctx, cancel := context.WithCancel(context.Background())
 	m.mu.Lock()
 	if m.healCancel != nil {
@@ -75,6 +82,13 @@ func (m *Mesh) EnableSelfHeal(cfg SelfHealConfig) error {
 			if err := c.Send(dctx, hello); err != nil {
 				c.Close()
 				return nil, err
+			}
+			if ghBlob != nil {
+				gh := &Frame{Type: FrameGroupHello, Replica: uint32(m.Self), Blob: ghBlob}
+				if err := c.Send(dctx, gh); err != nil {
+					c.Close()
+					return nil, err
+				}
 			}
 			return c, nil
 		}
@@ -106,8 +120,8 @@ func (m *Mesh) acceptReconnects(ctx context.Context, cfg SelfHealConfig) {
 // that peer's inbound connection.
 func (m *Mesh) admitReconnect(ctx context.Context, cfg SelfHealConfig, c Conn) {
 	hctx, cancel := context.WithTimeout(ctx, reconnectHelloTimeout)
+	defer cancel()
 	f, err := c.Recv(hctx)
-	cancel()
 	if err != nil || f.Type != FrameHello {
 		c.Close()
 		return
@@ -116,6 +130,31 @@ func (m *Mesh) admitReconnect(ctx context.Context, cfg SelfHealConfig, c Conn) {
 	if id == m.Self || id < 0 || id >= m.N || int(f.Meta) != m.N {
 		c.Close()
 		return
+	}
+	// Under a sparse topology only topology neighbors may hold an
+	// inbound connection; a stray dial from a non-neighbor is refused.
+	if m.acceptSet != nil && !m.acceptSet[id] {
+		c.Close()
+		return
+	}
+	// A sparse fabric's new session must re-prove the same topology
+	// fingerprint formation checked — a restarted process configured
+	// with a different fabric is refused, not averaged with.
+	if m.topo != nil && m.topo.Name() != "mesh" {
+		gf, err := c.Recv(hctx)
+		if err != nil || gf.Type != FrameGroupHello {
+			c.Close()
+			return
+		}
+		gh, err := ParseGroupHello(gf.Blob)
+		if err != nil || gh.Topology != m.topo.Name() ||
+			gh.Group != groupSize(m.topo, m.N) || gh.N != m.N {
+			c.Close()
+			return
+		}
+		m.mu.Lock()
+		m.codecMasks[id] = gh.Codecs
+		m.mu.Unlock()
 	}
 	epoch := f.Round
 	m.mu.Lock()

@@ -1,0 +1,211 @@
+package net
+
+import (
+	"fmt"
+	"sort"
+	"testing"
+)
+
+// topologiesUnderTest enumerates every Topology implementation with the
+// parameter variants worth exercising.
+func topologiesUnderTest() []Topology {
+	return []Topology{
+		FullMesh{},
+		Ring{},
+		Hierarchical{}, // group = ceil(sqrt(n))
+		Hierarchical{Group: 2},
+		Hierarchical{Group: 3},
+	}
+}
+
+// TestTopologyExactlyOnceDelivery simulates the dissemination contract
+// for every topology and job size: a frame originated by any replica —
+// sent to its first hops and then relayed by every receiver — reaches
+// every other replica exactly once, with no relay loop.
+func TestTopologyExactlyOnceDelivery(t *testing.T) {
+	for _, topo := range topologiesUnderTest() {
+		for n := 1; n <= 10; n++ {
+			if err := topo.Validate(n); err != nil {
+				if h, ok := topo.(Hierarchical); ok && h.Group > n {
+					continue // a legitimately rejected configuration
+				}
+				t.Fatalf("%s n=%d: %v", topo.Name(), n, err)
+			}
+			for origin := 0; origin < n; origin++ {
+				delivered := make([]int, n)
+				// hop (from, to) pairs walked breadth-first; a bound on the
+				// step count catches relay loops without hanging the test.
+				type hop struct{ from, to int }
+				queue := []hop{}
+				for _, id := range topo.FirstHops(origin, n) {
+					queue = append(queue, hop{origin, id})
+				}
+				steps := 0
+				for len(queue) > 0 {
+					if steps++; steps > 10*n*n {
+						t.Fatalf("%s n=%d origin %d: relay loop", topo.Name(), n, origin)
+					}
+					h := queue[0]
+					queue = queue[1:]
+					delivered[h.to]++
+					for _, next := range topo.Relays(h.to, n, origin, h.from) {
+						queue = append(queue, hop{h.to, next})
+					}
+				}
+				for p := 0; p < n; p++ {
+					want := 1
+					if p == origin {
+						want = 0
+					}
+					if delivered[p] != want {
+						t.Errorf("%s n=%d: frame from %d delivered to %d %d times, want %d",
+							topo.Name(), n, origin, p, delivered[p], want)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestTopologyRelaysWithinDialSet checks that every first hop and relay
+// target is a peer the sender actually dialed — the topology never asks
+// the mesh for a connection it did not form.
+func TestTopologyRelaysWithinDialSet(t *testing.T) {
+	for _, topo := range topologiesUnderTest() {
+		for n := 1; n <= 10; n++ {
+			if topo.Validate(n) != nil {
+				continue
+			}
+			for self := 0; self < n; self++ {
+				dials := map[int]bool{}
+				for _, id := range topo.Dials(self, n) {
+					if id == self || id < 0 || id >= n {
+						t.Fatalf("%s n=%d: replica %d dials invalid id %d", topo.Name(), n, self, id)
+					}
+					if dials[id] {
+						t.Fatalf("%s n=%d: replica %d dials %d twice", topo.Name(), n, self, id)
+					}
+					dials[id] = true
+				}
+				for _, id := range topo.FirstHops(self, n) {
+					if !dials[id] {
+						t.Errorf("%s n=%d: first hop %d of replica %d not dialed", topo.Name(), n, id, self)
+					}
+				}
+				for origin := 0; origin < n; origin++ {
+					for from := 0; from < n; from++ {
+						for _, id := range topo.Relays(self, n, origin, from) {
+							if !dials[id] {
+								t.Errorf("%s n=%d: relay %d (origin %d, from %d) of replica %d not dialed",
+									topo.Name(), n, id, origin, from, self)
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestTopologyRouting walks NextHopTo from every replica to every other
+// and checks the frame arrives within n hops, each hop over a dialed
+// connection.
+func TestTopologyRouting(t *testing.T) {
+	for _, topo := range topologiesUnderTest() {
+		for n := 2; n <= 10; n++ {
+			if topo.Validate(n) != nil {
+				continue
+			}
+			for from := 0; from < n; from++ {
+				for to := 0; to < n; to++ {
+					if to == from {
+						continue
+					}
+					at := from
+					for hops := 0; at != to; hops++ {
+						if hops > n {
+							t.Fatalf("%s n=%d: route %d→%d does not terminate", topo.Name(), n, from, to)
+						}
+						next, err := topo.NextHopTo(at, n, to)
+						if err != nil {
+							t.Fatalf("%s n=%d: route %d→%d at %d: %v", topo.Name(), n, from, to, at, err)
+						}
+						dialed := false
+						for _, id := range topo.Dials(at, n) {
+							if id == next {
+								dialed = true
+							}
+						}
+						if !dialed {
+							t.Fatalf("%s n=%d: hop %d→%d not a dialed connection", topo.Name(), n, at, next)
+						}
+						at = next
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestAcceptsFromMirrorsDials checks the accept sets are the exact
+// mirror image of the dial sets — the invariant formation relies on to
+// size its accept loop.
+func TestAcceptsFromMirrorsDials(t *testing.T) {
+	for _, topo := range topologiesUnderTest() {
+		for n := 1; n <= 8; n++ {
+			if topo.Validate(n) != nil {
+				continue
+			}
+			want := map[int][]int{}
+			for q := 0; q < n; q++ {
+				for _, d := range topo.Dials(q, n) {
+					want[d] = append(want[d], q)
+				}
+			}
+			for self := 0; self < n; self++ {
+				sort.Ints(want[self])
+				got := AcceptsFrom(topo, self, n)
+				if fmt.Sprint(got) != fmt.Sprint(want[self]) {
+					t.Errorf("%s n=%d: replica %d accepts %v, want %v", topo.Name(), n, self, got, want[self])
+				}
+			}
+		}
+	}
+}
+
+// TestTopologyByName covers flag resolution, including the unknown-name
+// error path.
+func TestTopologyByName(t *testing.T) {
+	for name, want := range map[string]string{
+		"": "mesh", "mesh": "mesh", "full": "mesh",
+		"ring": "ring", "hier": "hier", "hierarchical": "hier",
+	} {
+		topo, err := TopologyByName(name, 0)
+		if err != nil {
+			t.Fatalf("%q: %v", name, err)
+		}
+		if topo.Name() != want {
+			t.Errorf("%q resolved to %s, want %s", name, topo.Name(), want)
+		}
+	}
+	if h, err := TopologyByName("hier", 3); err != nil || h.(Hierarchical).Group != 3 {
+		t.Errorf("hier group not threaded through: %v %v", h, err)
+	}
+	if _, err := TopologyByName("torus", 0); err == nil {
+		t.Error("unknown topology accepted")
+	}
+}
+
+// TestHierarchicalValidate rejects group sizes that cannot address the
+// job.
+func TestHierarchicalValidate(t *testing.T) {
+	if err := (Hierarchical{Group: -1}).Validate(4); err == nil {
+		t.Error("negative group accepted")
+	}
+	if err := (Hierarchical{Group: 5}).Validate(4); err == nil {
+		t.Error("oversized group accepted")
+	}
+	if err := (Hierarchical{Group: 4}).Validate(4); err != nil {
+		t.Errorf("group == n rejected: %v", err)
+	}
+}
